@@ -1,0 +1,36 @@
+//! Criterion bench for Experiment 1 (Figs. 7–8): ParBoX vs
+//! NaiveCentralized across machine counts, one measurement per iteration
+//! count, at a small fixed corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::experiments::run_algorithm;
+use parbox_bench::{ft1, Scale};
+use parbox_net::{Cluster, NetworkModel};
+use parbox_xmark::query_with_qlist;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { corpus_bytes: 96 * 1024, seed: 2006 };
+    let (_, q) = query_with_qlist(8, scale.seed);
+    let mut group = c.benchmark_group("exp1");
+    group.sample_size(10);
+    for n in [1usize, 4, 10] {
+        let (forest, placement) = ft1(scale, n);
+        for algo in ["ParBoX", "NaiveCentralized"] {
+            group.bench_with_input(
+                BenchmarkId::new(algo, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                        black_box(run_algorithm(algo, &cluster, &q).answer)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

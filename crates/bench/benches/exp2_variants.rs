@@ -1,0 +1,38 @@
+//! Criterion bench for Experiment 2 (Figs. 9–11): the three ParBoX
+//! variants on the FT2 chain with the query satisfied at the root, the
+//! middle and the deepest fragment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::experiments::run_algorithm;
+use parbox_bench::{ft2_chain, Scale};
+use parbox_net::{Cluster, NetworkModel};
+use parbox_query::{compile, parse_query};
+use parbox_xmark::marker_query;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { corpus_bytes: 64 * 1024, seed: 2006 };
+    let n = 8usize;
+    let (forest, placement) = ft2_chain(scale, n);
+    let mut group = c.benchmark_group("exp2");
+    group.sample_size(10);
+    for (target, idx) in [("qF0", 0usize), ("qFmid", n / 2), ("qFn", n - 1)] {
+        let q = compile(&parse_query(&marker_query(&format!("F{idx}"))).unwrap());
+        for algo in ["ParBoX", "FullDistParBoX", "LazyParBoX"] {
+            group.bench_with_input(
+                BenchmarkId::new(algo, target),
+                &idx,
+                |b, _| {
+                    b.iter(|| {
+                        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                        black_box(run_algorithm(algo, &cluster, &q).answer)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

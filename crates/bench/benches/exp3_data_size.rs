@@ -1,0 +1,35 @@
+//! Criterion bench for Experiment 3 (Fig. 12): ParBoX over the FT3 tree
+//! as the corpus grows, for small and large queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::{ft3, Scale};
+use parbox_core::parbox;
+use parbox_net::{Cluster, NetworkModel};
+use parbox_xmark::query_with_qlist;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { corpus_bytes: 48 * 1024, seed: 2006 };
+    let mut group = c.benchmark_group("exp3");
+    group.sample_size(10);
+    for growth_pct in [0usize, 50, 100] {
+        let (forest, placement) = ft3(scale, growth_pct as f64 / 100.0);
+        for qsize in [2usize, 23] {
+            let (_, q) = query_with_qlist(qsize, scale.seed ^ qsize as u64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{qsize}"), growth_pct),
+                &growth_pct,
+                |b, _| {
+                    b.iter(|| {
+                        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                        black_box(parbox(&cluster, &q).answer)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

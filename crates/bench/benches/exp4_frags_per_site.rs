@@ -1,0 +1,30 @@
+//! Criterion bench for Experiment 4 (Fig. 13): ParBoX on a single site
+//! whose corpus is split into 1→10 equal fragments — time must stay
+//! flat in the number of fragments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::{single_site_split, Scale};
+use parbox_core::parbox;
+use parbox_net::{Cluster, NetworkModel};
+use parbox_xmark::query_with_qlist;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale { corpus_bytes: 96 * 1024, seed: 2006 };
+    let (_, q) = query_with_qlist(8, scale.seed);
+    let mut group = c.benchmark_group("exp4");
+    group.sample_size(10);
+    for n in [1usize, 5, 10] {
+        let (forest, placement) = single_site_split(scale, n);
+        group.bench_with_input(BenchmarkId::new("ParBoX", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                black_box(parbox(&cluster, &q).answer)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

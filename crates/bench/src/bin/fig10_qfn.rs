@@ -1,0 +1,15 @@
+//! Regenerates **Fig. 10**: query satisfied at the deepest fragment
+//! (qFn) on the FT2 chain — ParBoX vs FullDistParBoX vs LazyParBoX.
+
+use parbox_bench::experiments::{experiment2, Target};
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment2(scale, 10, Target::Deepest);
+    print_table(
+        &format!("Fig. 10 — query qFn on the FT2 chain (corpus {} bytes)", scale.corpus_bytes),
+        "machines",
+        &rows,
+    );
+}

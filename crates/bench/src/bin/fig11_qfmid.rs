@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 11**: query satisfied at the middle fragment
+//! (qF⌈n/2⌉) on the FT2 chain — ParBoX vs FullDistParBoX vs LazyParBoX.
+
+use parbox_bench::experiments::{experiment2, Target};
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment2(scale, 10, Target::Middle);
+    print_table(
+        &format!(
+            "Fig. 11 — query qF(n/2) on the FT2 chain (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
+        "machines",
+        &rows,
+    );
+}

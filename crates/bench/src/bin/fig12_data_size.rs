@@ -1,0 +1,15 @@
+//! Regenerates **Fig. 12**: ParBoX scalability in data size on the FT3
+//! tree, |QList| ∈ {2, 8, 15, 23}.
+
+use parbox_bench::experiments::experiment3_fig12;
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment3_fig12(scale, 8);
+    print_table(
+        &format!("Fig. 12 — scalability in data size (unit corpus {} bytes)", scale.corpus_bytes),
+        "total bytes",
+        &rows,
+    );
+}

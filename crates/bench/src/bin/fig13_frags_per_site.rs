@@ -1,0 +1,15 @@
+//! Regenerates **Fig. 13**: one site holding the whole corpus split into
+//! 1→10 equal fragments — evaluation time stays (almost) constant.
+
+use parbox_bench::experiments::experiment4_fig13;
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment4_fig13(scale, 10);
+    print_table(
+        &format!("Fig. 13 — fragments per site (corpus {} bytes)", scale.corpus_bytes),
+        "fragments",
+        &rows,
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 4** (the complexity summary table) with *measured*
+//! values: visits per site, total computation (work units), parallel
+//! runtime (modeled seconds) and communication (bytes) for all six
+//! algorithms on one FT1 deployment.
+
+use parbox_bench::experiments::fig4_table;
+use parbox_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = fig4_table(scale, 6);
+    println!("## Fig. 4 — measured complexity summary (6 machines, corpus {} bytes)", scale.corpus_bytes);
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>14} {:>8}",
+        "algorithm", "max visits", "total work", "parallel (s)", "bytes", "answer"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>10} {:>14} {:>14.4} {:>14} {:>8}",
+            r.algorithm, r.max_visits, r.total_work, r.parallel_s, r.bytes, r.answer
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 7**: ParBoX vs NaiveCentralized, 1→10 machines,
+//! constant corpus, |QList| = 8.
+//!
+//! Usage: `cargo run --release -p parbox-bench --bin fig7_parbox_vs_central [--scale BYTES]`
+
+use parbox_bench::experiments::experiment1_fig7;
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment1_fig7(scale, 10);
+    print_table(
+        &format!("Fig. 7 — ParBoX vs NaiveCentralized (corpus {} bytes)", scale.corpus_bytes),
+        "machines",
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Fig. 8**: ParBoX scalability in query size
+//! (|QList| ∈ {2, 8, 15, 23}), 1→10 machines, constant corpus.
+
+use parbox_bench::experiments::experiment1_fig8;
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment1_fig8(scale, 10);
+    print_table(
+        &format!("Fig. 8 — scalability in query size (corpus {} bytes)", scale.corpus_bytes),
+        "machines",
+        &rows,
+    );
+}

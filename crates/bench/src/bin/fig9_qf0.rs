@@ -1,0 +1,15 @@
+//! Regenerates **Fig. 9**: query satisfied at the root fragment (qF0) on
+//! the FT2 chain — ParBoX vs FullDistParBoX vs LazyParBoX.
+
+use parbox_bench::experiments::{experiment2, Target};
+use parbox_bench::{print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = experiment2(scale, 10, Target::Root);
+    print_table(
+        &format!("Fig. 9 — query qF0 on the FT2 chain (corpus {} bytes)", scale.corpus_bytes),
+        "machines",
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates the **Section 4** Hybrid tipping-point ablation: sweep
+//! card(F) across |T| / |q| and watch HybridParBoX switch branches. The
+//! decisive quantity is *communication*: ParBoX ships O(|q|·card(F))
+//! bytes, NaiveCentralized ships O(|T|); Hybrid must track the minimum.
+
+use parbox_bench::experiments::sec4_hybrid_ablation;
+use parbox_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let steps = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let rows = sec4_hybrid_ablation(scale, &steps);
+    println!("## Section 4 — Hybrid tipping point (corpus {} bytes)", scale.corpus_bytes);
+    println!(
+        "{:>9} {:>32} {:>14} {:>14} {:>10}",
+        "card(F)", "hybrid chose", "ParBoX (B)", "Naive (B)", "hybrid (B)"
+    );
+    let mut xs: Vec<u64> = rows.iter().map(|r| r.x as u64).collect();
+    xs.sort();
+    xs.dedup();
+    for x in xs {
+        let find = |prefix: &str| {
+            rows.iter()
+                .find(|r| r.x as u64 == x && r.series.starts_with(prefix))
+        };
+        let hybrid = find("HybridParBoX").expect("hybrid row");
+        let pb = find("ParBoX(forced)").expect("parbox row");
+        let nc = find("NaiveCentralized(forced)").expect("naive row");
+        println!(
+            "{:>9} {:>32} {:>14} {:>14} {:>10}",
+            x,
+            hybrid.series.as_str(),
+            pb.bytes,
+            nc.bytes,
+            hybrid.bytes
+        );
+    }
+}

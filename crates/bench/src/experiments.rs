@@ -1,0 +1,382 @@
+//! The experiments of the paper's Section 6 (plus Fig. 4 and the
+//! Section 4/5 ablations), each returning the series its figure plots.
+
+use crate::builders::{ft1, ft2_chain, ft3, single_site_split, Scale};
+use crate::table::Row;
+use parbox_core::{
+    full_dist_parbox, hybrid_parbox, lazy_parbox, naive_centralized, naive_distributed, parbox,
+    EvalOutcome, MaterializedView, Update,
+};
+use parbox_frag::{Forest, Placement};
+use parbox_net::{Cluster, NetworkModel};
+use parbox_query::CompiledQuery;
+use parbox_xmark::{marker_query, query_with_qlist};
+use parbox_xml::FragmentId;
+
+fn compile_str(src: &str) -> CompiledQuery {
+    parbox_query::compile(&parbox_query::parse_query(src).expect("valid query"))
+}
+
+/// Runs one algorithm by name over a cluster.
+pub fn run_algorithm(name: &str, cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
+    match name {
+        "ParBoX" => parbox(cluster, q),
+        "NaiveCentralized" => naive_centralized(cluster, q),
+        "NaiveDistributed" => naive_distributed(cluster, q),
+        "HybridParBoX" => hybrid_parbox(cluster, q),
+        "FullDistParBoX" => full_dist_parbox(cluster, q),
+        "LazyParBoX" => lazy_parbox(cluster, q),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// **Experiment 1 / Fig. 7**: ParBoX vs NaiveCentralized on FT1, sweeping
+/// 1→`max_machines` machines with a constant-size corpus, `|QList| = 8`.
+pub fn experiment1_fig7(scale: Scale, max_machines: usize) -> Vec<Row> {
+    let (_, q) = query_with_qlist(8, scale.seed);
+    let mut rows = Vec::new();
+    for n in 1..=max_machines {
+        let (forest, placement) = ft1(scale, n);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        for algo in ["ParBoX", "NaiveCentralized"] {
+            let out = run_algorithm(algo, &cluster, &q);
+            rows.push(Row::from_outcome(n as f64, algo, &out));
+        }
+    }
+    rows
+}
+
+/// **Experiment 1 / Fig. 8**: ParBoX scalability in query size on FT1 —
+/// `|QList| ∈ {2, 8, 15, 23}`, 1→`max_machines` machines.
+pub fn experiment1_fig8(scale: Scale, max_machines: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for n in 1..=max_machines {
+        let (forest, placement) = ft1(scale, n);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        for size in [2usize, 8, 15, 23] {
+            let (_, q) = query_with_qlist(size, scale.seed ^ size as u64);
+            let out = parbox(&cluster, &q);
+            rows.push(Row::from_outcome(n as f64, format!("|QList|={size}"), &out));
+        }
+    }
+    rows
+}
+
+/// Which fragment the Experiment 2 query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `qF0`: satisfied by the root fragment (Fig. 9).
+    Root,
+    /// `qFn`: satisfied by the deepest fragment (Fig. 10).
+    Deepest,
+    /// `qF⌈n/2⌉`: satisfied by the middle fragment (Fig. 11).
+    Middle,
+}
+
+/// **Experiment 2 / Figs. 9–11**: ParBoX vs FullDistParBoX vs LazyParBoX
+/// on the FT2 chain, with the query satisfied at a chosen fragment.
+pub fn experiment2(scale: Scale, max_machines: usize, target: Target) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for n in 1..=max_machines {
+        let (forest, placement) = ft2_chain(scale, n);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let idx = match target {
+            Target::Root => 0,
+            Target::Deepest => n - 1,
+            Target::Middle => n / 2,
+        };
+        let q = compile_str(&marker_query(&FragmentId(idx as u32).to_string()));
+        for algo in ["ParBoX", "FullDistParBoX", "LazyParBoX"] {
+            let out = run_algorithm(algo, &cluster, &q);
+            assert!(out.answer, "marker query must hold at iteration {n}");
+            rows.push(Row::from_outcome(n as f64, algo, &out));
+        }
+    }
+    rows
+}
+
+/// **Experiment 3 / Fig. 12**: scalability in data size on FT3 —
+/// `growth_steps` iterations sweep the corpus from its smallest to its
+/// largest configuration for `|QList| ∈ {2, 8, 15, 23}`.
+pub fn experiment3_fig12(scale: Scale, growth_steps: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for step in 0..growth_steps {
+        let growth = step as f64 / (growth_steps.max(2) - 1) as f64;
+        let (forest, placement) = ft3(scale, growth);
+        let total_mb = forest.total_bytes() as f64;
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        for size in [2usize, 8, 15, 23] {
+            let (_, q) = query_with_qlist(size, scale.seed ^ size as u64);
+            let out = parbox(&cluster, &q);
+            rows.push(Row::from_outcome(total_mb, format!("|QList|={size}"), &out));
+        }
+    }
+    rows
+}
+
+/// **Experiment 4 / Fig. 13**: one site, constant corpus, split into
+/// 1→`max_fragments` equal fragments — ParBoX runtime must stay flat.
+pub fn experiment4_fig13(scale: Scale, max_fragments: usize) -> Vec<Row> {
+    let (_, q) = query_with_qlist(8, scale.seed);
+    let mut rows = Vec::new();
+    for n in 1..=max_fragments {
+        let (forest, placement) = single_site_split(scale, n);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = parbox(&cluster, &q);
+        rows.push(Row::from_outcome(n as f64, "ParBoX", &out));
+    }
+    rows
+}
+
+/// A measured row of the Fig. 4 complexity table.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Maximum visits to any single site.
+    pub max_visits: usize,
+    /// Total work units.
+    pub total_work: u64,
+    /// Modeled parallel runtime (seconds).
+    pub parallel_s: f64,
+    /// Total traffic in bytes.
+    pub bytes: usize,
+    /// Answer (all algorithms must agree).
+    pub answer: bool,
+}
+
+/// **Fig. 4**: measures visits, total computation, parallel runtime and
+/// communication for all six algorithms on one FT1 deployment.
+pub fn fig4_table(scale: Scale, machines: usize) -> Vec<Fig4Row> {
+    let (forest, placement) = ft1(scale, machines);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let (_, q) = query_with_qlist(8, scale.seed);
+    [
+        "NaiveCentralized",
+        "NaiveDistributed",
+        "ParBoX",
+        "HybridParBoX",
+        "FullDistParBoX",
+        "LazyParBoX",
+    ]
+    .into_iter()
+    .map(|algo| {
+        let out = run_algorithm(algo, &cluster, &q);
+        Fig4Row {
+            algorithm: algo,
+            max_visits: out.report.max_visits(),
+            total_work: out.report.total_work(),
+            parallel_s: out.report.elapsed_model_s,
+            bytes: out.report.total_bytes(),
+            answer: out.answer,
+        }
+    })
+    .collect()
+}
+
+/// One row of the Section 5 incremental-maintenance ablation.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Incremental maintenance cost (modeled seconds).
+    pub incremental_s: f64,
+    /// Full ParBoX re-evaluation cost (modeled seconds).
+    pub reeval_s: f64,
+    /// Maintenance traffic (bytes).
+    pub incremental_bytes: usize,
+    /// Re-evaluation traffic (bytes).
+    pub reeval_bytes: usize,
+    /// Sites visited by maintenance.
+    pub sites_visited: usize,
+}
+
+/// **Section 5**: incremental view maintenance vs full re-evaluation,
+/// for relevant and irrelevant updates and for a fragmentation change.
+pub fn sec5_incremental(scale: Scale, machines: usize) -> Vec<IncrementalRow> {
+    let mut rows = Vec::new();
+    for (scenario, update_of) in [
+        (
+            "irrelevant insert",
+            Box::new(|forest: &Forest| {
+                let frag = last_fragment(forest);
+                let root = forest.fragment(frag).tree.root();
+                Update::InsNode { frag, parent: root, label: "noise".into(), text: None }
+            }) as Box<dyn Fn(&Forest) -> Update>,
+        ),
+        (
+            "answer-flipping insert",
+            Box::new(|forest: &Forest| {
+                let frag = last_fragment(forest);
+                let root = forest.fragment(frag).tree.root();
+                Update::InsNode {
+                    frag,
+                    parent: root,
+                    label: "flip-target".into(),
+                    text: Some("now".into()),
+                }
+            }),
+        ),
+        (
+            "split fragment",
+            Box::new(|forest: &Forest| {
+                let frag = last_fragment(forest);
+                let tree = &forest.fragment(frag).tree;
+                let cut = tree
+                    .children(tree.root())
+                    .find(|&n| tree.subtree_size(n) >= 2 && !tree.node(n).kind.is_virtual())
+                    .expect("splittable child");
+                Update::SplitFragments { frag, node: cut, to_site: None }
+            }),
+        ),
+    ] {
+        let (mut forest, mut placement) = ft1(scale, machines);
+        let q = compile_str("[//flip-target = \"now\" or //qmarker[key/text() = \"F0\"]]");
+        let (mut view, _) =
+            MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &q);
+        let update = update_of(&forest);
+        let rep = view.apply(&mut forest, &mut placement, update).expect("valid update");
+        // Full re-evaluation for comparison.
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let full = parbox(&cluster, &q);
+        assert_eq!(view.answer(), full.answer, "view drifted in {scenario}");
+        rows.push(IncrementalRow {
+            scenario,
+            incremental_s: rep.report.elapsed_model_s,
+            reeval_s: full.report.elapsed_model_s,
+            incremental_bytes: rep.report.total_bytes(),
+            reeval_bytes: full.report.total_bytes(),
+            sites_visited: rep.report.sites().filter(|(_, r)| r.visits > 0).count(),
+        });
+    }
+    rows
+}
+
+fn last_fragment(forest: &Forest) -> FragmentId {
+    forest.fragment_ids().last().expect("non-empty forest")
+}
+
+/// **Section 4 ablation**: the Hybrid tipping point — sweep `card(F)`
+/// across `|T| / |q|` with single-node-ish fragments and report which
+/// branch Hybrid picks and both branches' traffic.
+pub fn sec4_hybrid_ablation(scale: Scale, steps: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let (_, q) = query_with_qlist(15, scale.seed);
+    for &n in steps {
+        let (forest, _) = ft1(scale, 1);
+        // Re-fragment into n pieces, all on distinct sites.
+        let mut forest = forest;
+        if parbox_frag::strategies::fragment_evenly(&mut forest, n).is_err() {
+            continue; // corpus exhausted; smaller scales stop earlier
+        }
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let hybrid = hybrid_parbox(&cluster, &q);
+        rows.push(Row::from_outcome(n as f64, hybrid.algorithm, &hybrid));
+        let pb = parbox(&cluster, &q);
+        rows.push(Row::from_outcome(n as f64, "ParBoX(forced)", &pb));
+        let nc = naive_centralized(&cluster, &q);
+        rows.push(Row::from_outcome(n as f64, "NaiveCentralized(forced)", &nc));
+    }
+    rows
+}
+
+// Re-export used by binaries.
+pub use crate::builders::plant_markers;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { corpus_bytes: 30_000, seed: 11 }
+    }
+
+    #[test]
+    fn fig7_series_has_expected_shape() {
+        let rows = experiment1_fig7(tiny(), 4);
+        assert_eq!(rows.len(), 8);
+        // NaiveCentralized ships data; ParBoX does not.
+        let nc_bytes: usize =
+            rows.iter().filter(|r| r.series == "NaiveCentralized").map(|r| r.bytes).sum();
+        let pb_bytes: usize =
+            rows.iter().filter(|r| r.series == "ParBoX").map(|r| r.bytes).sum();
+        assert!(nc_bytes > 10 * pb_bytes, "nc {nc_bytes} vs pb {pb_bytes}");
+        // ParBoX runtime at 4 machines beats NaiveCentralized at 4 (the
+        // shipping term is deterministic; allow generous compute noise).
+        let at = |series: &str, x: f64| {
+            rows.iter().find(|r| r.series == series && r.x == x).unwrap().runtime_s
+        };
+        assert!(
+            at("ParBoX", 4.0) < at("NaiveCentralized", 4.0) + 0.002,
+            "parbox {} vs naive {}",
+            at("ParBoX", 4.0),
+            at("NaiveCentralized", 4.0)
+        );
+    }
+
+    #[test]
+    fn fig8_more_subqueries_cost_more() {
+        let rows = experiment1_fig8(tiny(), 2);
+        let sum = |s: &str| -> f64 {
+            rows.iter().filter(|r| r.series == s).map(|r| r.work as f64).sum()
+        };
+        assert!(sum("|QList|=23") > sum("|QList|=2"));
+    }
+
+    #[test]
+    fn experiment2_lazy_wins_at_root_target() {
+        let rows = experiment2(tiny(), 4, Target::Root);
+        // At n=4, lazy does least total work.
+        let work = |s: &str| {
+            rows.iter().find(|r| r.series == s && r.x == 4.0).unwrap().work
+        };
+        assert!(work("LazyParBoX") < work("ParBoX"));
+        assert!(work("LazyParBoX") < work("FullDistParBoX"));
+    }
+
+    #[test]
+    fn experiment2_deepest_target_makes_lazy_sequential() {
+        let rows = experiment2(tiny(), 4, Target::Deepest);
+        let rt = |s: &str| {
+            rows.iter().find(|r| r.series == s && r.x == 4.0).unwrap().runtime_s
+        };
+        assert!(rt("LazyParBoX") >= rt("ParBoX"));
+    }
+
+    #[test]
+    fn fig4_all_algorithms_agree_and_match_bounds() {
+        let table = fig4_table(tiny(), 3);
+        let answers: Vec<bool> = table.iter().map(|r| r.answer).collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        let get = |name: &str| table.iter().find(|r| r.algorithm == name).unwrap();
+        assert_eq!(get("ParBoX").max_visits, 1);
+        assert_eq!(get("NaiveCentralized").max_visits, 1);
+        assert!(get("NaiveCentralized").bytes > get("ParBoX").bytes);
+    }
+
+    #[test]
+    fn sec5_incremental_is_cheaper_and_localized() {
+        let rows = sec5_incremental(tiny(), 3);
+        for r in &rows {
+            assert!(
+                r.incremental_bytes <= r.reeval_bytes,
+                "{}: {} > {}",
+                r.scenario,
+                r.incremental_bytes,
+                r.reeval_bytes
+            );
+            assert!(r.sites_visited <= 2, "{} visited {}", r.scenario, r.sites_visited);
+        }
+    }
+
+    #[test]
+    fn fig13_single_site_runtime_flat() {
+        let rows = experiment4_fig13(tiny(), 5);
+        let rts: Vec<f64> = rows.iter().map(|r| r.runtime_s).collect();
+        let max = rts.iter().cloned().fold(0.0, f64::max);
+        let min = rts.iter().cloned().fold(f64::INFINITY, f64::min);
+        // "Almost constant": generous 4x guard for debug-build noise.
+        assert!(max < min * 4.0 + 0.01, "not flat: {rts:?}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Binary wire encoding for formulas and triplets.
+//!
+//! The network layer ships triplets between sites; encoding them gives
+//! honest byte counts for the paper's communication-cost measurements
+//! (`O(|q| · card(F))` per query). The format is a compact tagged
+//! preorder serialization.
+
+use crate::formula::Formula;
+use crate::triplet::Triplet;
+use crate::var::{Var, VecKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parbox_xml::FragmentId;
+use std::fmt;
+use std::sync::Arc;
+
+const TAG_FALSE: u8 = 0;
+const TAG_TRUE: u8 = 1;
+const TAG_VAR: u8 = 2;
+const TAG_NOT: u8 = 3;
+const TAG_AND: u8 = 4;
+const TAG_OR: u8 = 5;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-value.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// An n-ary node with fewer than two operands.
+    BadArity(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated formula encoding"),
+            DecodeError::BadTag(t) => write!(f, "unknown formula tag {t}"),
+            DecodeError::BadArity(n) => write!(f, "n-ary formula with arity {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a formula into `buf`.
+pub fn encode_formula(f: &Formula, buf: &mut BytesMut) {
+    match f {
+        Formula::Const(false) => buf.put_u8(TAG_FALSE),
+        Formula::Const(true) => buf.put_u8(TAG_TRUE),
+        Formula::Var(v) => {
+            buf.put_u8(TAG_VAR);
+            buf.put_u32_le(v.frag.0);
+            buf.put_u8(match v.vec {
+                VecKind::V => 0,
+                VecKind::CV => 1,
+                VecKind::DV => 2,
+            });
+            buf.put_u32_le(v.sub);
+        }
+        Formula::Not(inner) => {
+            buf.put_u8(TAG_NOT);
+            encode_formula(inner, buf);
+        }
+        Formula::And(xs) => {
+            buf.put_u8(TAG_AND);
+            buf.put_u32_le(xs.len() as u32);
+            for x in xs.iter() {
+                encode_formula(x, buf);
+            }
+        }
+        Formula::Or(xs) => {
+            buf.put_u8(TAG_OR);
+            buf.put_u32_le(xs.len() as u32);
+            for x in xs.iter() {
+                encode_formula(x, buf);
+            }
+        }
+    }
+}
+
+/// Decodes one formula from `buf`.
+pub fn decode_formula(buf: &mut Bytes) -> Result<Formula, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    match buf.get_u8() {
+        TAG_FALSE => Ok(Formula::FALSE),
+        TAG_TRUE => Ok(Formula::TRUE),
+        TAG_VAR => {
+            if buf.remaining() < 9 {
+                return Err(DecodeError::Truncated);
+            }
+            let frag = FragmentId(buf.get_u32_le());
+            let vec = match buf.get_u8() {
+                0 => VecKind::V,
+                1 => VecKind::CV,
+                2 => VecKind::DV,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            let sub = buf.get_u32_le();
+            Ok(Formula::Var(Var::new(frag, vec, sub)))
+        }
+        TAG_NOT => Ok(Formula::Not(Arc::new(decode_formula(buf)?))),
+        TAG_AND | TAG_OR if buf.remaining() < 4 => Err(DecodeError::Truncated),
+        tag @ (TAG_AND | TAG_OR) => {
+            let n = buf.get_u32_le();
+            if n < 2 {
+                return Err(DecodeError::BadArity(n));
+            }
+            let mut xs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                xs.push(decode_formula(buf)?);
+            }
+            if tag == TAG_AND {
+                Ok(Formula::And(xs.into()))
+            } else {
+                Ok(Formula::Or(xs.into()))
+            }
+        }
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// Encodes a triplet (three length-prefixed vectors).
+pub fn encode_triplet(t: &Triplet, buf: &mut BytesMut) {
+    for vec in [&t.v, &t.cv, &t.dv] {
+        buf.put_u32_le(vec.len() as u32);
+        for f in vec {
+            encode_formula(f, buf);
+        }
+    }
+}
+
+/// Decodes a triplet.
+pub fn decode_triplet(buf: &mut Bytes) -> Result<Triplet, DecodeError> {
+    let mut vecs = Vec::with_capacity(3);
+    for _ in 0..3 {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n = buf.get_u32_le();
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(decode_formula(buf)?);
+        }
+        vecs.push(v);
+    }
+    let dv = vecs.pop().expect("three vectors");
+    let cv = vecs.pop().expect("two vectors");
+    let v = vecs.pop().expect("one vector");
+    Ok(Triplet { v, cv, dv })
+}
+
+/// Exact wire size in bytes of a triplet — the unit in which the network
+/// simulator accounts traffic.
+pub fn triplet_wire_size(t: &Triplet) -> usize {
+    let mut buf = BytesMut::new();
+    encode_triplet(t, &mut buf);
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(f: &Formula) -> Formula {
+        let mut buf = BytesMut::new();
+        encode_formula(f, &mut buf);
+        let mut bytes = buf.freeze();
+        let out = decode_formula(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0, "trailing bytes");
+        out
+    }
+
+    #[test]
+    fn round_trip_constants_and_vars() {
+        assert_eq!(rt(&Formula::TRUE), Formula::TRUE);
+        assert_eq!(rt(&Formula::FALSE), Formula::FALSE);
+        let v = Formula::Var(Var::new(FragmentId(7), VecKind::CV, 3));
+        assert_eq!(rt(&v), v);
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let a = Formula::Var(Var::new(FragmentId(1), VecKind::V, 0));
+        let b = Formula::Var(Var::new(FragmentId(2), VecKind::DV, 9));
+        let f = Formula::and(Formula::or(a, b.clone()), b).not();
+        assert_eq!(rt(&f), f);
+    }
+
+    #[test]
+    fn round_trip_triplet() {
+        let mut t = Triplet::fresh_vars(FragmentId(3), 5);
+        t.v[0] = Formula::TRUE;
+        t.cv[4] = Formula::or(
+            Formula::Var(Var::new(FragmentId(1), VecKind::V, 2)),
+            Formula::Var(Var::new(FragmentId(2), VecKind::V, 2)),
+        );
+        let mut buf = BytesMut::new();
+        encode_triplet(&t, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_triplet(&mut bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let t = Triplet::fresh_vars(FragmentId(3), 4);
+        let mut buf = BytesMut::new();
+        encode_triplet(&t, &mut buf);
+        assert_eq!(triplet_wire_size(&t), buf.len());
+    }
+
+    #[test]
+    fn wire_size_scales_with_qlist_not_data() {
+        // Constant-entry triplets: 3*(4 + n) bytes.
+        let small = Triplet::all_false(2);
+        let big = Triplet::all_false(23);
+        let s = triplet_wire_size(&small);
+        let b = triplet_wire_size(&big);
+        assert!(b > s);
+        assert_eq!(s, 3 * (4 + 2));
+        assert_eq!(b, 3 * (4 + 23));
+    }
+
+    #[test]
+    fn decode_errors() {
+        let mut empty = Bytes::new();
+        assert_eq!(decode_formula(&mut empty), Err(DecodeError::Truncated));
+        let mut bad = Bytes::from_static(&[99]);
+        assert_eq!(decode_formula(&mut bad), Err(DecodeError::BadTag(99)));
+        let mut trunc = Bytes::from_static(&[TAG_VAR, 1, 2]);
+        assert_eq!(decode_formula(&mut trunc), Err(DecodeError::Truncated));
+        // Arity 1 and-node.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_AND);
+        buf.put_u32_le(1);
+        buf.put_u8(TAG_TRUE);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_formula(&mut bytes), Err(DecodeError::BadArity(1)));
+    }
+}

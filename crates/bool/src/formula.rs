@@ -1,0 +1,379 @@
+//! Boolean formulas — the *partial answers* of ParBoX.
+//!
+//! A formula is either a constant, a [`Var`], or a Boolean combination.
+//! Construction goes through smart constructors that implement the
+//! paper's `compFm` procedure (Fig. 3b): composing a constant with a
+//! formula folds immediately (`true ∧ f = f`, `false ∧ f = false`, …), so
+//! a formula only retains structure that genuinely depends on unknown
+//! sub-fragment values.
+//!
+//! `And`/`Or` are n-ary and flattened, keeping formula size linear in the
+//! number of referenced virtual nodes — the paper's `O(card(F_j))` bound
+//! on entry size.
+
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Boolean formula over sub-fragment variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// A known truth value.
+    Const(bool),
+    /// An unknown triplet entry of a sub-fragment.
+    Var(Var),
+    /// Negation.
+    Not(Arc<Formula>),
+    /// N-ary conjunction (flattened, at least two operands).
+    And(Arc<[Formula]>),
+    /// N-ary disjunction (flattened, at least two operands).
+    Or(Arc<[Formula]>),
+}
+
+/// The Boolean operator argument of [`comp_fm`], mirroring the paper's
+/// `AND`, `OR`, `NEG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Negation (unary; the second operand is ignored).
+    Neg,
+}
+
+/// The paper's `compFm(f1, f2, op)`: composes two partial answers,
+/// folding constants so the result is a truth value whenever possible.
+pub fn comp_fm(f1: Formula, f2: Formula, op: BoolOp) -> Formula {
+    match op {
+        BoolOp::Neg => f1.not(),
+        BoolOp::And => Formula::and(f1, f2),
+        BoolOp::Or => Formula::or(f1, f2),
+    }
+}
+
+impl Formula {
+    /// The constant `true`.
+    pub const TRUE: Formula = Formula::Const(true);
+    /// The constant `false`.
+    pub const FALSE: Formula = Formula::Const(false);
+
+    /// A variable formula.
+    #[inline]
+    pub fn var(v: Var) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Smart conjunction with constant folding and flattening.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        match (a, b) {
+            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::FALSE,
+            (Formula::Const(true), f) | (f, Formula::Const(true)) => f,
+            (a, b) => {
+                let mut ops: Vec<Formula> = Vec::with_capacity(2);
+                Self::flatten_into(a, &mut ops, true);
+                Self::flatten_into(b, &mut ops, true);
+                debug_assert!(ops.len() >= 2);
+                Formula::And(ops.into())
+            }
+        }
+    }
+
+    /// Smart disjunction with constant folding and flattening.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        match (a, b) {
+            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::TRUE,
+            (Formula::Const(false), f) | (f, Formula::Const(false)) => f,
+            (a, b) => {
+                let mut ops: Vec<Formula> = Vec::with_capacity(2);
+                Self::flatten_into(a, &mut ops, false);
+                Self::flatten_into(b, &mut ops, false);
+                debug_assert!(ops.len() >= 2);
+                Formula::Or(ops.into())
+            }
+        }
+    }
+
+    fn flatten_into(f: Formula, ops: &mut Vec<Formula>, conj: bool) {
+        match (f, conj) {
+            (Formula::And(xs), true) | (Formula::Or(xs), false) => {
+                ops.extend(xs.iter().cloned())
+            }
+            (f, _) => ops.push(f),
+        }
+    }
+
+    /// Smart negation (double negation and constants fold).
+    /// Named after the paper's `NEG`; an owned-`self` combinator rather
+    /// than `std::ops::Not` so call sites chain like the other builders.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::Const(b) => Formula::Const(!b),
+            Formula::Not(inner) => (*inner).clone(),
+            f => Formula::Not(Arc::new(f)),
+        }
+    }
+
+    /// N-ary disjunction of an iterator (absorbs constants).
+    pub fn any<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        items.into_iter().fold(Formula::FALSE, Formula::or)
+    }
+
+    /// N-ary conjunction of an iterator (absorbs constants).
+    pub fn all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        items.into_iter().fold(Formula::TRUE, Formula::and)
+    }
+
+    /// True when the formula is a constant. The paper's `isFormula(f)`
+    /// predicate is the negation of this.
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        matches!(self, Formula::Const(_))
+    }
+
+    /// The constant value, if fully evaluated.
+    #[inline]
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            Formula::Const(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes of the formula tree; proxy for its in-memory size.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Const(_) | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(xs) | Formula::Or(xs) => 1 + xs.iter().map(Formula::size).sum::<usize>(),
+        }
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Const(_) => {}
+            Formula::Var(v) => {
+                out.insert(*v);
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(xs) | Formula::Or(xs) => {
+                for f in xs.iter() {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// True when the formula references no variables of fragments other
+    /// than those in `allowed` (used to check the solver's invariants).
+    pub fn closed(&self) -> bool {
+        self.vars().is_empty()
+    }
+
+    /// Substitutes variables using `lookup`, re-simplifying along the way.
+    /// Variables for which `lookup` returns `None` remain free.
+    pub fn substitute<F>(&self, lookup: &F) -> Formula
+    where
+        F: Fn(Var) -> Option<Formula>,
+    {
+        match self {
+            Formula::Const(b) => Formula::Const(*b),
+            Formula::Var(v) => lookup(*v).unwrap_or(Formula::Var(*v)),
+            Formula::Not(f) => f.substitute(lookup).not(),
+            Formula::And(xs) => {
+                Formula::all(xs.iter().map(|f| f.substitute(lookup)))
+            }
+            Formula::Or(xs) => {
+                Formula::any(xs.iter().map(|f| f.substitute(lookup)))
+            }
+        }
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval<F>(&self, assign: &F) -> bool
+    where
+        F: Fn(Var) -> bool,
+    {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Var(v) => assign(*v),
+            Formula::Not(f) => !f.eval(assign),
+            Formula::And(xs) => xs.iter().all(|f| f.eval(assign)),
+            Formula::Or(xs) => xs.iter().any(|f| f.eval(assign)),
+        }
+    }
+}
+
+impl From<bool> for Formula {
+    fn from(b: bool) -> Self {
+        Formula::Const(b)
+    }
+}
+
+impl From<Var> for Formula {
+    fn from(v: Var) -> Self {
+        Formula::Var(v)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
+            Formula::Var(v) => write!(f, "{v}"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VecKind;
+    use parbox_xml::FragmentId;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(Var::new(FragmentId(i), VecKind::V, 0))
+    }
+
+    #[test]
+    fn constant_folding_and() {
+        assert_eq!(Formula::and(Formula::TRUE, v(1)), v(1));
+        assert_eq!(Formula::and(v(1), Formula::TRUE), v(1));
+        assert_eq!(Formula::and(Formula::FALSE, v(1)), Formula::FALSE);
+        assert_eq!(Formula::and(v(1), Formula::FALSE), Formula::FALSE);
+        assert_eq!(Formula::and(Formula::TRUE, Formula::FALSE), Formula::FALSE);
+    }
+
+    #[test]
+    fn constant_folding_or() {
+        assert_eq!(Formula::or(Formula::FALSE, v(1)), v(1));
+        assert_eq!(Formula::or(v(1), Formula::FALSE), v(1));
+        assert_eq!(Formula::or(Formula::TRUE, v(1)), Formula::TRUE);
+        assert_eq!(Formula::or(v(1), Formula::TRUE), Formula::TRUE);
+    }
+
+    #[test]
+    fn comp_fm_matches_paper_cases() {
+        // (c0) two constants.
+        assert_eq!(comp_fm(Formula::TRUE, Formula::TRUE, BoolOp::And), Formula::TRUE);
+        assert_eq!(comp_fm(Formula::TRUE, Formula::FALSE, BoolOp::And), Formula::FALSE);
+        // (c1) constant, formula.
+        assert_eq!(comp_fm(Formula::TRUE, v(1), BoolOp::And), v(1));
+        assert_eq!(comp_fm(Formula::FALSE, v(1), BoolOp::And), Formula::FALSE);
+        assert_eq!(comp_fm(Formula::TRUE, v(1), BoolOp::Or), Formula::TRUE);
+        assert_eq!(comp_fm(Formula::FALSE, v(1), BoolOp::Or), v(1));
+        // (c2) formula, constant — symmetric.
+        assert_eq!(comp_fm(v(1), Formula::TRUE, BoolOp::And), v(1));
+        assert_eq!(comp_fm(v(1), Formula::FALSE, BoolOp::Or), v(1));
+        // (c3) two formulas — structure retained.
+        let f = comp_fm(v(1), v(2), BoolOp::And);
+        assert!(matches!(f, Formula::And(_)));
+        // NEG ignores the second operand.
+        assert_eq!(comp_fm(Formula::TRUE, v(9), BoolOp::Neg), Formula::FALSE);
+    }
+
+    #[test]
+    fn nary_flattening() {
+        let f = Formula::and(Formula::and(v(1), v(2)), v(3));
+        let Formula::And(xs) = &f else { panic!("{f}") };
+        assert_eq!(xs.len(), 3);
+        let g = Formula::or(v(1), Formula::or(v(2), v(3)));
+        let Formula::Or(xs) = &g else { panic!("{g}") };
+        assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        assert_eq!(v(1).not().not(), v(1));
+        assert_eq!(Formula::TRUE.not(), Formula::FALSE);
+    }
+
+    #[test]
+    fn any_and_all_absorb() {
+        assert_eq!(Formula::any(vec![]), Formula::FALSE);
+        assert_eq!(Formula::all(vec![]), Formula::TRUE);
+        assert_eq!(Formula::any(vec![Formula::FALSE, v(2)]), v(2));
+        assert_eq!(Formula::all(vec![Formula::TRUE, v(2)]), v(2));
+    }
+
+    #[test]
+    fn vars_collects_all() {
+        let f = Formula::and(Formula::or(v(1), v(2)), v(3).not());
+        let vs = f.vars();
+        assert_eq!(vs.len(), 3);
+    }
+
+    #[test]
+    fn substitution_resolves_and_simplifies() {
+        // (v1 ∨ v2) ∧ ¬v3 with v1=false, v2=true, v3=false → true.
+        let f = Formula::and(Formula::or(v(1), v(2)), v(3).not());
+        let g = f.substitute(&|var: Var| match var.frag.0 {
+            1 => Some(Formula::FALSE),
+            2 => Some(Formula::TRUE),
+            3 => Some(Formula::FALSE),
+            _ => None,
+        });
+        assert_eq!(g, Formula::TRUE);
+    }
+
+    #[test]
+    fn partial_substitution_leaves_free_vars() {
+        let f = Formula::or(v(1), v(2));
+        let g = f.substitute(&|var: Var| (var.frag.0 == 1).then_some(Formula::FALSE));
+        assert_eq!(g, v(2));
+        let h = f.substitute(&|var: Var| (var.frag.0 == 1).then_some(Formula::TRUE));
+        assert_eq!(h, Formula::TRUE);
+    }
+
+    #[test]
+    fn eval_total_assignment() {
+        let f = Formula::and(v(1), v(2).not());
+        assert!(f.eval(&|var: Var| var.frag.0 == 1));
+        assert!(!f.eval(&|_| true));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Formula::TRUE.size(), 1);
+        assert_eq!(v(1).size(), 1);
+        assert_eq!(Formula::and(v(1), v(2)).size(), 3);
+        assert_eq!(Formula::and(v(1), v(2)).not().size(), 4);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let f = Formula::or(v(1), v(2).not());
+        assert_eq!(f.to_string(), "(x1@F1 ∨ ¬(x1@F2))");
+        assert_eq!(Formula::TRUE.to_string(), "1");
+    }
+}

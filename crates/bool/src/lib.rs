@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # parbox-bool
+//!
+//! Boolean formulas with free variables — the *partial answers* that
+//! ParBoX sites ship instead of data (paper, Section 3.1) — together with
+//! the `compFm` composition procedure, `(V, CV, DV)` triplets, the linear
+//! Boolean equation system solved by the coordinator, and a compact wire
+//! encoding used for communication-cost accounting.
+//!
+//! ```
+//! use parbox_bool::{Formula, Var, VecKind, comp_fm, BoolOp};
+//! use parbox_xml::FragmentId;
+//!
+//! let x = Formula::var(Var::new(FragmentId(1), VecKind::DV, 7));
+//! // compFm folds constants: true ∨ x = true, false ∨ x = x.
+//! assert_eq!(comp_fm(Formula::FALSE, x.clone(), BoolOp::Or), x);
+//! ```
+
+mod encode;
+mod formula;
+mod triplet;
+mod var;
+
+pub use encode::{
+    decode_formula, decode_triplet, encode_formula, encode_triplet, triplet_wire_size,
+    DecodeError,
+};
+pub use formula::{comp_fm, BoolOp, Formula};
+pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet};
+pub use var::{Var, VecKind};

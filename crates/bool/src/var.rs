@@ -1,0 +1,87 @@
+//! Boolean variables introduced at virtual nodes.
+//!
+//! During partial evaluation, the values of the sub-queries at a virtual
+//! node (the root of sub-fragment `F_k` stored elsewhere) are unknown.
+//! Procedure `bottomUp` introduces one variable per sub-query per vector:
+//! the paper's `x_i`, `cx_i` and `dx_i` (Example 3.1). A variable is
+//! therefore fully identified by *(fragment, vector, sub-query index)*.
+
+use parbox_xml::FragmentId;
+use std::fmt;
+
+/// Which of the three vectors of a triplet a variable refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VecKind {
+    /// `V` — value of the sub-query at the fragment root (paper's `x`).
+    V,
+    /// `CV` — true iff the sub-query holds at some *child* of the fragment
+    /// root (paper's `cx`).
+    CV,
+    /// `DV` — true iff the sub-query holds at the fragment root or some
+    /// descendant (paper's `dx`).
+    DV,
+}
+
+impl VecKind {
+    /// All vector kinds, in `(V, CV, DV)` order.
+    pub const ALL: [VecKind; 3] = [VecKind::V, VecKind::CV, VecKind::DV];
+}
+
+/// A Boolean variable standing for one unknown triplet entry of a
+/// sub-fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var {
+    /// The sub-fragment whose value is unknown.
+    pub frag: FragmentId,
+    /// Which vector of the sub-fragment's triplet.
+    pub vec: VecKind,
+    /// Index of the sub-query in `QList(q)`.
+    pub sub: u32,
+}
+
+impl Var {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(frag: FragmentId, vec: VecKind, sub: u32) -> Self {
+        Var { frag, vec, sub }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the paper's notation: x / cx / dx subscripted by the
+        // sub-query, superscripted (here: suffixed) by the fragment.
+        let prefix = match self.vec {
+            VecKind::V => "x",
+            VecKind::CV => "cx",
+            VecKind::DV => "dx",
+        };
+        write!(f, "{prefix}{}@{}", self.sub + 1, self.frag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let v = Var::new(FragmentId(2), VecKind::DV, 7);
+        assert_eq!(v.to_string(), "dx8@F2");
+        let v = Var::new(FragmentId(0), VecKind::V, 0);
+        assert_eq!(v.to_string(), "x1@F0");
+    }
+
+    #[test]
+    fn ordering_groups_by_fragment() {
+        let a = Var::new(FragmentId(1), VecKind::DV, 9);
+        let b = Var::new(FragmentId(2), VecKind::V, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn all_kinds_enumerated() {
+        assert_eq!(VecKind::ALL.len(), 3);
+        assert_eq!(VecKind::ALL[0], VecKind::V);
+    }
+}

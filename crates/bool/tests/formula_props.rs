@@ -1,0 +1,136 @@
+//! Property-based tests of the formula algebra: the smart constructors
+//! must be *sound* simplifications (same truth table as the naive
+//! connectives), substitution must commute with evaluation, and the wire
+//! encoding must be lossless.
+
+use bytes::BytesMut;
+use parbox_bool::{
+    comp_fm, decode_formula, encode_formula, BoolOp, Formula, Var, VecKind,
+};
+use parbox_xml::FragmentId;
+use proptest::prelude::*;
+
+/// A small pool of variables so random assignments are meaningful.
+fn var_pool() -> Vec<Var> {
+    let mut out = Vec::new();
+    for f in 0..3u32 {
+        for (k, vec) in [VecKind::V, VecKind::CV, VecKind::DV].into_iter().enumerate() {
+            out.push(Var::new(FragmentId(f), vec, k as u32));
+        }
+    }
+    out
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let pool = var_pool();
+    let leaf = prop_oneof![
+        Just(Formula::TRUE),
+        Just(Formula::FALSE),
+        (0..pool.len()).prop_map(move |i| Formula::Var(pool[i])),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            inner.clone().prop_map(Formula::not),
+        ]
+    })
+}
+
+/// Deterministic assignment derived from a seed byte.
+fn assignment(seed: u8) -> impl Fn(Var) -> bool {
+    move |v: Var| {
+        let h = v.frag.0 as u8 ^ (v.sub as u8) ^ match v.vec {
+            VecKind::V => 0,
+            VecKind::CV => 1,
+            VecKind::DV => 2,
+        };
+        (h ^ seed).count_ones().is_multiple_of(2)
+    }
+}
+
+proptest! {
+    #[test]
+    fn smart_constructors_preserve_truth(a in formula_strategy(), b in formula_strategy(), seed: u8) {
+        let assign = assignment(seed);
+        prop_assert_eq!(Formula::and(a.clone(), b.clone()).eval(&assign), a.eval(&assign) && b.eval(&assign));
+        prop_assert_eq!(Formula::or(a.clone(), b.clone()).eval(&assign), a.eval(&assign) || b.eval(&assign));
+        prop_assert_eq!(a.clone().not().eval(&assign), !a.eval(&assign));
+    }
+
+    #[test]
+    fn comp_fm_matches_connectives(a in formula_strategy(), b in formula_strategy(), seed: u8) {
+        let assign = assignment(seed);
+        prop_assert_eq!(
+            comp_fm(a.clone(), b.clone(), BoolOp::And).eval(&assign),
+            a.eval(&assign) && b.eval(&assign)
+        );
+        prop_assert_eq!(
+            comp_fm(a.clone(), b.clone(), BoolOp::Or).eval(&assign),
+            a.eval(&assign) || b.eval(&assign)
+        );
+        prop_assert_eq!(comp_fm(a.clone(), b, BoolOp::Neg).eval(&assign), !a.eval(&assign));
+    }
+
+    #[test]
+    fn total_substitution_equals_evaluation(f in formula_strategy(), seed: u8) {
+        let assign = assignment(seed);
+        let substituted = f.substitute(&|v| Some(Formula::Const(assign(v))));
+        prop_assert_eq!(substituted.as_const(), Some(f.eval(&assign)));
+    }
+
+    #[test]
+    fn partial_then_rest_equals_total(f in formula_strategy(), seed: u8) {
+        // Substituting fragment 0's variables first, then the rest, must
+        // agree with direct evaluation (unification order irrelevance —
+        // the paper's "order is of no consequence" remark).
+        let assign = assignment(seed);
+        let phase1 = f.substitute(&|v| {
+            (v.frag == FragmentId(0)).then(|| Formula::Const(assign(v)))
+        });
+        let phase2 = phase1.substitute(&|v| Some(Formula::Const(assign(v))));
+        prop_assert_eq!(phase2.as_const(), Some(f.eval(&assign)));
+    }
+
+    #[test]
+    fn constants_are_fully_folded(a in formula_strategy()) {
+        // A formula without variables must be a constant (compFm folds
+        // eagerly, so open structure implies open variables).
+        let closed = a.substitute(&|_| Some(Formula::FALSE));
+        prop_assert!(closed.is_const());
+    }
+
+    #[test]
+    fn encoding_round_trips(f in formula_strategy()) {
+        let mut buf = BytesMut::new();
+        encode_formula(&f, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_formula(&mut bytes).unwrap();
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(bytes.len(), 0);
+    }
+
+    #[test]
+    fn size_bounds_wire_size(f in formula_strategy()) {
+        let mut buf = BytesMut::new();
+        encode_formula(&f, &mut buf);
+        // Each node costs at most 13 bytes on the wire (var = 10, n-ary
+        // header = 5) and at least 1.
+        prop_assert!(buf.len() <= 13 * f.size());
+        prop_assert!(buf.len() >= f.size());
+    }
+
+    #[test]
+    fn vars_is_sound(f in formula_strategy(), seed: u8) {
+        // Flipping a variable NOT in vars() never changes the value.
+        let vars = f.vars();
+        let assign = assignment(seed);
+        for probe in var_pool() {
+            if vars.contains(&probe) {
+                continue;
+            }
+            let flipped = |v: Var| if v == probe { !assign(v) } else { assign(v) };
+            prop_assert_eq!(f.eval(&assign), f.eval(&flipped));
+        }
+    }
+}

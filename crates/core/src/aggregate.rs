@@ -1,0 +1,380 @@
+//! Aggregation by partial evaluation — the paper's closing observation
+//! that "numerical and aggregating computations over large data sets can
+//! benefit from the technique".
+//!
+//! For an XBL predicate `q`, [`count_distributed`] computes how many
+//! nodes of the distributed document satisfy `q`, and
+//! [`sum_distributed`] adds up the numeric text values of those nodes.
+//! Both keep ParBoX's guarantees: **each site is visited once** and the
+//! traffic is query-sized.
+//!
+//! The partial answer of a fragment is a *residual affine expression*:
+//!
+//! ```text
+//! count(F_j) = c  +  Σ [φ_i]  +  Σ count(F_k)
+//! ```
+//!
+//! where `c` counts the fragment's nodes whose predicate value resolved
+//! locally, each `φ_i` is a Boolean formula for a node whose value still
+//! depends on sub-fragment variables (spine nodes), and the `count(F_k)`
+//! terms refer to the sub-fragments. The coordinator first solves the
+//! ordinary Boolean equation system (resolving every `φ_i`), then folds
+//! the affine expressions bottom-up — both passes are linear.
+
+use crate::algorithms::query_wire_size;
+use crate::eval::bottom_up;
+use parbox_bool::{triplet_wire_size, EquationSystem, Formula, Var};
+use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
+use parbox_query::{CompiledQuery, Op};
+use parbox_xml::{FragmentId, NodeId, Tree};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The residual aggregate computed for one fragment.
+#[derive(Debug, Clone)]
+pub struct ResidualAggregate {
+    /// Contribution of nodes whose predicate value resolved locally.
+    pub resolved: f64,
+    /// Contributions still conditional on sub-fragment values: the value
+    /// is added iff the formula turns out true.
+    pub pending: Vec<(Formula, f64)>,
+    /// Sub-fragments whose own aggregates must be added.
+    pub children: Vec<FragmentId>,
+}
+
+impl ResidualAggregate {
+    /// Wire size: constant + each pending formula + child list.
+    pub fn wire_size(&self) -> usize {
+        8 + self
+            .pending
+            .iter()
+            .map(|(f, _)| 8 + f.size() * 10)
+            .sum::<usize>()
+            + 4 * self.children.len()
+    }
+}
+
+/// Result of a distributed aggregation.
+#[derive(Debug, Clone)]
+pub struct AggregateOutcome {
+    /// The aggregate value over the whole document.
+    pub value: f64,
+    /// Full cost accounting.
+    pub report: RunReport,
+}
+
+/// How a matching node contributes to the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Each matching node contributes 1.
+    Count,
+    /// Each matching node contributes its numeric text value (nodes whose
+    /// text does not parse as a number contribute 0).
+    SumText,
+}
+
+/// Counts the nodes of the whole (unfragmented) tree satisfying `q` —
+/// the centralized oracle.
+pub fn count_centralized(tree: &Tree, q: &CompiledQuery) -> u64 {
+    aggregate_fragment(tree, q, AggKind::Count).resolved as u64
+}
+
+/// Sums the numeric text of nodes satisfying `q` on a whole tree.
+pub fn sum_centralized(tree: &Tree, q: &CompiledQuery) -> f64 {
+    aggregate_fragment(tree, q, AggKind::SumText).resolved
+}
+
+/// Distributed COUNT of nodes satisfying `q`: one visit per site.
+pub fn count_distributed(cluster: &Cluster<'_>, q: &CompiledQuery) -> AggregateOutcome {
+    aggregate_distributed(cluster, q, AggKind::Count)
+}
+
+/// Distributed SUM over the numeric text of nodes satisfying `q`.
+pub fn sum_distributed(cluster: &Cluster<'_>, q: &CompiledQuery) -> AggregateOutcome {
+    aggregate_distributed(cluster, q, AggKind::SumText)
+}
+
+fn aggregate_distributed(
+    cluster: &Cluster<'_>,
+    q: &CompiledQuery,
+    kind: AggKind,
+) -> AggregateOutcome {
+    let wall = Instant::now();
+    let mut report = RunReport::new();
+    let coord = cluster.coordinator();
+    let st = &cluster.source_tree;
+    let sites = cluster.sites();
+    let qsize = query_wire_size(q);
+
+    // Stage 1+2 (one visit per site): every fragment produces both its
+    // Boolean triplet (to resolve spine formulas) and its residual
+    // aggregate, in one local pass each.
+    for &s in &sites {
+        report.record_visit(s);
+        if s != coord {
+            report.record_message(coord, s, qsize, MessageKind::Query);
+        }
+    }
+    let runs = run_sites_parallel(&sites, |s| {
+        cluster
+            .fragments_at(s)
+            .into_iter()
+            .map(|f| {
+                let tree = &cluster.forest.fragment(f).tree;
+                let triplet = bottom_up(tree, q);
+                let residual = aggregate_fragment(tree, q, kind);
+                (f, triplet, residual)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut sys = EquationSystem::new();
+    let mut residuals: HashMap<FragmentId, ResidualAggregate> = HashMap::new();
+    for run in runs {
+        report.record_compute(run.site, run.elapsed);
+        for (frag, frun, residual) in run.output {
+            report.record_work(run.site, 2 * frun.work_units);
+            if run.site != coord {
+                let bytes = triplet_wire_size(&frun.triplet) + residual.wire_size();
+                report.record_message(run.site, coord, bytes, MessageKind::Triplet);
+            }
+            sys.insert(frag, frun.triplet);
+            residuals.insert(frag, residual);
+        }
+    }
+
+    // Stage 3 at the coordinator: solve the Boolean system, then fold the
+    // affine aggregates bottom-up over the fragment tree.
+    let solve_start = Instant::now();
+    let resolved = sys.solve(st.postorder()).expect("complete bottom-up order");
+    let mut totals: HashMap<FragmentId, f64> = HashMap::new();
+    for &frag in st.postorder() {
+        let residual = &residuals[&frag];
+        let mut total = residual.resolved;
+        for (formula, weight) in &residual.pending {
+            let truth = formula.eval(&|var: Var| resolved[&var.frag].value_of(var));
+            if truth {
+                total += weight;
+            }
+        }
+        for child in &residual.children {
+            total += totals[child];
+        }
+        totals.insert(frag, total);
+    }
+    let solve_time = solve_start.elapsed();
+    report.record_compute(coord, solve_time);
+    report.record_work(coord, (q.len() * cluster.forest.card()) as u64);
+
+    report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+    report.elapsed_model_s = report.max_site_compute_s()
+        + cluster
+            .model
+            .shared_link_time(report.messages.iter().map(|m| m.bytes))
+        + solve_time.as_secs_f64();
+    AggregateOutcome { value: totals[&st.root()], report }
+}
+
+/// One fragment-local pass: evaluates `q`'s formula vectors at every node
+/// and classifies each node's contribution as resolved or pending.
+fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> ResidualAggregate {
+    let resolved_q = q.resolve(tree.labels());
+    let m = resolved_q.len();
+    let root_sub = resolved_q.root as usize;
+    let mut out = ResidualAggregate { resolved: 0.0, pending: Vec::new(), children: Vec::new() };
+
+    // Postorder traversal with formula vectors, mirroring `bottomUp` but
+    // inspecting V(q_root) at every node.
+    struct Frame {
+        node: NodeId,
+        child_idx: usize,
+        cv: Vec<Formula>,
+        dv: Vec<Formula>,
+    }
+    let mk = |m: usize| vec![Formula::FALSE; m];
+    let mut stack =
+        vec![Frame { node: tree.root(), child_idx: 0, cv: mk(m), dv: mk(m) }];
+    let mut done: Option<(Vec<Formula>, Vec<Formula>)> = None;
+    loop {
+        let frame = stack.last_mut().expect("non-empty until break");
+        if let Some((v_w, dv_w)) = done.take() {
+            for i in 0..m {
+                frame.cv[i] =
+                    Formula::or(std::mem::replace(&mut frame.cv[i], Formula::FALSE), v_w[i].clone());
+                frame.dv[i] =
+                    Formula::or(std::mem::replace(&mut frame.dv[i], Formula::FALSE), dv_w[i].clone());
+            }
+        }
+        let kids = tree.node(frame.node).child_ids();
+        if frame.child_idx < kids.len() {
+            let child = kids[frame.child_idx];
+            frame.child_idx += 1;
+            stack.push(Frame { node: child, child_idx: 0, cv: mk(m), dv: mk(m) });
+            continue;
+        }
+        let Frame { node, cv, mut dv, .. } = stack.pop().expect("peeked");
+        let n = tree.node(node);
+        let v: Vec<Formula> = if let Some(frag) = n.kind.fragment() {
+            // Sub-fragment: its nodes are counted by its own residual.
+            out.children.push(frag);
+            let t = parbox_bool::Triplet::fresh_vars(frag, m);
+            dv = t.dv;
+            t.v
+        } else {
+            let mut v: Vec<Formula> = Vec::with_capacity(m);
+            for (i, op) in resolved_q.ops.iter().enumerate() {
+                let value = match op {
+                    Op::True => Formula::TRUE,
+                    Op::LabelIs(l) => Formula::Const(Some(n.label) == *l),
+                    Op::TextIs(s) => Formula::Const(n.text.as_deref() == Some(s.as_ref())),
+                    Op::Child(j) => cv[*j as usize].clone(),
+                    Op::Desc(j) => dv[*j as usize].clone(),
+                    Op::Or(a, b) => {
+                        Formula::or(v[*a as usize].clone(), v[*b as usize].clone())
+                    }
+                    Op::And(a, b) => {
+                        Formula::and(v[*a as usize].clone(), v[*b as usize].clone())
+                    }
+                    Op::Not(a) => v[*a as usize].clone().not(),
+                };
+                dv[i] = Formula::or(value.clone(), std::mem::replace(&mut dv[i], Formula::FALSE));
+                v.push(value);
+            }
+            // This node's contribution.
+            let weight = match kind {
+                AggKind::Count => 1.0,
+                AggKind::SumText => n
+                    .text
+                    .as_deref()
+                    .and_then(|t| t.trim().parse::<f64>().ok())
+                    .unwrap_or(0.0),
+            };
+            if weight != 0.0 {
+                match v[root_sub].as_const() {
+                    Some(true) => out.resolved += weight,
+                    Some(false) => {}
+                    None => out.pending.push((v[root_sub].clone(), weight)),
+                }
+            }
+            v
+        };
+        if stack.is_empty() {
+            break;
+        }
+        done = Some((v, dv));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_frag::{strategies, Forest, Placement};
+    use parbox_net::NetworkModel;
+    use parbox_query::{compile, parse_query};
+
+    fn q(src: &str) -> CompiledQuery {
+        compile(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn centralized_count_simple() {
+        let tree = Tree::parse("<r><a/><a><a/></a><b/></r>").unwrap();
+        assert_eq!(count_centralized(&tree, &q("[label() = a]")), 3);
+        assert_eq!(count_centralized(&tree, &q("[label() = r]")), 1);
+        assert_eq!(count_centralized(&tree, &q("[label() = z]")), 0);
+        // Predicate with structure: nodes that have an `a` child.
+        assert_eq!(count_centralized(&tree, &q("[a]")), 2); // r and the middle a
+    }
+
+    #[test]
+    fn centralized_sum_simple() {
+        let tree = Tree::parse(
+            "<r><p>10</p><p>2.5</p><p>not-a-number</p><x>99</x></r>",
+        )
+        .unwrap();
+        assert_eq!(sum_centralized(&tree, &q("[label() = p]")), 12.5);
+        assert_eq!(sum_centralized(&tree, &q("[label() = x]")), 99.0);
+    }
+
+    fn stock_forest() -> (Forest, Placement) {
+        let tree = Tree::parse(
+            r#"<portfolio>
+                 <m><stock><code>GOOG</code><sell>370</sell></stock>
+                    <stock><code>YHOO</code><sell>35</sell></stock></m>
+                 <m><stock><code>GOOG</code><sell>373</sell></stock></m>
+                 <m><stock><code>IBM</code><sell>78</sell></stock>
+                    <stock><code>GOOG</code><sell>371</sell></stock></m>
+               </portfolio>"#,
+        )
+        .unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let root = forest.root_fragment();
+        strategies::star(&mut forest, root).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        (forest, placement)
+    }
+
+    #[test]
+    fn distributed_count_matches_centralized() {
+        let (forest, placement) = stock_forest();
+        let whole = forest.reassemble();
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        for src in [
+            "[label() = stock]",
+            "[label() = stock and code/text() = \"GOOG\"]",
+            "[label() = m]",
+            "[stock]", // nodes having a stock child
+            "[label() = nothing]",
+        ] {
+            let query = q(src);
+            let expected = count_centralized(&whole, &query) as f64;
+            let got = count_distributed(&cluster, &query);
+            assert_eq!(got.value, expected, "count mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn distributed_sum_matches_centralized() {
+        let (forest, placement) = stock_forest();
+        let whole = forest.reassemble();
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        // Total GOOG sell value: 370 + 373 + 371.
+        let query = q("[label() = sell]");
+        assert_eq!(sum_centralized(&whole, &query), 370.0 + 35.0 + 373.0 + 78.0 + 371.0);
+        let got = sum_distributed(&cluster, &query);
+        assert_eq!(got.value, sum_centralized(&whole, &query));
+    }
+
+    #[test]
+    fn one_visit_per_site() {
+        let (forest, placement) = stock_forest();
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = count_distributed(&cluster, &q("[label() = stock]"));
+        assert_eq!(out.report.max_visits(), 1);
+        assert_eq!(out.report.bytes_of_kind(MessageKind::Data), 0);
+    }
+
+    #[test]
+    fn pending_formulas_resolve_across_fragments() {
+        // A predicate whose truth at F0's nodes depends on sub-fragments:
+        // "portfolio nodes that contain a GOOG stock somewhere below".
+        let (forest, placement) = stock_forest();
+        let whole = forest.reassemble();
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let query = q("[//code = \"GOOG\"]"); // holds at ancestors of GOOG codes
+        let expected = count_centralized(&whole, &query) as f64;
+        let got = count_distributed(&cluster, &query);
+        assert_eq!(got.value, expected);
+        assert!(expected >= 4.0, "root + markets + stocks chains");
+    }
+
+    #[test]
+    fn traffic_stays_query_sized() {
+        let (forest, placement) = stock_forest();
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = count_distributed(&cluster, &q("[label() = stock]"));
+        // Triplet + residual bytes only; far below the document size.
+        assert!(out.report.total_bytes() < forest.total_bytes());
+    }
+}

@@ -1,0 +1,98 @@
+//! Algorithm **HybridParBoX** (paper, Section 4): pick ParBoX or the
+//! naive centralized algorithm depending on the decomposition.
+//!
+//! In the pathological case where every node is its own fragment,
+//! `card(F) = |T|` and ParBoX's communication `O(|q| · card(F))` exceeds
+//! NaiveCentralized's `O(|T|)`. The tipping point compares `card(F)`
+//! with `|T| / |q|`: ParBoX wins while `card(F) < |T| / |q|`.
+
+use crate::algorithms::{naive_centralized, parbox, EvalOutcome};
+use parbox_net::Cluster;
+use parbox_query::CompiledQuery;
+
+/// True when the decomposition favours ParBoX (the common case).
+pub fn hybrid_prefers_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> bool {
+    let total_nodes = cluster.forest.total_nodes();
+    let card = cluster.forest.card();
+    card * q.len() < total_nodes
+}
+
+/// Evaluates `q`, switching between ParBoX and NaiveCentralized at the
+/// tipping point `card(F) ≷ |T| / |q|`.
+pub fn hybrid_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
+    let mut out = if hybrid_prefers_parbox(cluster, q) {
+        let mut out = parbox(cluster, q);
+        out.algorithm = "HybridParBoX→ParBoX";
+        out
+    } else {
+        let mut out = naive_centralized(cluster, q);
+        out.algorithm = "HybridParBoX→NaiveCentralized";
+        out
+    };
+    // The decision itself is O(1); nothing to account.
+    out.report.elapsed_wall_s = out.report.elapsed_wall_s.max(0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_frag::{strategies, Forest, Placement};
+    use parbox_net::NetworkModel;
+    use parbox_query::{compile, parse_query};
+    use parbox_xml::Tree;
+
+    fn big_tree(n: usize) -> Tree {
+        let mut xml = String::from("<r>");
+        for i in 0..n {
+            xml.push_str(&format!("<s{i}><a>v</a><b/></s{i}>", i = i % 50));
+        }
+        xml.push_str("<goal/></r>");
+        Tree::parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn coarse_decomposition_uses_parbox() {
+        let mut forest = Forest::from_tree(big_tree(100));
+        strategies::fragment_evenly(&mut forest, 4).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let q = compile(&parse_query("[//goal]").unwrap());
+        assert!(hybrid_prefers_parbox(&cluster, &q));
+        let out = hybrid_parbox(&cluster, &q);
+        assert!(out.answer);
+        assert_eq!(out.algorithm, "HybridParBoX→ParBoX");
+    }
+
+    #[test]
+    fn pathological_decomposition_switches_to_naive() {
+        // Tiny fragments everywhere: card(F) · |q| ≥ |T|.
+        let mut forest = Forest::from_tree(big_tree(12));
+        strategies::fragment_evenly(&mut forest, 12).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let q = compile(
+            &parse_query("[//goal and //a = \"v\" and //b and //s0 and //s1]").unwrap(),
+        );
+        assert!(!hybrid_prefers_parbox(&cluster, &q));
+        let out = hybrid_parbox(&cluster, &q);
+        assert!(out.answer);
+        assert_eq!(out.algorithm, "HybridParBoX→NaiveCentralized");
+    }
+
+    #[test]
+    fn both_branches_agree_with_each_other() {
+        let mut forest = Forest::from_tree(big_tree(40));
+        strategies::fragment_evenly(&mut forest, 6).unwrap();
+        let placement = Placement::round_robin(&forest, 3);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        for src in ["[//goal]", "[//a = \"v\"]", "[//zzz]"] {
+            let q = compile(&parse_query(src).unwrap());
+            assert_eq!(
+                parbox(&cluster, &q).answer,
+                naive_centralized(&cluster, &q).answer,
+                "on {src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! A small fixed-width bitset used by the centralized evaluator.
+//!
+//! The evaluator keeps three Boolean vectors of width `|QList|` per live
+//! traversal frame; packing them into `u64` words makes the per-node
+//! child-accumulation (`CV |= V_w`, `DV |= DV_w`) a handful of word ORs.
+
+/// Fixed-width bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// All-zero set of `width` bits.
+    pub fn zeros(width: usize) -> BitSet {
+        BitSet { words: vec![0; width.div_ceil(64)] }
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// `self |= other` (widths must match).
+    #[inline]
+    pub fn or_assign(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Clears all bits (for frame reuse).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::zeros(130);
+        assert!(!b.get(0));
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        b.set(64, false);
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    fn or_assign_unions() {
+        let mut a = BitSet::zeros(70);
+        let mut b = BitSet::zeros(70);
+        a.set(3, true);
+        b.set(69, true);
+        a.or_assign(&b);
+        assert!(a.get(3) && a.get(69));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = BitSet::zeros(10);
+        a.set(7, true);
+        a.clear();
+        assert!(!a.get(7));
+    }
+}

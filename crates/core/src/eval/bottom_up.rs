@@ -1,0 +1,325 @@
+//! Procedure `bottomUp` (paper, Fig. 3b): partial evaluation of the
+//! sub-query list over one fragment, producing a `(V, CV, DV)` triplet of
+//! Boolean *formulas*.
+//!
+//! At a virtual node (a leaf standing for sub-fragment `F_k`) the values
+//! of the sub-queries are unknown; fresh variables `x_i`, `cx_i`, `dx_i`
+//! are introduced instead (Example 3.1) and the traversal continues
+//! without waiting — this is what decouples the dependencies between the
+//! per-fragment partial-evaluation processes.
+//!
+//! Like the paper's procedure, the implementation maintains only two
+//! vector triplets at a time per live ancestor (current accumulation +
+//! completed child), not one per node.
+
+use parbox_bool::{Formula, Triplet};
+use parbox_query::{CompiledQuery, Op, ResolvedQuery};
+use parbox_xml::{FragmentId, NodeId, Tree};
+
+/// Result of partially evaluating one fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentRun {
+    /// The computed `(V, CV, DV)` triplet for the fragment root.
+    pub triplet: Triplet,
+    /// Work units: `nodes visited × |QList|`.
+    pub work_units: u64,
+}
+
+/// Partially evaluates `q` over the fragment `tree` (which may contain
+/// virtual nodes), returning the triplet for its root.
+///
+/// Fragments *without* virtual nodes — every leaf fragment, and whole
+/// documents — have no unknowns: partial evaluation degenerates to full
+/// evaluation, and the fast bitset kernel of the centralized evaluator
+/// is used directly, producing a constant triplet.
+pub fn bottom_up(tree: &Tree, q: &CompiledQuery) -> FragmentRun {
+    let resolved = q.resolve(tree.labels());
+    let m = resolved.len();
+    let root = tree.root();
+    // Mark the *spine*: nodes whose subtree contains a virtual node. Only
+    // spine nodes need formula-valued evaluation; every other subtree is
+    // handled by the bitset kernel at centralized speed.
+    let spine = compute_spine(tree, root);
+    if !spine[root.index()] {
+        let (v, cv, dv, nodes) =
+            crate::eval::centralized::eval_vectors_at(tree, &resolved, root);
+        let to_vec = |b: &crate::eval::bitset::BitSet| {
+            (0..m).map(|i| Formula::Const(b.get(i))).collect::<Vec<_>>()
+        };
+        return FragmentRun {
+            triplet: Triplet { v: to_vec(&v), cv: to_vec(&cv), dv: to_vec(&dv) },
+            work_units: nodes * m as u64,
+        };
+    }
+    let mut eval = FormulaEvaluator { tree, q: &resolved, m, nodes: 0, spine: &spine };
+    let (v, cv, dv) = eval.run(root);
+    FragmentRun {
+        triplet: Triplet { v, cv, dv },
+        work_units: eval.nodes * m as u64,
+    }
+}
+
+/// Ablation reference: `bottomUp` with the spine optimization disabled —
+/// every node is evaluated through the formula path, as a literal reading
+/// of the paper's Fig. 3(b) would. Exists so the benchmark suite can
+/// quantify the spine fast-path (see `benches/kernels.rs`); production
+/// callers should use [`bottom_up`].
+pub fn bottom_up_formula_only(tree: &Tree, q: &CompiledQuery) -> FragmentRun {
+    let resolved = q.resolve(tree.labels());
+    let m = resolved.len();
+    let root = tree.root();
+    // An all-true spine forces the formula path everywhere.
+    let spine = vec![true; tree.arena_len()];
+    let mut eval = FormulaEvaluator { tree, q: &resolved, m, nodes: 0, spine: &spine };
+    let (v, cv, dv) = eval.run(root);
+    FragmentRun { triplet: Triplet { v, cv, dv }, work_units: eval.nodes * m as u64 }
+}
+
+/// One postorder sweep computing, per arena slot, whether the subtree
+/// contains a virtual node.
+fn compute_spine(tree: &Tree, root: NodeId) -> Vec<bool> {
+    let mut spine = vec![false; tree.arena_len()];
+    for n in tree.postorder(root) {
+        let node = tree.node(n);
+        spine[n.index()] = node.kind.is_virtual()
+            || node.child_ids().iter().any(|c| spine[c.index()]);
+    }
+    spine
+}
+
+struct FormulaEvaluator<'a> {
+    tree: &'a Tree,
+    q: &'a ResolvedQuery,
+    m: usize,
+    nodes: u64,
+    /// `spine[n]` — does n's subtree contain a virtual node?
+    spine: &'a [bool],
+}
+
+struct Frame {
+    node: NodeId,
+    child_idx: usize,
+    cv: Vec<Formula>,
+    dv: Vec<Formula>,
+}
+
+type Vectors = (Vec<Formula>, Vec<Formula>, Vec<Formula>);
+
+impl<'a> FormulaEvaluator<'a> {
+    fn empty_frame(&self, node: NodeId) -> Frame {
+        Frame {
+            node,
+            child_idx: 0,
+            cv: vec![Formula::FALSE; self.m],
+            dv: vec![Formula::FALSE; self.m],
+        }
+    }
+
+    /// Iterative postorder evaluation; returns `(V, CV, DV)` of `start`.
+    fn run(&mut self, start: NodeId) -> Vectors {
+        let mut stack = vec![self.empty_frame(start)];
+        // (V, DV) of the most recently completed child.
+        let mut done: Option<(Vec<Formula>, Vec<Formula>)> = None;
+        loop {
+            let frame = stack.last_mut().expect("non-empty until return");
+            if let Some((v_w, dv_w)) = done.take() {
+                // Lines 3–5: CV_v(qi) |= V_w(qi); DV_v(qi) |= DV_w(qi).
+                for i in 0..self.m {
+                    frame.cv[i] = Formula::or(take(&mut frame.cv[i]), v_w[i].clone());
+                    frame.dv[i] = Formula::or(take(&mut frame.dv[i]), dv_w[i].clone());
+                }
+            }
+            let kids = self.tree.node(frame.node).child_ids();
+            if frame.child_idx < kids.len() {
+                let child = kids[frame.child_idx];
+                frame.child_idx += 1;
+                if !self.spine[child.index()] {
+                    // Virtual-free subtree: bitset kernel, constant result.
+                    let (v, _cv, dv, nodes) =
+                        crate::eval::centralized::eval_vectors_at(self.tree, self.q, child);
+                    self.nodes += nodes;
+                    let to_vec = |b: &crate::eval::bitset::BitSet, m: usize| {
+                        (0..m).map(|i| Formula::Const(b.get(i))).collect::<Vec<_>>()
+                    };
+                    done = Some((to_vec(&v, self.m), to_vec(&dv, self.m)));
+                    continue;
+                }
+                let frame = self.empty_frame(child);
+                stack.push(frame);
+                continue;
+            }
+            let frame = stack.pop().expect("just peeked");
+            let (v, cv, dv) = self.compute_node(frame);
+            if stack.is_empty() {
+                return (v, cv, dv);
+            }
+            done = Some((v, dv));
+        }
+    }
+
+    /// Computes `V` at a node (lines 6–17), or introduces fresh variables
+    /// at a virtual node.
+    fn compute_node(&mut self, frame: Frame) -> Vectors {
+        self.nodes += 1;
+        let Frame { node, cv, mut dv, .. } = frame;
+        let n = self.tree.node(node);
+        if let Some(frag) = n.kind.fragment() {
+            return self.virtual_vectors(frag);
+        }
+        let mut v: Vec<Formula> = Vec::with_capacity(self.m);
+        for (i, op) in self.q.ops.iter().enumerate() {
+            let value = match op {
+                Op::True => Formula::TRUE,
+                Op::LabelIs(l) => Formula::Const(Some(n.label) == *l),
+                Op::TextIs(s) => Formula::Const(n.text.as_deref() == Some(s.as_ref())),
+                Op::Child(j) => cv[*j as usize].clone(),
+                Op::Desc(j) => dv[*j as usize].clone(),
+                Op::Or(a, b) => Formula::or(v[*a as usize].clone(), v[*b as usize].clone()),
+                Op::And(a, b) => Formula::and(v[*a as usize].clone(), v[*b as usize].clone()),
+                Op::Not(a) => v[*a as usize].clone().not(),
+            };
+            // Line 17: DV_v(qi) := V_v(qi) ∨ DV_v(qi).
+            dv[i] = Formula::or(value.clone(), take(&mut dv[i]));
+            v.push(value);
+        }
+        (v, cv, dv)
+    }
+
+    /// Fresh-variable triplet for a virtual node referencing `frag`.
+    ///
+    /// The paper (Example 3.1) additionally runs the case analysis at the
+    /// virtual node, so only leaf cases receive fresh variables; unifying
+    /// against the sub-fragment's full `(V, CV, DV)` triplet is
+    /// semantically identical and keeps the solver uniform (DESIGN.md §4).
+    fn virtual_vectors(&self, frag: FragmentId) -> Vectors {
+        let t = Triplet::fresh_vars(frag, self.m);
+        (t.v, t.cv, t.dv)
+    }
+}
+
+/// Moves a formula out of a slot, leaving `false` (always immediately
+/// overwritten). `std::mem::take` requires `Default`, which `Formula`
+/// deliberately does not implement.
+#[inline]
+fn take(f: &mut Formula) -> Formula {
+    std::mem::replace(f, Formula::FALSE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_bool::VecKind;
+    use parbox_query::{compile, parse_query};
+
+    fn triplet(xml: &str, q: &str) -> Triplet {
+        let tree = Tree::parse(xml).unwrap();
+        let compiled = compile(&parse_query(q).unwrap());
+        bottom_up(&tree, &compiled).triplet
+    }
+
+    #[test]
+    fn closed_fragment_yields_constants() {
+        let t = triplet("<a><b/></a>", "[//b]");
+        assert!(t.is_closed());
+        let r = t.resolved().unwrap();
+        let root = r.v.len() - 1;
+        assert!(r.v[root], "//b holds at the root");
+    }
+
+    #[test]
+    fn virtual_node_introduces_variables() {
+        let t = triplet(r#"<a><parbox:virtual ref="2"/></a>"#, "[//b]");
+        assert!(!t.is_closed());
+        let vars = t
+            .v
+            .iter()
+            .chain(&t.cv)
+            .chain(&t.dv)
+            .flat_map(|f| f.vars())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(vars.iter().all(|v| v.frag == FragmentId(2)));
+        assert!(!vars.is_empty());
+    }
+
+    #[test]
+    fn matches_centralized_on_whole_trees() {
+        use crate::eval::centralized::centralized_eval;
+        for (xml, q) in [
+            ("<a><b><c>x</c></b><d/></a>", "[//c = \"x\" and //d]"),
+            ("<a><b/><b><c/></b></a>", "[//b[c]]"),
+            ("<r><s><t/></s></r>", "[not //q or //t]"),
+            ("<r><a/></r>", "[*/a]"),
+        ] {
+            let tree = Tree::parse(xml).unwrap();
+            let compiled = compile(&parse_query(q).unwrap());
+            let run = bottom_up(&tree, &compiled);
+            let r = run.triplet.resolved().expect("closed");
+            let root = compiled.root() as usize;
+            assert_eq!(
+                r.v[root],
+                centralized_eval(&tree, &compiled),
+                "mismatch on {xml} {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_counts_virtual_nodes_too() {
+        let tree = Tree::parse(r#"<a><b/><parbox:virtual ref="1"/></a>"#).unwrap();
+        let compiled = compile(&parse_query("[//b]").unwrap());
+        let run = bottom_up(&tree, &compiled);
+        assert_eq!(run.work_units, 3 * compiled.len() as u64);
+    }
+
+    #[test]
+    fn example_3_1_structure() {
+        // Fragment F1 of the paper: broker with a name child and a virtual
+        // node for F2. Query: [//stock[code/text()="yhoo"]].
+        let xml = r#"<broker><name>Merill Lynch</name><parbox:virtual ref="2"/></broker>"#;
+        let t = triplet(xml, "[//stock[code/text() = \"yhoo\"]]");
+        // The query can only hold via F2: the root V is a small residual
+        // formula over F2's variables — "F2's root subtree contains the
+        // stock" (a DV variable) or "F2's root itself is the matching
+        // stock child of the broker" (a V variable). This is the analogue
+        // of the paper's V_F1 = <…, dx8, dx8>.
+        let root = t.v.len() - 1;
+        let vars = t.v[root].vars();
+        assert!(!vars.is_empty() && vars.len() <= 2, "V_root = {}", t.v[root]);
+        for var in vars {
+            assert_eq!(var.frag, FragmentId(2));
+            assert!(matches!(var.vec, VecKind::DV | VecKind::V));
+        }
+    }
+
+    #[test]
+    fn cv_accumulates_over_children() {
+        let t = triplet("<r><a/><b/></r>", "[.]");
+        // ε is true at every node, so CV at the root must be true (it has
+        // children) and DV true as well.
+        let r = t.resolved().unwrap();
+        assert!(r.cv[0]);
+        assert!(r.dv[0]);
+    }
+
+    #[test]
+    fn leaf_fragment_cv_false() {
+        let t = triplet("<r/>", "[.]");
+        let r = t.resolved().unwrap();
+        assert!(!r.cv[0], "no children");
+        assert!(r.v[0] && r.dv[0]);
+    }
+
+    #[test]
+    fn variables_reference_all_three_kinds() {
+        let t = triplet(r#"<a><parbox:virtual ref="5"/></a>"#, "[*/x or //y]");
+        let mut kinds = std::collections::BTreeSet::new();
+        for f in t.v.iter().chain(&t.cv).chain(&t.dv) {
+            for v in f.vars() {
+                kinds.insert(v.vec);
+            }
+        }
+        // Child accumulation uses V vars; descendant accumulation uses DV.
+        assert!(kinds.contains(&VecKind::V));
+        assert!(kinds.contains(&VecKind::DV));
+    }
+}

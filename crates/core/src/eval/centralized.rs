@@ -1,0 +1,301 @@
+//! Optimal centralized evaluation of Boolean XPath.
+//!
+//! One bottom-up traversal computing the values of all sub-queries in
+//! `QList(q)` at every node — the `O(|T| · |q|)` strategy of Gottlob,
+//! Koch & Pichler cited as the best-known centralized algorithm in the
+//! paper (Section 2.2). This is both the correctness oracle for all
+//! distributed algorithms and the compute kernel of `NaiveCentralized`.
+
+use crate::eval::bitset::BitSet;
+use parbox_query::{CompiledQuery, Op, ResolvedQuery};
+use parbox_xml::{NodeId, Tree};
+
+/// Result of a counted centralized evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CentralizedRun {
+    /// The query answer at the tree root.
+    pub answer: bool,
+    /// Work units: `nodes visited × |QList|`.
+    pub work_units: u64,
+}
+
+/// Evaluates `q` at the root of `tree`.
+///
+/// Virtual nodes, if present, are treated as opaque leaves that satisfy
+/// no predicate (callers evaluating fragmented documents should use the
+/// distributed algorithms instead).
+pub fn centralized_eval(tree: &Tree, q: &CompiledQuery) -> bool {
+    centralized_eval_counted(tree, q).answer
+}
+
+/// Evaluates `q` and reports the work performed.
+pub fn centralized_eval_counted(tree: &Tree, q: &CompiledQuery) -> CentralizedRun {
+    let resolved = q.resolve(tree.labels());
+    let (v, _cv, _dv, nodes) = eval_vectors(tree, &resolved);
+    CentralizedRun {
+        answer: v.get(resolved.root as usize),
+        work_units: nodes * resolved.len() as u64,
+    }
+}
+
+/// Runs the bitset kernel and returns the root's `(V, CV, DV)` vectors
+/// and the number of nodes visited. Shared with `bottomUp`, which uses
+/// it as a fast path for fragments without virtual nodes (where partial
+/// evaluation degenerates to full evaluation).
+pub(crate) fn eval_vectors(
+    tree: &Tree,
+    resolved: &ResolvedQuery,
+) -> (BitSet, BitSet, BitSet, u64) {
+    eval_vectors_at(tree, resolved, tree.root())
+}
+
+/// Like [`eval_vectors`] but rooted at an arbitrary subtree. `bottomUp`
+/// uses this to evaluate virtual-free subtrees at bitset speed, keeping
+/// formula construction confined to the spine above virtual nodes.
+pub(crate) fn eval_vectors_at(
+    tree: &Tree,
+    resolved: &ResolvedQuery,
+    start: NodeId,
+) -> (BitSet, BitSet, BitSet, u64) {
+    let m = resolved.len();
+    let mut eval = Evaluator { tree, q: resolved, m, pool: Vec::new(), nodes: 0 };
+    let (v, cv, dv) = eval.run(start);
+    (v, cv, dv, eval.nodes)
+}
+
+struct Evaluator<'a> {
+    tree: &'a Tree,
+    q: &'a ResolvedQuery,
+    m: usize,
+    /// Pool of zeroed bitsets for frame reuse (at most O(depth) live).
+    pool: Vec<BitSet>,
+    nodes: u64,
+}
+
+struct Frame {
+    node: NodeId,
+    child_idx: usize,
+    cv: BitSet,
+    dv: BitSet,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Returns a zeroed bitset, reusing pooled ones.
+    fn alloc(&mut self) -> BitSet {
+        match self.pool.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => BitSet::zeros(self.m),
+        }
+    }
+
+    /// Iterative postorder evaluation; returns `(V, CV, DV)` of `start`.
+    fn run(&mut self, start: NodeId) -> (BitSet, BitSet, BitSet) {
+        let (cv, dv) = (self.alloc(), self.alloc());
+        let mut stack = vec![Frame { node: start, child_idx: 0, cv, dv }];
+        // (V, DV) of the most recently completed child.
+        let mut done: Option<(BitSet, BitSet)> = None;
+        loop {
+            let frame = stack.last_mut().expect("non-empty until return");
+            // Fold the child that just completed into the accumulators.
+            if let Some((v_w, dv_w)) = done.take() {
+                frame.cv.or_assign(&v_w);
+                frame.dv.or_assign(&dv_w);
+                self.pool.push(v_w);
+                self.pool.push(dv_w);
+            }
+            let kids = self.tree.node(frame.node).child_ids();
+            if frame.child_idx < kids.len() {
+                let child = kids[frame.child_idx];
+                frame.child_idx += 1;
+                let (cv, dv) = (self.alloc(), self.alloc());
+                stack.push(Frame { node: child, child_idx: 0, cv, dv });
+                continue;
+            }
+            // All children folded: compute V at this node.
+            let frame = stack.pop().expect("just peeked");
+            let keep_cv = stack.is_empty();
+            let cv_root = if keep_cv { Some(frame.cv.clone()) } else { None };
+            let (v, dv) = self.compute_node(frame);
+            if let Some(cv) = cv_root {
+                return (v, cv, dv);
+            }
+            done = Some((v, dv));
+        }
+    }
+
+    /// Computes the `V` vector at a node from its accumulated `CV`/`DV`,
+    /// updating `DV` with `V` (paper, Fig. 3b lines 6–17).
+    fn compute_node(&mut self, frame: Frame) -> (BitSet, BitSet) {
+        self.nodes += 1;
+        let Frame { node, cv, mut dv, .. } = frame;
+        let n = self.tree.node(node);
+        let mut v = self.alloc();
+        for (i, op) in self.q.ops.iter().enumerate() {
+            let value = match op {
+                Op::True => true,
+                // A virtual node has no label/text of its own.
+                Op::LabelIs(l) => !n.kind.is_virtual() && Some(n.label) == *l,
+                Op::TextIs(s) => {
+                    !n.kind.is_virtual() && n.text.as_deref() == Some(s.as_ref())
+                }
+                Op::Child(j) => cv.get(*j as usize),
+                Op::Desc(j) => dv.get(*j as usize),
+                Op::Or(a, b) => v.get(*a as usize) || v.get(*b as usize),
+                Op::And(a, b) => v.get(*a as usize) && v.get(*b as usize),
+                Op::Not(a) => !v.get(*a as usize),
+            };
+            v.set(i, value);
+            if value {
+                dv.set(i, true); // line 17: DV := V ∨ DV
+            }
+        }
+        self.pool.push(cv);
+        (v, dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_query::{compile, parse_query};
+
+    fn eval(xml: &str, q: &str) -> bool {
+        let tree = Tree::parse(xml).unwrap();
+        let compiled = compile(&parse_query(q).unwrap());
+        centralized_eval(&tree, &compiled)
+    }
+
+    #[test]
+    fn descendant_queries() {
+        assert!(eval("<a><b><c/></b></a>", "[//c]"));
+        assert!(!eval("<a><b><c/></b></a>", "[//z]"));
+        // Descendant-or-self includes the root itself.
+        assert!(eval("<a/>", "[label() = a]"));
+        assert!(eval("<a><b/></a>", "[//b]"));
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let xml = "<a><b><c/></b></a>";
+        assert!(eval(xml, "[b]"));
+        assert!(!eval(xml, "[c]"), "c is not a child of the root");
+        assert!(eval(xml, "[b/c]"));
+        assert!(eval(xml, "[//c]"));
+        assert!(eval(xml, "[*/c]"));
+        assert!(!eval(xml, "[*/*/c]"));
+    }
+
+    #[test]
+    fn text_predicates() {
+        let xml = r#"<stocks><stock><code>GOOG</code></stock></stocks>"#;
+        assert!(eval(xml, "[//stock/code/text() = \"GOOG\"]"));
+        assert!(!eval(xml, "[//stock/code/text() = \"YHOO\"]"));
+        assert!(eval(xml, "[//code = \"GOOG\"]"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let xml = "<r><a/><b/></r>";
+        assert!(eval(xml, "[//a and //b]"));
+        assert!(!eval(xml, "[//a and //c]"));
+        assert!(eval(xml, "[//a or //c]"));
+        assert!(eval(xml, "[not //c]"));
+        assert!(!eval(xml, "[not //a]"));
+        assert!(eval(xml, "[//a and not(//c and //b)]"));
+    }
+
+    #[test]
+    fn qualifiers() {
+        let xml = r#"<portfolio>
+            <broker><name>Bache</name><stock><code>IBM</code></stock></broker>
+            <broker><name>ML</name><stock><code>GOOG</code></stock></broker>
+        </portfolio>"#;
+        assert!(eval(xml, "[//broker[name/text() = \"Bache\"]]"));
+        assert!(eval(xml, "[//broker[name/text() = \"Bache\"][//code = \"IBM\"]]"));
+        assert!(!eval(xml, "[//broker[name/text() = \"Bache\"][//code = \"GOOG\"]]"));
+        assert!(eval(xml, "[//broker[not(//code = \"IBM\")]]"));
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Fig. 1(a): tags A and B occur in separate subtrees; Q = [//A ∧ //B].
+        let xml = "<r><x><z><A/></z></x><y><B/></y></r>";
+        assert!(eval(xml, "[//A ∧ //B]"));
+        assert!(!eval(xml, "[//A ∧ //C]"));
+    }
+
+    #[test]
+    fn paper_stock_example() {
+        let xml = r#"<portofolio>
+          <broker><name>Bache</name>
+            <market><title>NYSE</title>
+              <stock><code>IBM</code><buy>80</buy><sell>78</sell></stock>
+            </market>
+          </broker>
+          <broker><name>Merill Lynch</name>
+            <market><name>NASDAQ</name>
+              <stock><code>GOOG</code><buy>374</buy><sell>373</sell></stock>
+            </market>
+          </broker>
+        </portofolio>"#;
+        assert!(eval(xml, "[//stock[code/text() = \"GOOG\" and sell/text() = \"373\"]]"));
+        assert!(!eval(xml, "[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]"));
+        assert!(eval(xml, "[/portofolio/broker/name = \"Merill Lynch\"]"));
+        assert!(!eval(xml, "[/portofolio/broker/name = \"Goldman\"]"));
+    }
+
+    #[test]
+    fn wildcard_and_self() {
+        let xml = "<r><a><b/></a></r>";
+        assert!(eval(xml, "[*]"));
+        assert!(eval(xml, "[./a]"));
+        assert!(eval(xml, "[*[b]]"));
+        assert!(!eval(xml, "[*[c]]"));
+    }
+
+    #[test]
+    fn work_units_scale() {
+        let tree = Tree::parse("<a><b/><c/><d/></a>").unwrap();
+        let q = compile(&parse_query("[//b]").unwrap());
+        let run = centralized_eval_counted(&tree, &q);
+        assert_eq!(run.work_units, 4 * q.len() as u64);
+        assert!(run.answer);
+    }
+
+    #[test]
+    fn virtual_nodes_are_opaque() {
+        let mut tree = Tree::parse("<a><b/></a>").unwrap();
+        let r = tree.root();
+        tree.add_virtual_child(r, parbox_xml::FragmentId(1));
+        let q = compile(&parse_query("[//parbox:virtual]").unwrap());
+        assert!(!centralized_eval(&tree, &q), "virtual nodes satisfy nothing");
+        let q = compile(&parse_query("[//b]").unwrap());
+        assert!(centralized_eval(&tree, &q));
+    }
+
+    #[test]
+    fn deep_tree_no_stack_overflow() {
+        let mut xml = String::new();
+        for _ in 0..50_000 {
+            xml.push_str("<d>");
+        }
+        xml.push_str("<leaf/>");
+        for _ in 0..50_000 {
+            xml.push_str("</d>");
+        }
+        let tree = Tree::parse(&xml).unwrap();
+        let q = compile(&parse_query("[//leaf]").unwrap());
+        assert!(centralized_eval(&tree, &q));
+    }
+
+    #[test]
+    fn nested_negation_with_descendants() {
+        let xml = "<r><a><x/></a><b/></r>";
+        // ¬(//a[//x]) is false (it exists), so outer not(...) and //b.
+        assert!(!eval(xml, "[not(//a[//x])]"));
+        assert!(eval(xml, "[not(//a[//y]) and //b]"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # parbox-core
+//!
+//! The algorithms of *Using Partial Evaluation in Distributed Query
+//! Evaluation* (Buneman, Cong, Fan, Kementsietsidis — VLDB 2006):
+//!
+//! * [`centralized_eval`] — the optimal `O(|T||q|)` single-traversal
+//!   baseline (Section 2.2);
+//! * [`naive_centralized`] / [`naive_distributed`] — the two naive
+//!   distributed baselines (Section 3);
+//! * [`parbox`] — the **ParBoX** partial-evaluation algorithm (Fig. 3);
+//! * [`hybrid_parbox`], [`full_dist_parbox`], [`lazy_parbox`] — its
+//!   variants (Section 4);
+//! * [`MaterializedView`] — incremental maintenance of Boolean XPath
+//!   views under data and fragmentation updates (Section 5).
+
+pub mod aggregate;
+pub mod algorithms;
+pub mod eval;
+pub mod selection;
+pub mod views;
+
+pub use aggregate::{
+    count_centralized, count_distributed, sum_centralized, sum_distributed, AggregateOutcome,
+};
+pub use algorithms::{
+    full_dist_parbox, hybrid_parbox, hybrid_prefers_parbox, lazy_parbox, naive_centralized,
+    naive_distributed, parbox, query_wire_size, resolved_triplet_wire_size, EvalOutcome,
+};
+pub use eval::{
+    bottom_up, bottom_up_formula_only, centralized_eval, centralized_eval_counted,
+    CentralizedRun, FragmentRun,
+};
+pub use selection::{select_centralized, select_distributed, SelectionOutcome};
+pub use views::{MaterializedView, Update, UpdateReport};

@@ -1,0 +1,593 @@
+//! Incremental maintenance of Boolean XPath views (paper, Section 5).
+//!
+//! A materialized view `M(q, T)` caches the source tree and the answer
+//! `ans` of `q` over the fragmented tree `T`. To make maintenance
+//! incremental, the state is augmented with the `(V, CV, DV)` triplet of
+//! every fragment. After updates to a fragment `F_j`:
+//!
+//! * only the site storing `F_j` is visited, and only `F_j` is
+//!   re-evaluated (`bottomUp`);
+//! * the fresh triplet is compared with the cached one — if identical,
+//!   maintenance stops without touching `ans`;
+//! * otherwise the (local, cheap) equation system is re-solved.
+//!
+//! The communication cost is `O(|q| · card(F_j))` — independent of both
+//! `|T|` and the size of the update.
+//!
+//! Four update operations are supported, matching the paper exactly:
+//! `insNode`, `delNode`, `splitFragments` and `mergeFragments`.
+
+use crate::algorithms::{parbox, query_wire_size, EvalOutcome};
+use crate::eval::bottom_up;
+use parbox_bool::{triplet_wire_size, EquationSystem, Triplet};
+use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
+use parbox_net::{Cluster, MessageKind, NetworkModel, RunReport};
+use parbox_query::CompiledQuery;
+use parbox_xml::{FragmentId, NodeId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// An update against a materialized view's underlying fragmented tree.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// `insNode(A, v)`: insert a node labelled `label` (with optional
+    /// text) as a child of `parent` in fragment `frag`.
+    InsNode {
+        /// Fragment receiving the node.
+        frag: FragmentId,
+        /// Parent node within the fragment.
+        parent: NodeId,
+        /// Tag of the new node.
+        label: String,
+        /// Optional text content.
+        text: Option<String>,
+    },
+    /// `delNode(v)`: delete the subtree rooted at `node` from `frag`.
+    /// The subtree must not contain virtual nodes (sub-fragment pointers
+    /// are removed with `mergeFragments` first).
+    DelNode {
+        /// Fragment owning the node.
+        frag: FragmentId,
+        /// Root of the subtree to delete.
+        node: NodeId,
+    },
+    /// `splitFragments(v)`: make the subtree at `node` a new fragment,
+    /// optionally assigning it to `to_site` (defaults to `frag`'s site).
+    SplitFragments {
+        /// Fragment being split.
+        frag: FragmentId,
+        /// Cut node.
+        node: NodeId,
+        /// Destination site for the new fragment.
+        to_site: Option<SiteId>,
+    },
+    /// `mergeFragments(v)`: merge the sub-fragment referenced by the
+    /// virtual node `node` back into `frag`. No-op if `node` is not
+    /// virtual (the paper's definition).
+    MergeFragments {
+        /// Host fragment.
+        frag: FragmentId,
+        /// The virtual node to merge.
+        node: NodeId,
+    },
+}
+
+/// Errors from view maintenance.
+#[derive(Debug)]
+pub enum ViewError {
+    /// The underlying fragmentation operation failed.
+    Frag(FragError),
+    /// The tree operation failed.
+    Xml(parbox_xml::XmlError),
+    /// `delNode` would orphan sub-fragments.
+    WouldOrphanFragments(Vec<FragmentId>),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::Frag(e) => write!(f, "{e}"),
+            ViewError::Xml(e) => write!(f, "{e}"),
+            ViewError::WouldOrphanFragments(fs) => {
+                write!(f, "deleting this subtree would orphan fragments {fs:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Cost/result report of one maintenance step.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// The (possibly unchanged) view answer after the update.
+    pub answer: bool,
+    /// Whether the answer changed.
+    pub answer_changed: bool,
+    /// Fragments that were re-evaluated (always local to the update).
+    pub reevaluated: Vec<FragmentId>,
+    /// Visits / messages / work of the maintenance step.
+    pub report: RunReport,
+}
+
+/// A materialized Boolean XPath view `M(q, T) = (S_T, ans)`, augmented
+/// with per-fragment triplets for incremental maintenance.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    query: CompiledQuery,
+    model: NetworkModel,
+    /// Site holding the view state (the coordinator of the initial run).
+    home: SiteId,
+    triplets: HashMap<FragmentId, Triplet>,
+    ans: bool,
+}
+
+impl MaterializedView {
+    /// Materializes the view by running ParBoX once; the per-fragment
+    /// triplets computed on the way are cached as the augmented state.
+    pub fn materialize(
+        forest: &Forest,
+        placement: &Placement,
+        model: NetworkModel,
+        query: &CompiledQuery,
+    ) -> (MaterializedView, EvalOutcome) {
+        let cluster = Cluster::new(forest, placement, model);
+        let outcome = parbox(&cluster, query);
+        // Recompute triplets locally for the cache (the algorithm returns
+        // only the answer; fragments are small enough to redo in-process).
+        let mut triplets = HashMap::new();
+        for f in forest.fragment_ids() {
+            triplets.insert(f, bottom_up(&forest.fragment(f).tree, query).triplet);
+        }
+        let view = MaterializedView {
+            query: query.clone(),
+            model,
+            home: cluster.coordinator(),
+            triplets,
+            ans: outcome.answer,
+        };
+        (view, outcome)
+    }
+
+    /// The cached answer.
+    #[inline]
+    pub fn answer(&self) -> bool {
+        self.ans
+    }
+
+    /// The view's query.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// Re-runs maintenance for `frag` against the *current* forest state
+    /// without mutating it. This is the notification path when several
+    /// views share one document (publish–subscribe): the publisher applies
+    /// the update once through any view (or directly on the forest), then
+    /// refreshes every other subscription for the changed fragment.
+    pub fn refresh(
+        &mut self,
+        forest: &Forest,
+        placement: &Placement,
+        frag: FragmentId,
+    ) -> UpdateReport {
+        let mut report = RunReport::new();
+        let wall = Instant::now();
+        let site = placement.site_of(frag);
+        report.record_visit(site);
+        let start = Instant::now();
+        let run = bottom_up(&forest.fragment(frag).tree, &self.query);
+        report.record_compute(site, start.elapsed());
+        report.record_work(site, run.work_units);
+        if site != self.home {
+            let bytes = triplet_wire_size(&run.triplet);
+            report.record_message(site, self.home, bytes, MessageKind::Triplet);
+        }
+        let old = self.triplets.insert(frag, run.triplet);
+        let old_ans = self.ans;
+        if old.as_ref() != self.triplets.get(&frag) {
+            // Drop cached triplets of fragments that no longer exist and
+            // add any new ones before re-solving.
+            self.triplets.retain(|f, _| forest.is_live(*f));
+            for f in forest.fragment_ids() {
+                self.triplets
+                    .entry(f)
+                    .or_insert_with(|| bottom_up(&forest.fragment(f).tree, &self.query).triplet);
+            }
+            let st = SourceTree::new(forest, placement);
+            let mut sys = EquationSystem::new();
+            for (&f, t) in &self.triplets {
+                sys.insert(f, t.clone());
+            }
+            let resolved = sys.solve(st.postorder()).expect("triplets cover all fragments");
+            self.ans = resolved[&forest.root_fragment()].v[self.query.root() as usize];
+        }
+        report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+        report.elapsed_model_s = report.total_compute_s();
+        UpdateReport {
+            answer: self.ans,
+            answer_changed: self.ans != old_ans,
+            reevaluated: vec![frag],
+            report,
+        }
+    }
+
+    /// Applies one update, mutating the forest/placement and incrementally
+    /// maintaining the view.
+    pub fn apply(
+        &mut self,
+        forest: &mut Forest,
+        placement: &mut Placement,
+        update: Update,
+    ) -> Result<UpdateReport, ViewError> {
+        let mut report = RunReport::new();
+        let wall = Instant::now();
+        let reevaluated = match update {
+            Update::InsNode { frag, parent, label, text } => {
+                let tree = &mut forest.fragment_mut(frag).tree;
+                match text {
+                    Some(t) => tree.add_text_child(parent, &label, &t),
+                    None => tree.add_child(parent, &label),
+                };
+                vec![frag]
+            }
+            Update::DelNode { frag, node } => {
+                let tree = &forest.fragment(frag).tree;
+                let orphans: Vec<FragmentId> =
+                    tree.virtual_nodes(node).into_iter().map(|(_, f)| f).collect();
+                if !orphans.is_empty() {
+                    return Err(ViewError::WouldOrphanFragments(orphans));
+                }
+                forest
+                    .fragment_mut(frag)
+                    .tree
+                    .remove_subtree(node)
+                    .map_err(ViewError::Xml)?;
+                vec![frag]
+            }
+            Update::SplitFragments { frag, node, to_site } => {
+                let new = forest.split(frag, node).map_err(ViewError::Frag)?;
+                let site = to_site.unwrap_or_else(|| placement.site_of(frag));
+                placement.assign(new, site);
+                // Splitting does not change `ans`, but both triplets and
+                // the source tree must be refreshed (paper, Section 5).
+                vec![frag, new]
+            }
+            Update::MergeFragments { frag, node } => {
+                match forest.merge(frag, node).map_err(ViewError::Frag)? {
+                    Some(gone) => {
+                        self.triplets.remove(&gone);
+                        vec![frag]
+                    }
+                    None => Vec::new(), // non-virtual node: no action
+                }
+            }
+        };
+
+        // Localized recomputation: only the updated fragments' site works.
+        let mut changed = false;
+        for &frag in &reevaluated {
+            let site = placement.site_of(frag);
+            report.record_visit(site);
+            let start = Instant::now();
+            let run = bottom_up(&forest.fragment(frag).tree, &self.query);
+            report.record_compute(site, start.elapsed());
+            report.record_work(site, run.work_units);
+            let bytes = triplet_wire_size(&run.triplet);
+            if site != self.home {
+                // The update notification and the fresh triplet travel
+                // between the fragment's site and the view's home site.
+                report.record_message(self.home, site, query_wire_size(&self.query), MessageKind::Control);
+                report.record_message(site, self.home, bytes, MessageKind::Triplet);
+            }
+            let old = self.triplets.insert(frag, run.triplet);
+            if old.as_ref() != self.triplets.get(&frag) {
+                changed = true;
+            }
+        }
+
+        let old_ans = self.ans;
+        if changed {
+            // Re-solve the (small) equation system at the home site.
+            let st = SourceTree::new(forest, placement);
+            let start = Instant::now();
+            let mut sys = EquationSystem::new();
+            for (&f, t) in &self.triplets {
+                sys.insert(f, t.clone());
+            }
+            let resolved = sys
+                .solve(st.postorder())
+                .expect("triplets cover all fragments");
+            report.record_compute(self.home, start.elapsed());
+            report.record_work(self.home, (self.query.len() * forest.card()) as u64);
+            self.ans = resolved[&forest.root_fragment()].v[self.query.root() as usize];
+        }
+
+        report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+        report.elapsed_model_s = report.total_compute_s()
+            + self.model.shared_link_time(
+                report.messages.iter().map(|m| m.bytes),
+            );
+        Ok(UpdateReport {
+            answer: self.ans,
+            answer_changed: self.ans != old_ans,
+            reevaluated,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_frag::strategies;
+    use parbox_query::{compile, parse_query};
+    use parbox_xml::Tree;
+
+    fn setup(q: &str) -> (Forest, Placement, MaterializedView) {
+        let tree = Tree::parse(
+            "<r><a><x>1</x><pad/></a><b><y>2</y><pad/></b><c><z>3</z></c></r>",
+        )
+        .unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let root = forest.root_fragment();
+        strategies::star(&mut forest, root).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        let compiled = compile(&parse_query(q).unwrap());
+        let (view, _) =
+            MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &compiled);
+        // keep placement mutable for updates
+        placement.validate(&forest).unwrap();
+        (forest, placement, view)
+    }
+
+    fn node_of(forest: &Forest, frag: FragmentId, label: &str) -> NodeId {
+        let t = &forest.fragment(frag).tree;
+        t.descendants(t.root()).find(|&n| t.label_str(n) == label).unwrap()
+    }
+
+    /// Re-evaluates from scratch as an oracle.
+    fn oracle(forest: &Forest, placement: &Placement, q: &CompiledQuery) -> bool {
+        let cluster = Cluster::new(forest, placement, NetworkModel::lan());
+        parbox(&cluster, q).answer
+    }
+
+    #[test]
+    fn ins_node_flips_answer() {
+        let (mut forest, mut placement, mut view) = setup("[//goal]");
+        assert!(!view.answer());
+        let frag = FragmentId(2);
+        let parent = node_of(&forest, frag, "b");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: "goal".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(rep.answer && rep.answer_changed);
+        assert_eq!(rep.reevaluated, vec![frag]);
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    }
+
+    #[test]
+    fn del_node_flips_answer_back() {
+        let (mut forest, mut placement, mut view) = setup("[//y = \"2\"]");
+        assert!(view.answer());
+        let frag = FragmentId(2);
+        let y = node_of(&forest, frag, "y");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::DelNode { frag, node: y })
+            .unwrap();
+        assert!(!rep.answer && rep.answer_changed);
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    }
+
+    #[test]
+    fn irrelevant_update_stops_after_triplet_comparison() {
+        let (mut forest, mut placement, mut view) = setup("[//x = \"1\"]");
+        assert!(view.answer());
+        // Insert an unrelated node in fragment c.
+        let frag = FragmentId(3);
+        let parent = node_of(&forest, frag, "c");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(rep.answer && !rep.answer_changed);
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    }
+
+    #[test]
+    fn maintenance_is_localized() {
+        let (mut forest, mut placement, mut view) = setup("[//goal]");
+        let frag = FragmentId(1);
+        let parent = node_of(&forest, frag, "a");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        // Only the updated fragment's site was visited.
+        let visited: Vec<_> =
+            rep.report.sites().filter(|(_, r)| r.visits > 0).map(|(s, _)| s).collect();
+        assert_eq!(visited, vec![placement.site_of(frag)]);
+    }
+
+    #[test]
+    fn split_preserves_answer_and_updates_state() {
+        let (mut forest, mut placement, mut view) = setup("[//y = \"2\"]");
+        assert!(view.answer());
+        let frag = FragmentId(2);
+        let y = node_of(&forest, frag, "y");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::SplitFragments {
+                frag,
+                node: y,
+                to_site: Some(SiteId(9)),
+            })
+            .unwrap();
+        assert!(rep.answer, "splitting must not change the answer");
+        assert!(!rep.answer_changed);
+        assert_eq!(forest.card(), 5);
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+        // Follow-up query still maintainable after the split.
+        let new_frag = forest.fragment_ids().last().unwrap();
+        assert_eq!(placement.site_of(new_frag), SiteId(9));
+    }
+
+    #[test]
+    fn merge_preserves_answer() {
+        let (mut forest, mut placement, mut view) = setup("[//y = \"2\"]");
+        // Merge fragment 2 (subtree b) back into the root fragment.
+        let root = forest.root_fragment();
+        let t = &forest.fragment(root).tree;
+        let vnode = t
+            .virtual_nodes(t.root())
+            .into_iter()
+            .find(|&(_, f)| f == FragmentId(2))
+            .unwrap()
+            .0;
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::MergeFragments {
+                frag: root,
+                node: vnode,
+            })
+            .unwrap();
+        assert!(rep.answer && !rep.answer_changed);
+        assert_eq!(forest.card(), 3);
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    }
+
+    #[test]
+    fn merge_non_virtual_is_noop() {
+        let (mut forest, mut placement, mut view) = setup("[//y = \"2\"]");
+        let frag = FragmentId(2);
+        let y = node_of(&forest, frag, "y");
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::MergeFragments { frag, node: y })
+            .unwrap();
+        assert!(rep.reevaluated.is_empty());
+        assert!(!rep.answer_changed);
+    }
+
+    #[test]
+    fn del_node_refuses_to_orphan() {
+        let (mut forest, mut placement, mut view) = setup("[//y = \"2\"]");
+        // Split y out of fragment 2, then try to delete b's subtree that
+        // contains the virtual node.
+        let frag = FragmentId(2);
+        let y = node_of(&forest, frag, "y");
+        view.apply(&mut forest, &mut placement, Update::SplitFragments {
+            frag,
+            node: y,
+            to_site: None,
+        })
+        .unwrap();
+        let b = {
+            let t = &forest.fragment(frag).tree;
+            t.root()
+        };
+        // Root of a fragment can't be deleted anyway; pick the subtree
+        // holding the virtual node: b itself is the root, so target the
+        // whole fragment root's child list via the virtual node's parent.
+        let t = &forest.fragment(frag).tree;
+        let v = t.virtual_nodes(b)[0].0;
+        let err = view
+            .apply(&mut forest, &mut placement, Update::DelNode { frag, node: v })
+            .unwrap_err();
+        assert!(matches!(err, ViewError::WouldOrphanFragments(_)));
+    }
+
+    #[test]
+    fn traffic_independent_of_update_and_data_size() {
+        let (mut forest, mut placement, mut view) = setup("[//goal]");
+        let frag = FragmentId(1);
+        let parent = node_of(&forest, frag, "a");
+        // Small update.
+        let rep1 = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: "n1".into(),
+                text: None,
+            })
+            .unwrap();
+        // Large update: 100 inserts, then one more to measure.
+        for i in 0..100 {
+            view.apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: format!("bulk{i}"),
+                text: Some("payload".into()),
+            })
+            .unwrap();
+        }
+        let rep2 = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent,
+                label: "n2".into(),
+                text: None,
+            })
+            .unwrap();
+        assert_eq!(
+            rep1.report.total_bytes(),
+            rep2.report.total_bytes(),
+            "maintenance traffic must not depend on |T|"
+        );
+    }
+
+    #[test]
+    fn random_update_sequences_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (mut forest, mut placement, mut view) = setup("[//x = \"1\" or //goal]");
+        let mut rng = StdRng::seed_from_u64(42);
+        for step in 0..40 {
+            let frags: Vec<FragmentId> = forest.fragment_ids().collect();
+            let frag = frags[rng.random_range(0..frags.len())];
+            let tree = &forest.fragment(frag).tree;
+            let nodes: Vec<NodeId> = tree
+                .descendants(tree.root())
+                .filter(|&n| !tree.node(n).kind.is_virtual())
+                .collect();
+            let node = nodes[rng.random_range(0..nodes.len())];
+            let update = match rng.random_range(0..3) {
+                0 => Update::InsNode {
+                    frag,
+                    parent: node,
+                    label: if rng.random_bool(0.2) { "goal".into() } else { "pad".into() },
+                    text: None,
+                },
+                1 => {
+                    if node == tree.root() || !tree.virtual_nodes(node).is_empty() {
+                        continue;
+                    }
+                    Update::DelNode { frag, node }
+                }
+                _ => {
+                    if node == tree.root() || tree.subtree_size(node) < 2 {
+                        continue;
+                    }
+                    Update::SplitFragments { frag, node, to_site: None }
+                }
+            };
+            view.apply(&mut forest, &mut placement, update).unwrap();
+            assert_eq!(
+                view.answer(),
+                oracle(&forest, &placement, view.query()),
+                "divergence at step {step}"
+            );
+            forest.validate().unwrap();
+        }
+    }
+}

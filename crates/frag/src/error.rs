@@ -1,0 +1,49 @@
+//! Error type for fragmentation operations.
+
+use parbox_xml::{FragmentId, XmlError};
+use std::fmt;
+
+/// Errors produced by [`crate::Forest`] operations and strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragError {
+    /// The referenced fragment does not exist (or was merged away).
+    UnknownFragment(FragmentId),
+    /// The underlying tree operation failed.
+    Tree(XmlError),
+    /// A strategy could not find a node worth cutting in the fragment.
+    NoCutPoint(FragmentId),
+}
+
+impl fmt::Display for FragError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragError::UnknownFragment(id) => write!(f, "unknown fragment {id}"),
+            FragError::Tree(e) => write!(f, "tree operation failed: {e}"),
+            FragError::NoCutPoint(id) => {
+                write!(f, "no suitable cut point inside fragment {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FragError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FragError::UnknownFragment(FragmentId(3)).to_string().contains("F3"));
+        assert!(FragError::NoCutPoint(FragmentId(0)).to_string().contains("cut point"));
+        let e = FragError::Tree(XmlError::RootNotAllowed);
+        assert!(e.to_string().contains("root"));
+    }
+}

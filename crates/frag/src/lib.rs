@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # parbox-frag
+//!
+//! Tree fragmentation for the ParBoX system (paper, Sections 2.1 and 5):
+//! the [`Forest`] of disjoint fragments with `splitFragments` /
+//! `mergeFragments`, the placement `h : F → S` of fragments onto sites,
+//! the induced [`SourceTree`] `S_T` (the only structure the algorithms
+//! require), and decomposition strategies reproducing the experiment
+//! shapes FT1–FT3.
+//!
+//! ```
+//! use parbox_frag::{Forest, Placement, SourceTree, strategies};
+//! use parbox_xml::Tree;
+//!
+//! let tree = Tree::parse("<r><a><x/></a><b><y/></b></r>").unwrap();
+//! let mut forest = Forest::from_tree(tree);
+//! let root = forest.root_fragment();
+//! strategies::star(&mut forest, root).unwrap();
+//! let placement = Placement::one_per_fragment(&forest);
+//! let st = SourceTree::new(&forest, &placement);
+//! assert_eq!(st.card(), 3);
+//! ```
+
+mod error;
+mod forest;
+mod placement;
+mod source_tree;
+
+pub mod strategies;
+
+pub use error::FragError;
+pub use forest::{Forest, Fragment};
+pub use placement::{Placement, SiteId};
+pub use source_tree::{SourceEntry, SourceTree};

@@ -1,0 +1,218 @@
+//! The source tree `S_T` (paper, Section 2.1 and Fig. 2b).
+//!
+//! The source tree is the *only* structure ParBoX's algorithms require:
+//! it records, for every fragment, the site that stores it and its parent
+//! fragment. It is induced from the fragment tree and the placement `h`,
+//! and is small (one entry per fragment) — cheap enough to replicate on
+//! every site for `FullDistParBoX`.
+
+use crate::{Forest, Placement, SiteId};
+use parbox_xml::FragmentId;
+use std::collections::HashMap;
+
+/// One entry of the source tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// The fragment.
+    pub frag: FragmentId,
+    /// Site storing the fragment.
+    pub site: SiteId,
+    /// Parent fragment (`None` for the root fragment).
+    pub parent: Option<FragmentId>,
+    /// Child fragments, in document order of their virtual nodes.
+    pub children: Vec<FragmentId>,
+    /// Depth in the fragment tree (root = 0).
+    pub depth: usize,
+}
+
+/// The source tree of a fragmented, distributed document.
+#[derive(Debug, Clone)]
+pub struct SourceTree {
+    entries: HashMap<FragmentId, SourceEntry>,
+    root: FragmentId,
+    postorder: Vec<FragmentId>,
+}
+
+impl SourceTree {
+    /// Induces the source tree from a forest and a placement.
+    ///
+    /// # Panics
+    /// Panics if some fragment is unplaced (use
+    /// [`Placement::validate`] first for a graceful error).
+    pub fn new(forest: &Forest, placement: &Placement) -> SourceTree {
+        let mut entries = HashMap::with_capacity(forest.card());
+        for id in forest.fragment_ids() {
+            entries.insert(
+                id,
+                SourceEntry {
+                    frag: id,
+                    site: placement.site_of(id),
+                    parent: forest.parent(id),
+                    children: forest.children(id),
+                    depth: forest.depth(id),
+                },
+            );
+        }
+        SourceTree {
+            entries,
+            root: forest.root_fragment(),
+            postorder: forest.postorder(),
+        }
+    }
+
+    /// The root fragment.
+    #[inline]
+    pub fn root(&self) -> FragmentId {
+        self.root
+    }
+
+    /// Entry for one fragment.
+    pub fn entry(&self, frag: FragmentId) -> &SourceEntry {
+        self.entries
+            .get(&frag)
+            .unwrap_or_else(|| panic!("fragment {frag} not in source tree"))
+    }
+
+    /// Site storing a fragment.
+    pub fn site_of(&self, frag: FragmentId) -> SiteId {
+        self.entry(frag).site
+    }
+
+    /// All fragments, in bottom-up (postorder) order — the resolution
+    /// order of `evalST`.
+    pub fn postorder(&self) -> &[FragmentId] {
+        &self.postorder
+    }
+
+    /// All fragments, unordered count.
+    pub fn card(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Distinct sites, ascending — the sites the coordinator contacts in
+    /// stage 1 of ParBoX.
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut out: Vec<SiteId> = self.entries.values().map(|e| e.site).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Fragments stored at `site` (`card(F_Si)` is this list's length).
+    pub fn fragments_at(&self, site: SiteId) -> Vec<FragmentId> {
+        let mut out: Vec<FragmentId> = self
+            .entries
+            .values()
+            .filter(|e| e.site == site)
+            .map(|e| e.frag)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Fragments at a given fragment-tree depth — the wavefront visited by
+    /// `LazyParBoX` at traversal step `depth`.
+    pub fn fragments_at_depth(&self, depth: usize) -> Vec<FragmentId> {
+        let mut out: Vec<FragmentId> = self
+            .entries
+            .values()
+            .filter(|e| e.depth == depth)
+            .map(|e| e.frag)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Maximum fragment-tree depth.
+    pub fn max_depth(&self) -> usize {
+        self.entries.values().map(|e| e.depth).max().unwrap_or(0)
+    }
+
+    /// Approximate serialized size in bytes (one compact record per
+    /// fragment) — used when `FullDistParBoX` replicates the source tree.
+    pub fn byte_size(&self) -> usize {
+        // frag id + site id + parent id + child count ≈ 16 bytes/entry.
+        16 * self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_xml::Tree;
+
+    /// Builds the paper's Fig. 2 configuration: F0 ⊃ {F1 ⊃ {F2}, F3},
+    /// with F2 and F3 both on site S2.
+    fn fig2() -> (Forest, Placement) {
+        let t = Tree::parse(
+            "<portfolio>\
+               <broker><name>Bache</name><market><title>NYSE</title></market></broker>\
+               <broker2><market2><stock><code>GOOG</code></stock></market2></broker2>\
+             </portfolio>",
+        )
+        .unwrap();
+        let mut forest = Forest::from_tree(t);
+        let f0 = forest.root_fragment();
+        let find = |forest: &Forest, frag, label: &str| {
+            let tree = &forest.fragment(frag).tree;
+            tree.descendants(tree.root())
+                .find(|&n| tree.label_str(n) == label)
+                .unwrap()
+        };
+        // F1 = broker2 subtree; F2 = stock inside F1; F3 = market inside F0.
+        let b2 = find(&forest, f0, "broker2");
+        let f1 = forest.split(f0, b2).unwrap();
+        let stock = find(&forest, f1, "stock");
+        let f2 = forest.split(f1, stock).unwrap();
+        let market = find(&forest, f0, "market");
+        let f3 = forest.split(f0, market).unwrap();
+
+        let mut p = Placement::new();
+        p.assign(f0, SiteId(0));
+        p.assign(f1, SiteId(1));
+        p.assign(f2, SiteId(2));
+        p.assign(f3, SiteId(2));
+        (forest, p)
+    }
+
+    #[test]
+    fn structure_matches_fig2() {
+        let (forest, p) = fig2();
+        let st = SourceTree::new(&forest, &p);
+        assert_eq!(st.card(), 4);
+        assert_eq!(st.root(), FragmentId(0));
+        assert_eq!(st.entry(FragmentId(2)).parent, Some(FragmentId(1)));
+        assert_eq!(st.entry(FragmentId(3)).parent, Some(FragmentId(0)));
+        assert_eq!(st.sites(), vec![SiteId(0), SiteId(1), SiteId(2)]);
+        // S2 stores both F2 and F3 — the site NaiveDistributed visits twice.
+        assert_eq!(st.fragments_at(SiteId(2)), vec![FragmentId(2), FragmentId(3)]);
+    }
+
+    #[test]
+    fn depths_and_wavefronts() {
+        let (forest, p) = fig2();
+        let st = SourceTree::new(&forest, &p);
+        assert_eq!(st.fragments_at_depth(0), vec![FragmentId(0)]);
+        assert_eq!(st.fragments_at_depth(1), vec![FragmentId(1), FragmentId(3)]);
+        assert_eq!(st.fragments_at_depth(2), vec![FragmentId(2)]);
+        assert_eq!(st.max_depth(), 2);
+    }
+
+    #[test]
+    fn postorder_resolves_children_first() {
+        let (forest, p) = fig2();
+        let st = SourceTree::new(&forest, &p);
+        let order = st.postorder();
+        let pos = |f: FragmentId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(FragmentId(2)) < pos(FragmentId(1)));
+        assert!(pos(FragmentId(1)) < pos(FragmentId(0)));
+        assert!(pos(FragmentId(3)) < pos(FragmentId(0)));
+    }
+
+    #[test]
+    fn byte_size_is_per_fragment() {
+        let (forest, p) = fig2();
+        let st = SourceTree::new(&forest, &p);
+        assert_eq!(st.byte_size(), 16 * 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fragmentation strategies.
+//!
+//! The paper imposes no constraints on how a tree is decomposed; these
+//! helpers build the decomposition *shapes* used in its experimental
+//! study (Fig. 6):
+//!
+//! * **FT1** (star): `F1 … Fn` all direct sub-fragments of `F0`
+//!   — [`star`] / Experiment 1.
+//! * **FT2** (chain): `F_{j}` a sub-fragment of `F_{j-1}` — [`chain`] /
+//!   Experiment 2 (e.g. the version history of a temporal database).
+//! * Balanced decomposition into `n` roughly equal fragments —
+//!   [`fragment_evenly`] / Experiments 1 and 4.
+
+use crate::{Forest, FragError};
+use parbox_xml::{FragmentId, NodeId};
+
+/// Finds the best cut node inside a fragment: the non-root node whose
+/// subtree size is closest to `target` nodes. Virtual nodes and subtrees
+/// of size 1 are not worth cutting and are skipped.
+pub fn best_cut_node(forest: &Forest, frag: FragmentId, target: usize) -> Option<NodeId> {
+    let tree = &forest.fragment(frag).tree;
+    let root = tree.root();
+    let mut best: Option<(NodeId, usize)> = None;
+    for n in tree.descendants(root) {
+        if n == root || tree.node(n).kind.is_virtual() {
+            continue;
+        }
+        let size = tree.subtree_size(n);
+        if size < 2 {
+            continue;
+        }
+        let gap = size.abs_diff(target);
+        if best.map(|(_, g)| gap < g).unwrap_or(true) {
+            best = Some((n, gap));
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
+/// Splits every child of `frag`'s root into its own sub-fragment,
+/// producing a star (FT1) when applied to a single-fragment forest.
+/// Returns the new fragment ids in document order.
+pub fn star(forest: &mut Forest, frag: FragmentId) -> Result<Vec<FragmentId>, FragError> {
+    let kids: Vec<NodeId> = {
+        let tree = &forest.fragment(frag).tree;
+        tree.children(tree.root())
+            .filter(|&n| !forest.fragment(frag).tree.node(n).kind.is_virtual())
+            .collect()
+    };
+    let mut out = Vec::with_capacity(kids.len());
+    for k in kids {
+        out.push(forest.split(frag, k)?);
+    }
+    Ok(out)
+}
+
+/// Decomposes the forest into (up to) `n` fragments of roughly equal node
+/// count by repeatedly halving the largest fragment. Deterministic.
+pub fn fragment_evenly(forest: &mut Forest, n: usize) -> Result<Vec<FragmentId>, FragError> {
+    let per_piece = (forest.total_nodes() / n.max(1)).max(2);
+    while forest.card() < n {
+        // Pick the largest fragment and carve an average-size piece out of
+        // it, so finished pieces cluster around `total / n` nodes.
+        let largest = forest
+            .fragment_ids()
+            .max_by_key(|&f| forest.fragment(f).len())
+            .expect("forest is never empty");
+        let len = forest.fragment(largest).len();
+        // Near the end, split the remainder in half instead of leaving an
+        // oversized root piece.
+        let target = per_piece.min(len / 2).max(2);
+        let Some(cut) = best_cut_node(forest, largest, target) else {
+            return Err(FragError::NoCutPoint(largest));
+        };
+        forest.split(largest, cut)?;
+    }
+    Ok(forest.fragment_ids().collect())
+}
+
+/// Builds a chain (FT2): starting from the root fragment, repeatedly cuts
+/// roughly half of the *most recently created* fragment, so that
+/// `F_{j+1}` is a sub-fragment of `F_j`. Produces `n` fragments total.
+pub fn chain(forest: &mut Forest, n: usize) -> Result<Vec<FragmentId>, FragError> {
+    let mut last = forest.root_fragment();
+    let mut out = vec![last];
+    while forest.card() < n {
+        // Cut so every link of the finished chain holds roughly the same
+        // number of nodes: with k links still to split off, keep 1/(k+1)
+        // of the current fragment and pass the rest down the chain.
+        let remaining = n - forest.card();
+        let len = forest.fragment(last).len();
+        let target = (len * remaining / (remaining + 1)).max(2);
+        let Some(cut) = best_cut_node(forest, last, target) else {
+            return Err(FragError::NoCutPoint(last));
+        };
+        last = forest.split(last, cut)?;
+        out.push(last);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_xml::Tree;
+
+    /// A bushy tree with 4 top-level sections of 6 nodes each.
+    fn bushy() -> Forest {
+        let mut xml = String::from("<r>");
+        for i in 0..4 {
+            xml.push_str(&format!(
+                "<s{i}><a><l1/><l2/></a><b><l3/></b></s{i}>"
+            ));
+        }
+        xml.push_str("</r>");
+        Forest::from_tree(Tree::parse(&xml).unwrap())
+    }
+
+    #[test]
+    fn star_splits_each_child() {
+        let mut f = bushy();
+        let root = f.root_fragment();
+        let made = star(&mut f, root).unwrap();
+        assert_eq!(made.len(), 4);
+        assert_eq!(f.card(), 5);
+        for m in &made {
+            assert_eq!(f.parent(*m), Some(f.root_fragment()));
+        }
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn fragment_evenly_reaches_target_count() {
+        let mut f = bushy();
+        let total = f.total_nodes();
+        fragment_evenly(&mut f, 5).unwrap();
+        assert_eq!(f.card(), 5);
+        f.validate().unwrap();
+        // Balance: no fragment has more than ~2/3 of all nodes.
+        for id in f.fragment_ids() {
+            assert!(f.fragment(id).len() * 3 <= total * 2 + 6);
+        }
+        // Document preserved.
+        let original = bushy().reassemble();
+        assert!(f.reassemble().structural_eq(&original));
+    }
+
+    /// A deep nested tree: 12 levels, each with two leaf payloads.
+    fn deep() -> Forest {
+        let mut xml = String::new();
+        for i in 0..12 {
+            xml.push_str(&format!("<lvl{i}><p/><q/>"));
+        }
+        xml.push_str("<bottom/>");
+        for i in (0..12).rev() {
+            xml.push_str(&format!("</lvl{i}>"));
+        }
+        Forest::from_tree(Tree::parse(&xml).unwrap())
+    }
+
+    #[test]
+    fn chain_builds_linear_fragment_tree() {
+        let mut f = deep();
+        let ids = chain(&mut f, 4).unwrap();
+        assert_eq!(ids.len(), 4);
+        for w in ids.windows(2) {
+            assert_eq!(f.parent(w[1]), Some(w[0]));
+        }
+        assert_eq!(f.depth(ids[3]), 3);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn best_cut_prefers_target_size() {
+        let f = bushy(); // root fragment has 25 nodes; each s_i subtree 6.
+        let cut = best_cut_node(&f, f.root_fragment(), 6).unwrap();
+        let tree = &f.fragment(f.root_fragment()).tree;
+        assert_eq!(tree.subtree_size(cut), 6);
+        // Target 3 matches the <a><l1/><l2/></a> subtrees.
+        let cut = best_cut_node(&f, f.root_fragment(), 3).unwrap();
+        assert_eq!(tree.subtree_size(cut), 3);
+    }
+
+    #[test]
+    fn no_cut_point_on_tiny_fragment() {
+        let mut f = Forest::from_tree(Tree::parse("<only/>").unwrap());
+        let err = fragment_evenly(&mut f, 2).unwrap_err();
+        assert!(matches!(err, FragError::NoCutPoint(_)));
+    }
+
+    #[test]
+    fn fragment_evenly_is_idempotent_at_target() {
+        let mut f = bushy();
+        fragment_evenly(&mut f, 3).unwrap();
+        let card = f.card();
+        fragment_evenly(&mut f, 3).unwrap();
+        assert_eq!(f.card(), card);
+    }
+}

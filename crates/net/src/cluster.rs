@@ -1,0 +1,108 @@
+//! The [`Cluster`]: a fragmented document deployed on simulated sites.
+
+use crate::NetworkModel;
+use parbox_frag::{Forest, Placement, SiteId, SourceTree};
+use parbox_xml::FragmentId;
+
+/// A deployment of a fragmented document: forest + placement + induced
+/// source tree + network model. This is the input every distributed
+/// algorithm in `parbox-core` operates on.
+#[derive(Debug, Clone)]
+pub struct Cluster<'a> {
+    /// The fragmented document.
+    pub forest: &'a Forest,
+    /// Assignment of fragments to sites (the paper's `h`).
+    pub placement: &'a Placement,
+    /// The induced source tree `S_T`.
+    pub source_tree: SourceTree,
+    /// Network cost model.
+    pub model: NetworkModel,
+}
+
+impl<'a> Cluster<'a> {
+    /// Builds a cluster, inducing the source tree.
+    ///
+    /// # Panics
+    /// Panics if some fragment is unplaced.
+    pub fn new(forest: &'a Forest, placement: &'a Placement, model: NetworkModel) -> Cluster<'a> {
+        placement
+            .validate(forest)
+            .unwrap_or_else(|e| panic!("invalid placement: {e}"));
+        Cluster {
+            forest,
+            placement,
+            source_tree: SourceTree::new(forest, placement),
+            model,
+        }
+    }
+
+    /// The coordinating site: the site storing the root fragment (the
+    /// paper's convention, w.l.o.g.).
+    pub fn coordinator(&self) -> SiteId {
+        self.source_tree.site_of(self.forest.root_fragment())
+    }
+
+    /// All participating sites, ascending.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.source_tree.sites()
+    }
+
+    /// Fragments stored at `site`.
+    pub fn fragments_at(&self, site: SiteId) -> Vec<FragmentId> {
+        self.source_tree.fragments_at(site)
+    }
+
+    /// `|F_Si|`: total nodes stored at `site`.
+    pub fn nodes_at(&self, site: SiteId) -> usize {
+        self.fragments_at(site)
+            .into_iter()
+            .map(|f| self.forest.fragment(f).len())
+            .sum()
+    }
+
+    /// Largest per-site aggregated fragment size `max_Si |F_Si|` — the
+    /// parallel-computation bound of Fig. 4.
+    pub fn max_site_nodes(&self) -> usize {
+        self.sites().into_iter().map(|s| self.nodes_at(s)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_frag::strategies;
+    use parbox_xml::Tree;
+
+    fn setup() -> (Forest, Placement) {
+        let tree = Tree::parse("<r><a><x/><y/></a><b><z/></b><c/></r>").unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let root = forest.root_fragment();
+        strategies::star(&mut forest, root).unwrap();
+        let placement = Placement::round_robin(&forest, 2);
+        (forest, placement)
+    }
+
+    #[test]
+    fn coordinator_is_root_fragment_site() {
+        let (forest, placement) = setup();
+        let c = Cluster::new(&forest, &placement, NetworkModel::lan());
+        assert_eq!(c.coordinator(), placement.site_of(forest.root_fragment()));
+    }
+
+    #[test]
+    fn node_accounting_per_site() {
+        let (forest, placement) = setup();
+        let c = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let total: usize = c.sites().iter().map(|&s| c.nodes_at(s)).sum();
+        assert_eq!(total, forest.total_nodes());
+        assert!(c.max_site_nodes() >= total / c.sites().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid placement")]
+    fn unplaced_fragment_panics() {
+        let (forest, _) = setup();
+        let empty = Placement::new();
+        let _ = Cluster::new(&forest, &empty, NetworkModel::lan());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # parbox-net
+//!
+//! The simulated distributed substrate of this ParBoX reproduction.
+//!
+//! The paper evaluated on ten Linux machines over a LAN. Here, each
+//! *site* is a worker thread that really evaluates its fragments in
+//! parallel ([`run_sites_parallel`]), while network costs are *modeled*
+//! ([`NetworkModel`]): every message is recorded with its exact payload
+//! size, and modeled elapsed time combines measured per-site compute with
+//! latency + bandwidth terms. See DESIGN.md §5 for why this substitution
+//! preserves the paper's experimental shapes.
+
+mod cluster;
+mod exec;
+mod metrics;
+mod model;
+
+pub use cluster::Cluster;
+pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
+pub use metrics::{Message, MessageKind, RunReport, SiteReport};
+pub use model::NetworkModel;
+
+// Re-exported so downstream users need not depend on parbox-frag for the
+// common case of addressing sites.
+pub use parbox_frag::SiteId;

@@ -1,0 +1,206 @@
+//! Run metrics: visits, messages, traffic, computation.
+//!
+//! Every algorithm in `parbox-core` produces a [`RunReport`]; the figures
+//! and the Fig. 4 complexity table of the paper are regenerated from
+//! these reports.
+
+use parbox_frag::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// What a message carries, for traffic breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// The query `q` (stage 1 of ParBoX).
+    Query,
+    /// A `(V, CV, DV)` triplet (stage 2 → 3).
+    Triplet,
+    /// Raw fragment data (the naive baselines ship these).
+    Data,
+    /// Control traffic (visit requests, acknowledgements).
+    Control,
+}
+
+/// One recorded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending site.
+    pub from: SiteId,
+    /// Receiving site.
+    pub to: SiteId,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Payload classification.
+    pub kind: MessageKind,
+}
+
+/// Per-site accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// Times the site was *visited* (contacted to start work). The
+    /// paper's headline guarantee is `visits == 1` per site for ParBoX.
+    pub visits: usize,
+    /// Messages sent by the site.
+    pub msgs_sent: usize,
+    /// Messages received by the site.
+    pub msgs_recv: usize,
+    /// Bytes sent by the site.
+    pub bytes_sent: usize,
+    /// Bytes received by the site.
+    pub bytes_recv: usize,
+    /// Work units: node × sub-query evaluations performed at the site.
+    pub work_units: u64,
+    /// Measured wall-clock compute time at the site, seconds.
+    pub compute_s: f64,
+}
+
+/// Full accounting of one algorithm run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-site reports keyed by site.
+    pub per_site: BTreeMap<u32, SiteReport>,
+    /// All messages in order of recording.
+    pub messages: Vec<Message>,
+    /// Modeled elapsed time (parallel compute + modeled network), seconds.
+    pub elapsed_model_s: f64,
+    /// Measured wall-clock time of the whole run, seconds.
+    pub elapsed_wall_s: f64,
+}
+
+impl RunReport {
+    /// Empty report.
+    pub fn new() -> RunReport {
+        RunReport::default()
+    }
+
+    fn site_mut(&mut self, site: SiteId) -> &mut SiteReport {
+        self.per_site.entry(site.0).or_default()
+    }
+
+    /// Records a visit to a site.
+    pub fn record_visit(&mut self, site: SiteId) {
+        self.site_mut(site).visits += 1;
+    }
+
+    /// Records a message, updating both endpoints.
+    pub fn record_message(&mut self, from: SiteId, to: SiteId, bytes: usize, kind: MessageKind) {
+        self.messages.push(Message { from, to, bytes, kind });
+        let s = self.site_mut(from);
+        s.msgs_sent += 1;
+        s.bytes_sent += bytes;
+        let r = self.site_mut(to);
+        r.msgs_recv += 1;
+        r.bytes_recv += bytes;
+    }
+
+    /// Adds work units at a site.
+    pub fn record_work(&mut self, site: SiteId, units: u64) {
+        self.site_mut(site).work_units += units;
+    }
+
+    /// Adds measured compute time at a site.
+    pub fn record_compute(&mut self, site: SiteId, d: Duration) {
+        self.site_mut(site).compute_s += d.as_secs_f64();
+    }
+
+    /// Report for one site (default-empty if the site never participated).
+    pub fn site(&self, site: SiteId) -> SiteReport {
+        self.per_site.get(&site.0).cloned().unwrap_or_default()
+    }
+
+    /// Iterator over `(site, report)`.
+    pub fn sites(&self) -> impl Iterator<Item = (SiteId, &SiteReport)> {
+        self.per_site.iter().map(|(&s, r)| (SiteId(s), r))
+    }
+
+    /// Total bytes over all messages — the paper's *total network traffic*.
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total bytes of a given message kind.
+    pub fn bytes_of_kind(&self, kind: MessageKind) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.kind == kind)
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total work units over all sites — the paper's *total computation*.
+    pub fn total_work(&self) -> u64 {
+        self.per_site.values().map(|r| r.work_units).sum()
+    }
+
+    /// Total measured compute seconds over all sites.
+    pub fn total_compute_s(&self) -> f64 {
+        self.per_site.values().map(|r| r.compute_s).sum()
+    }
+
+    /// Maximum measured compute seconds over sites — the parallel
+    /// computation term of the elapsed-time model.
+    pub fn max_site_compute_s(&self) -> f64 {
+        self.per_site
+            .values()
+            .map(|r| r.compute_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum number of visits to any single site.
+    pub fn max_visits(&self) -> usize {
+        self.per_site.values().map(|r| r.visits).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_recording_updates_both_ends() {
+        let mut r = RunReport::new();
+        r.record_message(SiteId(0), SiteId(1), 100, MessageKind::Query);
+        r.record_message(SiteId(1), SiteId(0), 40, MessageKind::Triplet);
+        assert_eq!(r.total_bytes(), 140);
+        assert_eq!(r.total_messages(), 2);
+        assert_eq!(r.site(SiteId(0)).bytes_sent, 100);
+        assert_eq!(r.site(SiteId(0)).bytes_recv, 40);
+        assert_eq!(r.site(SiteId(1)).msgs_recv, 1);
+        assert_eq!(r.bytes_of_kind(MessageKind::Triplet), 40);
+        assert_eq!(r.bytes_of_kind(MessageKind::Data), 0);
+    }
+
+    #[test]
+    fn visits_and_work_accumulate() {
+        let mut r = RunReport::new();
+        r.record_visit(SiteId(2));
+        r.record_visit(SiteId(2));
+        r.record_work(SiteId(2), 10);
+        r.record_work(SiteId(3), 5);
+        assert_eq!(r.site(SiteId(2)).visits, 2);
+        assert_eq!(r.max_visits(), 2);
+        assert_eq!(r.total_work(), 15);
+    }
+
+    #[test]
+    fn compute_aggregates() {
+        let mut r = RunReport::new();
+        r.record_compute(SiteId(0), Duration::from_millis(30));
+        r.record_compute(SiteId(1), Duration::from_millis(50));
+        assert!((r.total_compute_s() - 0.08).abs() < 1e-9);
+        assert!((r.max_site_compute_s() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_site_defaults() {
+        let r = RunReport::new();
+        assert_eq!(r.site(SiteId(42)), SiteReport::default());
+        assert_eq!(r.max_visits(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Abstract syntax of XBL Boolean XPath queries.
+//!
+//! The grammar follows Section 2.2 of the paper:
+//!
+//! ```text
+//! q := p | p/text() = str | label() = A | ¬q | q ∧ q | q ∨ q
+//! p := ε | A | * | p//p | p/p | p[q]
+//! ```
+//!
+//! A *query* `[q]` evaluates to a truth value at a context node; a *path*
+//! is satisfied when some node is reachable from the context node via it.
+
+use std::fmt;
+
+/// A Boolean XBL query `q`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `p` — true iff some node is reachable via the path.
+    Path(Path),
+    /// `p/text() = "str"` — true iff a node reached via `p` carries the
+    /// given text value.
+    TextEq(Path, String),
+    /// `label() = A` — true iff the context node's tag is `A`.
+    LabelEq(String),
+    /// `¬ q`.
+    Not(Box<Query>),
+    /// `q ∧ q`.
+    And(Box<Query>, Box<Query>),
+    /// `q ∨ q`.
+    Or(Box<Query>, Box<Query>),
+}
+
+/// A path expression `p`: a sequence of steps.
+///
+/// An empty step list is the empty path `ε` (self).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Path {
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// `ε` / `.` — stay at the current node.
+    SelfStep,
+    /// `A` — move to a child labelled `A`.
+    Label(String),
+    /// `*` — move to any child.
+    Wildcard,
+    /// `//` — descendant-or-self axis.
+    DescOrSelf,
+    /// `[q]` — qualifier filtering the current node.
+    Qualifier(Box<Query>),
+}
+
+impl Query {
+    /// Builds `¬ self`.
+    /// An owned-`self` builder (like [`Query::and`] / [`Query::or`]), not
+    /// `std::ops::Not`, so queries chain fluently.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        Query::Not(Box::new(self))
+    }
+
+    /// Builds `self ∧ other`.
+    pub fn and(self, other: Query) -> Query {
+        Query::And(Box::new(self), Box::new(other))
+    }
+
+    /// Builds `self ∨ other`.
+    pub fn or(self, other: Query) -> Query {
+        Query::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Syntactic size |q|: number of AST nodes (steps and operators).
+    pub fn size(&self) -> usize {
+        match self {
+            Query::Path(p) => 1 + p.size(),
+            Query::TextEq(p, _) => 2 + p.size(),
+            Query::LabelEq(_) => 1,
+            Query::Not(q) => 1 + q.size(),
+            Query::And(a, b) | Query::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl Path {
+    /// The empty path `ε`.
+    pub fn empty() -> Path {
+        Path::default()
+    }
+
+    /// Builder: starts a path with one step.
+    pub fn step(s: Step) -> Path {
+        Path { steps: vec![s] }
+    }
+
+    /// Builder: appends a step.
+    pub fn then(mut self, s: Step) -> Path {
+        self.steps.push(s);
+        self
+    }
+
+    /// Builder: appends a child step to a labelled element.
+    pub fn child(self, label: &str) -> Path {
+        self.then(Step::Label(label.to_string()))
+    }
+
+    /// Builder: appends a descendant-or-self step.
+    pub fn desc(self) -> Path {
+        self.then(Step::DescOrSelf)
+    }
+
+    /// Builder: appends a qualifier.
+    pub fn filter(self, q: Query) -> Path {
+        self.then(Step::Qualifier(Box::new(q)))
+    }
+
+    /// Syntactic size of the path.
+    pub fn size(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Qualifier(q) => 1 + q.size(),
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Path(p) => write!(f, "{p}"),
+            Query::TextEq(p, s) => {
+                if p.steps.is_empty() {
+                    write!(f, "text() = \"{s}\"")
+                } else {
+                    write!(f, "{p}/text() = \"{s}\"")
+                }
+            }
+            Query::LabelEq(a) => write!(f, "label() = {a}"),
+            Query::Not(q) => write!(f, "not({q})"),
+            Query::And(a, b) => write!(f, "({a} and {b})"),
+            Query::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, ".");
+        }
+        // `needs_sep`: a `/` is required before the next named step.
+        // `can_attach`: the previous token can host a `[q]` qualifier.
+        let mut needs_sep = false;
+        let mut can_attach = false;
+        let mut at_start = true;
+        for step in &self.steps {
+            if matches!(step, Step::DescOrSelf) && !can_attach && !at_start {
+                // Two consecutive `//` have no concrete syntax; anchor the
+                // second on an explicit self step (`//.//`).
+                write!(f, ".")?;
+            }
+            at_start = false;
+            match step {
+                Step::SelfStep => {
+                    if needs_sep {
+                        write!(f, "/")?;
+                    }
+                    write!(f, ".")?;
+                    needs_sep = true;
+                    can_attach = true;
+                }
+                Step::Label(a) => {
+                    if needs_sep {
+                        write!(f, "/")?;
+                    }
+                    write!(f, "{a}")?;
+                    needs_sep = true;
+                    can_attach = true;
+                }
+                Step::Wildcard => {
+                    if needs_sep {
+                        write!(f, "/")?;
+                    }
+                    write!(f, "*")?;
+                    needs_sep = true;
+                    can_attach = true;
+                }
+                Step::DescOrSelf => {
+                    write!(f, "//")?;
+                    // `//` includes its separator.
+                    needs_sep = false;
+                    can_attach = false;
+                }
+                Step::Qualifier(q) => {
+                    // A qualifier with nothing to attach to (path start or
+                    // right after `//`) anchors on an explicit self step.
+                    if !can_attach {
+                        if needs_sep {
+                            write!(f, "/")?;
+                        }
+                        write!(f, ".")?;
+                        needs_sep = true;
+                    }
+                    write!(f, "[{q}]")?;
+                    can_attach = true;
+                }
+            }
+        }
+        // A trailing `//` needs an explicit `.` to be re-parseable.
+        if !can_attach {
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let q = Query::Path(Path::empty().desc().child("stock"))
+            .and(Query::LabelEq("portfolio".into()));
+        assert!(matches!(q, Query::And(_, _)));
+        assert!(q.size() >= 4);
+    }
+
+    #[test]
+    fn display_round_trips_simple_shapes() {
+        let q = Query::Path(Path::empty().desc().child("a").child("b"));
+        assert_eq!(q.to_string(), "//a/b");
+        let q = Query::TextEq(Path::empty().child("code"), "GOOG".into());
+        assert_eq!(q.to_string(), "code/text() = \"GOOG\"");
+        let q = Query::LabelEq("x".into()).not();
+        assert_eq!(q.to_string(), "not(label() = x)");
+    }
+
+    #[test]
+    fn display_qualifier() {
+        let inner = Query::TextEq(Path::empty().child("code"), "YHOO".into());
+        let q = Query::Path(Path::empty().desc().child("stock").filter(inner));
+        assert_eq!(q.to_string(), "//stock[code/text() = \"YHOO\"]");
+    }
+
+    #[test]
+    fn empty_path_displays_as_dot() {
+        assert_eq!(Path::empty().to_string(), ".");
+    }
+
+    #[test]
+    fn size_counts_nested_qualifiers() {
+        let inner = Query::LabelEq("a".into());
+        let q = Query::Path(Path::empty().child("x").filter(inner));
+        // x (1) + qualifier (1 + 1) + path wrapper 1
+        assert_eq!(q.size(), 4);
+    }
+}

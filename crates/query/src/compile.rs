@@ -1,0 +1,384 @@
+//! Compilation of normalized queries into the paper's `QList`.
+//!
+//! A [`CompiledQuery`] is a flat program of [`SubQuery`] op-codes in
+//! topological order: each operand index refers to an *earlier* entry, so
+//! one left-to-right pass computes all sub-query values at a node — exactly
+//! the structure procedure `bottomUp` (Fig. 3b) iterates over.
+//!
+//! The op-codes mirror the paper's cases c0–c8. Two remarks:
+//!
+//! * case c4 (`ε[qj]/qk`) computes `V(qj) ∧ V(qk)`, which coincides with
+//!   case c7 (`qj ∧ qk`); we emit a single [`SubQuery::And`] op for both;
+//! * identical sub-queries are hash-consed, so `|QList|` counts *distinct*
+//!   sub-queries (the paper's bound `O(|q|)` still holds).
+
+use crate::ast::Query;
+use crate::normalize::{normalize, NQuery, NStep};
+use parbox_xml::{LabelId, LabelTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a sub-query within a [`CompiledQuery`].
+pub type SubId = u32;
+
+/// One sub-query op-code (an entry of the paper's `QList`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SubQuery {
+    /// `ε` — true at every node (case c0).
+    True,
+    /// `label() = A` (case c1).
+    LabelIs(String),
+    /// `text() = s` (case c2).
+    TextIs(String),
+    /// `*/q` — true iff `q` holds at some child (case c3, reads `CV`).
+    Child(SubId),
+    /// `//q` — true iff `q` holds at the node or some descendant
+    /// (case c5, reads `DV`).
+    Desc(SubId),
+    /// `q ∨ q` (case c6).
+    Or(SubId, SubId),
+    /// `q ∧ q` (cases c4 and c7).
+    And(SubId, SubId),
+    /// `¬ q` (case c8).
+    Not(SubId),
+}
+
+impl SubQuery {
+    /// Operand sub-queries referenced by this op.
+    pub fn operands(&self) -> impl Iterator<Item = SubId> {
+        let (a, b) = match *self {
+            SubQuery::True | SubQuery::LabelIs(_) | SubQuery::TextIs(_) => (None, None),
+            SubQuery::Child(x) | SubQuery::Desc(x) | SubQuery::Not(x) => (Some(x), None),
+            SubQuery::Or(x, y) | SubQuery::And(x, y) => (Some(x), Some(y)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+/// A compiled XBL query: the topologically sorted list of distinct
+/// sub-queries (`QList`) plus the id of the root query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    subs: Vec<SubQuery>,
+    root: SubId,
+}
+
+impl CompiledQuery {
+    /// Assembles a compiled query from raw parts. The caller must uphold
+    /// the topological-order invariant (operands precede their users);
+    /// this is checked in debug builds.
+    pub fn from_parts(subs: Vec<SubQuery>, root: SubId) -> CompiledQuery {
+        debug_assert!((root as usize) < subs.len());
+        debug_assert!(subs
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.operands().all(|op| (op as usize) < i)));
+        CompiledQuery { subs, root }
+    }
+
+    /// `|QList|` — the number of distinct sub-queries. This is the query
+    /// size knob of the paper's experiments (2, 8, 15, 23).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True for the trivial (empty) program; never produced by [`compile`].
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Id of the root sub-query (the query answer).
+    #[inline]
+    pub fn root(&self) -> SubId {
+        self.root
+    }
+
+    /// The sub-query list in topological order.
+    #[inline]
+    pub fn subs(&self) -> &[SubQuery] {
+        &self.subs
+    }
+
+    /// Resolves label names against a tree's label table, producing a
+    /// program whose hot-loop comparisons are integer equality.
+    pub fn resolve(&self, labels: &LabelTable) -> ResolvedQuery {
+        ResolvedQuery {
+            ops: self
+                .subs
+                .iter()
+                .map(|s| match s {
+                    SubQuery::True => Op::True,
+                    SubQuery::LabelIs(a) => Op::LabelIs(labels.lookup(a)),
+                    SubQuery::TextIs(t) => Op::TextIs(t.as_str().into()),
+                    SubQuery::Child(x) => Op::Child(*x),
+                    SubQuery::Desc(x) => Op::Desc(*x),
+                    SubQuery::Or(x, y) => Op::Or(*x, *y),
+                    SubQuery::And(x, y) => Op::And(*x, *y),
+                    SubQuery::Not(x) => Op::Not(*x),
+                })
+                .collect(),
+            root: self.root,
+        }
+    }
+}
+
+impl fmt::Display for CompiledQuery {
+    /// Renders the program in the style of the paper's Example 2.1:
+    /// `q1 = label() = code`, `q2 = text() = "yhoo"`, `q3 = q1 ∧ q2`, …
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.subs.iter().enumerate() {
+            let i = i + 1; // paper numbers from q1
+            match s {
+                SubQuery::True => writeln!(f, "q{i} = ε")?,
+                SubQuery::LabelIs(a) => writeln!(f, "q{i} = (label() = {a})")?,
+                SubQuery::TextIs(t) => writeln!(f, "q{i} = (text() = \"{t}\")")?,
+                SubQuery::Child(x) => writeln!(f, "q{i} = */q{}", x + 1)?,
+                SubQuery::Desc(x) => writeln!(f, "q{i} = //q{}", x + 1)?,
+                SubQuery::Or(x, y) => writeln!(f, "q{i} = q{} ∨ q{}", x + 1, y + 1)?,
+                SubQuery::And(x, y) => writeln!(f, "q{i} = q{} ∧ q{}", x + 1, y + 1)?,
+                SubQuery::Not(x) => writeln!(f, "q{i} = ¬q{}", x + 1)?,
+            }
+        }
+        writeln!(f, "root = q{}", self.root + 1)
+    }
+}
+
+/// A compiled query with labels resolved against one tree's label table.
+#[derive(Debug, Clone)]
+pub struct ResolvedQuery {
+    /// Resolved op-codes, topologically ordered.
+    pub ops: Vec<Op>,
+    /// Root op id.
+    pub root: SubId,
+}
+
+impl ResolvedQuery {
+    /// Number of ops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no ops (never produced by [`compile`]).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Resolved sub-query op-code. `LabelIs(None)` means the label does not
+/// occur in the tree at all, so the predicate is false everywhere.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `ε`.
+    True,
+    /// `label() = A`, with `A` resolved (or absent from the tree).
+    LabelIs(Option<LabelId>),
+    /// `text() = s`.
+    TextIs(Box<str>),
+    /// `*/q`.
+    Child(SubId),
+    /// `//q`.
+    Desc(SubId),
+    /// `q ∨ q`.
+    Or(SubId, SubId),
+    /// `q ∧ q`.
+    And(SubId, SubId),
+    /// `¬ q`.
+    Not(SubId),
+}
+
+/// Compiles a query: `normalize` + `QList` construction, both `O(|q|)`.
+///
+/// ```
+/// use parbox_query::{parse_query, compile};
+/// let q = parse_query("[//stock[code/text() = \"yhoo\"]]").unwrap();
+/// let c = compile(&q);
+/// assert!(c.len() >= 6);
+/// assert_eq!(c.root() as usize, c.len() - 1);
+/// ```
+pub fn compile(q: &Query) -> CompiledQuery {
+    let n = normalize(q);
+    let mut b = Builder { subs: Vec::new(), memo: HashMap::new() };
+    let root = b.compile_nquery(&n);
+    CompiledQuery { subs: b.subs, root }
+}
+
+struct Builder {
+    subs: Vec<SubQuery>,
+    memo: HashMap<SubQuery, SubId>,
+}
+
+impl Builder {
+    fn add(&mut self, s: SubQuery) -> SubId {
+        if let Some(&id) = self.memo.get(&s) {
+            return id;
+        }
+        let id = self.subs.len() as SubId;
+        self.subs.push(s.clone());
+        self.memo.insert(s, id);
+        id
+    }
+
+    fn compile_nquery(&mut self, q: &NQuery) -> SubId {
+        match q {
+            NQuery::True => self.add(SubQuery::True),
+            NQuery::LabelIs(a) => self.add(SubQuery::LabelIs(a.clone())),
+            NQuery::TextIs(s) => self.add(SubQuery::TextIs(s.clone())),
+            NQuery::Path(steps) => self.compile_steps(steps),
+            NQuery::Not(inner) => {
+                let x = self.compile_nquery(inner);
+                self.add(SubQuery::Not(x))
+            }
+            NQuery::And(a, b) => {
+                let x = self.compile_nquery(a);
+                let y = self.compile_nquery(b);
+                self.add(SubQuery::And(x, y))
+            }
+            NQuery::Or(a, b) => {
+                let x = self.compile_nquery(a);
+                let y = self.compile_nquery(b);
+                self.add(SubQuery::Or(x, y))
+            }
+        }
+    }
+
+    /// Compiles `β1/…/βn` right-to-left: the value of the path at a node is
+    /// the value of β1 applied to the compiled rest.
+    fn compile_steps(&mut self, steps: &[NStep]) -> SubId {
+        match steps.split_first() {
+            None => self.add(SubQuery::True),
+            Some((NStep::Wildcard, rest)) => {
+                let r = self.compile_steps(rest);
+                self.add(SubQuery::Child(r))
+            }
+            Some((NStep::DescOrSelf, rest)) => {
+                let r = self.compile_steps(rest);
+                self.add(SubQuery::Desc(r))
+            }
+            Some((NStep::Qual(q), rest)) => {
+                let x = self.compile_nquery(q);
+                if rest.is_empty() {
+                    // ε[q]/ε ≡ q.
+                    x
+                } else {
+                    let r = self.compile_steps(rest);
+                    self.add(SubQuery::And(x, r))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn comp(src: &str) -> CompiledQuery {
+        compile(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn topological_order_invariant() {
+        for src in [
+            "[//a]",
+            "[//stock[code/text() = \"yhoo\"]]",
+            "[//a and //b or not(//c//d[label() = e])]",
+        ] {
+            let c = comp(src);
+            for (i, s) in c.subs().iter().enumerate() {
+                for op in s.operands() {
+                    assert!((op as usize) < i, "operand q{op} not before q{i} in {src}");
+                }
+            }
+            assert!((c.root() as usize) < c.len());
+        }
+    }
+
+    #[test]
+    fn example_2_1_compiles_to_expected_ops() {
+        // //stock[code/text() = "yhoo"]
+        let c = comp("[//stock[code/text() = \"yhoo\"]]");
+        // Distinct sub-queries after ε-elision and c4/c7 fusion (the
+        // paper's QList in Example 2.1 lists ten entries; ours drops the
+        // redundant ε wrappers):
+        //   q1 = label()=stock        (from the merged qualifier's ∧-left)
+        //   q2 = label()=code
+        //   q3 = text()="yhoo"
+        //   q4 = q2 ∧ q3
+        //   q5 = */q4
+        //   q6 = q1 ∧ q5
+        //   q7 = */q6
+        //   q8 = //q7
+        assert_eq!(c.len(), 8);
+        assert!(matches!(c.subs()[0], SubQuery::LabelIs(ref a) if a == "stock"));
+        assert!(matches!(c.subs()[1], SubQuery::LabelIs(ref a) if a == "code"));
+        assert!(matches!(c.subs()[2], SubQuery::TextIs(ref t) if t == "yhoo"));
+        assert!(matches!(c.subs()[3], SubQuery::And(1, 2)));
+        assert!(matches!(c.subs()[4], SubQuery::Child(3)));
+        assert!(matches!(c.subs()[5], SubQuery::And(0, 4)));
+        assert!(matches!(c.subs()[6], SubQuery::Child(5)));
+        assert!(matches!(c.subs()[7], SubQuery::Desc(6)));
+        assert_eq!(c.root(), 7);
+    }
+
+    #[test]
+    fn intro_query_structure() {
+        // [//A ∧ //B] from the paper's introduction.
+        let c = comp("[//A ∧ //B]");
+        assert_eq!(c.len(), 7); // label A, child, desc, label B, child, desc, and
+        assert!(matches!(c.subs()[c.root() as usize], SubQuery::And(_, _)));
+    }
+
+    #[test]
+    fn hash_consing_dedups_repeated_subqueries() {
+        let once = comp("[//a]");
+        let twice = comp("[//a or //a]");
+        // Only the Or op is new.
+        assert_eq!(twice.len(), once.len() + 1);
+    }
+
+    #[test]
+    fn qlist_size_linear_in_query() {
+        let small = comp("[//a]");
+        let big = comp("[//a/b/c/d/e/f/g]");
+        assert!(big.len() > small.len());
+        assert!(big.len() <= 3 * 7 + 2); // O(|q|)
+    }
+
+    #[test]
+    fn resolve_maps_missing_labels_to_none() {
+        let mut labels = parbox_xml::LabelTable::new();
+        labels.intern("a");
+        let c = comp("[//a and //zzz]");
+        let r = c.resolve(&labels);
+        let mut saw_some = false;
+        let mut saw_none = false;
+        for op in &r.ops {
+            match op {
+                Op::LabelIs(Some(_)) => saw_some = true,
+                Op::LabelIs(None) => saw_none = true,
+                _ => {}
+            }
+        }
+        assert!(saw_some && saw_none);
+        assert_eq!(r.len(), c.len());
+    }
+
+    #[test]
+    fn display_lists_subqueries_like_example_2_1() {
+        let c = comp("[//stock[code/text() = \"yhoo\"]]");
+        let s = c.to_string();
+        assert!(s.contains("q1 = (label() = stock)"), "{s}");
+        assert!(s.contains("q4 = q2 ∧ q3"), "{s}");
+        assert!(s.contains("root = q8"), "{s}");
+    }
+
+    #[test]
+    fn trivial_query_compiles() {
+        let c = comp("[.]");
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.subs()[0], SubQuery::True));
+    }
+}

@@ -1,0 +1,366 @@
+//! Tokenizer for the XBL concrete syntax.
+
+use std::fmt;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+/// Token kinds of the XBL surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `and` / `&&` / `∧`
+    And,
+    /// `or` / `||` / `∨`
+    Or,
+    /// `not` / `!` / `¬`
+    Not,
+    /// `text()` — recognized as one token.
+    TextFn,
+    /// `label()` — recognized as one token.
+    LabelFn,
+    /// An element name.
+    Name(String),
+    /// A quoted string literal (quotes removed).
+    Str(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::DoubleSlash => write!(f, "'//'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::And => write!(f, "'and'"),
+            TokenKind::Or => write!(f, "'or'"),
+            TokenKind::Not => write!(f, "'not'"),
+            TokenKind::TextFn => write!(f, "'text()'"),
+            TokenKind::LabelFn => write!(f, "'label()'"),
+            TokenKind::Name(n) => write!(f, "name '{n}'"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the whole input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, at: i });
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, at: i });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, at: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, at: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, at: i });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, at: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, at: i });
+                i += 1;
+            }
+            b'!' => {
+                tokens.push(Token { kind: TokenKind::Not, at: i });
+                i += 1;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Token { kind: TokenKind::DoubleSlash, at: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Slash, at: i });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::And, at: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '&&'".into(), at: i });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::Or, at: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '||'".into(), at: i });
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { message: "unterminated string literal".into(), at: i });
+                }
+                let s = std::str::from_utf8(&bytes[start..j])
+                    .map_err(|_| LexError { message: "invalid UTF-8 in string".into(), at: i })?;
+                tokens.push(Token { kind: TokenKind::Str(s.to_string()), at: i });
+                i = j + 1;
+            }
+            _ if !c.is_ascii() => {
+                // Unicode operators ∧ ∨ ¬, or a Unicode name.
+                let rest = &input[i..];
+                let ch = rest.chars().next().expect("non-empty");
+                match ch {
+                    '∧' => {
+                        tokens.push(Token { kind: TokenKind::And, at: i });
+                        i += ch.len_utf8();
+                    }
+                    '∨' => {
+                        tokens.push(Token { kind: TokenKind::Or, at: i });
+                        i += ch.len_utf8();
+                    }
+                    '¬' => {
+                        tokens.push(Token { kind: TokenKind::Not, at: i });
+                        i += ch.len_utf8();
+                    }
+                    _ if ch.is_alphabetic() => {
+                        let len = name_len(rest);
+                        tokens.push(Token {
+                            kind: TokenKind::Name(rest[..len].to_string()),
+                            at: i,
+                        });
+                        i += len;
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: format!("unexpected character {ch:?}"),
+                            at: i,
+                        })
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let len = name_len(&input[i..]);
+                i += len;
+                let word = &input[start..i];
+                let kind = match word {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "text" | "label" if lookahead_parens(bytes, i) => {
+                        i += 2;
+                        if word == "text" {
+                            TokenKind::TextFn
+                        } else {
+                            TokenKind::LabelFn
+                        }
+                    }
+                    _ => TokenKind::Name(word.to_string()),
+                };
+                tokens.push(Token { kind, at: start });
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", c as char),
+                    at: i,
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, at: bytes.len() });
+    Ok(tokens)
+}
+
+/// Byte length of the name prefix of `s` (alphanumerics, `_`, `-` and
+/// non-operator Unicode letters).
+fn name_len(s: &str) -> usize {
+    let mut len = 0;
+    for ch in s.chars() {
+        let is_name = ch.is_ascii_alphanumeric()
+            || ch == '_'
+            || ch == '-'
+            || ch == ':'
+            || (!ch.is_ascii() && !matches!(ch, '∧' | '∨' | '¬') && ch.is_alphabetic());
+        if is_name {
+            len += ch.len_utf8();
+        } else {
+            break;
+        }
+    }
+    len
+}
+
+/// True when the bytes at `i` are exactly `()`.
+fn lookahead_parens(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i) == Some(&b'(') && bytes.get(i + 1) == Some(&b')')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_structural_tokens() {
+        assert_eq!(
+            kinds("[//a/*]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::DoubleSlash,
+                TokenKind::Name("a".into()),
+                TokenKind::Slash,
+                TokenKind::Star,
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_functions_and_strings() {
+        assert_eq!(
+            kinds("text() = \"GOOG\""),
+            vec![TokenKind::TextFn, TokenKind::Eq, TokenKind::Str("GOOG".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("label() = stock"),
+            vec![
+                TokenKind::LabelFn,
+                TokenKind::Eq,
+                TokenKind::Name("stock".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn name_text_without_parens_is_a_name() {
+        assert_eq!(kinds("text"), vec![TokenKind::Name("text".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_boolean_operators_ascii_and_unicode() {
+        assert_eq!(
+            kinds("a and b or not c"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::And,
+                TokenKind::Name("b".into()),
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Name("c".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("a ∧ b ∨ ¬c && d || !e"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::And,
+                TokenKind::Name("b".into()),
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Name("c".into()),
+                TokenKind::And,
+                TokenKind::Name("d".into()),
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Name("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quotes_work() {
+        assert_eq!(kinds("'x y'"), vec![TokenKind::Str("x y".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a % b").unwrap_err();
+        assert_eq!(err.at, 2);
+        let err = tokenize("\"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn hyphenated_names() {
+        assert_eq!(
+            kinds("open-auction"),
+            vec![TokenKind::Name("open-auction".into()), TokenKind::Eof]
+        );
+    }
+}

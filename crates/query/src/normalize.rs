@@ -1,0 +1,235 @@
+//! Normalization of XBL queries (paper, Section 2.2).
+//!
+//! Every path is rewritten to the normal form `β1/…/βn` where each `βi`
+//! is one of `ε`, `*`, `//`, or `ε[q']`:
+//!
+//! ```text
+//! normalize(A)            = */ε[label() = A]
+//! normalize(p1/p2)        = normalize(p1)/normalize(p2)
+//! normalize(p[q'])        = normalize(p)/ε[normalize(q')]
+//! normalize(p/text()=s)   = normalize(p)[text() = s]
+//! normalize(ε[q1]/…/ε[qn]) = ε[q1 ∧ … ∧ qn]     (ε-merge rule)
+//! ```
+//!
+//! Boolean connectives are normalized structurally. The ε-merge rule keeps
+//! the sub-query list tight: consecutive qualifiers collapse into one
+//! conjunction.
+
+use crate::ast::{Path, Query, Step};
+
+/// A query in normal form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NQuery {
+    /// `ε` — trivially true at any node.
+    True,
+    /// `label() = A`.
+    LabelIs(String),
+    /// `text() = s`.
+    TextIs(String),
+    /// A normalized path `β1/…/βn` (never empty; an empty path normalizes
+    /// to [`NQuery::True`]).
+    Path(Vec<NStep>),
+    /// `¬ q`.
+    Not(Box<NQuery>),
+    /// `q ∧ q`.
+    And(Box<NQuery>, Box<NQuery>),
+    /// `q ∨ q`.
+    Or(Box<NQuery>, Box<NQuery>),
+}
+
+/// A normalized path step `β`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NStep {
+    /// `*` — any child.
+    Wildcard,
+    /// `//` — descendant-or-self.
+    DescOrSelf,
+    /// `ε[q]` — qualifier at the current node.
+    Qual(Box<NQuery>),
+}
+
+/// Normalizes a query. Runs in `O(|q|)` time (each AST node is visited
+/// once; the ε-merge touches each produced step once).
+pub fn normalize(q: &Query) -> NQuery {
+    match q {
+        Query::Path(p) => steps_to_nquery(normalize_path(p, None)),
+        Query::TextEq(p, s) => {
+            let steps = normalize_path(p, Some(NQuery::TextIs(s.clone())));
+            steps_to_nquery(steps)
+        }
+        Query::LabelEq(a) => NQuery::LabelIs(a.clone()),
+        Query::Not(inner) => NQuery::Not(Box::new(normalize(inner))),
+        Query::And(a, b) => NQuery::And(Box::new(normalize(a)), Box::new(normalize(b))),
+        Query::Or(a, b) => NQuery::Or(Box::new(normalize(a)), Box::new(normalize(b))),
+    }
+}
+
+fn steps_to_nquery(steps: Vec<NStep>) -> NQuery {
+    if steps.is_empty() {
+        NQuery::True
+    } else if steps.len() == 1 {
+        // A path consisting of a single qualifier ε[q] is just q.
+        if let NStep::Qual(q) = &steps[0] {
+            (**q).clone()
+        } else {
+            NQuery::Path(steps)
+        }
+    } else {
+        NQuery::Path(steps)
+    }
+}
+
+/// Normalizes the steps of a path; `final_qual` (used for `text() = s`)
+/// is appended as a last qualifier, merging with a trailing qualifier if
+/// one exists.
+fn normalize_path(p: &Path, final_qual: Option<NQuery>) -> Vec<NStep> {
+    let mut out: Vec<NStep> = Vec::with_capacity(p.steps.len() + 1);
+    for step in &p.steps {
+        match step {
+            Step::SelfStep => {} // ε is the identity on paths
+            Step::Wildcard => out.push(NStep::Wildcard),
+            Step::DescOrSelf => out.push(NStep::DescOrSelf),
+            Step::Label(a) => {
+                out.push(NStep::Wildcard);
+                push_qual(&mut out, NQuery::LabelIs(a.clone()));
+            }
+            Step::Qualifier(q) => push_qual(&mut out, normalize(q)),
+        }
+    }
+    if let Some(q) = final_qual {
+        push_qual(&mut out, q);
+    }
+    out
+}
+
+/// Appends `ε[q]`, applying the ε-merge rule when the previous step is
+/// already a qualifier.
+fn push_qual(steps: &mut Vec<NStep>, q: NQuery) {
+    if let Some(NStep::Qual(prev)) = steps.last_mut() {
+        let merged = NQuery::And(prev.clone(), Box::new(q));
+        **prev = merged;
+    } else {
+        steps.push(NStep::Qual(Box::new(q)));
+    }
+}
+
+impl std::fmt::Display for NQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NQuery::True => write!(f, "ε"),
+            NQuery::LabelIs(a) => write!(f, "label() = {a}"),
+            NQuery::TextIs(s) => write!(f, "text() = \"{s}\""),
+            NQuery::Path(steps) => {
+                let mut first = true;
+                for s in steps {
+                    if !first {
+                        write!(f, "/")?;
+                    }
+                    match s {
+                        NStep::Wildcard => write!(f, "*")?,
+                        NStep::DescOrSelf => write!(f, "ε//ε")?,
+                        NStep::Qual(q) => write!(f, "ε[{q}]")?,
+                    }
+                    first = false;
+                }
+                Ok(())
+            }
+            NQuery::Not(q) => write!(f, "¬({q})"),
+            NQuery::And(a, b) => write!(f, "({a} ∧ {b})"),
+            NQuery::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn norm(src: &str) -> NQuery {
+        normalize(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn label_step_desugars_to_wildcard_plus_qualifier() {
+        let n = norm("[A]");
+        let NQuery::Path(steps) = n else { panic!("expected path, got {n}") };
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0], NStep::Wildcard);
+        assert!(
+            matches!(&steps[1], NStep::Qual(q) if **q == NQuery::LabelIs("A".into()))
+        );
+    }
+
+    #[test]
+    fn example_2_1_shape() {
+        // q = //stock[code/text() = "yhoo"]
+        // normalize = ε[//ε[label()=stock ∧ */ε[label()=code ∧ text()="yhoo"]]]
+        let n = norm("[//stock[code/text() = \"yhoo\"]]");
+        let NQuery::Path(steps) = &n else { panic!("expected path, got {n}") };
+        // Leading //, then wildcard (from `stock`), then one merged qualifier.
+        assert_eq!(steps[0], NStep::DescOrSelf);
+        assert_eq!(steps[1], NStep::Wildcard);
+        let NStep::Qual(q) = &steps[2] else { panic!("expected qualifier") };
+        // Merged: label()=stock ∧ (inner path)
+        let NQuery::And(l, r) = &**q else { panic!("expected ∧, got {q}") };
+        assert_eq!(**l, NQuery::LabelIs("stock".into()));
+        let NQuery::Path(inner) = &**r else { panic!("expected inner path") };
+        assert_eq!(inner[0], NStep::Wildcard);
+        let NStep::Qual(iq) = &inner[1] else { panic!() };
+        let NQuery::And(il, ir) = &**iq else { panic!("expected merged ∧") };
+        assert_eq!(**il, NQuery::LabelIs("code".into()));
+        assert_eq!(**ir, NQuery::TextIs("yhoo".into()));
+    }
+
+    #[test]
+    fn self_steps_vanish() {
+        assert_eq!(norm("[./././a]"), norm("[a]"));
+        assert_eq!(norm("[.]"), NQuery::True);
+    }
+
+    #[test]
+    fn consecutive_qualifiers_merge() {
+        let n = norm("[a[//b][//c]]");
+        let NQuery::Path(steps) = &n else { panic!() };
+        // */ε[label=a ∧ (//b ∧ //c)] — one qualifier step after the wildcard.
+        assert_eq!(steps.len(), 2);
+        let NStep::Qual(q) = &steps[1] else { panic!() };
+        // label=a merged with b-qual merged with c-qual.
+        let s = q.to_string();
+        assert!(s.contains("label() = a"));
+        assert!(s.matches('∧').count() >= 2, "{s}");
+    }
+
+    #[test]
+    fn text_eq_appends_qualifier() {
+        let n = norm("[code/text() = \"GOOG\"]");
+        let NQuery::Path(steps) = &n else { panic!() };
+        assert_eq!(steps[0], NStep::Wildcard);
+        let NStep::Qual(q) = &steps[1] else { panic!() };
+        let NQuery::And(l, r) = &**q else { panic!("expected label ∧ text merge") };
+        assert_eq!(**l, NQuery::LabelIs("code".into()));
+        assert_eq!(**r, NQuery::TextIs("GOOG".into()));
+    }
+
+    #[test]
+    fn bare_text_eq_is_textis() {
+        assert_eq!(norm("[text() = \"x\"]"), NQuery::TextIs("x".into()));
+    }
+
+    #[test]
+    fn booleans_normalize_structurally() {
+        let n = norm("[//a and not(//b or label() = c)]");
+        let NQuery::And(_, r) = &n else { panic!() };
+        let NQuery::Not(inner) = &**r else { panic!() };
+        assert!(matches!(&**inner, NQuery::Or(_, _)));
+    }
+
+    #[test]
+    fn single_qualifier_path_unwraps() {
+        // Path `.[//a]` is just the qualifier query.
+        let a = norm("[.[//a]]");
+        let b = norm("[//a]");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,395 @@
+//! Recursive-descent parser for the XBL concrete syntax.
+//!
+//! Grammar (precedence low→high: `or`, `and`, `not`):
+//!
+//! ```text
+//! query   := '[' or ']' | or          -- outer brackets optional
+//! or      := and ( 'or' and )*
+//! and     := unary ( 'and' unary )*
+//! unary   := 'not' unary | primary
+//! primary := '(' or ')'
+//!          | 'label()' '=' (name | string)
+//!          | 'text()' '=' string                      -- ε path
+//!          | path ( '=' string )?                     -- trailing text eq
+//! path    := ('//' | '/')? step ( ('/' | '//') step )*
+//! step    := (name | '*' | '.' | 'text()') ('[' or ']')*
+//! ```
+//!
+//! A trailing `= "str"` after a path is sugar for `path/text() = "str"`,
+//! matching the paper's `[/portofolio/broker/name = "Merill Lynch"]`.
+
+use crate::ast::{Path, Query, Step};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse error for XBL queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, at: e.at }
+    }
+}
+
+/// Parses an XBL query from its concrete syntax.
+///
+/// ```
+/// use parbox_query::parse_query;
+/// let q = parse_query("[//stock[code/text() = \"GOOG\"] and not(//error)]").unwrap();
+/// assert!(q.size() > 4);
+/// ```
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let bracketed = p.eat(&TokenKind::LBracket);
+    let q = p.parse_or()?;
+    if bracketed {
+        p.expect(TokenKind::RBracket)?;
+    }
+    p.expect(TokenKind::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.tokens[self.pos].at
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected {kind}, found {}", self.peek()),
+                at: self.at(),
+            })
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Query, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Query, ParseError> {
+        let mut left = self.parse_unary()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.parse_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Query, ParseError> {
+        if self.eat(&TokenKind::Not) {
+            // Allow both `not(q)` and `not q`; `(q)` parses as primary.
+            let inner = self.parse_unary()?;
+            return Ok(inner.not());
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Query, ParseError> {
+        match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+                let q = self.parse_or()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(q)
+            }
+            TokenKind::LabelFn => {
+                self.bump();
+                self.expect(TokenKind::Eq)?;
+                match self.bump() {
+                    TokenKind::Name(n) => Ok(Query::LabelEq(n)),
+                    TokenKind::Str(s) => Ok(Query::LabelEq(s)),
+                    other => Err(ParseError {
+                        message: format!("expected a label after 'label() =', found {other}"),
+                        at: self.at(),
+                    }),
+                }
+            }
+            TokenKind::TextFn => {
+                self.bump();
+                self.expect(TokenKind::Eq)?;
+                let s = self.expect_string()?;
+                Ok(Query::TextEq(Path::empty(), s))
+            }
+            _ => self.parse_path_query(),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Str(s) => Ok(s),
+            other => Err(ParseError {
+                message: format!("expected a string literal, found {other}"),
+                at: self.at(),
+            }),
+        }
+    }
+
+    /// Parses a path and optional trailing text comparison.
+    fn parse_path_query(&mut self) -> Result<Query, ParseError> {
+        let (path, text_fn) = self.parse_path()?;
+        if text_fn {
+            // `p/text()` must be compared.
+            self.expect(TokenKind::Eq)?;
+            let s = self.expect_string()?;
+            return Ok(Query::TextEq(path, s));
+        }
+        if self.eat(&TokenKind::Eq) {
+            let s = self.expect_string()?;
+            return Ok(Query::TextEq(path, s));
+        }
+        Ok(Query::Path(path))
+    }
+
+    /// Parses a path. Returns `(path, true)` when the path ended with a
+    /// `text()` pseudo-step (which demands a comparison).
+    fn parse_path(&mut self) -> Result<(Path, bool), ParseError> {
+        let mut steps: Vec<Step> = Vec::new();
+
+        // Leading axis. `//` is descendant-or-self. A leading `/` anchors
+        // the path at the document root: `/portofolio/broker` requires the
+        // root *element* to be labelled `portofolio` (absolute-path XPath
+        // semantics), so the first label step becomes a self test.
+        let mut rooted = false;
+        if self.eat(&TokenKind::DoubleSlash) {
+            steps.push(Step::DescOrSelf);
+        } else if self.eat(&TokenKind::Slash) {
+            rooted = true;
+        }
+
+        let mut first = true;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Name(n) => {
+                    self.bump();
+                    if rooted && first {
+                        steps.push(Step::SelfStep);
+                        steps.push(Step::Qualifier(Box::new(Query::LabelEq(n))));
+                    } else {
+                        steps.push(Step::Label(n));
+                    }
+                }
+                TokenKind::Star => {
+                    self.bump();
+                    steps.push(Step::Wildcard);
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    steps.push(Step::SelfStep);
+                }
+                TokenKind::TextFn => {
+                    self.bump();
+                    return Ok((Path { steps }, true));
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("expected a path step, found {other}"),
+                        at: self.at(),
+                    })
+                }
+            }
+            first = false;
+            // Qualifiers attach to the step just parsed.
+            while self.peek() == &TokenKind::LBracket {
+                self.bump();
+                let q = self.parse_or()?;
+                self.expect(TokenKind::RBracket)?;
+                steps.push(Step::Qualifier(Box::new(q)));
+            }
+            // Separator or end of path.
+            if self.eat(&TokenKind::DoubleSlash) {
+                steps.push(Step::DescOrSelf);
+            } else if !self.eat(&TokenKind::Slash) {
+                break;
+            }
+        }
+        Ok((Path { steps }, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Query, Step};
+
+    #[test]
+    fn parses_simple_descendant() {
+        let q = parse_query("[//A]").unwrap();
+        match q {
+            Query::Path(p) => {
+                assert_eq!(p.steps, vec![Step::DescOrSelf, Step::Label("A".into())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outer_brackets_are_optional() {
+        assert_eq!(parse_query("//A").unwrap(), parse_query("[//A]").unwrap());
+    }
+
+    #[test]
+    fn parses_paper_intro_query() {
+        // Q = [//A ∧ //B]
+        let q = parse_query("[//A ∧ //B]").unwrap();
+        assert!(matches!(q, Query::And(_, _)));
+    }
+
+    #[test]
+    fn parses_paper_stock_query() {
+        let q =
+            parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap();
+        let Query::Path(p) = q else { panic!("expected path") };
+        assert!(matches!(p.steps.last(), Some(Step::Qualifier(_))));
+    }
+
+    #[test]
+    fn parses_paper_broker_query() {
+        // [//broker[//stock/code/text()="goog" ∧ ¬(//stock/code/text()="yhoo")]]
+        let q = parse_query(
+            "[//broker[//stock/code/text() = \"goog\" ∧ ¬(//stock/code/text() = \"yhoo\")]]",
+        )
+        .unwrap();
+        assert!(q.size() > 8);
+    }
+
+    #[test]
+    fn trailing_eq_is_text_sugar() {
+        let a = parse_query("[/portofolio/broker/name = \"Merill Lynch\"]").unwrap();
+        let b = parse_query("[/portofolio/broker/name/text() = \"Merill Lynch\"]").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bare_text_comparison() {
+        let q = parse_query("[text() = \"x\"]").unwrap();
+        assert_eq!(q, Query::TextEq(crate::ast::Path::empty(), "x".into()));
+    }
+
+    #[test]
+    fn label_comparison_forms() {
+        assert_eq!(parse_query("[label() = stock]").unwrap(), Query::LabelEq("stock".into()));
+        assert_eq!(parse_query("[label() = \"stock\"]").unwrap(), Query::LabelEq("stock".into()));
+    }
+
+    #[test]
+    fn precedence_or_lower_than_and() {
+        let q = parse_query("[//a or //b and //c]").unwrap();
+        // Must parse as a or (b and c).
+        let Query::Or(_, rhs) = q else { panic!("expected Or at top") };
+        assert!(matches!(*rhs, Query::And(_, _)));
+    }
+
+    #[test]
+    fn double_slash_inside_path() {
+        let q = parse_query("[a//b]").unwrap();
+        let Query::Path(p) = q else { panic!() };
+        assert_eq!(
+            p.steps,
+            vec![Step::Label("a".into()), Step::DescOrSelf, Step::Label("b".into())]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_dot_steps() {
+        let q = parse_query("[*/./x]").unwrap();
+        let Query::Path(p) = q else { panic!() };
+        assert_eq!(
+            p.steps,
+            vec![Step::Wildcard, Step::SelfStep, Step::Label("x".into())]
+        );
+    }
+
+    #[test]
+    fn multiple_qualifiers_stack() {
+        let q = parse_query("[a[//b][//c]]").unwrap();
+        let Query::Path(p) = q else { panic!() };
+        assert_eq!(p.steps.len(), 3);
+        assert!(matches!(p.steps[1], Step::Qualifier(_)));
+        assert!(matches!(p.steps[2], Step::Qualifier(_)));
+    }
+
+    #[test]
+    fn not_without_parens() {
+        let q = parse_query("[not //a]").unwrap();
+        assert!(matches!(q, Query::Not(_)));
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let err = parse_query("[//a or ]").unwrap_err();
+        assert!(err.message.contains("expected a path step"));
+        let err = parse_query("[label() = ]").unwrap_err();
+        assert!(err.message.contains("label"));
+        let err = parse_query("[//a").unwrap_err();
+        assert!(err.message.contains("']'"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "[//stock[code/text() = \"GOOG\"]]",
+            "[(//a and //b) or not(//c)]",
+            "[label() = portfolio and //broker/name = \"Bache\"]",
+        ] {
+            let q = parse_query(src).unwrap();
+            let printed = format!("[{q}]");
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q, q2, "round-trip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn text_mid_path_requires_comparison() {
+        assert!(parse_query("[a/text()]").is_err());
+    }
+}

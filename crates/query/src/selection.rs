@@ -1,0 +1,264 @@
+//! Compilation of *data-selection* XPath queries.
+//!
+//! The paper's conclusions describe an extension of ParBoX from Boolean
+//! to data-selection queries — queries returning the set of nodes
+//! reached via a path, "with the performance guarantee that each site is
+//! visited at most twice". This module provides the compile-time side:
+//! a normalized path is turned into a [`SelectionProgram`], a small
+//! automaton whose states are positions in the normalized step list
+//! `β1/…/βk`, with qualifiers delegated to an ordinary compiled
+//! [`CompiledQuery`] (so the Boolean machinery is reused wholesale).
+//!
+//! State `i` at node `v` means "β1…βi matched along the path from the
+//! context root to `v`". Transitions:
+//!
+//! * `βi+1 = ε[q]` — ε-transition at `v` when `q` holds at `v`;
+//! * `βi+1 = *`    — edge transition: `i+1` at every child;
+//! * `βi+1 = //`   — ε-transition to `i+1` at `v` (zero descent) *and*
+//!   `i` propagates to every child (keep descending).
+//!
+//! A node is selected when the final state `k` is active. State sets are
+//! packed into a `u64`, so paths of up to 63 steps are supported — far
+//! beyond any practical query.
+
+use crate::compile::{CompiledQuery, SubId, SubQuery};
+use crate::normalize::{normalize, NQuery, NStep};
+use crate::Query;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One automaton step of a selection program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelStep {
+    /// `*` — consume one child edge.
+    Child,
+    /// `//` — descend any number of edges (including zero).
+    DescOrSelf,
+    /// `ε[q]` — check qualifier `q` (a sub-query of [`SelectionProgram::quals`])
+    /// at the current node.
+    Qual(SubId),
+}
+
+/// A compiled data-selection query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionProgram {
+    /// The automaton steps `β1…βk`.
+    pub steps: Vec<SelStep>,
+    /// Compiled qualifier sub-queries, shared across steps.
+    pub quals: CompiledQuery,
+}
+
+/// Why a query cannot be compiled for selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionError {
+    /// The query is not a path (Boolean connectives select nothing).
+    NotAPath,
+    /// More than 63 steps (the state-set word is a `u64`).
+    TooLong(usize),
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::NotAPath => {
+                write!(f, "selection requires a path query (Boolean combinations select no nodes)")
+            }
+            SelectionError::TooLong(n) => {
+                write!(f, "selection path has {n} steps; at most 63 are supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+impl SelectionProgram {
+    /// Number of automaton steps `k`; the accepting state.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the trivial program selecting only the context root.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Ids (within [`Self::quals`]) whose per-node values the top-down
+    /// pass needs, in step order.
+    pub fn qual_ids(&self) -> Vec<SubId> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                SelStep::Qual(id) => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Compiles a path query (e.g. `//stock[code/text() = "GOOG"]`) into a
+/// selection program.
+///
+/// `TextEq` queries select the nodes whose text matches; `LabelEq` the
+/// context root when its label matches. Boolean combinations are
+/// rejected — they denote truth values, not node sets.
+pub fn compile_selection(q: &Query) -> Result<SelectionProgram, SelectionError> {
+    let n = normalize(q);
+    let steps = match n {
+        NQuery::Path(steps) => steps,
+        // A bare predicate selects the context root iff it holds there.
+        NQuery::True => Vec::new(),
+        q @ (NQuery::LabelIs(_) | NQuery::TextIs(_)) => vec![NStep::Qual(Box::new(q))],
+        NQuery::And(_, _) | NQuery::Or(_, _) | NQuery::Not(_) => {
+            return Err(SelectionError::NotAPath)
+        }
+    };
+    if steps.len() > 63 {
+        return Err(SelectionError::TooLong(steps.len()));
+    }
+    let mut builder = QualBuilder { subs: Vec::new(), memo: HashMap::new() };
+    let steps: Vec<SelStep> = steps
+        .iter()
+        .map(|s| match s {
+            NStep::Wildcard => SelStep::Child,
+            NStep::DescOrSelf => SelStep::DescOrSelf,
+            NStep::Qual(q) => SelStep::Qual(builder.compile(q)),
+        })
+        .collect();
+    Ok(SelectionProgram { steps, quals: builder.finish() })
+}
+
+/// Builds one shared `CompiledQuery` holding every qualifier.
+struct QualBuilder {
+    subs: Vec<SubQuery>,
+    memo: HashMap<SubQuery, SubId>,
+}
+
+impl QualBuilder {
+    fn add(&mut self, s: SubQuery) -> SubId {
+        if let Some(&id) = self.memo.get(&s) {
+            return id;
+        }
+        let id = self.subs.len() as SubId;
+        self.subs.push(s.clone());
+        self.memo.insert(s, id);
+        id
+    }
+
+    fn compile(&mut self, q: &NQuery) -> SubId {
+        match q {
+            NQuery::True => self.add(SubQuery::True),
+            NQuery::LabelIs(a) => self.add(SubQuery::LabelIs(a.clone())),
+            NQuery::TextIs(s) => self.add(SubQuery::TextIs(s.clone())),
+            NQuery::Path(steps) => self.compile_steps(steps),
+            NQuery::Not(x) => {
+                let i = self.compile(x);
+                self.add(SubQuery::Not(i))
+            }
+            NQuery::And(a, b) => {
+                let x = self.compile(a);
+                let y = self.compile(b);
+                self.add(SubQuery::And(x, y))
+            }
+            NQuery::Or(a, b) => {
+                let x = self.compile(a);
+                let y = self.compile(b);
+                self.add(SubQuery::Or(x, y))
+            }
+        }
+    }
+
+    fn compile_steps(&mut self, steps: &[NStep]) -> SubId {
+        match steps.split_first() {
+            None => self.add(SubQuery::True),
+            Some((NStep::Wildcard, rest)) => {
+                let r = self.compile_steps(rest);
+                self.add(SubQuery::Child(r))
+            }
+            Some((NStep::DescOrSelf, rest)) => {
+                let r = self.compile_steps(rest);
+                self.add(SubQuery::Desc(r))
+            }
+            Some((NStep::Qual(q), rest)) => {
+                let x = self.compile(q);
+                if rest.is_empty() {
+                    x
+                } else {
+                    let r = self.compile_steps(rest);
+                    self.add(SubQuery::And(x, r))
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> CompiledQuery {
+        // A program must never be empty: anchor with ε so `resolve` and
+        // the evaluators have a well-formed root.
+        if self.subs.is_empty() {
+            self.add(SubQuery::True);
+        }
+        let root = (self.subs.len() - 1) as SubId;
+        CompiledQuery::from_parts(self.subs, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn sel(src: &str) -> SelectionProgram {
+        compile_selection(&parse_query(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn descendant_label_path() {
+        let p = sel("[//stock]");
+        // //, *, ε[label()=stock]
+        assert_eq!(p.steps.len(), 3);
+        assert!(matches!(p.steps[0], SelStep::DescOrSelf));
+        assert!(matches!(p.steps[1], SelStep::Child));
+        assert!(matches!(p.steps[2], SelStep::Qual(_)));
+        assert!(!p.quals.is_empty());
+    }
+
+    #[test]
+    fn qualifiers_share_the_qual_program() {
+        let p = sel("[//stock[code/text() = \"GOOG\"]]");
+        // label()=stock merged with the code qualifier into one ∧.
+        let ids = p.qual_ids();
+        assert_eq!(ids.len(), 1);
+        assert!(p.quals.len() >= 5);
+    }
+
+    #[test]
+    fn boolean_queries_are_rejected() {
+        let q = parse_query("[//a and //b]").unwrap();
+        assert_eq!(compile_selection(&q), Err(SelectionError::NotAPath));
+        let q = parse_query("[not //a]").unwrap();
+        assert_eq!(compile_selection(&q), Err(SelectionError::NotAPath));
+    }
+
+    #[test]
+    fn trivial_and_predicate_selections() {
+        let p = sel("[.]");
+        assert!(p.is_empty(), "ε selects just the root");
+        let p = sel("[label() = a]");
+        assert_eq!(p.steps.len(), 1);
+        assert!(matches!(p.steps[0], SelStep::Qual(_)));
+    }
+
+    #[test]
+    fn text_eq_becomes_final_qualifier() {
+        let p = sel("[//code/text() = \"GOOG\"]");
+        assert!(matches!(p.steps.last(), Some(SelStep::Qual(_))));
+    }
+
+    #[test]
+    fn too_long_paths_rejected() {
+        let long = format!("[{}]", vec!["a"; 40].join("/"));
+        // 40 labels → 80 steps (wildcard + qualifier each).
+        let q = parse_query(&long).unwrap();
+        assert!(matches!(compile_selection(&q), Err(SelectionError::TooLong(_))));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the query pipeline: printing and re-parsing
+//! is the identity, normalization is stable, and compilation maintains
+//! its structural invariants on arbitrary queries.
+
+use parbox_query::{compile, compile_selection, normalize, parse_query, Path, Query, Step};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "eps"];
+const TEXTS: [&str; 3] = ["one", "two words", "GOOG"];
+
+fn step_strategy(inner: BoxedStrategy<Query>) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..LABELS.len()).prop_map(|i| Step::Label(LABELS[i].to_string())),
+        1 => Just(Step::Wildcard),
+        1 => Just(Step::SelfStep),
+        1 => Just(Step::DescOrSelf),
+        1 => inner.prop_map(|q| Step::Qualifier(Box::new(q))),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![
+        (0..LABELS.len()).prop_map(|i| Query::LabelEq(LABELS[i].to_string())),
+        (0..LABELS.len(), 0..TEXTS.len()).prop_map(|(i, t)| Query::TextEq(
+            Path::empty().desc().child(LABELS[i]),
+            TEXTS[t].to_string(),
+        )),
+        (0..LABELS.len()).prop_map(|i| Query::Path(Path::empty().desc().child(LABELS[i]))),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        let steps = proptest::collection::vec(step_strategy(inner.clone().boxed()), 1..5);
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Query::not),
+            steps.prop_map(|s| {
+                // Paths must not begin with a bare qualifier (printing
+                // `[q]` with no preceding step is not re-parseable) —
+                // anchor with a self step.
+                let mut steps = s;
+                if matches!(steps.first(), Some(Step::Qualifier(_))) {
+                    steps.insert(0, Step::SelfStep);
+                }
+                Query::Path(Path { steps })
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_preserves_meaning(q in query_strategy()) {
+        // Printing may add explicit `.` anchors (e.g. a qualifier right
+        // after `//`), so the round-trip guarantee is semantic: the
+        // re-parsed query normalizes identically, and printing is a
+        // fixpoint after one round.
+        let printed = format!("[{q}]");
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("cannot re-parse {printed}: {e}"));
+        prop_assert_eq!(normalize(&reparsed), normalize(&q), "printed: {}", printed);
+        prop_assert_eq!(format!("[{reparsed}]"), printed);
+        prop_assert_eq!(compile(&reparsed), compile(&q));
+    }
+
+    #[test]
+    fn normalization_is_stable_under_print_parse(q in query_strategy()) {
+        let printed = format!("[{q}]");
+        let reparsed = parse_query(&printed).unwrap();
+        prop_assert_eq!(normalize(&q), normalize(&reparsed));
+    }
+
+    #[test]
+    fn compiled_program_is_topological_and_linear(q in query_strategy()) {
+        let c = compile(&q);
+        prop_assert!(!c.is_empty());
+        prop_assert!((c.root() as usize) < c.len());
+        for (i, s) in c.subs().iter().enumerate() {
+            for op in s.operands() {
+                prop_assert!((op as usize) < i, "operand order violated at q{}", i + 1);
+            }
+        }
+        // O(|q|): every AST node contributes at most 3 distinct sub-queries.
+        prop_assert!(c.len() <= 3 * q.size() + 1, "|QList| {} vs |q| {}", c.len(), q.size());
+    }
+
+    #[test]
+    fn hash_consing_never_duplicates(q in query_strategy()) {
+        let c = compile(&q);
+        let mut seen = std::collections::HashSet::new();
+        for s in c.subs() {
+            prop_assert!(seen.insert(s.clone()), "duplicate sub-query {s:?}");
+        }
+    }
+
+    #[test]
+    fn self_conjunction_adds_exactly_one_op(q in query_strategy()) {
+        // compile(q ∧ q) = compile(q) + the single ∧ op (hash-consing).
+        let single = compile(&q);
+        let double = compile(&q.clone().and(q));
+        prop_assert_eq!(double.len(), single.len() + 1);
+    }
+
+    #[test]
+    fn selection_compiles_for_all_path_queries(q in query_strategy()) {
+        // compile_selection accepts exactly non-Boolean shapes.
+        let is_boolean = matches!(q, Query::And(_, _) | Query::Or(_, _) | Query::Not(_));
+        match compile_selection(&q) {
+            Ok(program) => {
+                prop_assert!(!is_boolean);
+                // Every qualifier id indexes into the shared program.
+                for id in program.qual_ids() {
+                    prop_assert!((id as usize) < program.quals.len());
+                }
+            }
+            Err(parbox_query::SelectionError::NotAPath) => {
+                // Either a Boolean AST shape, or a path that normalizes to
+                // a Boolean (e.g. `.[a and b]` is just `a ∧ b`).
+                let n = normalize(&q);
+                prop_assert!(
+                    is_boolean
+                        || matches!(
+                            n,
+                            parbox_query::NQuery::And(_, _)
+                                | parbox_query::NQuery::Or(_, _)
+                                | parbox_query::NQuery::Not(_)
+                        ),
+                    "rejected non-Boolean {q}"
+                );
+            }
+            Err(parbox_query::SelectionError::TooLong(_)) => {}
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # parbox-xmark
+//!
+//! Synthetic workloads for the ParBoX experiments (paper, Section 6):
+//!
+//! * [`generate`] — a deterministic XMark-style auction-site document
+//!   generator, sized in bytes (substitution for the closed-source XMark
+//!   `xmlgen`; see DESIGN.md §5);
+//! * [`portfolio`] — the stock-portfolio document of Fig. 1(b);
+//! * [`query_with_qlist`] — XBL queries with an exact `|QList|`, covering
+//!   the paper's sweep sizes {2, 8, 15, 23};
+//! * [`plant_marker`] / [`marker_query`] — per-fragment satisfaction
+//!   targets for the `qF0` / `qFn` / `qF⌈n/2⌉` experiments.
+
+mod gen;
+mod portfolio;
+mod queries;
+
+pub use gen::{generate, marker_query, plant_marker, XmarkConfig};
+pub use portfolio::{add_stock, portfolio, PortfolioConfig, BROKERS, CODES, MARKETS};
+pub use queries::{query_with_qlist, standard_sweep, XMARK_VOCAB};

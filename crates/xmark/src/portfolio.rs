@@ -1,0 +1,150 @@
+//! Generator for the paper's running example: the stock portfolio of
+//! Fig. 1(b) — brokers trading stocks in possibly overlapping markets,
+//! each stock with a code, a buy price and a sell price.
+
+use parbox_xml::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`portfolio`].
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioConfig {
+    /// Number of brokers.
+    pub brokers: usize,
+    /// Markets per broker.
+    pub markets_per_broker: usize,
+    /// Stocks per market.
+    pub stocks_per_market: usize,
+    /// RNG seed (prices are random; codes cycle deterministically).
+    pub seed: u64,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig { brokers: 2, markets_per_broker: 2, stocks_per_market: 3, seed: 1 }
+    }
+}
+
+/// Broker names used round-robin (the paper's Merill Lynch and Bache
+/// first).
+pub const BROKERS: [&str; 5] = ["Merill Lynch", "Bache", "Vanguard", "Nomura", "Baring"];
+/// Market names used round-robin.
+pub const MARKETS: [&str; 4] = ["NASDAQ", "NYSE", "LSE", "TSE"];
+/// Stock ticker codes used round-robin (the paper's tickers first).
+pub const CODES: [&str; 8] = ["GOOG", "YHOO", "IBM", "AAPL", "HPQ", "MSFT", "ORCL", "TSLA"];
+
+/// Generates a `portofolio` document (the paper's spelling) shaped like
+/// Fig. 1(b).
+pub fn portfolio(config: PortfolioConfig) -> Tree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut tree = Tree::new("portofolio");
+    let root = tree.root();
+    let mut code_idx = 0usize;
+    for b in 0..config.brokers {
+        let broker = tree.add_child(root, "broker");
+        tree.add_text_child(broker, "name", BROKERS[b % BROKERS.len()]);
+        for m in 0..config.markets_per_broker {
+            let market = tree.add_child(broker, "market");
+            tree.add_text_child(market, "name", MARKETS[(b + m) % MARKETS.len()]);
+            for _ in 0..config.stocks_per_market {
+                let code = CODES[code_idx % CODES.len()];
+                code_idx += 1;
+                add_stock(&mut tree, market, code, &mut rng);
+            }
+        }
+    }
+    tree
+}
+
+/// Appends one `<stock>` with code, buy and sell prices.
+pub fn add_stock(tree: &mut Tree, market: NodeId, code: &str, rng: &mut StdRng) -> NodeId {
+    let stock = tree.add_child(market, "stock");
+    tree.add_text_child(stock, "code", code);
+    let buy = rng.random_range(30..400);
+    tree.add_text_child(stock, "buy", &buy.to_string());
+    let sell = buy + rng.random_range(0..6) - 2;
+    tree.add_text_child(stock, "sell", &sell.to_string());
+    stock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_query::{compile, parse_query};
+
+    #[test]
+    fn shape_matches_fig_1b() {
+        let t = portfolio(PortfolioConfig::default());
+        assert_eq!(t.label_str(t.root()), "portofolio");
+        let brokers: Vec<_> = t.children(t.root()).collect();
+        assert_eq!(brokers.len(), 2);
+        // Each broker: name + 2 markets.
+        assert_eq!(t.children(brokers[0]).count(), 3);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_queries_run_against_it() {
+        let t = portfolio(PortfolioConfig::default());
+        let q = compile(
+            &parse_query("[//broker[name/text() = \"Merill Lynch\"] and //stock/code = \"GOOG\"]")
+                .unwrap(),
+        );
+        // GOOG is the first ticker, Merill Lynch the first broker.
+        assert!(parbox_core_stub::centralized(&t, &q));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = portfolio(PortfolioConfig::default());
+        let b = portfolio(PortfolioConfig::default());
+        assert!(a.structural_eq(&b));
+    }
+
+    /// Minimal local oracle to avoid a dev-dependency cycle on
+    /// `parbox-core`: counts descendants satisfying simple conditions by
+    /// delegating to the compiled-query semantics via brute force.
+    mod parbox_core_stub {
+        use parbox_query::{CompiledQuery, Op};
+        use parbox_xml::{NodeId, Tree};
+
+        pub fn centralized(tree: &Tree, q: &CompiledQuery) -> bool {
+            let r = q.resolve(tree.labels());
+            eval(tree, tree.root(), &r).0[r.root as usize]
+        }
+
+        // (V, DV) by naive recursion — fine for test-sized trees.
+        fn eval(
+            tree: &Tree,
+            node: NodeId,
+            q: &parbox_query::ResolvedQuery,
+        ) -> (Vec<bool>, Vec<bool>) {
+            let m = q.ops.len();
+            let mut cv = vec![false; m];
+            let mut dv = vec![false; m];
+            for c in tree.children(node) {
+                let (v_w, dv_w) = eval(tree, c, q);
+                for i in 0..m {
+                    cv[i] |= v_w[i];
+                    dv[i] |= dv_w[i];
+                }
+            }
+            let n = tree.node(node);
+            let mut v = vec![false; m];
+            for (i, op) in q.ops.iter().enumerate() {
+                v[i] = match op {
+                    Op::True => true,
+                    Op::LabelIs(l) => Some(n.label) == *l,
+                    Op::TextIs(s) => n.text.as_deref() == Some(s.as_ref()),
+                    Op::Child(j) => cv[*j as usize],
+                    Op::Desc(j) => dv[*j as usize],
+                    Op::Or(a, b) => v[*a as usize] || v[*b as usize],
+                    Op::And(a, b) => v[*a as usize] && v[*b as usize],
+                    Op::Not(a) => !v[*a as usize],
+                };
+                dv[i] |= v[i];
+            }
+            (v, dv)
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! XBL query workload generator.
+//!
+//! The paper's experiments sweep the query size `|QList(q)|` over
+//! {2, 8, 15, 23}. [`query_with_qlist`] builds a query whose compiled
+//! sub-query list has *exactly* a requested size, by composing
+//! conjuncts with known `|QList|` increments over a label vocabulary.
+
+use parbox_query::{compile, CompiledQuery, Path, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default label vocabulary: XMark element names that occur in any
+/// generated document, so structural conjuncts are satisfiable.
+pub const XMARK_VOCAB: [&str; 8] =
+    ["item", "name", "person", "bidder", "price", "quantity", "payment", "category"];
+
+/// Builds a query with `|QList(q)| == target` (`target ≥ 2`) over the
+/// given vocabulary. Deterministic under `seed`.
+///
+/// Construction: a base path conjunct plus extensions with fixed
+/// increments — `∧ //L` adds 4 distinct sub-queries (`label`, `*/·`,
+/// `//·`, `∧`), `∧ L` adds 3, `∧ text()="s"` adds 2 — so any target ≥ 2
+/// is reachable exactly.
+///
+/// ```
+/// use parbox_xmark::query_with_qlist;
+/// for t in [2, 8, 15, 23] {
+///     let (q, compiled) = query_with_qlist(t, 1);
+///     assert_eq!(compiled.len(), t, "query {q}");
+/// }
+/// ```
+pub fn query_with_qlist(target: usize, seed: u64) -> (Query, CompiledQuery) {
+    assert!(target >= 2, "|QList| of any label query is at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fresh = {
+        let mut counter = 0usize;
+        let offset = rng.random_range(0..XMARK_VOCAB.len());
+        move || {
+            let w = XMARK_VOCAB[(offset + counter) % XMARK_VOCAB.len()];
+            counter += 1;
+            // A numbered suffix keeps every conjunct's labels distinct so
+            // hash-consing never shrinks the program below target.
+            format!("{w}{counter}")
+        }
+    };
+
+    // Base: [L] = 2 or [//L] = 3, chosen to make the remainder reachable
+    // with +2/+3/+4 steps (every remainder ≥ 2 is, and 0 trivially).
+    let mut remaining = target;
+    let mut q = if remaining % 2 == 1 {
+        remaining -= 3;
+        Query::Path(Path::empty().desc().child(&fresh()))
+    } else {
+        remaining -= 2;
+        Query::Path(Path::empty().child(&fresh()))
+    };
+    while remaining > 0 {
+        // Prefer structural conjuncts (`∧ L` costs 3, `∧ //L` costs 4):
+        // they keep the query's truth dependent on the whole document, so
+        // lazy/partial evaluation is exercised honestly. The 2-cost
+        // `text() = s` conjunct — whose value is fixed at the context
+        // root — is only used for the unreachable remainders 2 and 5.
+        let step = match remaining % 3 {
+            0 => 3,
+            1 => 4,
+            _ if remaining == 2 => 2,
+            _ if remaining == 5 => 3, // leaves 2 for the text conjunct
+            _ => 4,                   // 8, 11, … → 4 then 4/3s
+        };
+        let conjunct = match step {
+            2 => Query::TextEq(Path::empty(), fresh()),
+            3 => Query::Path(Path::empty().child(&fresh())),
+            _ => Query::Path(Path::empty().desc().child(&fresh())),
+        };
+        q = q.and(conjunct);
+        remaining -= step;
+    }
+    let compiled = compile(&q);
+    debug_assert_eq!(compiled.len(), target, "generator drifted for {q}");
+    (q, compiled)
+}
+
+/// A batch of queries for the paper's standard sweep sizes.
+pub fn standard_sweep(seed: u64) -> Vec<(usize, Query, CompiledQuery)> {
+    [2usize, 8, 15, 23]
+        .into_iter()
+        .map(|t| {
+            let (q, c) = query_with_qlist(t, seed ^ t as u64);
+            (t, q, c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sizes_for_paper_sweep() {
+        for t in [2usize, 8, 15, 23] {
+            let (q, c) = query_with_qlist(t, 99);
+            assert_eq!(c.len(), t, "target {t} produced {} for {q}", c.len());
+        }
+    }
+
+    #[test]
+    fn every_size_up_to_forty_is_exact() {
+        for t in 2..=40usize {
+            let (q, c) = query_with_qlist(t, t as u64);
+            assert_eq!(c.len(), t, "target {t} produced {} for {q}", c.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (a, _) = query_with_qlist(15, 5);
+        let (b, _) = query_with_qlist(15, 5);
+        let (c, _) = query_with_qlist(15, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn standard_sweep_has_four_sizes() {
+        let sweep = standard_sweep(1);
+        let sizes: Vec<usize> = sweep.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(sizes, vec![2, 8, 15, 23]);
+        for (t, _, c) in &sweep {
+            assert_eq!(c.len(), *t);
+        }
+    }
+}

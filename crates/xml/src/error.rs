@@ -1,0 +1,110 @@
+//! Error type for XML parsing and tree manipulation.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating XML trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended before the document was complete.
+    UnexpectedEof {
+        /// Byte offset at which the parser ran out of input.
+        at: usize,
+    },
+    /// A character that is not allowed at this position.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// What the parser expected instead.
+        expected: &'static str,
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+    /// Closing tag does not match the currently open element.
+    MismatchedTag {
+        /// Name of the element that is open.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+        /// Byte offset of the closing tag.
+        at: usize,
+    },
+    /// Content found after the root element was closed.
+    TrailingContent {
+        /// Byte offset of the trailing content.
+        at: usize,
+    },
+    /// The document contains no root element.
+    NoRootElement,
+    /// An unknown entity reference such as `&foo;`.
+    UnknownEntity {
+        /// The entity name without `&` and `;`.
+        name: String,
+        /// Byte offset of the reference.
+        at: usize,
+    },
+    /// A virtual-node reference attribute was malformed.
+    BadVirtualRef {
+        /// The attribute value that failed to parse.
+        value: String,
+        /// Byte offset.
+        at: usize,
+    },
+    /// A structural operation referenced a node that is not in the tree
+    /// (e.g. it was previously removed).
+    StaleNode,
+    /// An operation that requires a non-root node was applied to the root.
+    RootNotAllowed,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { at } => {
+                write!(f, "unexpected end of input at byte {at}")
+            }
+            XmlError::UnexpectedChar { found, expected, at } => {
+                write!(f, "unexpected character {found:?} at byte {at}, expected {expected}")
+            }
+            XmlError::MismatchedTag { open, close, at } => {
+                write!(f, "mismatched closing tag </{close}> for <{open}> at byte {at}")
+            }
+            XmlError::TrailingContent { at } => {
+                write!(f, "trailing content after the root element at byte {at}")
+            }
+            XmlError::NoRootElement => write!(f, "document contains no root element"),
+            XmlError::UnknownEntity { name, at } => {
+                write!(f, "unknown entity reference &{name}; at byte {at}")
+            }
+            XmlError::BadVirtualRef { value, at } => {
+                write!(f, "malformed virtual-node reference {value:?} at byte {at}")
+            }
+            XmlError::StaleNode => write!(f, "operation on a node that is no longer in the tree"),
+            XmlError::RootNotAllowed => {
+                write!(f, "operation cannot be applied to the root node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_human_readable_messages() {
+        let e = XmlError::UnexpectedChar { found: '<', expected: "a tag name", at: 3 };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.to_string().contains("tag name"));
+        let e = XmlError::MismatchedTag { open: "a".into(), close: "b".into(), at: 9 };
+        assert!(e.to_string().contains("</b>"));
+        assert!(e.to_string().contains("<a>"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(XmlError::NoRootElement, XmlError::NoRootElement);
+        assert_ne!(XmlError::NoRootElement, XmlError::StaleNode);
+    }
+}

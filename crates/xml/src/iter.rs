@@ -1,0 +1,142 @@
+//! Traversal iterators over [`Tree`].
+
+use crate::{NodeId, Tree};
+
+/// Preorder (document-order) traversal of a subtree, inclusive of the root.
+pub struct Descendants<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
+        Descendants { tree, stack: vec![start] }
+    }
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children reversed so the leftmost child is visited first.
+        let kids = self.tree.node(id).child_ids();
+        self.stack.extend(kids.iter().rev().copied());
+        Some(id)
+    }
+}
+
+/// Postorder traversal (children before parents) — the order used by the
+/// paper's `bottomUp` evaluation.
+pub struct Postorder<'a> {
+    tree: &'a Tree,
+    // (node, next child index to expand)
+    stack: Vec<(NodeId, usize)>,
+}
+
+impl<'a> Postorder<'a> {
+    pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
+        Postorder { tree, stack: vec![(start, 0)] }
+    }
+}
+
+impl<'a> Iterator for Postorder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let &(id, child_idx) = self.stack.last()?;
+            let kids = self.tree.node(id).child_ids();
+            if child_idx < kids.len() {
+                let child = kids[child_idx];
+                self.stack.last_mut().expect("nonempty").1 += 1;
+                self.stack.push((child, 0));
+            } else {
+                self.stack.pop();
+                return Some(id);
+            }
+        }
+    }
+}
+
+/// Proper ancestors of a node, nearest first.
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    cur: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
+        Ancestors { tree, cur: tree.node(start).parent() }
+    }
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = self.tree.node(id).parent();
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tree;
+
+    fn sample() -> Tree {
+        // r -> (a -> (c, d), b)
+        let mut t = Tree::new("r");
+        let r = t.root();
+        let a = t.add_child(r, "a");
+        t.add_child(r, "b");
+        t.add_child(a, "c");
+        t.add_child(a, "d");
+        t
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let t = sample();
+        let labels: Vec<_> =
+            t.descendants(t.root()).map(|n| t.label_str(n).to_string()).collect();
+        assert_eq!(labels, vec!["r", "a", "c", "d", "b"]);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let t = sample();
+        let labels: Vec<_> =
+            t.postorder(t.root()).map(|n| t.label_str(n).to_string()).collect();
+        assert_eq!(labels, vec!["c", "d", "a", "b", "r"]);
+    }
+
+    #[test]
+    fn postorder_on_leaf_is_singleton() {
+        let t = sample();
+        let b = t.children(t.root()).nth(1).unwrap();
+        let got: Vec<_> = t.postorder(b).collect();
+        assert_eq!(got, vec![b]);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let t = sample();
+        let a = t.children(t.root()).next().unwrap();
+        let c = t.children(a).next().unwrap();
+        let names: Vec<_> = t.ancestors(c).map(|n| t.label_str(n).to_string()).collect();
+        assert_eq!(names, vec!["a", "r"]);
+        assert_eq!(t.ancestors(t.root()).count(), 0);
+    }
+
+    #[test]
+    fn traversals_agree_on_count() {
+        let t = sample();
+        assert_eq!(
+            t.descendants(t.root()).count(),
+            t.postorder(t.root()).count()
+        );
+        assert_eq!(t.descendants(t.root()).count(), t.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Label (tag-name) interning.
+//!
+//! XML documents use a small vocabulary of element names, so every tree
+//! interns its labels into a [`LabelTable`] and nodes store a compact
+//! [`LabelId`]. Query evaluation resolves each query label to a `LabelId`
+//! once per tree and then compares integers in the hot loop instead of
+//! strings (see the centralized evaluator in `parbox-core`).
+
+use std::collections::HashMap;
+
+/// Compact identifier of an interned label within one [`LabelTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner mapping label strings to dense [`LabelId`]s.
+///
+/// Deliberately per-tree rather than global: fragments are shipped between
+/// (simulated) sites, and a per-tree table keeps trees self-contained and
+/// serializable without shared state.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, LabelId>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a label id without interning.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the string for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("stock");
+        let b = t.intern("stock");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut t = LabelTable::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        assert_eq!(ids[0].index(), 0);
+        assert_eq!(ids[1].index(), 1);
+        assert_eq!(ids[2].index(), 2);
+        assert_eq!(t.resolve(ids[1]), "b");
+        assert_eq!(t.lookup("c"), Some(ids[2]));
+        assert_eq!(t.lookup("zzz"), None);
+    }
+
+    #[test]
+    fn iter_returns_interning_order() {
+        let mut t = LabelTable::new();
+        t.intern("x");
+        t.intern("y");
+        let got: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(got, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = LabelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # parbox-xml
+//!
+//! Arena-based XML tree storage for the ParBoX distributed XPath engine.
+//!
+//! This crate provides the data-model substrate assumed by the paper
+//! *Using Partial Evaluation in Distributed Query Evaluation* (VLDB 2006):
+//! an ordered, labelled tree in which each node carries a tag (label), an
+//! optional text value, and optional attributes. A node may also be
+//! **virtual**: a leaf that stands for the root of a *sub-fragment* stored
+//! elsewhere (Section 2.1 of the paper).
+//!
+//! The model intentionally follows the paper rather than the full XML
+//! infoset: the direct character data of an element is attached to the
+//! element node itself (`Node::text`), which is exactly what the XBL
+//! predicate `p/text() = "str"` inspects.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use parbox_xml::Tree;
+//!
+//! let tree = Tree::parse("<a><b>hi</b><c/></a>").unwrap();
+//! let root = tree.root();
+//! assert_eq!(tree.label_str(root), "a");
+//! assert_eq!(tree.children(root).count(), 2);
+//! let b = tree.children(root).next().unwrap();
+//! assert_eq!(tree.node(b).text.as_deref(), Some("hi"));
+//! ```
+
+mod error;
+mod label;
+mod node;
+mod parser;
+mod tree;
+mod writer;
+
+pub mod iter;
+
+pub use error::XmlError;
+pub use label::{LabelId, LabelTable};
+pub use node::{Node, NodeId, NodeKind};
+pub use parser::{parse_str, ParseOptions};
+pub use tree::Tree;
+pub use writer::{write_tree, WriteOptions};
+
+/// Identifier of a fragment, used by virtual nodes to reference the
+/// sub-fragment they stand for. Defined here (rather than in `parbox-frag`)
+/// because virtual nodes live inside trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FragmentId(pub u32);
+
+impl FragmentId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}

@@ -1,0 +1,154 @@
+//! Node representation for the arena tree.
+
+use crate::{FragmentId, LabelId};
+
+/// Index of a node inside a [`crate::Tree`] arena.
+///
+/// Node ids are stable for the lifetime of a node: removing a subtree marks
+/// its slots free but never shifts other nodes. Ids of removed nodes must
+/// not be used again by callers (the tree debug-asserts liveness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw index. Intended for tests and for
+    /// serialization layers that re-build trees; using an id that does not
+    /// name a live node is caught by debug assertions.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A regular element node.
+    Element,
+    /// A *virtual node*: a leaf standing for the root of the sub-fragment
+    /// with the given id, stored at some other site (paper, Section 2.1).
+    /// During distributed evaluation the values of all sub-queries at a
+    /// virtual node are unknown and are represented by Boolean variables.
+    Virtual(FragmentId),
+}
+
+impl NodeKind {
+    /// True when the node is virtual.
+    #[inline]
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, NodeKind::Virtual(_))
+    }
+
+    /// The referenced fragment when virtual.
+    #[inline]
+    pub fn fragment(&self) -> Option<FragmentId> {
+        match self {
+            NodeKind::Virtual(f) => Some(*f),
+            NodeKind::Element => None,
+        }
+    }
+}
+
+/// A single tree node.
+///
+/// Kept intentionally small; the `children` vector is the only owned heap
+/// payload besides optional text/attributes.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Interned tag name.
+    pub label: LabelId,
+    /// Element or virtual pointer.
+    pub kind: NodeKind,
+    /// Direct character content of the element (concatenated, trimmed),
+    /// matching the paper's `text()` accessor.
+    pub text: Option<Box<str>>,
+    /// Attributes in document order. XBL does not query attributes but the
+    /// store round-trips them faithfully.
+    pub attrs: Vec<(Box<str>, Box<str>)>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    /// Liveness flag: false after the node was removed from the tree.
+    pub(crate) live: bool,
+}
+
+impl Node {
+    pub(crate) fn new(label: LabelId, kind: NodeKind) -> Self {
+        Node {
+            label,
+            kind,
+            text: None,
+            attrs: Vec::new(),
+            parent: None,
+            children: Vec::new(),
+            live: true,
+        }
+    }
+
+    /// The node's parent, or `None` for the root.
+    #[inline]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Ids of the node's children, in document order.
+    #[inline]
+    pub fn child_ids(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// True if this node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Attribute lookup by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_kind_accessors() {
+        assert!(!NodeKind::Element.is_virtual());
+        assert_eq!(NodeKind::Element.fragment(), None);
+        let v = NodeKind::Virtual(FragmentId(3));
+        assert!(v.is_virtual());
+        assert_eq!(v.fragment(), Some(FragmentId(3)));
+    }
+
+    #[test]
+    fn attr_lookup_finds_first_match() {
+        let mut n = Node::new(LabelId(0), NodeKind::Element);
+        n.attrs.push(("id".into(), "1".into()));
+        n.attrs.push(("class".into(), "x".into()));
+        assert_eq!(n.attr("class"), Some("x"));
+        assert_eq!(n.attr("missing"), None);
+    }
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+}

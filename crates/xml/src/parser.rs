@@ -1,0 +1,542 @@
+//! A small, dependency-free XML parser producing [`Tree`]s.
+//!
+//! Supported syntax: prolog (`<?xml …?>`), processing instructions,
+//! comments, CDATA sections, elements with attributes, character data and
+//! the five predefined entities plus numeric character references.
+//!
+//! Character data directly inside an element is concatenated, optionally
+//! whitespace-trimmed, and stored as the element's `text` (the paper's
+//! `text()` accessor). Elements named [`crate::writer::VIRTUAL_TAG`] with a
+//! `ref="k"` attribute are decoded as virtual nodes referencing fragment
+//! `F_k`, so fragments round-trip through serialization.
+
+use crate::writer::VIRTUAL_TAG;
+use crate::{FragmentId, Node, NodeKind, Tree, XmlError};
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Trim leading/trailing whitespace of text content (default true:
+    /// pretty-printed documents round-trip to the same tree).
+    pub trim_text: bool,
+    /// Decode `VIRTUAL_TAG` elements into virtual nodes (default true).
+    pub decode_virtual: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { trim_text: true, decode_virtual: true }
+    }
+}
+
+/// Parses an XML document into a [`Tree`].
+pub fn parse_str(input: &str, opts: &ParseOptions) -> Result<Tree, XmlError> {
+    Parser { input: input.as_bytes(), pos: 0, opts }.parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Tree, XmlError> {
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return Err(XmlError::NoRootElement);
+        }
+        let mut tree = Tree::new("#doc");
+        let root_id = self.parse_element_tree(&mut tree)?;
+        // Rebuild the tree rooted at the parsed element (drop the dummy).
+        let tree = tree.extract_subtree(root_id);
+        self.skip_misc()?;
+        if self.pos < self.input.len() {
+            return Err(XmlError::TrailingContent { at: self.pos });
+        }
+        Ok(tree)
+    }
+
+    /// Parses one element and its whole subtree iteratively (no recursion,
+    /// so document depth is bounded only by memory). The cursor must be on
+    /// `<`. The element is appended under the dummy root; its id is
+    /// returned.
+    fn parse_element_tree(&mut self, tree: &mut Tree) -> Result<crate::NodeId, XmlError> {
+        // Stack of open elements: (node id, name, accumulated text).
+        let mut open: Vec<(crate::NodeId, String, String)> = Vec::new();
+        let root_parent = tree.root();
+        loop {
+            if open.is_empty() {
+                // Expect exactly the first opening tag.
+                let id = self.parse_open_tag(tree, root_parent, &mut open)?;
+                if let Some(id) = id {
+                    return Ok(id); // self-closing root element
+                }
+                continue;
+            }
+            match self.peek() {
+                None => return Err(XmlError::UnexpectedEof { at: self.pos }),
+                Some(b'<') => {
+                    if self.starts_with(b"</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        let (id, name, text) = open.pop().expect("checked non-empty");
+                        if close != name {
+                            return Err(XmlError::MismatchedTag {
+                                open: name,
+                                close,
+                                at: self.pos,
+                            });
+                        }
+                        self.store_text(tree, id, text);
+                        self.finish_node(tree, id, &name)?;
+                        if open.is_empty() {
+                            return Ok(id);
+                        }
+                    } else if self.starts_with(b"<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with(b"<![CDATA[") {
+                        let data = self.parse_cdata()?;
+                        open.last_mut().expect("checked non-empty").2.push_str(&data);
+                    } else if self.starts_with(b"<?") {
+                        self.skip_pi()?;
+                    } else {
+                        let parent = open.last().expect("checked non-empty").0;
+                        if let Some(_leaf) = self.parse_open_tag(tree, parent, &mut open)? {
+                            // Self-closing child: nothing left open for it.
+                        }
+                    }
+                }
+                Some(_) => {
+                    let data = self.parse_char_data()?;
+                    open.last_mut().expect("checked non-empty").2.push_str(&data);
+                }
+            }
+        }
+    }
+
+    /// Parses `<name attr=… >` or `<name …/>` with the cursor on `<`.
+    /// Self-closing elements are finished immediately and returned;
+    /// otherwise the element is pushed onto `open` and `None` is returned.
+    fn parse_open_tag(
+        &mut self,
+        tree: &mut Tree,
+        parent: crate::NodeId,
+        open: &mut Vec<(crate::NodeId, String, String)>,
+    ) -> Result<Option<crate::NodeId>, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let id = tree.add_child(parent, &name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    self.finish_node(tree, id, &name)?;
+                    return Ok(Some(id));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    open.push((id, name, String::new()));
+                    return Ok(None);
+                }
+                Some(c) if is_name_start(c) => {
+                    let (k, v) = self.parse_attribute()?;
+                    tree.set_attr(id, &k, &v);
+                }
+                Some(c) => {
+                    return Err(XmlError::UnexpectedChar {
+                        found: c as char,
+                        expected: "attribute, '/>' or '>'",
+                        at: self.pos,
+                    })
+                }
+                None => return Err(XmlError::UnexpectedEof { at: self.pos }),
+            }
+        }
+    }
+
+    /// Applies trimming and stores non-empty text on the node.
+    fn store_text(&self, tree: &mut Tree, id: crate::NodeId, text: String) {
+        let value = if self.opts.trim_text { text.trim() } else { &text };
+        if !value.is_empty() {
+            tree.set_text(id, value);
+        }
+    }
+
+    /// Decodes virtual-node elements after the subtree has been parsed.
+    fn finish_node(
+        &self,
+        tree: &mut Tree,
+        id: crate::NodeId,
+        name: &str,
+    ) -> Result<(), XmlError> {
+        if self.opts.decode_virtual && name == VIRTUAL_TAG {
+            let value = tree
+                .node(id)
+                .attr("ref")
+                .unwrap_or("")
+                .to_string();
+            let num: u32 = value.strip_prefix('F').unwrap_or(&value).parse().map_err(|_| {
+                XmlError::BadVirtualRef { value: value.clone(), at: self.pos }
+            })?;
+            let node = tree.node_mut(id);
+            node.kind = NodeKind::Virtual(FragmentId(num));
+            node.attrs.retain(|(k, _)| k.as_ref() != "ref");
+        }
+        Ok(())
+    }
+
+    fn parse_attribute(&mut self) -> Result<(String, String), XmlError> {
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect(b'=')?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar {
+                    found: c as char,
+                    expected: "a quoted attribute value",
+                    at: self.pos,
+                })
+            }
+            None => return Err(XmlError::UnexpectedEof { at: self.pos }),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.peek() != Some(quote) {
+            if self.pos >= self.input.len() {
+                return Err(XmlError::UnexpectedEof { at: self.pos });
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos]).expect("utf8 input");
+        self.pos += 1;
+        Ok((name, decode_entities(raw, start)?))
+    }
+
+    fn parse_char_data(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos]).expect("utf8 input");
+        decode_entities(raw, start)
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, XmlError> {
+        self.pos += b"<![CDATA[".len();
+        let start = self.pos;
+        loop {
+            if self.pos + 3 > self.input.len() {
+                return Err(XmlError::UnexpectedEof { at: self.pos });
+            }
+            if &self.input[self.pos..self.pos + 3] == b"]]>" {
+                let raw =
+                    std::str::from_utf8(&self.input[start..self.pos]).expect("utf8 input");
+                self.pos += 3;
+                return Ok(raw.to_string());
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => self.pos += 1,
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar {
+                    found: c as char,
+                    expected: "a tag name",
+                    at: self.pos,
+                })
+            }
+            None => return Err(XmlError::UnexpectedEof { at: self.pos }),
+        }
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("utf8 input")
+            .to_string())
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                self.skip_pi()?;
+            } else if self.starts_with(b"<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with(b"<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), XmlError> {
+        self.pos += 2;
+        while !self.starts_with(b"?>") {
+            if self.pos >= self.input.len() {
+                return Err(XmlError::UnexpectedEof { at: self.pos });
+            }
+            self.pos += 1;
+        }
+        self.pos += 2;
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        self.pos += 4;
+        while !self.starts_with(b"-->") {
+            if self.pos >= self.input.len() {
+                return Err(XmlError::UnexpectedEof { at: self.pos });
+            }
+            self.pos += 1;
+        }
+        self.pos += 3;
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Skip to the matching '>' (internal subsets with brackets handled
+        // by depth counting).
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(XmlError::UnexpectedEof { at: self.pos })
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => Err(XmlError::UnexpectedChar {
+                found: got as char,
+                expected: "a specific delimiter",
+                at: self.pos,
+            }),
+            None => Err(XmlError::UnexpectedEof { at: self.pos }),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[inline]
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
+}
+
+#[inline]
+fn is_name_char(c: u8) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == b'-' || c == b'.'
+}
+
+/// Decodes the predefined entities and numeric character references.
+pub(crate) fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(XmlError::UnknownEntity {
+            name: after.chars().take(8).collect(),
+            at: offset + amp,
+        })?;
+        let name = &after[..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16).ok();
+                match cp.and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => {
+                        return Err(XmlError::UnknownEntity {
+                            name: name.to_string(),
+                            at: offset + amp,
+                        })
+                    }
+                }
+            }
+            _ if name.starts_with('#') => {
+                let cp = name[1..].parse::<u32>().ok();
+                match cp.and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => {
+                        return Err(XmlError::UnknownEntity {
+                            name: name.to_string(),
+                            at: offset + amp,
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(XmlError::UnknownEntity {
+                    name: name.to_string(),
+                    at: offset + amp,
+                })
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+// `Node` is referenced by the doc comment only; silence unused import in
+// non-doc builds.
+#[allow(unused)]
+fn _doc_refs(_: Node) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn parses_minimal_document() {
+        let t = Tree::parse("<a/>").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.label_str(t.root()), "a");
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let t = Tree::parse("<a><b>hello</b><c><d>world</d></c></a>").unwrap();
+        assert_eq!(t.len(), 4);
+        let b = t.children(t.root()).next().unwrap();
+        assert_eq!(t.node(b).text.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let t = Tree::parse(r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        let r = t.root();
+        assert_eq!(t.node(r).attr("x"), Some("1"));
+        assert_eq!(t.node(r).attr("y"), Some("two & three"));
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_pis() {
+        let t = Tree::parse(
+            "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE a><a><?pi data?><!-- in --><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn decodes_entities_in_text() {
+        let t = Tree::parse("<a>&lt;tag&gt; &#65;&#x42;</a>").unwrap();
+        assert_eq!(t.node(t.root()).text.as_deref(), Some("<tag> AB"));
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let t = Tree::parse("<a><![CDATA[<not-a-tag> & stuff]]></a>").unwrap();
+        assert_eq!(t.node(t.root()).text.as_deref(), Some("<not-a-tag> & stuff"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = Tree::parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn trailing_content_errors() {
+        let err = Tree::parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn unknown_entity_errors() {
+        let err = Tree::parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err, XmlError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        assert!(matches!(
+            Tree::parse("<a><b>").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+        assert!(matches!(Tree::parse("").unwrap_err(), XmlError::NoRootElement));
+    }
+
+    #[test]
+    fn virtual_nodes_decode() {
+        let t = Tree::parse(r#"<a><parbox:virtual ref="3"/></a>"#).unwrap();
+        let v = t.children(t.root()).next().unwrap();
+        assert_eq!(t.node(v).kind, NodeKind::Virtual(FragmentId(3)));
+    }
+
+    #[test]
+    fn virtual_decode_can_be_disabled() {
+        let opts = ParseOptions { decode_virtual: false, ..Default::default() };
+        let t = parse_str(r#"<a><parbox:virtual ref="3"/></a>"#, &opts).unwrap();
+        let v = t.children(t.root()).next().unwrap();
+        assert_eq!(t.node(v).kind, NodeKind::Element);
+    }
+
+    #[test]
+    fn bad_virtual_ref_errors() {
+        let err = Tree::parse(r#"<a><parbox:virtual ref="xyz"/></a>"#).unwrap_err();
+        assert!(matches!(err, XmlError::BadVirtualRef { .. }));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped_when_trimming() {
+        let t = Tree::parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(t.node(t.root()).text, None);
+    }
+
+    #[test]
+    fn untrimmed_mode_preserves_whitespace() {
+        let opts = ParseOptions { trim_text: false, ..Default::default() };
+        let t = parse_str("<a> x </a>", &opts).unwrap();
+        assert_eq!(t.node(t.root()).text.as_deref(), Some(" x "));
+    }
+}

@@ -1,0 +1,151 @@
+//! XML serialization.
+
+use crate::{NodeId, NodeKind, Tree};
+
+/// Tag name used to serialize virtual nodes so fragments survive a
+/// serialize → parse round-trip. The `ref` attribute carries the fragment
+/// number.
+pub const VIRTUAL_TAG: &str = "parbox:virtual";
+
+/// Serializer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOptions {
+    /// Pretty-print with two-space indentation (default false: compact).
+    pub indent: bool,
+}
+
+/// Serializes `tree` to an XML string.
+pub fn write_tree(tree: &Tree, opts: &WriteOptions) -> String {
+    let mut out = String::with_capacity(tree.len() * 16);
+    write_node(tree, tree.root(), opts, 0, &mut out);
+    out
+}
+
+fn write_node(tree: &Tree, id: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    let node = tree.node(id);
+    if opts.indent && depth > 0 {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push('<');
+    let name = tree.label_str(id);
+    out.push_str(name);
+    if let NodeKind::Virtual(f) = node.kind {
+        out.push_str(&format!(" ref=\"{}\"", f.0));
+    }
+    for (k, v) in &node.attrs {
+        if node.kind.is_virtual() && k.as_ref() == "ref" {
+            continue; // already emitted from the kind
+        }
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(v, out);
+        out.push('"');
+    }
+    let has_content = node.text.is_some() || !node.child_ids().is_empty();
+    if !has_content {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(text) = &node.text {
+        escape_into(text, out);
+    }
+    let had_children = !node.child_ids().is_empty();
+    for &child in node.child_ids() {
+        write_node(tree, child, opts, depth + 1, out);
+    }
+    if opts.indent && had_children {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+/// Escapes XML-special characters into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FragmentId;
+
+    #[test]
+    fn writes_minimal() {
+        let t = Tree::new("a");
+        assert_eq!(t.to_xml(), "<a/>");
+    }
+
+    #[test]
+    fn writes_text_and_children() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        t.add_text_child(r, "b", "x<y");
+        assert_eq!(t.to_xml(), "<a><b>x&lt;y</b></a>");
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let mut t = Tree::new("portfolio");
+        let r = t.root();
+        let broker = t.add_child(r, "broker");
+        t.add_text_child(broker, "name", "Merill Lynch");
+        t.set_attr(broker, "id", "b1");
+        t.add_virtual_child(broker, FragmentId(2));
+        let xml = t.to_xml();
+        let back = Tree::parse(&xml).unwrap();
+        assert!(t.structural_eq(&back), "round-trip changed tree: {xml}");
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        let b = t.add_child(r, "b");
+        t.add_text_child(b, "c", "v");
+        let xml = write_tree(&t, &WriteOptions { indent: true });
+        assert!(xml.contains('\n'));
+        let back = Tree::parse(&xml).unwrap();
+        assert!(t.structural_eq(&back));
+    }
+
+    #[test]
+    fn virtual_node_serialization() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        t.add_virtual_child(r, FragmentId(9));
+        let xml = t.to_xml();
+        assert!(xml.contains("parbox:virtual"));
+        assert!(xml.contains("ref=\"9\""));
+    }
+
+    #[test]
+    fn escapes_attribute_values() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        t.set_attr(r, "k", "a\"b&c");
+        let xml = t.to_xml();
+        assert!(xml.contains("&quot;"));
+        assert!(xml.contains("&amp;"));
+        let back = Tree::parse(&xml).unwrap();
+        assert_eq!(back.node(back.root()).attr("k"), Some("a\"b&c"));
+    }
+}

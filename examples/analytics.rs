@@ -1,0 +1,91 @@
+//! Beyond Boolean queries: node selection and aggregation over a
+//! distributed document — the extensions sketched in the paper's
+//! conclusions, both built on the same partial-evaluation machinery.
+//!
+//! Run with: `cargo run --example analytics`
+
+use parbox::core::{
+    count_centralized, count_distributed, select_centralized, select_distributed,
+    sum_distributed,
+};
+use parbox::frag::{Forest, Placement};
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, compile_selection, parse_query};
+use parbox::xmark::{portfolio, PortfolioConfig};
+
+fn main() {
+    // A larger portfolio: 4 brokers × 3 markets × 5 stocks, fragmented so
+    // every broker subtree lives on its own site.
+    let tree = portfolio(PortfolioConfig {
+        brokers: 4,
+        markets_per_broker: 3,
+        stocks_per_market: 5,
+        seed: 7,
+    });
+    let whole = tree.clone();
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let brokers: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).collect()
+    };
+    for b in brokers {
+        forest.split(f0, b).unwrap();
+    }
+    let placement = Placement::one_per_fragment(&forest);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    println!(
+        "portfolio: {} nodes, {} fragments, {} sites\n",
+        forest.total_nodes(),
+        forest.card(),
+        placement.sites().len()
+    );
+
+    // --- Selection: which stocks are GOOG positions? -------------------
+    let sel = compile_selection(&parse_query("[//stock[code/text() = \"GOOG\"]]").unwrap())
+        .unwrap();
+    let picked = select_distributed(&cluster, &sel);
+    println!("GOOG positions ({} found):", picked.nodes.len());
+    for &(frag, node) in &picked.nodes {
+        let t = &forest.fragment(frag).tree;
+        let sell = t
+            .children(node)
+            .find(|&c| t.label_str(c) == "sell")
+            .and_then(|c| t.node(c).text.as_deref().map(str::to_string))
+            .unwrap_or_default();
+        println!("  {frag}: stock sell={sell}");
+    }
+    // Oracle agreement.
+    assert_eq!(picked.nodes.len(), select_centralized(&whole, &sel).len());
+    // The two-visit guarantee.
+    assert!(picked.report.max_visits() <= 2);
+
+    // --- Aggregation: portfolio analytics without moving the data. -----
+    let stocks = compile(&parse_query("[label() = stock]").unwrap());
+    let count = count_distributed(&cluster, &stocks);
+    println!("\ntotal positions:        {}", count.value);
+    assert_eq!(count.value, count_centralized(&whole, &stocks) as f64);
+
+    let sell_values = compile(&parse_query("[label() = sell]").unwrap());
+    let total = sum_distributed(&cluster, &sell_values);
+    println!("portfolio sell value:   {}", total.value);
+
+    // A cross-fragment predicate: nodes with a GOOG code anywhere below
+    // (the residual formulas of F0's spine resolve against the brokers'
+    // triplets at the coordinator).
+    let goog_holders = compile(&parse_query("[//code = \"GOOG\"]").unwrap());
+    let holders = count_distributed(&cluster, &goog_holders);
+    println!("nodes above a GOOG code: {}", holders.value);
+
+    // Every aggregate visited each site exactly once:
+    for out in [&count.report, &total.report, &holders.report] {
+        assert_eq!(out.max_visits(), 1);
+    }
+    println!(
+        "\ntraffic: selection {}B, count {}B, sum {}B — document is {}B",
+        picked.report.total_bytes(),
+        count.report.total_bytes(),
+        total.report.total_bytes(),
+        forest.total_bytes()
+    );
+}

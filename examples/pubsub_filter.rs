@@ -1,0 +1,130 @@
+//! Publish–subscribe filtering: the paper's motivating use case for
+//! Boolean XPath (Section 1). Several subscriptions are materialized as
+//! views over one distributed document; after each published update only
+//! the changed fragment is re-evaluated, and subscribers whose predicate
+//! flipped are notified.
+//!
+//! Run with: `cargo run --example pubsub_filter`
+
+use parbox::core::{MaterializedView, Update};
+use parbox::frag::{Forest, Placement};
+use parbox::net::NetworkModel;
+use parbox::query::{compile, parse_query, CompiledQuery};
+use parbox::xmark::{generate, XmarkConfig};
+
+/// One subscription: a name and a Boolean XPath predicate.
+struct Subscription {
+    name: &'static str,
+    query: CompiledQuery,
+}
+
+fn main() {
+    // The "publisher": an auction site whose top-level sections live on
+    // different machines (regions, categories, people, auctions…).
+    let tree = generate(XmarkConfig { target_bytes: 40_000, seed: 99 });
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let sections: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).collect()
+    };
+    for s in sections {
+        forest.split(f0, s).expect("top-level sections split cleanly");
+    }
+    let mut placement = Placement::one_per_fragment(&forest);
+    println!(
+        "publisher: {} fragments over {} sites",
+        forest.card(),
+        placement.sites().len()
+    );
+
+    // Subscriptions, from plain structural to negated compound.
+    let subs: Vec<Subscription> = [
+        ("cash-items", "[//item[payment/text() = \"Cash\"]]"),
+        ("recall-watch", "[//item[name/text() = \"recalled-widget\"]]"),
+        ("empty-site", "[not(//item) and not(//person)]"),
+        ("combo", "[//person and //item[payment/text() = \"Cash\"]]"),
+    ]
+    .into_iter()
+    .map(|(name, src)| Subscription {
+        name,
+        query: compile(&parse_query(src).expect("valid subscription")),
+    })
+    .collect();
+
+    // Materialize one view per subscription.
+    let mut views: Vec<MaterializedView> = subs
+        .iter()
+        .map(|s| {
+            MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &s.query).0
+        })
+        .collect();
+    for (s, v) in subs.iter().zip(&views) {
+        println!("subscribe {:<14} initially {}", s.name, v.answer());
+    }
+
+    // A batch of published updates: a recalled item appears in a region.
+    let regions_frag = forest
+        .fragment_ids()
+        .find(|&f| {
+            let t = &forest.fragment(f).tree;
+            t.label_str(t.root()) == "regions"
+        })
+        .expect("regions fragment");
+    let region_node = {
+        let t = &forest.fragment(regions_frag).tree;
+        t.children(t.root()).next().expect("a region")
+    };
+    println!("\npublish: recalled-widget listed under {regions_frag}");
+
+    // Apply the mutation once, through the first view…
+    views[0]
+        .apply(&mut forest, &mut placement, Update::InsNode {
+            frag: regions_frag,
+            parent: region_node,
+            label: "item".into(),
+            text: None,
+        })
+        .unwrap();
+    let item_node = {
+        let t = &forest.fragment(regions_frag).tree;
+        t.children(region_node).last().expect("just inserted")
+    };
+    views[0]
+        .apply(&mut forest, &mut placement, Update::InsNode {
+            frag: regions_frag,
+            parent: item_node,
+            label: "name".into(),
+            text: Some("recalled-widget".into()),
+        })
+        .unwrap();
+
+    // …then notify the rest: each re-evaluates only the changed fragment.
+    let mut fired: Vec<(&str, bool)> = Vec::new();
+    for (i, (s, v)) in subs.iter().zip(views.iter_mut()).enumerate() {
+        if i > 0 {
+            let rep = v.refresh(&forest, &placement, regions_frag);
+            if rep.answer_changed {
+                fired.push((s.name, rep.answer));
+            }
+            println!(
+                "refresh {:<14} work={} units, traffic={}B",
+                s.name,
+                rep.report.total_work(),
+                rep.report.total_bytes()
+            );
+        }
+    }
+    for (name, now) in &fired {
+        println!("notify {:<14} predicate is now {}", name, now);
+    }
+    assert!(
+        fired.iter().any(|(n, now)| *n == "recall-watch" && *now),
+        "the recall subscription must fire"
+    );
+
+    println!("\nfinal state:");
+    for (s, v) in subs.iter().zip(&views) {
+        println!("  {:<14} {}", s.name, v.answer());
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: fragment a document, distribute it, and evaluate a
+//! Boolean XPath query with partial evaluation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use parbox::prelude::*;
+
+fn main() {
+    // 1. A whole XML document (the paper's Fig. 1(b) portfolio, abridged).
+    let tree = Tree::parse(
+        r#"<portofolio>
+             <broker>
+               <name>Merill Lynch</name>
+               <market><name>NASDAQ</name>
+                 <stock><code>GOOG</code><buy>374</buy><sell>373</sell></stock>
+                 <stock><code>YHOO</code><buy>33</buy><sell>35</sell></stock>
+               </market>
+             </broker>
+             <broker>
+               <name>Bache</name>
+               <market><name>NYSE</name>
+                 <stock><code>IBM</code><buy>80</buy><sell>78</sell></stock>
+               </market>
+             </broker>
+           </portofolio>"#,
+    )
+    .expect("valid XML");
+
+    // 2. Fragment it: each broker subtree becomes its own fragment, as if
+    //    each brokerage kept its data on its own servers.
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let brokers: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).collect()
+    };
+    for broker in brokers {
+        forest.split(f0, broker).expect("broker subtrees are splittable");
+    }
+    println!("fragments: {}", forest.card());
+
+    // 3. Place the fragments on sites (one site each) and build a cluster
+    //    with a LAN cost model.
+    let placement = Placement::one_per_fragment(&forest);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+
+    // 4. Ask whether GOOG can currently be sold at 373.
+    let query = parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"373\"]]")
+        .expect("valid XBL");
+    let compiled = compile(&query);
+    println!("query: {query}");
+    println!("compiled QList ({} sub-queries):\n{compiled}", compiled.len());
+
+    // 5. Evaluate with ParBoX: one visit per site, triplet-sized traffic.
+    let out = parbox(&cluster, &compiled);
+    println!("answer: {}", out.answer);
+    println!(
+        "visits (max/site): {}   messages: {}   traffic: {} bytes",
+        out.report.max_visits(),
+        out.report.total_messages(),
+        out.report.total_bytes()
+    );
+    assert!(out.answer);
+
+    // 6. Compare with shipping all the data to the coordinator.
+    let naive = naive_centralized(&cluster, &compiled);
+    println!(
+        "NaiveCentralized would have shipped {} bytes instead",
+        naive.report.total_bytes()
+    );
+    assert_eq!(naive.answer, out.answer);
+}

@@ -1,0 +1,234 @@
+//! `parbox-cli` — command-line front end for the ParBoX engine.
+//!
+//! ```text
+//! parbox-cli compile  '<query>'                     show normal form + QList
+//! parbox-cli query    <file.xml> '<query>'          Boolean answer (centralized)
+//! parbox-cli select   <file.xml> '<path query>'     list matching nodes
+//! parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME]
+//!                                                   fragment + evaluate distributed
+//! parbox-cli generate --bytes N [--seed S]          emit an XMark document to stdout
+//! ```
+
+use parbox::core::{
+    centralized_eval, count_centralized, full_dist_parbox, hybrid_parbox, lazy_parbox,
+    naive_centralized, naive_distributed, parbox, select_centralized, sum_centralized,
+};
+use parbox::frag::{strategies, Forest, Placement};
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, compile_selection, normalize, parse_query};
+use parbox::xmark::{generate, XmarkConfig};
+use parbox::xml::Tree;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("select") => cmd_select(&args[1..]),
+        Some("count") => cmd_aggregate(&args[1..], true),
+        Some("sum") => cmd_aggregate(&args[1..], false),
+        Some("run") => cmd_run(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+parbox-cli — distributed Boolean XPath via partial evaluation (VLDB 2006)
+
+USAGE:
+  parbox-cli compile  '<query>'
+  parbox-cli query    <file.xml> '<query>'
+  parbox-cli select   <file.xml> '<path query>'
+  parbox-cli count    <file.xml> '<predicate>'
+  parbox-cli sum      <file.xml> '<predicate>'
+  parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]
+  parbox-cli generate --bytes N [--seed S]
+
+Query syntax (XBL): [//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]
+Algorithms: ParBoX NaiveCentralized NaiveDistributed HybridParBoX FullDistParBoX LazyParBoX
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn load_tree(path: &str) -> Result<Tree, String> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Tree::parse(&xml).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn parse_arg_query(src: &str) -> Result<parbox::query::Query, String> {
+    parse_query(src).map_err(|e| format!("query syntax: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let [src] = positional(args)[..] else {
+        return Err("usage: parbox-cli compile '<query>'".into());
+    };
+    let q = parse_arg_query(src)?;
+    println!("query:       {q}");
+    println!("normal form: {}", normalize(&q));
+    let c = compile(&q);
+    println!("QList ({} sub-queries):\n{c}", c.len());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [file, src] = positional(args)[..] else {
+        return Err("usage: parbox-cli query <file.xml> '<query>'".into());
+    };
+    let tree = load_tree(file)?;
+    let q = compile(&parse_arg_query(src)?);
+    let run = parbox::core::centralized_eval_counted(&tree, &q);
+    println!("{}", run.answer);
+    eprintln!(
+        "({} nodes × {} sub-queries = {} work units)",
+        tree.len(),
+        q.len(),
+        run.work_units
+    );
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let [file, src] = positional(args)[..] else {
+        return Err("usage: parbox-cli select <file.xml> '<path query>'".into());
+    };
+    let tree = load_tree(file)?;
+    let program = compile_selection(&parse_arg_query(src)?).map_err(|e| e.to_string())?;
+    let nodes = select_centralized(&tree, &program);
+    for &n in &nodes {
+        // Print a root-to-node label path plus any text.
+        let mut path: Vec<&str> = tree.ancestors(n).map(|a| tree.label_str(a)).collect();
+        path.reverse();
+        path.push(tree.label_str(n));
+        let text = tree.node(n).text.as_deref().unwrap_or("");
+        println!("/{}{}{}", path.join("/"), if text.is_empty() { "" } else { " = " }, text);
+    }
+    eprintln!("({} nodes selected)", nodes.len());
+    Ok(())
+}
+
+fn cmd_aggregate(args: &[String], count: bool) -> Result<(), String> {
+    let [file, src] = positional(args)[..] else {
+        return Err("usage: parbox-cli count|sum <file.xml> '<predicate>'".into());
+    };
+    let tree = load_tree(file)?;
+    let q = compile(&parse_arg_query(src)?);
+    if count {
+        println!("{}", count_centralized(&tree, &q));
+    } else {
+        println!("{}", sum_centralized(&tree, &q));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file, src] = pos[..] else {
+        return Err("usage: parbox-cli run <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]".into());
+    };
+    let fragments: usize = flag(args, "--fragments").map(|v| v.parse().unwrap_or(4)).unwrap_or(4);
+    let sites: u32 = flag(args, "--sites")
+        .map(|v| v.parse().unwrap_or(fragments as u32))
+        .unwrap_or(fragments as u32);
+    let algo = flag(args, "--algo").unwrap_or_else(|| "all".into());
+
+    let tree = load_tree(file)?;
+    let q = compile(&parse_arg_query(src)?);
+    let expected = centralized_eval(&tree, &q);
+
+    let mut forest = Forest::from_tree(tree);
+    strategies::fragment_evenly(&mut forest, fragments)
+        .map_err(|e| format!("fragmenting: {e}"))?;
+    let placement = Placement::round_robin(&forest, sites.max(1));
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    println!(
+        "document fragmented into {} fragments over {} site(s); centralized answer: {expected}",
+        forest.card(),
+        placement.sites().len()
+    );
+    println!(
+        "{:<22} {:>7} {:>11} {:>12} {:>12} {:>12}",
+        "algorithm", "answer", "max visits", "traffic (B)", "work units", "modeled (s)"
+    );
+    let algos: Vec<&str> = if algo == "all" {
+        vec![
+            "ParBoX",
+            "NaiveCentralized",
+            "NaiveDistributed",
+            "HybridParBoX",
+            "FullDistParBoX",
+            "LazyParBoX",
+        ]
+    } else {
+        vec![algo.as_str()]
+    };
+    for name in algos {
+        let out = match name {
+            "ParBoX" => parbox(&cluster, &q),
+            "NaiveCentralized" => naive_centralized(&cluster, &q),
+            "NaiveDistributed" => naive_distributed(&cluster, &q),
+            "HybridParBoX" => hybrid_parbox(&cluster, &q),
+            "FullDistParBoX" => full_dist_parbox(&cluster, &q),
+            "LazyParBoX" => lazy_parbox(&cluster, &q),
+            other => return Err(format!("unknown algorithm {other:?}")),
+        };
+        println!(
+            "{:<22} {:>7} {:>11} {:>12} {:>12} {:>12.6}",
+            out.algorithm,
+            out.answer,
+            out.report.max_visits(),
+            out.report.total_bytes(),
+            out.report.total_work(),
+            out.report.elapsed_model_s
+        );
+        if out.answer != expected {
+            return Err(format!("{name} disagreed with the centralized answer!"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let bytes: usize = flag(args, "--bytes")
+        .ok_or("usage: parbox-cli generate --bytes N [--seed S]")?
+        .parse()
+        .map_err(|e| format!("--bytes: {e}"))?;
+    let seed: u64 = flag(args, "--seed").map(|v| v.parse().unwrap_or(0)).unwrap_or(0);
+    let tree = generate(XmarkConfig { target_bytes: bytes, seed });
+    println!("{}", tree.to_xml());
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! Property-based equivalence: for random documents, random
+//! fragmentations and random XBL queries, every distributed algorithm
+//! must return exactly the centralized evaluator's answer.
+
+use parbox::core::{
+    centralized_eval, full_dist_parbox, hybrid_parbox, lazy_parbox, naive_centralized,
+    naive_distributed, parbox,
+};
+use parbox::frag::{Forest, Placement};
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, Path, Query};
+use parbox::xml::{NodeId, Tree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const TEXTS: [&str; 4] = ["x", "7", "3.5", "z"];
+
+/// Strategy for a small labelled tree with optional text.
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    // A tree is encoded as a preorder list of (depth, label, text?) rows.
+    let row = (0usize..4, 0usize..LABELS.len(), proptest::option::of(0usize..TEXTS.len()));
+    proptest::collection::vec(row, 0..40).prop_map(|rows| {
+        let mut tree = Tree::new("root");
+        // Stack of (depth, node).
+        let mut stack: Vec<(usize, NodeId)> = vec![(0, tree.root())];
+        for (depth, label, text) in rows {
+            let depth = depth + 1; // children of root start at depth 1
+            while stack.last().map(|&(d, _)| d + 1 < depth).unwrap_or(false) {
+                // Requested depth deeper than possible: clamp by attaching
+                // to the current deepest node.
+                break;
+            }
+            while stack.last().map(|&(d, _)| d + 1 > depth && d > 0).unwrap_or(false) {
+                stack.pop();
+            }
+            let parent = stack.last().expect("root never popped").1;
+            let node = tree.add_child(parent, LABELS[label]);
+            if let Some(t) = text {
+                tree.set_text(node, TEXTS[t]);
+            }
+            stack.push((stack.last().unwrap().0 + 1, node));
+        }
+        tree
+    })
+}
+
+/// Strategy for a small XBL query over the same vocabulary.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![
+        (0usize..LABELS.len()).prop_map(|i| Query::Path(Path::empty().desc().child(LABELS[i]))),
+        (0usize..LABELS.len()).prop_map(|i| Query::Path(Path::empty().child(LABELS[i]))),
+        (0usize..LABELS.len(), 0usize..TEXTS.len()).prop_map(|(i, t)| Query::TextEq(
+            Path::empty().desc().child(LABELS[i]),
+            TEXTS[t].to_string()
+        )),
+        (0usize..LABELS.len()).prop_map(|i| Query::LabelEq(LABELS[i].to_string())),
+        Just(Query::Path(Path::empty().desc().then(parbox::query::Step::Wildcard))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Query::not),
+            (0usize..LABELS.len(), inner.clone()).prop_map(|(i, q)| Query::Path(
+                Path::empty().desc().child(LABELS[i]).filter(q)
+            )),
+        ]
+    })
+}
+
+/// Random fragmentation: pick up to `cuts` random non-root nodes and
+/// split them off, in sequence, wherever they currently live.
+fn fragment_randomly(tree: Tree, cut_seeds: &[usize]) -> Forest {
+    let mut forest = Forest::from_tree(tree);
+    for &seed in cut_seeds {
+        let frags: Vec<_> = forest.fragment_ids().collect();
+        let frag = frags[seed % frags.len()];
+        let candidates: Vec<NodeId> = {
+            let t = &forest.fragment(frag).tree;
+            t.descendants(t.root())
+                .skip(1)
+                .filter(|&n| !t.node(n).kind.is_virtual())
+                .collect()
+        };
+        if candidates.is_empty() {
+            continue;
+        }
+        let node = candidates[(seed / 7) % candidates.len()];
+        forest.split(frag, node).expect("valid cut");
+    }
+    forest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_algorithms_match_centralized(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+        n_sites in 1u32..4,
+    ) {
+        let compiled = compile(&query);
+        let expected = centralized_eval(&tree, &compiled);
+
+        let forest = fragment_randomly(tree, &cuts);
+        forest.validate().expect("valid forest");
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+
+        prop_assert_eq!(parbox(&cluster, &compiled).answer, expected, "parbox");
+        prop_assert_eq!(
+            naive_centralized(&cluster, &compiled).answer, expected, "naive central");
+        prop_assert_eq!(
+            naive_distributed(&cluster, &compiled).answer, expected, "naive dist");
+        prop_assert_eq!(hybrid_parbox(&cluster, &compiled).answer, expected, "hybrid");
+        prop_assert_eq!(
+            full_dist_parbox(&cluster, &compiled).answer, expected, "full dist");
+        prop_assert_eq!(lazy_parbox(&cluster, &compiled).answer, expected, "lazy");
+    }
+
+    #[test]
+    fn fragmentation_preserves_document(
+        tree in tree_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+    ) {
+        let original = tree.clone();
+        let forest = fragment_randomly(tree, &cuts);
+        prop_assert!(forest.reassemble().structural_eq(&original));
+    }
+
+    #[test]
+    fn fragment_serialization_round_trips(
+        tree in tree_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..4),
+    ) {
+        // Shipping a fragment = serializing it (virtual nodes included)
+        // and parsing at the other end; this must be lossless.
+        let forest = fragment_randomly(tree, &cuts);
+        for f in forest.fragment_ids() {
+            let t = &forest.fragment(f).tree;
+            let xml = t.to_xml();
+            let back = Tree::parse(&xml).unwrap();
+            prop_assert!(t.structural_eq(&back), "fragment {} xml: {}", f, xml);
+        }
+    }
+
+    #[test]
+    fn selection_distributed_matches_centralized(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+        n_sites in 1u32..4,
+    ) {
+        use parbox::core::{select_centralized, select_distributed};
+        use parbox::query::compile_selection;
+        // Only path-shaped queries compile for selection; skip the rest.
+        let Ok(program) = compile_selection(&query) else {
+            return Ok(());
+        };
+        let whole = tree.clone();
+        let central = select_centralized(&whole, &program);
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let distributed = select_distributed(&cluster, &program);
+        prop_assert_eq!(distributed.nodes.len(), central.len(), "count for {}", query);
+        let mut a: Vec<(String, Option<String>)> = central
+            .iter()
+            .map(|&n| (
+                whole.label_str(n).to_string(),
+                whole.node(n).text.as_deref().map(str::to_string),
+            ))
+            .collect();
+        let mut b: Vec<(String, Option<String>)> = distributed
+            .nodes
+            .iter()
+            .map(|&(f, n)| {
+                let t = &forest.fragment(f).tree;
+                (t.label_str(n).to_string(), t.node(n).text.as_deref().map(str::to_string))
+            })
+            .collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "selected node mismatch for {}", query);
+        // Visit guarantee: ≤ 1 (phase 1) + #depth-waves per site.
+        for (_, rep) in distributed.report.sites() {
+            prop_assert!(rep.visits <= 1 + cluster.source_tree.max_depth() + 1);
+        }
+    }
+
+    #[test]
+    fn aggregation_distributed_matches_centralized(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+        n_sites in 1u32..4,
+    ) {
+        use parbox::core::{
+            count_centralized, count_distributed, sum_centralized, sum_distributed,
+        };
+        let compiled = compile(&query);
+        let whole = tree.clone();
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+
+        // COUNT: the distributed count plus one node per virtual-node
+        // predicate never drifts — virtual nodes are not counted, so the
+        // totals must be exactly equal.
+        let count = count_distributed(&cluster, &compiled);
+        prop_assert_eq!(
+            count.value,
+            count_centralized(&whole, &compiled) as f64,
+            "count mismatch for {}",
+            query
+        );
+        prop_assert!(count.report.max_visits() <= 1);
+
+        // SUM over numeric text values.
+        let sum = sum_distributed(&cluster, &compiled);
+        prop_assert_eq!(
+            sum.value,
+            sum_centralized(&whole, &compiled),
+            "sum mismatch for {}",
+            query
+        );
+    }
+
+    #[test]
+    fn parbox_visits_each_site_once(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+        n_sites in 1u32..4,
+    ) {
+        let compiled = compile(&query);
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = parbox(&cluster, &compiled);
+        prop_assert!(out.report.max_visits() <= 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The paper's performance guarantees (Sections 3.2 and 4, Fig. 4),
+//! checked as executable assertions over measured run reports.
+
+use parbox::core::{
+    full_dist_parbox, lazy_parbox, naive_centralized, naive_distributed, parbox,
+    query_wire_size, resolved_triplet_wire_size,
+};
+use parbox::frag::{Forest, Placement, SiteId};
+use parbox::net::{Cluster, MessageKind, NetworkModel};
+use parbox::query::{compile, parse_query, CompiledQuery};
+use parbox::xmark::{generate, query_with_qlist, XmarkConfig};
+
+/// Builds an n-fragment star over an XMark corpus (one site each).
+fn star_cluster(bytes: usize, n: usize) -> (Forest, Placement) {
+    let mut tree = parbox::xml::Tree::new("collection");
+    let root = tree.root();
+    for i in 0..n {
+        let site = generate(XmarkConfig { target_bytes: bytes / n, seed: 5 + i as u64 });
+        tree.append_tree(root, &site);
+    }
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let cuts: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).skip(1).collect()
+    };
+    for c in cuts {
+        forest.split(f0, c).unwrap();
+    }
+    let placement = Placement::one_per_fragment(&forest);
+    (forest, placement)
+}
+
+fn q8() -> CompiledQuery {
+    query_with_qlist(8, 77).1
+}
+
+#[test]
+fn guarantee_a_each_site_visited_once() {
+    let (forest, placement) = star_cluster(60_000, 6);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let out = parbox(&cluster, &q8());
+    for (site, rep) in out.report.sites() {
+        assert_eq!(rep.visits, 1, "site {site} visited {} times", rep.visits);
+    }
+}
+
+#[test]
+fn guarantee_b_traffic_bounded_by_query_and_card() {
+    // Total traffic ≤ card(F) × (query size + per-triplet bound), where a
+    // triplet entry may carry O(card(F_j)) variables.
+    let (forest, placement) = star_cluster(80_000, 8);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = q8();
+    let out = parbox(&cluster, &q);
+    let card = forest.card();
+    // Generous constant: ~40 bytes per sub-query per fragment reference.
+    let per_fragment = query_wire_size(&q) + 40 * q.len() * (card + 1);
+    assert!(
+        out.report.total_bytes() <= card * per_fragment,
+        "{} > {}",
+        out.report.total_bytes(),
+        card * per_fragment
+    );
+    // And, crucially: zero raw data shipped.
+    assert_eq!(out.report.bytes_of_kind(MessageKind::Data), 0);
+}
+
+#[test]
+fn guarantee_b_traffic_independent_of_document_size() {
+    let q = q8();
+    let traffic = |bytes: usize| {
+        let (forest, placement) = star_cluster(bytes, 5);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        parbox(&cluster, &q).report.total_bytes()
+    };
+    let small = traffic(30_000);
+    let large = traffic(300_000);
+    assert_eq!(small, large, "ParBoX traffic must not depend on |T|");
+}
+
+#[test]
+fn naive_centralized_traffic_scales_with_document() {
+    let q = q8();
+    let traffic = |bytes: usize| {
+        let (forest, placement) = star_cluster(bytes, 5);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        naive_centralized(&cluster, &q).report.total_bytes()
+    };
+    let small = traffic(30_000);
+    let large = traffic(300_000);
+    assert!(large > 5 * small, "shipping must scale with |T|: {small} -> {large}");
+}
+
+#[test]
+fn guarantee_c_total_work_comparable_to_centralized() {
+    let (forest, placement) = star_cluster(60_000, 6);
+    let whole = forest.reassemble();
+    let q = q8();
+    let central = parbox::core::centralized_eval_counted(&whole, &q);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let out = parbox(&cluster, &q);
+    // Overhead: one virtual node per sub-fragment + the solve pass.
+    let overhead = (q.len() * (forest.card() * 2 + forest.card())) as u64;
+    assert!(out.report.total_work() >= central.work_units);
+    assert!(
+        out.report.total_work() <= central.work_units + overhead,
+        "work {} vs centralized {} + {}",
+        out.report.total_work(),
+        central.work_units,
+        overhead
+    );
+}
+
+#[test]
+fn guarantee_d_arbitrary_fragmentation_allowed() {
+    // Nested fragments at different levels and wildly different sizes,
+    // several per site: the algorithm imposes no constraints.
+    let tree = generate(XmarkConfig { target_bytes: 50_000, seed: 3 });
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    // Nest: split a subtree, then split inside the new fragment twice.
+    let pick = |forest: &Forest, f, skip: usize| -> Option<parbox::xml::NodeId> {
+        let t = &forest.fragment(f).tree;
+        let candidates: Vec<_> = t
+            .descendants(t.root())
+            .skip(1)
+            .filter(|&n| !t.node(n).kind.is_virtual() && t.subtree_size(n) > 3)
+            .collect();
+        candidates.last().copied().map(|last| *candidates.get(skip).unwrap_or(&last))
+    };
+    let f1 = forest.split(f0, pick(&forest, f0, 0).unwrap()).unwrap();
+    let f2 = forest.split(f1, pick(&forest, f1, 1).unwrap()).unwrap();
+    if let Some(cut) = pick(&forest, f2, 0) {
+        forest.split(f2, cut).unwrap();
+    }
+    if let Some(cut) = pick(&forest, f0, 5) {
+        forest.split(f0, cut).unwrap();
+    }
+    assert!(forest.card() >= 4, "fragmentation too shallow for the test");
+    forest.validate().unwrap();
+
+    let placement = Placement::round_robin(&forest, 2); // several per site
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let whole = forest.reassemble();
+    for src in ["[//item]", "[//person and //bidder]", "[not //nothing]"] {
+        let q = compile(&parse_query(src).unwrap());
+        let out = parbox(&cluster, &q);
+        assert_eq!(out.answer, parbox::core::centralized_eval(&whole, &q), "{src}");
+        assert!(out.report.max_visits() <= 1);
+    }
+}
+
+#[test]
+fn fig4_visit_counts_per_algorithm() {
+    let (forest, placement) = star_cluster(60_000, 4);
+    // Pile two fragments on each of two sites to distinguish per-site
+    // from per-fragment visit counts.
+    let mut placement2 = Placement::new();
+    for (i, f) in forest.fragment_ids().enumerate() {
+        placement2.assign(f, SiteId(i as u32 % 2));
+    }
+    drop(placement);
+    let cluster = Cluster::new(&forest, &placement2, NetworkModel::lan());
+    let q = q8();
+
+    // ParBoX and NaiveCentralized: once per site.
+    assert_eq!(parbox(&cluster, &q).report.max_visits(), 1);
+    assert_eq!(naive_centralized(&cluster, &q).report.max_visits(), 1);
+    // NaiveDistributed and FullDist: once per *fragment*.
+    assert_eq!(naive_distributed(&cluster, &q).report.max_visits(), 2);
+    assert_eq!(full_dist_parbox(&cluster, &q).report.max_visits(), 2);
+    // Lazy visits per fragment too, but only while the answer is open; a
+    // query no fragment satisfies forces the full walk.
+    let open = compile(&parse_query("[//label-that-exists-nowhere]").unwrap());
+    assert_eq!(lazy_parbox(&cluster, &open).report.max_visits(), 2);
+}
+
+#[test]
+fn fulldist_ships_only_constant_size_triplets() {
+    let (forest, placement) = star_cluster(60_000, 5);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = q8();
+    let out = full_dist_parbox(&cluster, &q);
+    let fixed = resolved_triplet_wire_size(q.len());
+    for m in &out.report.messages {
+        if m.kind == MessageKind::Triplet {
+            assert_eq!(m.bytes, fixed, "variables crossed the network");
+        }
+    }
+}
+
+#[test]
+fn lazy_never_does_more_total_work_than_eager_plus_solve() {
+    let (forest, placement) = star_cluster(60_000, 6);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = q8();
+    let eager = parbox(&cluster, &q);
+    let lazy = lazy_parbox(&cluster, &q);
+    // Lazy may re-run the solve per step, but fragment evaluation work is
+    // bounded by eager's.
+    let solve_slack = (q.len() * forest.card() * forest.card()) as u64;
+    assert!(
+        lazy.report.total_work() <= eager.report.total_work() + solve_slack,
+        "lazy {} vs eager {} + {}",
+        lazy.report.total_work(),
+        eager.report.total_work(),
+        solve_slack
+    );
+}
+
+#[test]
+fn modeled_runtime_reflects_shipping_costs() {
+    // With a slow WAN, NaiveCentralized's modeled runtime explodes while
+    // ParBoX's stays query-sized.
+    let (forest, placement) = star_cluster(800_000, 5);
+    let q = q8();
+    let wan = Cluster::new(&forest, &placement, NetworkModel::wan());
+    let pb = parbox(&wan, &q);
+    let nc = naive_centralized(&wan, &q);
+    assert!(
+        nc.report.elapsed_model_s > 5.0 * pb.report.elapsed_model_s,
+        "wan: naive {} vs parbox {}",
+        nc.report.elapsed_model_s,
+        pb.report.elapsed_model_s
+    );
+}

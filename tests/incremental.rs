@@ -1,0 +1,204 @@
+//! Integration tests of the incremental view maintenance of Section 5:
+//! long random update sequences against a from-scratch oracle, locality
+//! of recomputation, and traffic independence from data and update size.
+
+use parbox::core::{parbox, MaterializedView, Update};
+use parbox::frag::{Forest, Placement, SiteId};
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, parse_query, CompiledQuery};
+use parbox::xmark::{generate, XmarkConfig};
+use parbox::xml::{FragmentId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(bytes: usize, frags: usize, q: &str) -> (Forest, Placement, MaterializedView) {
+    let mut tree = parbox::xml::Tree::new("corpus");
+    let root = tree.root();
+    for i in 0..frags {
+        let doc = generate(XmarkConfig { target_bytes: bytes / frags, seed: 31 + i as u64 });
+        tree.append_tree(root, &doc);
+    }
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let cuts: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).skip(1).collect()
+    };
+    for c in cuts {
+        forest.split(f0, c).unwrap();
+    }
+    let placement = Placement::one_per_fragment(&forest);
+    let compiled = compile(&parse_query(q).unwrap());
+    let (view, _) =
+        MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &compiled);
+    (forest, placement, view)
+}
+
+fn oracle(forest: &Forest, placement: &Placement, q: &CompiledQuery) -> bool {
+    let cluster = Cluster::new(forest, placement, NetworkModel::lan());
+    parbox(&cluster, q).answer
+}
+
+/// Picks a random non-virtual node inside a random fragment.
+fn random_node(forest: &Forest, rng: &mut StdRng) -> (FragmentId, NodeId) {
+    let frags: Vec<FragmentId> = forest.fragment_ids().collect();
+    let frag = frags[rng.random_range(0..frags.len())];
+    let tree = &forest.fragment(frag).tree;
+    let nodes: Vec<NodeId> = tree
+        .descendants(tree.root())
+        .filter(|&n| !tree.node(n).kind.is_virtual())
+        .collect();
+    (frag, nodes[rng.random_range(0..nodes.len())])
+}
+
+#[test]
+fn long_random_update_sequence_stays_consistent() {
+    let (mut forest, mut placement, mut view) =
+        setup(24_000, 4, "[//item[payment/text() = \"Cash\"] or //sentinel]");
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut applied = 0;
+    for step in 0..120 {
+        let (frag, node) = random_node(&forest, &mut rng);
+        let tree = &forest.fragment(frag).tree;
+        let update = match rng.random_range(0..10) {
+            0..=4 => Update::InsNode {
+                frag,
+                parent: node,
+                label: if rng.random_bool(0.1) { "sentinel" } else { "filler" }.into(),
+                text: rng.random_bool(0.5).then(|| "Cash".to_string()),
+            },
+            5..=6 => {
+                if node == tree.root() || !tree.virtual_nodes(node).is_empty() {
+                    continue;
+                }
+                Update::DelNode { frag, node }
+            }
+            7..=8 => {
+                if node == tree.root() || tree.subtree_size(node) < 2 {
+                    continue;
+                }
+                Update::SplitFragments {
+                    frag,
+                    node,
+                    to_site: Some(SiteId(rng.random_range(0..6))),
+                }
+            }
+            _ => {
+                let vnodes = tree.virtual_nodes(tree.root());
+                if vnodes.is_empty() {
+                    continue;
+                }
+                let (vn, _) = vnodes[rng.random_range(0..vnodes.len())];
+                Update::MergeFragments { frag, node: vn }
+            }
+        };
+        view.apply(&mut forest, &mut placement, update).unwrap();
+        applied += 1;
+        forest.validate().unwrap();
+        assert_eq!(
+            view.answer(),
+            oracle(&forest, &placement, view.query()),
+            "divergence at step {step}"
+        );
+    }
+    assert!(applied > 60, "too few updates exercised: {applied}");
+}
+
+#[test]
+fn maintenance_visits_only_the_updated_fragments_site() {
+    let (mut forest, mut placement, mut view) = setup(20_000, 5, "[//nothing-here]");
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..25 {
+        let (frag, node) = random_node(&forest, &mut rng);
+        let expected_site = placement.site_of(frag);
+        let rep = view
+            .apply(&mut forest, &mut placement, Update::InsNode {
+                frag,
+                parent: node,
+                label: "filler".into(),
+                text: None,
+            })
+            .unwrap();
+        let visited: Vec<SiteId> = rep
+            .report
+            .sites()
+            .filter(|(_, r)| r.visits > 0)
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(visited, vec![expected_site]);
+    }
+}
+
+#[test]
+fn maintenance_traffic_constant_as_document_grows() {
+    let (mut forest, mut placement, mut view) = setup(20_000, 4, "[//needle]");
+    let frag = forest.fragment_ids().last().unwrap();
+    let parent = forest.fragment(frag).tree.root();
+
+    let probe = |view: &mut MaterializedView,
+                 forest: &mut Forest,
+                 placement: &mut Placement| {
+        view.apply(forest, placement, Update::InsNode {
+            frag,
+            parent,
+            label: "probe".into(),
+            text: None,
+        })
+        .unwrap()
+        .report
+        .total_bytes()
+    };
+
+    let before = probe(&mut view, &mut forest, &mut placement);
+    // Grow the fragment by three orders of magnitude more nodes.
+    for i in 0..2_000 {
+        view.apply(&mut forest, &mut placement, Update::InsNode {
+            frag,
+            parent,
+            label: "bulk".into(),
+            text: Some(format!("row {i}")),
+        })
+        .unwrap();
+    }
+    let after = probe(&mut view, &mut forest, &mut placement);
+    assert_eq!(before, after, "maintenance traffic grew with |T|");
+}
+
+#[test]
+fn view_survives_full_defragmentation() {
+    // Merge everything back into one fragment, one merge at a time, with
+    // the view staying consistent throughout.
+    let (mut forest, mut placement, mut view) = setup(16_000, 4, "[//item]");
+    loop {
+        let root = forest.root_fragment();
+        let vnode = {
+            let t = &forest.fragment(root).tree;
+            t.virtual_nodes(t.root()).first().map(|&(n, _)| n)
+        };
+        let Some(vnode) = vnode else { break };
+        view.apply(&mut forest, &mut placement, Update::MergeFragments {
+            frag: root,
+            node: vnode,
+        })
+        .unwrap();
+        assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    }
+    assert_eq!(forest.card(), 1);
+    assert!(view.answer(), "items exist in every XMark document");
+}
+
+#[test]
+fn refresh_tracks_external_mutations() {
+    let (mut forest, mut placement, mut view) = setup(16_000, 3, "[//external-marker]");
+    assert!(!view.answer());
+    // Mutate the forest directly (not through the view), as a second
+    // writer would, then refresh the view for the changed fragment.
+    let frag = forest.fragment_ids().last().unwrap();
+    let root = forest.fragment(frag).tree.root();
+    forest.fragment_mut(frag).tree.add_child(root, "external-marker");
+    let rep = view.refresh(&forest, &placement, frag);
+    assert!(rep.answer_changed);
+    assert!(view.answer());
+    assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
+    let _ = &mut placement;
+}

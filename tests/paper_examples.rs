@@ -1,0 +1,245 @@
+//! The paper's worked examples, encoded as tests: the Fig. 1(a)
+//! introduction example, Example 2.1 (normalization and QList), the
+//! Fig. 1(b)/Fig. 2 portfolio with Examples 3.1–3.3, and the Section 4
+//! lazy-evaluation example.
+
+use parbox::boolean::VecKind;
+use parbox::core::{bottom_up, lazy_parbox, parbox};
+use parbox::frag::{Forest, Placement, SiteId};
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, normalize, parse_query, NQuery, SubQuery};
+use parbox::xml::{FragmentId, NodeId, Tree};
+
+fn find(forest: &Forest, frag: FragmentId, label: &str) -> NodeId {
+    let t = &forest.fragment(frag).tree;
+    t.descendants(t.root())
+        .find(|&n| t.label_str(n) == label)
+        .unwrap_or_else(|| panic!("no {label} in {frag}"))
+}
+
+/// Section 1, Fig. 1(a): `Q = [//A ∧ //B]` over R{X{Z}, Y} where A-tagged
+/// nodes occur only in Z and B-tagged nodes only in Y.
+#[test]
+fn intro_figure_1a() {
+    let tree = Tree::parse("<r><x><z><A/><A/></z></x><y><B/></y></r>").unwrap();
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let x = find(&forest, f0, "x");
+    let fx = forest.split(f0, x).unwrap();
+    let z = find(&forest, fx, "z");
+    let fz = forest.split(fx, z).unwrap();
+    let y = find(&forest, f0, "y");
+    let fy = forest.split(f0, y).unwrap();
+
+    let placement = Placement::one_per_fragment(&forest);
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = compile(&parse_query("[//A ∧ //B]").unwrap());
+
+    // The paper's hand-computed per-fragment results: (zA, zB) = (1, 0),
+    // (yA, yB) = (0, 1).
+    let rz = bottom_up(&forest.fragment(fz).tree, &q).triplet.resolved().unwrap();
+    let ry = bottom_up(&forest.fragment(fy).tree, &q).triplet.resolved().unwrap();
+    // Sub-query //A is the Desc op over label A; find it by shape.
+    let desc_a = q
+        .subs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, SubQuery::Desc(_)))
+        .map(|(i, _)| i)
+        .next()
+        .unwrap();
+    let desc_b = q
+        .subs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, SubQuery::Desc(_)))
+        .map(|(i, _)| i)
+        .nth(1)
+        .unwrap();
+    assert!(rz.dv[desc_a] && !rz.dv[desc_b], "Z has A but not B");
+    assert!(!ry.dv[desc_a] && ry.dv[desc_b], "Y has B but not A");
+
+    // And the composed answer is true.
+    let out = parbox(&cluster, &q);
+    assert!(out.answer, "Q(R, X, Y, Z) = (rA∨xA∨yA∨zA) ∧ (rB∨xB∨yB∨zB) = 1");
+
+    // Removing the B leaf flips it.
+    let mut forest2 = forest.clone();
+    let b = find(&forest2, fy, "B");
+    forest2.fragment_mut(fy).tree.remove_subtree(b).unwrap();
+    let cluster2 = Cluster::new(&forest2, &placement, NetworkModel::lan());
+    assert!(!parbox(&cluster2, &q).answer);
+}
+
+/// Example 2.1: normalization of `[//stock[code/text() = "yhoo"]]`.
+#[test]
+fn example_2_1_normal_form() {
+    let q = parse_query("[//stock[code/text() = \"yhoo\"]]").unwrap();
+    let n = normalize(&q);
+    // ε[//ε[label() = stock ∧ */ε[label() = code ∧ text() = "yhoo"]]]
+    let rendered = n.to_string();
+    assert!(rendered.contains("label() = stock"), "{rendered}");
+    assert!(rendered.contains("label() = code"), "{rendered}");
+    assert!(rendered.contains("text() = \"yhoo\""), "{rendered}");
+    // The outer structure is a path beginning with //.
+    let NQuery::Path(steps) = &n else { panic!("expected path, got {n}") };
+    assert!(matches!(steps[0], parbox::query::NStep::DescOrSelf));
+
+    // QList is topologically ordered and O(|q|) in size (paper remark).
+    let c = compile(&q);
+    assert!(c.len() <= 2 * q.size());
+    for (i, s) in c.subs().iter().enumerate() {
+        for op in s.operands() {
+            assert!((op as usize) < i);
+        }
+    }
+}
+
+/// Builds the paper's Fig. 1(b)/Fig. 2 portfolio with fragments F0–F3 and
+/// sites S0–S2 (F2 and F3 both on S2).
+fn fig2_portfolio() -> (Forest, Placement) {
+    let tree = Tree::parse(
+        r#"<portofolio>
+             <broker><name>Bache</name>
+               <market><title>NYSE</title>
+                 <stock><code>IBM</code><buy>80</buy><sell>78</sell></stock>
+                 <stock><code>HPQ</code><buy>30</buy><sell>33</sell></stock>
+               </market>
+             </broker>
+             <brokerML><name>Merill Lynch</name>
+               <marketN><name>NASDAQ</name>
+                 <stock><code>GOOG</code><buy>374</buy><sell>373</sell></stock>
+                 <stock><code>YHOO</code><buy>33</buy><sell>35</sell></stock>
+               </marketN>
+             </brokerML>
+           </portofolio>"#,
+    )
+    .unwrap();
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let broker_ml = find(&forest, f0, "brokerML");
+    let f1 = forest.split(f0, broker_ml).unwrap();
+    let market_n = find(&forest, f1, "marketN");
+    let f2 = forest.split(f1, market_n).unwrap();
+    let market = find(&forest, f0, "market");
+    let f3 = forest.split(f0, market).unwrap();
+
+    let mut placement = Placement::new();
+    placement.assign(f0, SiteId(0));
+    placement.assign(f1, SiteId(1));
+    placement.assign(f2, SiteId(2));
+    placement.assign(f3, SiteId(2));
+    (forest, placement)
+}
+
+/// Example 3.1/3.2: partial evaluation of F1 leaves a residual formula
+/// over F2's variables only; leaf fragments are fully resolved.
+#[test]
+fn examples_3_1_and_3_2_triplets() {
+    let (forest, _) = fig2_portfolio();
+    let q = compile(&parse_query("[//stock[code/text() = \"YHOO\"]]").unwrap());
+
+    // F1 contains Merill Lynch and the virtual node for F2.
+    let f1 = FragmentId(1);
+    let run = bottom_up(&forest.fragment(f1).tree, &q);
+    assert!(!run.triplet.is_closed(), "F1 depends on F2");
+    for f in run.triplet.v.iter().chain(&run.triplet.cv).chain(&run.triplet.dv) {
+        for var in f.vars() {
+            assert_eq!(var.frag, FragmentId(2), "only F2 variables may appear");
+        }
+    }
+
+    // F2 and F3 are leaf fragments: closed triplets (paper: "the vectors
+    // of leaf fragments contain no variables").
+    for leaf in [FragmentId(2), FragmentId(3)] {
+        let run = bottom_up(&forest.fragment(leaf).tree, &q);
+        assert!(run.triplet.is_closed(), "{leaf} must be closed");
+    }
+
+    // F2 holds yhoo: its root-level DV for the whole query is true.
+    let r2 = bottom_up(&forest.fragment(FragmentId(2)).tree, &q)
+        .triplet
+        .resolved()
+        .unwrap();
+    assert!(r2.dv[q.root() as usize]);
+    // F3 does not.
+    let r3 = bottom_up(&forest.fragment(FragmentId(3)).tree, &q)
+        .triplet
+        .resolved()
+        .unwrap();
+    assert!(!r3.dv[q.root() as usize]);
+}
+
+/// Example 3.3: the composed answer over the source tree is true, and
+/// variables unify exactly as the worked example describes (dx8 → 1 via
+/// F2, dz8 → 0 via F3).
+#[test]
+fn example_3_3_composition() {
+    let (forest, placement) = fig2_portfolio();
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = compile(&parse_query("[//stock[code/text() = \"YHOO\"]]").unwrap());
+    let out = parbox(&cluster, &q);
+    assert!(out.answer, "q = dy8 ∨ dz8 = 1 ∨ 0 = 1");
+
+    // The root fragment's residual answer must reference both F1 and F3.
+    let f0 = forest.root_fragment();
+    let run = bottom_up(&forest.fragment(f0).tree, &q);
+    let answer_formula = &run.triplet.v[q.root() as usize];
+    let frags: std::collections::BTreeSet<FragmentId> =
+        answer_formula.vars().into_iter().map(|v| v.frag).collect();
+    assert!(frags.contains(&FragmentId(1)), "formula {answer_formula}");
+    assert!(frags.contains(&FragmentId(3)), "formula {answer_formula}");
+    // …and only via descendant (DV) or root-value (V) variables.
+    for var in answer_formula.vars() {
+        assert!(matches!(var.vec, VecKind::DV | VecKind::V));
+    }
+}
+
+/// The paper's stock-alert query: GOOG never reaches a sell price of 376
+/// in the base data, but does after the trade is recorded.
+#[test]
+fn goog_alert_round_trip() {
+    let (mut forest, placement) = fig2_portfolio();
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = compile(
+        &parse_query("[//stock[code/text() = \"GOOG\" ∧ sell/text() = \"376\"]]").unwrap(),
+    );
+    assert!(!parbox(&cluster, &q).answer);
+    drop(cluster);
+
+    // Record the trade in F2 (the NASDAQ fragment).
+    let f2 = FragmentId(2);
+    let goog_stock = {
+        let t = &forest.fragment(f2).tree;
+        t.descendants(t.root())
+            .find(|&n| {
+                t.label_str(n) == "stock"
+                    && t.children(n).any(|c| t.node(c).text.as_deref() == Some("GOOG"))
+            })
+            .unwrap()
+    };
+    let sell = {
+        let t = &forest.fragment(f2).tree;
+        t.children(goog_stock).find(|&c| t.label_str(c) == "sell").unwrap()
+    };
+    forest.fragment_mut(f2).tree.set_text(sell, "376");
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    assert!(parbox(&cluster, &q).answer);
+}
+
+/// Section 4's lazy example: `[/portofolio/broker/name = "Merill Lynch"]`
+/// — wait, Bache is in F0; the Merill Lynch broker subtree is F1. A query
+/// about Bache is answerable from F0 alone; LazyParBoX must not evaluate
+/// the NASDAQ fragments F2/F3.
+#[test]
+fn section_4_lazy_skips_remote_market() {
+    let (forest, placement) = fig2_portfolio();
+    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let q = compile(&parse_query("[/portofolio/broker/name = \"Bache\"]").unwrap());
+    let out = lazy_parbox(&cluster, &q);
+    assert!(out.answer);
+    // S2 (holding F2 and F3 at depth 2) must never be visited.
+    assert_eq!(out.report.site(SiteId(2)).visits, 0, "deep market evaluated needlessly");
+    let eager = parbox(&cluster, &q);
+    assert!(out.report.total_work() < eager.report.total_work());
+}
