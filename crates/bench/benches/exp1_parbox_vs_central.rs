@@ -10,23 +10,22 @@ use parbox_xmark::query_with_qlist;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let scale = Scale { corpus_bytes: 96 * 1024, seed: 2006 };
+    let scale = Scale {
+        corpus_bytes: 96 * 1024,
+        seed: 2006,
+    };
     let (_, q) = query_with_qlist(8, scale.seed);
     let mut group = c.benchmark_group("exp1");
     group.sample_size(10);
     for n in [1usize, 4, 10] {
         let (forest, placement) = ft1(scale, n);
         for algo in ["ParBoX", "NaiveCentralized"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-                        black_box(run_algorithm(algo, &cluster, &q).answer)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo, n), &n, |b, _| {
+                b.iter(|| {
+                    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                    black_box(run_algorithm(algo, &cluster, &q).answer)
+                })
+            });
         }
     }
     group.finish();

@@ -11,7 +11,10 @@ use parbox_xmark::marker_query;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let scale = Scale { corpus_bytes: 64 * 1024, seed: 2006 };
+    let scale = Scale {
+        corpus_bytes: 64 * 1024,
+        seed: 2006,
+    };
     let n = 8usize;
     let (forest, placement) = ft2_chain(scale, n);
     let mut group = c.benchmark_group("exp2");
@@ -19,16 +22,12 @@ fn bench(c: &mut Criterion) {
     for (target, idx) in [("qF0", 0usize), ("qFmid", n / 2), ("qFn", n - 1)] {
         let q = compile(&parse_query(&marker_query(&format!("F{idx}"))).unwrap());
         for algo in ["ParBoX", "FullDistParBoX", "LazyParBoX"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, target),
-                &idx,
-                |b, _| {
-                    b.iter(|| {
-                        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-                        black_box(run_algorithm(algo, &cluster, &q).answer)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo, target), &idx, |b, _| {
+                b.iter(|| {
+                    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                    black_box(run_algorithm(algo, &cluster, &q).answer)
+                })
+            });
         }
     }
     group.finish();

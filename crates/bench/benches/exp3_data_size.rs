@@ -9,7 +9,10 @@ use parbox_xmark::query_with_qlist;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let scale = Scale { corpus_bytes: 48 * 1024, seed: 2006 };
+    let scale = Scale {
+        corpus_bytes: 48 * 1024,
+        seed: 2006,
+    };
     let mut group = c.benchmark_group("exp3");
     group.sample_size(10);
     for growth_pct in [0usize, 50, 100] {

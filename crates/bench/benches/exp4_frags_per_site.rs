@@ -10,7 +10,10 @@ use parbox_xmark::query_with_qlist;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let scale = Scale { corpus_bytes: 96 * 1024, seed: 2006 };
+    let scale = Scale {
+        corpus_bytes: 96 * 1024,
+        seed: 2006,
+    };
     let (_, q) = query_with_qlist(8, scale.seed);
     let mut group = c.benchmark_group("exp4");
     group.sample_size(10);

@@ -9,7 +9,10 @@ use parbox_query::{compile, parse_query};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let scale = Scale { corpus_bytes: 96 * 1024, seed: 2006 };
+    let scale = Scale {
+        corpus_bytes: 96 * 1024,
+        seed: 2006,
+    };
     let q = compile(&parse_query("[//qmarker[key/text() = \"F0\"]]").unwrap());
 
     let mut group = c.benchmark_group("incremental");
@@ -19,24 +22,24 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (forest, placement) = ft1(scale, 4);
-                let (view, _) = MaterializedView::materialize(
-                    &forest,
-                    &placement,
-                    NetworkModel::lan(),
-                    &q,
-                );
+                let (view, _) =
+                    MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &q);
                 (forest, placement, view)
             },
             |(mut forest, mut placement, mut view)| {
                 let frag = forest.fragment_ids().last().unwrap();
                 let parent = forest.fragment(frag).tree.root();
                 let rep = view
-                    .apply(&mut forest, &mut placement, Update::InsNode {
-                        frag,
-                        parent,
-                        label: "noise".into(),
-                        text: None,
-                    })
+                    .apply(
+                        &mut forest,
+                        &mut placement,
+                        Update::InsNode {
+                            frag,
+                            parent,
+                            label: "noise".into(),
+                            text: None,
+                        },
+                    )
                     .unwrap();
                 black_box(rep.answer)
             },

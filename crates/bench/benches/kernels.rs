@@ -12,7 +12,10 @@ use parbox_xml::Tree;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let tree = generate(XmarkConfig { target_bytes: 128 * 1024, seed: 1 });
+    let tree = generate(XmarkConfig {
+        target_bytes: 128 * 1024,
+        seed: 1,
+    });
     let xml = tree.to_xml();
     let (_, q8) = query_with_qlist(8, 1);
     let (_, q23) = query_with_qlist(23, 1);
@@ -26,8 +29,8 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("query_compile", |b| {
         b.iter(|| {
-            let q = parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]")
-                .unwrap();
+            let q =
+                parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap();
             black_box(compile(&q).len())
         })
     });
@@ -61,9 +64,7 @@ fn bench(c: &mut Criterion) {
     // what a literal reading of Fig. 3(b) costs without the spine
     // fast-path (DESIGN.md §4).
     group.bench_function("bottom_up_no_spine_fastpath_q8", |b| {
-        b.iter(|| {
-            black_box(bottom_up_formula_only(&fragmented.fragment(f0).tree, &q8).work_units)
-        })
+        b.iter(|| black_box(bottom_up_formula_only(&fragmented.fragment(f0).tree, &q8).work_units))
     });
 
     // Equation-system solve for a 100-fragment star.

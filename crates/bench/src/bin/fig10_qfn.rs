@@ -8,7 +8,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment2(scale, 10, Target::Deepest);
     print_table(
-        &format!("Fig. 10 — query qFn on the FT2 chain (corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 10 — query qFn on the FT2 chain (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "machines",
         &rows,
     );

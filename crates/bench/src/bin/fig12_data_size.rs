@@ -8,7 +8,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment3_fig12(scale, 8);
     print_table(
-        &format!("Fig. 12 — scalability in data size (unit corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 12 — scalability in data size (unit corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "total bytes",
         &rows,
     );

@@ -8,7 +8,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment4_fig13(scale, 10);
     print_table(
-        &format!("Fig. 13 — fragments per site (corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 13 — fragments per site (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "fragments",
         &rows,
     );

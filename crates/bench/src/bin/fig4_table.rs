@@ -9,7 +9,10 @@ use parbox_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let rows = fig4_table(scale, 6);
-    println!("## Fig. 4 — measured complexity summary (6 machines, corpus {} bytes)", scale.corpus_bytes);
+    println!(
+        "## Fig. 4 — measured complexity summary (6 machines, corpus {} bytes)",
+        scale.corpus_bytes
+    );
     println!(
         "{:<22} {:>10} {:>14} {:>14} {:>14} {:>8}",
         "algorithm", "max visits", "total work", "parallel (s)", "bytes", "answer"

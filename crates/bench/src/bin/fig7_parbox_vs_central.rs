@@ -10,7 +10,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment1_fig7(scale, 10);
     print_table(
-        &format!("Fig. 7 — ParBoX vs NaiveCentralized (corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 7 — ParBoX vs NaiveCentralized (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "machines",
         &rows,
     );

@@ -8,7 +8,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment1_fig8(scale, 10);
     print_table(
-        &format!("Fig. 8 — scalability in query size (corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 8 — scalability in query size (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "machines",
         &rows,
     );

@@ -8,7 +8,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = experiment2(scale, 10, Target::Root);
     print_table(
-        &format!("Fig. 9 — query qF0 on the FT2 chain (corpus {} bytes)", scale.corpus_bytes),
+        &format!(
+            "Fig. 9 — query qF0 on the FT2 chain (corpus {} bytes)",
+            scale.corpus_bytes
+        ),
         "machines",
         &rows,
     );

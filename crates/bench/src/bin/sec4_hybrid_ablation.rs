@@ -10,7 +10,10 @@ fn main() {
     let scale = Scale::from_args();
     let steps = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
     let rows = sec4_hybrid_ablation(scale, &steps);
-    println!("## Section 4 — Hybrid tipping point (corpus {} bytes)", scale.corpus_bytes);
+    println!(
+        "## Section 4 — Hybrid tipping point (corpus {} bytes)",
+        scale.corpus_bytes
+    );
     println!(
         "{:>9} {:>32} {:>14} {:>14} {:>10}",
         "card(F)", "hybrid chose", "ParBoX (B)", "Naive (B)", "hybrid (B)"

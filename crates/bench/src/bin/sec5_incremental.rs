@@ -8,7 +8,10 @@ use parbox_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let rows = sec5_incremental(scale, 6);
-    println!("## Section 5 — incremental view maintenance (corpus {} bytes)", scale.corpus_bytes);
+    println!(
+        "## Section 5 — incremental view maintenance (corpus {} bytes)",
+        scale.corpus_bytes
+    );
     println!(
         "{:<24} {:>14} {:>12} {:>12} {:>12} {:>8}",
         "scenario", "incr (s)", "reeval (s)", "incr bytes", "reeval B", "sites"
@@ -16,7 +19,11 @@ fn main() {
     for r in rows {
         println!(
             "{:<24} {:>14.6} {:>12.6} {:>12} {:>12} {:>8}",
-            r.scenario, r.incremental_s, r.reeval_s, r.incremental_bytes, r.reeval_bytes,
+            r.scenario,
+            r.incremental_s,
+            r.reeval_s,
+            r.incremental_bytes,
+            r.reeval_bytes,
             r.sites_visited
         );
     }

@@ -19,14 +19,20 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { corpus_bytes: 256 * 1024, seed: 2006 }
+        Scale {
+            corpus_bytes: 256 * 1024,
+            seed: 2006,
+        }
     }
 }
 
 impl Scale {
     /// Scale with an explicit byte budget.
     pub fn bytes(corpus_bytes: usize) -> Scale {
-        Scale { corpus_bytes, ..Default::default() }
+        Scale {
+            corpus_bytes,
+            ..Default::default()
+        }
     }
 
     /// Parses `--scale <bytes>` from argv, defaulting to [`Scale::default`].
@@ -68,7 +74,10 @@ pub fn ft1(scale: Scale, n: usize) -> (Forest, Placement) {
     let mut tree = Tree::new("collection");
     let root = tree.root();
     for i in 0..n {
-        let site = generate(XmarkConfig { target_bytes: per, seed: scale.seed ^ i as u64 });
+        let site = generate(XmarkConfig {
+            target_bytes: per,
+            seed: scale.seed ^ i as u64,
+        });
         tree.append_tree(root, &site);
     }
     let mut forest = Forest::from_tree(tree);
@@ -99,8 +108,10 @@ pub fn ft2_chain(scale: Scale, n: usize) -> (Forest, Placement) {
     for i in 0..n {
         let version = tree.add_child(cur, "version");
         tree.set_attr(version, "seq", &i.to_string());
-        let slice =
-            generate(XmarkConfig { target_bytes: per, seed: scale.seed ^ (i as u64) });
+        let slice = generate(XmarkConfig {
+            target_bytes: per,
+            seed: scale.seed ^ (i as u64),
+        });
         tree.append_tree(version, &slice);
         cur = version;
     }
@@ -116,7 +127,9 @@ pub fn ft2_chain(scale: Scale, n: usize) -> (Forest, Placement) {
                 })
                 .expect("version node present")
         };
-        last = forest.split(last, cut).expect("version subtrees are splittable");
+        last = forest
+            .split(last, cut)
+            .expect("version subtrees are splittable");
     }
     plant_markers(&mut forest);
     let placement = Placement::one_per_fragment(&forest);
@@ -131,7 +144,7 @@ pub fn ft2_chain(scale: Scale, n: usize) -> (Forest, Placement) {
 /// Structure: `F0 → {F1, F2, F3}`, `F1 → {F4, F5}`, `F3 → {F6, F7}`.
 pub fn ft3(scale: Scale, growth: f64) -> (Forest, Placement) {
     let unit = scale.corpus_bytes as f64 / 50.0; // bytes standing in for 1 MB
-    // (lo, hi) in "MB" for F0..F7, F0 constant, F1 dominant (paper text).
+                                                 // (lo, hi) in "MB" for F0..F7, F0 constant, F1 dominant (paper text).
     let ranges: [(f64, f64); 8] = [
         (10.0, 10.0), // F0
         (10.0, 50.0), // F1
@@ -149,7 +162,10 @@ pub fn ft3(scale: Scale, growth: f64) -> (Forest, Placement) {
 
     // Assemble the whole document with nested attachment points:
     // sections 4 and 5 live inside section 1; sections 6 and 7 inside 3.
-    let mut tree = generate(XmarkConfig { target_bytes: size(0), seed: scale.seed });
+    let mut tree = generate(XmarkConfig {
+        target_bytes: size(0),
+        seed: scale.seed,
+    });
     let root = tree.root();
     let section = |tree: &mut Tree, parent, i: usize| {
         let slot = tree.add_child(parent, "section");
@@ -197,7 +213,10 @@ pub fn ft3(scale: Scale, growth: f64) -> (Forest, Placement) {
 /// **Experiment 4**: a single site holding the whole corpus split into
 /// `n` equal fragments — evaluation time must stay constant in `n`.
 pub fn single_site_split(scale: Scale, n: usize) -> (Forest, Placement) {
-    let tree = generate(XmarkConfig { target_bytes: scale.corpus_bytes, seed: scale.seed });
+    let tree = generate(XmarkConfig {
+        target_bytes: scale.corpus_bytes,
+        seed: scale.seed,
+    });
     let mut forest = Forest::from_tree(tree);
     strategies::fragment_evenly(&mut forest, n).expect("corpus large enough");
     let mut placement = Placement::new();
@@ -212,7 +231,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { corpus_bytes: 40_000, seed: 7 }
+        Scale {
+            corpus_bytes: 40_000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -230,8 +252,10 @@ mod tests {
     #[test]
     fn ft1_fragments_roughly_equal() {
         let (forest, _) = ft1(tiny(), 5);
-        let sizes: Vec<usize> =
-            forest.fragment_ids().map(|f| forest.fragment(f).len()).collect();
+        let sizes: Vec<usize> = forest
+            .fragment_ids()
+            .map(|f| forest.fragment(f).len())
+            .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
         assert!(max <= min * 2, "imbalanced: {sizes:?}");

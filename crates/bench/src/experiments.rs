@@ -201,7 +201,12 @@ pub fn sec5_incremental(scale: Scale, machines: usize) -> Vec<IncrementalRow> {
             Box::new(|forest: &Forest| {
                 let frag = last_fragment(forest);
                 let root = forest.fragment(frag).tree.root();
-                Update::InsNode { frag, parent: root, label: "noise".into(), text: None }
+                Update::InsNode {
+                    frag,
+                    parent: root,
+                    label: "noise".into(),
+                    text: None,
+                }
             }) as Box<dyn Fn(&Forest) -> Update>,
         ),
         (
@@ -226,7 +231,11 @@ pub fn sec5_incremental(scale: Scale, machines: usize) -> Vec<IncrementalRow> {
                     .children(tree.root())
                     .find(|&n| tree.subtree_size(n) >= 2 && !tree.node(n).kind.is_virtual())
                     .expect("splittable child");
-                Update::SplitFragments { frag, node: cut, to_site: None }
+                Update::SplitFragments {
+                    frag,
+                    node: cut,
+                    to_site: None,
+                }
             }),
         ),
     ] {
@@ -235,7 +244,9 @@ pub fn sec5_incremental(scale: Scale, machines: usize) -> Vec<IncrementalRow> {
         let (mut view, _) =
             MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &q);
         let update = update_of(&forest);
-        let rep = view.apply(&mut forest, &mut placement, update).expect("valid update");
+        let rep = view
+            .apply(&mut forest, &mut placement, update)
+            .expect("valid update");
         // Full re-evaluation for comparison.
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
         let full = parbox(&cluster, &q);
@@ -289,7 +300,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { corpus_bytes: 30_000, seed: 11 }
+        Scale {
+            corpus_bytes: 30_000,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -297,15 +311,24 @@ mod tests {
         let rows = experiment1_fig7(tiny(), 4);
         assert_eq!(rows.len(), 8);
         // NaiveCentralized ships data; ParBoX does not.
-        let nc_bytes: usize =
-            rows.iter().filter(|r| r.series == "NaiveCentralized").map(|r| r.bytes).sum();
-        let pb_bytes: usize =
-            rows.iter().filter(|r| r.series == "ParBoX").map(|r| r.bytes).sum();
+        let nc_bytes: usize = rows
+            .iter()
+            .filter(|r| r.series == "NaiveCentralized")
+            .map(|r| r.bytes)
+            .sum();
+        let pb_bytes: usize = rows
+            .iter()
+            .filter(|r| r.series == "ParBoX")
+            .map(|r| r.bytes)
+            .sum();
         assert!(nc_bytes > 10 * pb_bytes, "nc {nc_bytes} vs pb {pb_bytes}");
         // ParBoX runtime at 4 machines beats NaiveCentralized at 4 (the
         // shipping term is deterministic; allow generous compute noise).
         let at = |series: &str, x: f64| {
-            rows.iter().find(|r| r.series == series && r.x == x).unwrap().runtime_s
+            rows.iter()
+                .find(|r| r.series == series && r.x == x)
+                .unwrap()
+                .runtime_s
         };
         assert!(
             at("ParBoX", 4.0) < at("NaiveCentralized", 4.0) + 0.002,
@@ -319,7 +342,10 @@ mod tests {
     fn fig8_more_subqueries_cost_more() {
         let rows = experiment1_fig8(tiny(), 2);
         let sum = |s: &str| -> f64 {
-            rows.iter().filter(|r| r.series == s).map(|r| r.work as f64).sum()
+            rows.iter()
+                .filter(|r| r.series == s)
+                .map(|r| r.work as f64)
+                .sum()
         };
         assert!(sum("|QList|=23") > sum("|QList|=2"));
     }
@@ -329,7 +355,10 @@ mod tests {
         let rows = experiment2(tiny(), 4, Target::Root);
         // At n=4, lazy does least total work.
         let work = |s: &str| {
-            rows.iter().find(|r| r.series == s && r.x == 4.0).unwrap().work
+            rows.iter()
+                .find(|r| r.series == s && r.x == 4.0)
+                .unwrap()
+                .work
         };
         assert!(work("LazyParBoX") < work("ParBoX"));
         assert!(work("LazyParBoX") < work("FullDistParBoX"));
@@ -339,7 +368,10 @@ mod tests {
     fn experiment2_deepest_target_makes_lazy_sequential() {
         let rows = experiment2(tiny(), 4, Target::Deepest);
         let rt = |s: &str| {
-            rows.iter().find(|r| r.series == s && r.x == 4.0).unwrap().runtime_s
+            rows.iter()
+                .find(|r| r.series == s && r.x == 4.0)
+                .unwrap()
+                .runtime_s
         };
         assert!(rt("LazyParBoX") >= rt("ParBoX"));
     }
@@ -366,7 +398,12 @@ mod tests {
                 r.incremental_bytes,
                 r.reeval_bytes
             );
-            assert!(r.sites_visited <= 2, "{} visited {}", r.scenario, r.sites_visited);
+            assert!(
+                r.sites_visited <= 2,
+                "{} visited {}",
+                r.scenario,
+                r.sites_visited
+            );
         }
     }
 

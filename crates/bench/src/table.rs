@@ -24,11 +24,7 @@ pub struct Row {
 
 impl Row {
     /// Builds a row from an outcome.
-    pub fn from_outcome(
-        x: f64,
-        series: impl Into<String>,
-        out: &parbox_core::EvalOutcome,
-    ) -> Row {
+    pub fn from_outcome(x: f64, series: impl Into<String>, out: &parbox_core::EvalOutcome) -> Row {
         Row {
             x,
             series: series.into(),

@@ -97,9 +97,7 @@ impl Formula {
 
     fn flatten_into(f: Formula, ops: &mut Vec<Formula>, conj: bool) {
         match (f, conj) {
-            (Formula::And(xs), true) | (Formula::Or(xs), false) => {
-                ops.extend(xs.iter().cloned())
-            }
+            (Formula::And(xs), true) | (Formula::Or(xs), false) => ops.extend(xs.iter().cloned()),
             (f, _) => ops.push(f),
         }
     }
@@ -189,12 +187,8 @@ impl Formula {
             Formula::Const(b) => Formula::Const(*b),
             Formula::Var(v) => lookup(*v).unwrap_or(Formula::Var(*v)),
             Formula::Not(f) => f.substitute(lookup).not(),
-            Formula::And(xs) => {
-                Formula::all(xs.iter().map(|f| f.substitute(lookup)))
-            }
-            Formula::Or(xs) => {
-                Formula::any(xs.iter().map(|f| f.substitute(lookup)))
-            }
+            Formula::And(xs) => Formula::all(xs.iter().map(|f| f.substitute(lookup))),
+            Formula::Or(xs) => Formula::any(xs.iter().map(|f| f.substitute(lookup))),
         }
     }
 
@@ -285,8 +279,14 @@ mod tests {
     #[test]
     fn comp_fm_matches_paper_cases() {
         // (c0) two constants.
-        assert_eq!(comp_fm(Formula::TRUE, Formula::TRUE, BoolOp::And), Formula::TRUE);
-        assert_eq!(comp_fm(Formula::TRUE, Formula::FALSE, BoolOp::And), Formula::FALSE);
+        assert_eq!(
+            comp_fm(Formula::TRUE, Formula::TRUE, BoolOp::And),
+            Formula::TRUE
+        );
+        assert_eq!(
+            comp_fm(Formula::TRUE, Formula::FALSE, BoolOp::And),
+            Formula::FALSE
+        );
         // (c1) constant, formula.
         assert_eq!(comp_fm(Formula::TRUE, v(1), BoolOp::And), v(1));
         assert_eq!(comp_fm(Formula::FALSE, v(1), BoolOp::And), Formula::FALSE);

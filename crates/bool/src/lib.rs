@@ -23,8 +23,7 @@ mod triplet;
 mod var;
 
 pub use encode::{
-    decode_formula, decode_triplet, encode_formula, encode_triplet, triplet_wire_size,
-    DecodeError,
+    decode_formula, decode_triplet, encode_formula, encode_triplet, triplet_wire_size, DecodeError,
 };
 pub use formula::{comp_fm, BoolOp, Formula};
 pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet};

@@ -49,7 +49,11 @@ impl Triplet {
                 .map(|i| Formula::Var(Var::new(frag, vec, i)))
                 .collect()
         };
-        Triplet { v: mk(VecKind::V), cv: mk(VecKind::CV), dv: mk(VecKind::DV) }
+        Triplet {
+            v: mk(VecKind::V),
+            cv: mk(VecKind::CV),
+            dv: mk(VecKind::DV),
+        }
     }
 
     /// Width (must equal `|QList(q)|`).
@@ -107,7 +111,11 @@ impl Triplet {
     /// Converts to plain Booleans; `None` if any entry is still open.
     pub fn resolved(&self) -> Option<ResolvedTriplet> {
         let take = |xs: &[Formula]| xs.iter().map(Formula::as_const).collect::<Option<Vec<_>>>();
-        Some(ResolvedTriplet { v: take(&self.v)?, cv: take(&self.cv)?, dv: take(&self.dv)? })
+        Some(ResolvedTriplet {
+            v: take(&self.v)?,
+            cv: take(&self.cv)?,
+            dv: take(&self.dv)?,
+        })
     }
 }
 
@@ -268,7 +276,11 @@ mod tests {
         assert!(t.is_closed());
         assert_eq!(
             t.resolved().unwrap(),
-            ResolvedTriplet { v: vec![false; 3], cv: vec![false; 3], dv: vec![false; 3] }
+            ResolvedTriplet {
+                v: vec![false; 3],
+                cv: vec![false; 3],
+                dv: vec![false; 3]
+            }
         );
     }
 

@@ -4,9 +4,7 @@
 //! encoding must be lossless.
 
 use bytes::BytesMut;
-use parbox_bool::{
-    comp_fm, decode_formula, encode_formula, BoolOp, Formula, Var, VecKind,
-};
+use parbox_bool::{comp_fm, decode_formula, encode_formula, BoolOp, Formula, Var, VecKind};
 use parbox_xml::FragmentId;
 use proptest::prelude::*;
 
@@ -14,7 +12,10 @@ use proptest::prelude::*;
 fn var_pool() -> Vec<Var> {
     let mut out = Vec::new();
     for f in 0..3u32 {
-        for (k, vec) in [VecKind::V, VecKind::CV, VecKind::DV].into_iter().enumerate() {
+        for (k, vec) in [VecKind::V, VecKind::CV, VecKind::DV]
+            .into_iter()
+            .enumerate()
+        {
             out.push(Var::new(FragmentId(f), vec, k as u32));
         }
     }
@@ -40,11 +41,13 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
 /// Deterministic assignment derived from a seed byte.
 fn assignment(seed: u8) -> impl Fn(Var) -> bool {
     move |v: Var| {
-        let h = v.frag.0 as u8 ^ (v.sub as u8) ^ match v.vec {
-            VecKind::V => 0,
-            VecKind::CV => 1,
-            VecKind::DV => 2,
-        };
+        let h = v.frag.0 as u8
+            ^ (v.sub as u8)
+            ^ match v.vec {
+                VecKind::V => 0,
+                VecKind::CV => 1,
+                VecKind::DV => 2,
+            };
         (h ^ seed).count_ones().is_multiple_of(2)
     }
 }

@@ -172,7 +172,10 @@ fn aggregate_distributed(
             .model
             .shared_link_time(report.messages.iter().map(|m| m.bytes))
         + solve_time.as_secs_f64();
-    AggregateOutcome { value: totals[&st.root()], report }
+    AggregateOutcome {
+        value: totals[&st.root()],
+        report,
+    }
 }
 
 /// One fragment-local pass: evaluates `q`'s formula vectors at every node
@@ -181,7 +184,11 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
     let resolved_q = q.resolve(tree.labels());
     let m = resolved_q.len();
     let root_sub = resolved_q.root as usize;
-    let mut out = ResidualAggregate { resolved: 0.0, pending: Vec::new(), children: Vec::new() };
+    let mut out = ResidualAggregate {
+        resolved: 0.0,
+        pending: Vec::new(),
+        children: Vec::new(),
+    };
 
     // Postorder traversal with formula vectors, mirroring `bottomUp` but
     // inspecting V(q_root) at every node.
@@ -192,27 +199,42 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
         dv: Vec<Formula>,
     }
     let mk = |m: usize| vec![Formula::FALSE; m];
-    let mut stack =
-        vec![Frame { node: tree.root(), child_idx: 0, cv: mk(m), dv: mk(m) }];
+    let mut stack = vec![Frame {
+        node: tree.root(),
+        child_idx: 0,
+        cv: mk(m),
+        dv: mk(m),
+    }];
     let mut done: Option<(Vec<Formula>, Vec<Formula>)> = None;
     loop {
         let frame = stack.last_mut().expect("non-empty until break");
         if let Some((v_w, dv_w)) = done.take() {
             for i in 0..m {
-                frame.cv[i] =
-                    Formula::or(std::mem::replace(&mut frame.cv[i], Formula::FALSE), v_w[i].clone());
-                frame.dv[i] =
-                    Formula::or(std::mem::replace(&mut frame.dv[i], Formula::FALSE), dv_w[i].clone());
+                frame.cv[i] = Formula::or(
+                    std::mem::replace(&mut frame.cv[i], Formula::FALSE),
+                    v_w[i].clone(),
+                );
+                frame.dv[i] = Formula::or(
+                    std::mem::replace(&mut frame.dv[i], Formula::FALSE),
+                    dv_w[i].clone(),
+                );
             }
         }
         let kids = tree.node(frame.node).child_ids();
         if frame.child_idx < kids.len() {
             let child = kids[frame.child_idx];
             frame.child_idx += 1;
-            stack.push(Frame { node: child, child_idx: 0, cv: mk(m), dv: mk(m) });
+            stack.push(Frame {
+                node: child,
+                child_idx: 0,
+                cv: mk(m),
+                dv: mk(m),
+            });
             continue;
         }
-        let Frame { node, cv, mut dv, .. } = stack.pop().expect("peeked");
+        let Frame {
+            node, cv, mut dv, ..
+        } = stack.pop().expect("peeked");
         let n = tree.node(node);
         let v: Vec<Formula> = if let Some(frag) = n.kind.fragment() {
             // Sub-fragment: its nodes are counted by its own residual.
@@ -229,12 +251,8 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
                     Op::TextIs(s) => Formula::Const(n.text.as_deref() == Some(s.as_ref())),
                     Op::Child(j) => cv[*j as usize].clone(),
                     Op::Desc(j) => dv[*j as usize].clone(),
-                    Op::Or(a, b) => {
-                        Formula::or(v[*a as usize].clone(), v[*b as usize].clone())
-                    }
-                    Op::And(a, b) => {
-                        Formula::and(v[*a as usize].clone(), v[*b as usize].clone())
-                    }
+                    Op::Or(a, b) => Formula::or(v[*a as usize].clone(), v[*b as usize].clone()),
+                    Op::And(a, b) => Formula::and(v[*a as usize].clone(), v[*b as usize].clone()),
                     Op::Not(a) => v[*a as usize].clone().not(),
                 };
                 dv[i] = Formula::or(value.clone(), std::mem::replace(&mut dv[i], Formula::FALSE));
@@ -289,10 +307,7 @@ mod tests {
 
     #[test]
     fn centralized_sum_simple() {
-        let tree = Tree::parse(
-            "<r><p>10</p><p>2.5</p><p>not-a-number</p><x>99</x></r>",
-        )
-        .unwrap();
+        let tree = Tree::parse("<r><p>10</p><p>2.5</p><p>not-a-number</p><x>99</x></r>").unwrap();
         assert_eq!(sum_centralized(&tree, &q("[label() = p]")), 12.5);
         assert_eq!(sum_centralized(&tree, &q("[label() = x]")), 99.0);
     }
@@ -341,7 +356,10 @@ mod tests {
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
         // Total GOOG sell value: 370 + 373 + 371.
         let query = q("[label() = sell]");
-        assert_eq!(sum_centralized(&whole, &query), 370.0 + 35.0 + 373.0 + 78.0 + 371.0);
+        assert_eq!(
+            sum_centralized(&whole, &query),
+            370.0 + 35.0 + 373.0 + 78.0 + 371.0
+        );
         let got = sum_distributed(&cluster, &query);
         assert_eq!(got.value, sum_centralized(&whole, &query));
     }

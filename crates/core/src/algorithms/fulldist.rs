@@ -78,13 +78,18 @@ pub fn full_dist_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome
         let start = Instant::now();
         let closed = open[&frag]
             .substitute(&|var: Var| {
-                resolved.get(&var.frag).map(|r| Formula::Const(r.value_of(var)))
+                resolved
+                    .get(&var.frag)
+                    .map(|r| Formula::Const(r.value_of(var)))
             })
             .resolved()
             .expect("children resolved in postorder");
         let step = start.elapsed();
         report.record_compute(here, step);
-        report.record_work(here, q.len() as u64 * (1 + st.entry(frag).children.len() as u64));
+        report.record_work(
+            here,
+            q.len() as u64 * (1 + st.entry(frag).children.len() as u64),
+        );
         resolved.insert(frag, closed);
         done_at.insert(frag, ready + step.as_secs_f64());
     }
@@ -99,7 +104,11 @@ pub fn full_dist_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome
     };
     report.elapsed_model_s = broadcast + done_at[&root];
     report.elapsed_wall_s = wall.elapsed().as_secs_f64();
-    EvalOutcome { answer, report, algorithm: "FullDistParBoX" }
+    EvalOutcome {
+        answer,
+        report,
+        algorithm: "FullDistParBoX",
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +139,12 @@ mod tests {
         let forest = chain_forest(5);
         let placement = Placement::one_per_fragment(&forest);
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        for src in ["[//goal = \"here\"]", "[//lvl0 and //goal]", "[//nope]", "[not //nope]"] {
+        for src in [
+            "[//goal = \"here\"]",
+            "[//lvl0 and //goal]",
+            "[//nope]",
+            "[not //nope]",
+        ] {
             let q = compile(&parse_query(src).unwrap());
             assert_eq!(
                 full_dist_parbox(&cluster, &q).answer,

@@ -71,9 +71,8 @@ mod tests {
         strategies::fragment_evenly(&mut forest, 12).unwrap();
         let placement = Placement::one_per_fragment(&forest);
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        let q = compile(
-            &parse_query("[//goal and //a = \"v\" and //b and //s0 and //s1]").unwrap(),
-        );
+        let q =
+            compile(&parse_query("[//goal and //a = \"v\" and //b and //s0 and //s1]").unwrap());
         assert!(!hybrid_prefers_parbox(&cluster, &q));
         let out = hybrid_parbox(&cluster, &q);
         assert!(out.answer);

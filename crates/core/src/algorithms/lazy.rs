@@ -119,7 +119,9 @@ pub(crate) fn partial_solve(
 ) -> Option<bool> {
     let mut partial: HashMap<FragmentId, Triplet> = HashMap::new();
     for &frag in st.postorder() {
-        let Some(t) = gathered.get(&frag) else { continue };
+        let Some(t) = gathered.get(&frag) else {
+            continue;
+        };
         let sub = t.substitute(&|var: Var| {
             partial
                 .get(&var.frag)
@@ -129,7 +131,6 @@ pub(crate) fn partial_solve(
     }
     partial.get(&st.root())?.v[root_sub].as_const()
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -160,7 +161,12 @@ mod tests {
         let forest = chain_with_markers(5);
         let placement = Placement::one_per_fragment(&forest);
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        for src in ["[//mark0]", "[//bottom]", "[//nope]", "[//mark0 and //bottom]"] {
+        for src in [
+            "[//mark0]",
+            "[//bottom]",
+            "[//nope]",
+            "[//mark0 and //bottom]",
+        ] {
             let q = compile(&parse_query(src).unwrap());
             assert_eq!(
                 lazy_parbox(&cluster, &q).answer,

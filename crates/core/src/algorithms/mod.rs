@@ -14,11 +14,11 @@ mod lazy;
 mod naive;
 mod parbox_algo;
 
-pub use fulldist::full_dist_parbox;
-pub use hybrid::{hybrid_parbox, hybrid_prefers_parbox};
-pub use lazy::lazy_parbox;
-pub use naive::{naive_centralized, naive_distributed};
-pub use parbox_algo::parbox;
+pub use self::fulldist::full_dist_parbox;
+pub use self::hybrid::{hybrid_parbox, hybrid_prefers_parbox};
+pub use self::lazy::lazy_parbox;
+pub use self::naive::{naive_centralized, naive_distributed};
+pub use self::parbox_algo::parbox;
 
 use parbox_bool::{triplet_wire_size, Triplet};
 use parbox_net::{Cluster, RunReport};

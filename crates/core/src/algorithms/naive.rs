@@ -49,11 +49,15 @@ pub fn naive_centralized(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcom
     report.record_compute(coord, eval_time);
     report.record_work(coord, run.work_units);
 
-    report.elapsed_model_s = cluster.model.shared_link_time(shipped.iter().copied())
-        + eval_time.as_secs_f64();
+    report.elapsed_model_s =
+        cluster.model.shared_link_time(shipped.iter().copied()) + eval_time.as_secs_f64();
     report.elapsed_wall_s = wall.elapsed().as_secs_f64();
 
-    EvalOutcome { answer: run.answer, report, algorithm: "NaiveCentralized" }
+    EvalOutcome {
+        answer: run.answer,
+        report,
+        algorithm: "NaiveCentralized",
+    }
 }
 
 /// `NaiveDistributed`: a distributed bottom-up traversal of the document.
@@ -88,7 +92,9 @@ pub fn naive_distributed(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcom
         let closed = run
             .triplet
             .substitute(&|var: Var| {
-                resolved.get(&var.frag).map(|r| Formula::Const(r.value_of(var)))
+                resolved
+                    .get(&var.frag)
+                    .map(|r| Formula::Const(r.value_of(var)))
             })
             .resolved()
             .expect("postorder guarantees children resolved");
@@ -110,7 +116,11 @@ pub fn naive_distributed(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcom
     let answer = resolved[&root].v[q.root() as usize];
     report.elapsed_model_s = model_time;
     report.elapsed_wall_s = wall.elapsed().as_secs_f64();
-    EvalOutcome { answer, report, algorithm: "NaiveDistributed" }
+    EvalOutcome {
+        answer,
+        report,
+        algorithm: "NaiveDistributed",
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +136,9 @@ mod tests {
     fn fig2() -> (Forest, Placement) {
         // Padding makes fragment byte sizes realistic relative to the
         // O(|q|) triplets (real documents are MBs, triplets are bytes).
-        let pad: String = (0..40).map(|i| format!("<pad>row {i} data</pad>")).collect();
+        let pad: String = (0..40)
+            .map(|i| format!("<pad>row {i} data</pad>"))
+            .collect();
         let tree = Tree::parse(&format!(
             "<portfolio>\
                <broker><name>Bache</name><market><title>NYSE</title>{pad}\
@@ -140,7 +152,9 @@ mod tests {
         let f0 = forest.root_fragment();
         let find = |forest: &Forest, frag, label: &str| {
             let t = &forest.fragment(frag).tree;
-            t.descendants(t.root()).find(|&n| t.label_str(n) == label).unwrap()
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == label)
+                .unwrap()
         };
         let b2 = find(&forest, f0, "broker2");
         let f1 = forest.split(f0, b2).unwrap();
@@ -210,7 +224,10 @@ mod tests {
         // Work is still O(|q||T|): same as ParBoX's evaluation work.
         let pb = parbox(&cluster, &q);
         let solve_overhead = (q.len() * forest.card()) as u64;
-        assert_eq!(out.report.total_work() + solve_overhead, pb.report.total_work());
+        assert_eq!(
+            out.report.total_work() + solve_overhead,
+            pb.report.total_work()
+        );
     }
 
     #[test]
@@ -221,8 +238,7 @@ mod tests {
         let out = naive_distributed(&cluster, &q);
         assert_eq!(out.report.bytes_of_kind(MessageKind::Data), 0);
         // Bounded by O(|q| · card(F)).
-        let bound = (query_wire_size(&q) + resolved_triplet_wire_size(q.len()))
-            * forest.card();
+        let bound = (query_wire_size(&q) + resolved_triplet_wire_size(q.len())) * forest.card();
         assert!(out.report.total_bytes() <= bound);
     }
 

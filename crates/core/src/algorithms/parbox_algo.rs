@@ -74,22 +74,27 @@ pub fn parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
     report.record_compute(coord, solve_time);
     // The system has O(|q| · card(F)) entries; count its resolution as one
     // work unit per entry (paper: linear-time solve).
-    report.record_work(
-        coord,
-        (q.len() * cluster.forest.card()) as u64,
-    );
+    report.record_work(coord, (q.len() * cluster.forest.card()) as u64);
 
     let answer = answer_from_resolved(&resolved, cluster, q);
 
     // Modeled elapsed time: query broadcast ∥ → parallel compute → triplet
     // return over the coordinator's shared inbound link → solve.
     let model = &cluster.model;
-    let broadcast = if sites.len() > 1 { model.transfer_time(qsize) } else { 0.0 };
+    let broadcast = if sites.len() > 1 {
+        model.transfer_time(qsize)
+    } else {
+        0.0
+    };
     let collect = model.shared_link_time(remote_triplet_bytes.iter().copied());
     report.elapsed_model_s = broadcast + max_compute + collect + solve_time.as_secs_f64();
     report.elapsed_wall_s = wall.elapsed().as_secs_f64();
 
-    EvalOutcome { answer, report, algorithm: "ParBoX" }
+    EvalOutcome {
+        answer,
+        report,
+        algorithm: "ParBoX",
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +113,9 @@ mod tests {
         let f0 = forest.root_fragment();
         let find = |forest: &Forest, frag, label: &str| {
             let t = &forest.fragment(frag).tree;
-            t.descendants(t.root()).find(|&n| t.label_str(n) == label).unwrap()
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == label)
+                .unwrap()
         };
         let x = find(&forest, f0, "x");
         let fx = forest.split(f0, x).unwrap();
@@ -247,6 +254,10 @@ mod tests {
         let q = compile(&parse_query("[//b]").unwrap());
         let out = parbox(&cluster, &q);
         assert!(out.answer);
-        assert_eq!(out.report.total_messages(), 0, "no remote sites, no traffic");
+        assert_eq!(
+            out.report.total_messages(),
+            0,
+            "no remote sites, no traffic"
+        );
     }
 }

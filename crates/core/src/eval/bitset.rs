@@ -13,7 +13,9 @@ pub struct BitSet {
 impl BitSet {
     /// All-zero set of `width` bits.
     pub fn zeros(width: usize) -> BitSet {
-        BitSet { words: vec![0; width.div_ceil(64)] }
+        BitSet {
+            words: vec![0; width.div_ceil(64)],
+        }
     }
 
     /// Reads bit `i`.

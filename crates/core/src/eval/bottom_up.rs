@@ -41,17 +41,26 @@ pub fn bottom_up(tree: &Tree, q: &CompiledQuery) -> FragmentRun {
     // handled by the bitset kernel at centralized speed.
     let spine = compute_spine(tree, root);
     if !spine[root.index()] {
-        let (v, cv, dv, nodes) =
-            crate::eval::centralized::eval_vectors_at(tree, &resolved, root);
+        let (v, cv, dv, nodes) = crate::eval::centralized::eval_vectors_at(tree, &resolved, root);
         let to_vec = |b: &crate::eval::bitset::BitSet| {
             (0..m).map(|i| Formula::Const(b.get(i))).collect::<Vec<_>>()
         };
         return FragmentRun {
-            triplet: Triplet { v: to_vec(&v), cv: to_vec(&cv), dv: to_vec(&dv) },
+            triplet: Triplet {
+                v: to_vec(&v),
+                cv: to_vec(&cv),
+                dv: to_vec(&dv),
+            },
             work_units: nodes * m as u64,
         };
     }
-    let mut eval = FormulaEvaluator { tree, q: &resolved, m, nodes: 0, spine: &spine };
+    let mut eval = FormulaEvaluator {
+        tree,
+        q: &resolved,
+        m,
+        nodes: 0,
+        spine: &spine,
+    };
     let (v, cv, dv) = eval.run(root);
     FragmentRun {
         triplet: Triplet { v, cv, dv },
@@ -70,9 +79,18 @@ pub fn bottom_up_formula_only(tree: &Tree, q: &CompiledQuery) -> FragmentRun {
     let root = tree.root();
     // An all-true spine forces the formula path everywhere.
     let spine = vec![true; tree.arena_len()];
-    let mut eval = FormulaEvaluator { tree, q: &resolved, m, nodes: 0, spine: &spine };
+    let mut eval = FormulaEvaluator {
+        tree,
+        q: &resolved,
+        m,
+        nodes: 0,
+        spine: &spine,
+    };
     let (v, cv, dv) = eval.run(root);
-    FragmentRun { triplet: Triplet { v, cv, dv }, work_units: eval.nodes * m as u64 }
+    FragmentRun {
+        triplet: Triplet { v, cv, dv },
+        work_units: eval.nodes * m as u64,
+    }
 }
 
 /// One postorder sweep computing, per arena slot, whether the subtree
@@ -81,8 +99,8 @@ fn compute_spine(tree: &Tree, root: NodeId) -> Vec<bool> {
     let mut spine = vec![false; tree.arena_len()];
     for n in tree.postorder(root) {
         let node = tree.node(n);
-        spine[n.index()] = node.kind.is_virtual()
-            || node.child_ids().iter().any(|c| spine[c.index()]);
+        spine[n.index()] =
+            node.kind.is_virtual() || node.child_ids().iter().any(|c| spine[c.index()]);
     }
     spine
 }
@@ -161,7 +179,9 @@ impl<'a> FormulaEvaluator<'a> {
     /// at a virtual node.
     fn compute_node(&mut self, frame: Frame) -> Vectors {
         self.nodes += 1;
-        let Frame { node, cv, mut dv, .. } = frame;
+        let Frame {
+            node, cv, mut dv, ..
+        } = frame;
         let n = self.tree.node(node);
         if let Some(frag) = n.kind.fragment() {
             return self.virtual_vectors(frag);
@@ -230,13 +250,12 @@ mod tests {
     fn virtual_node_introduces_variables() {
         let t = triplet(r#"<a><parbox:virtual ref="2"/></a>"#, "[//b]");
         assert!(!t.is_closed());
-        let vars = t
-            .v
-            .iter()
-            .chain(&t.cv)
-            .chain(&t.dv)
-            .flat_map(|f| f.vars())
-            .collect::<std::collections::BTreeSet<_>>();
+        let vars =
+            t.v.iter()
+                .chain(&t.cv)
+                .chain(&t.dv)
+                .flat_map(|f| f.vars())
+                .collect::<std::collections::BTreeSet<_>>();
         assert!(vars.iter().all(|v| v.frag == FragmentId(2)));
         assert!(!vars.is_empty());
     }
@@ -284,7 +303,11 @@ mod tests {
         // of the paper's V_F1 = <…, dx8, dx8>.
         let root = t.v.len() - 1;
         let vars = t.v[root].vars();
-        assert!(!vars.is_empty() && vars.len() <= 2, "V_root = {}", t.v[root]);
+        assert!(
+            !vars.is_empty() && vars.len() <= 2,
+            "V_root = {}",
+            t.v[root]
+        );
         for var in vars {
             assert_eq!(var.frag, FragmentId(2));
             assert!(matches!(var.vec, VecKind::DV | VecKind::V));

@@ -42,10 +42,7 @@ pub fn centralized_eval_counted(tree: &Tree, q: &CompiledQuery) -> CentralizedRu
 /// and the number of nodes visited. Shared with `bottomUp`, which uses
 /// it as a fast path for fragments without virtual nodes (where partial
 /// evaluation degenerates to full evaluation).
-pub(crate) fn eval_vectors(
-    tree: &Tree,
-    resolved: &ResolvedQuery,
-) -> (BitSet, BitSet, BitSet, u64) {
+pub(crate) fn eval_vectors(tree: &Tree, resolved: &ResolvedQuery) -> (BitSet, BitSet, BitSet, u64) {
     eval_vectors_at(tree, resolved, tree.root())
 }
 
@@ -58,7 +55,13 @@ pub(crate) fn eval_vectors_at(
     start: NodeId,
 ) -> (BitSet, BitSet, BitSet, u64) {
     let m = resolved.len();
-    let mut eval = Evaluator { tree, q: resolved, m, pool: Vec::new(), nodes: 0 };
+    let mut eval = Evaluator {
+        tree,
+        q: resolved,
+        m,
+        pool: Vec::new(),
+        nodes: 0,
+    };
     let (v, cv, dv) = eval.run(start);
     (v, cv, dv, eval.nodes)
 }
@@ -94,7 +97,12 @@ impl<'a> Evaluator<'a> {
     /// Iterative postorder evaluation; returns `(V, CV, DV)` of `start`.
     fn run(&mut self, start: NodeId) -> (BitSet, BitSet, BitSet) {
         let (cv, dv) = (self.alloc(), self.alloc());
-        let mut stack = vec![Frame { node: start, child_idx: 0, cv, dv }];
+        let mut stack = vec![Frame {
+            node: start,
+            child_idx: 0,
+            cv,
+            dv,
+        }];
         // (V, DV) of the most recently completed child.
         let mut done: Option<(BitSet, BitSet)> = None;
         loop {
@@ -111,13 +119,22 @@ impl<'a> Evaluator<'a> {
                 let child = kids[frame.child_idx];
                 frame.child_idx += 1;
                 let (cv, dv) = (self.alloc(), self.alloc());
-                stack.push(Frame { node: child, child_idx: 0, cv, dv });
+                stack.push(Frame {
+                    node: child,
+                    child_idx: 0,
+                    cv,
+                    dv,
+                });
                 continue;
             }
             // All children folded: compute V at this node.
             let frame = stack.pop().expect("just peeked");
             let keep_cv = stack.is_empty();
-            let cv_root = if keep_cv { Some(frame.cv.clone()) } else { None };
+            let cv_root = if keep_cv {
+                Some(frame.cv.clone())
+            } else {
+                None
+            };
             let (v, dv) = self.compute_node(frame);
             if let Some(cv) = cv_root {
                 return (v, cv, dv);
@@ -130,7 +147,9 @@ impl<'a> Evaluator<'a> {
     /// updating `DV` with `V` (paper, Fig. 3b lines 6–17).
     fn compute_node(&mut self, frame: Frame) -> (BitSet, BitSet) {
         self.nodes += 1;
-        let Frame { node, cv, mut dv, .. } = frame;
+        let Frame {
+            node, cv, mut dv, ..
+        } = frame;
         let n = self.tree.node(node);
         let mut v = self.alloc();
         for (i, op) in self.q.ops.iter().enumerate() {
@@ -138,9 +157,7 @@ impl<'a> Evaluator<'a> {
                 Op::True => true,
                 // A virtual node has no label/text of its own.
                 Op::LabelIs(l) => !n.kind.is_virtual() && Some(n.label) == *l,
-                Op::TextIs(s) => {
-                    !n.kind.is_virtual() && n.text.as_deref() == Some(s.as_ref())
-                }
+                Op::TextIs(s) => !n.kind.is_virtual() && n.text.as_deref() == Some(s.as_ref()),
                 Op::Child(j) => cv.get(*j as usize),
                 Op::Desc(j) => dv.get(*j as usize),
                 Op::Or(a, b) => v.get(*a as usize) || v.get(*b as usize),
@@ -214,8 +231,14 @@ mod tests {
             <broker><name>ML</name><stock><code>GOOG</code></stock></broker>
         </portfolio>"#;
         assert!(eval(xml, "[//broker[name/text() = \"Bache\"]]"));
-        assert!(eval(xml, "[//broker[name/text() = \"Bache\"][//code = \"IBM\"]]"));
-        assert!(!eval(xml, "[//broker[name/text() = \"Bache\"][//code = \"GOOG\"]]"));
+        assert!(eval(
+            xml,
+            "[//broker[name/text() = \"Bache\"][//code = \"IBM\"]]"
+        ));
+        assert!(!eval(
+            xml,
+            "[//broker[name/text() = \"Bache\"][//code = \"GOOG\"]]"
+        ));
         assert!(eval(xml, "[//broker[not(//code = \"IBM\")]]"));
     }
 
@@ -241,8 +264,14 @@ mod tests {
             </market>
           </broker>
         </portofolio>"#;
-        assert!(eval(xml, "[//stock[code/text() = \"GOOG\" and sell/text() = \"373\"]]"));
-        assert!(!eval(xml, "[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]"));
+        assert!(eval(
+            xml,
+            "[//stock[code/text() = \"GOOG\" and sell/text() = \"373\"]]"
+        ));
+        assert!(!eval(
+            xml,
+            "[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]"
+        ));
         assert!(eval(xml, "[/portofolio/broker/name = \"Merill Lynch\"]"));
         assert!(!eval(xml, "[/portofolio/broker/name = \"Goldman\"]"));
     }
@@ -271,7 +300,10 @@ mod tests {
         let r = tree.root();
         tree.add_virtual_child(r, parbox_xml::FragmentId(1));
         let q = compile(&parse_query("[//parbox:virtual]").unwrap());
-        assert!(!centralized_eval(&tree, &q), "virtual nodes satisfy nothing");
+        assert!(
+            !centralized_eval(&tree, &q),
+            "virtual nodes satisfy nothing"
+        );
         let q = compile(&parse_query("[//b]").unwrap());
         assert!(centralized_eval(&tree, &q));
     }

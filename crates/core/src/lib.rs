@@ -29,8 +29,8 @@ pub use algorithms::{
     naive_distributed, parbox, query_wire_size, resolved_triplet_wire_size, EvalOutcome,
 };
 pub use eval::{
-    bottom_up, bottom_up_formula_only, centralized_eval, centralized_eval_counted,
-    CentralizedRun, FragmentRun,
+    bottom_up, bottom_up_formula_only, centralized_eval, centralized_eval_counted, CentralizedRun,
+    FragmentRun,
 };
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
 pub use views::{MaterializedView, Update, UpdateReport};

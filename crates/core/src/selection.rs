@@ -99,7 +99,9 @@ pub fn select_distributed(cluster: &Cluster<'_>, sel: &SelectionProgram) -> Sele
         let wave = st.fragments_at_depth(depth);
         let mut wave_sites: Vec<parbox_net::SiteId> = Vec::new();
         for &frag in &wave {
-            let Some(&mask) = incoming.get(&frag) else { continue };
+            let Some(&mask) = incoming.get(&frag) else {
+                continue;
+            };
             let site = st.site_of(frag);
             if !wave_sites.contains(&site) {
                 wave_sites.push(site);
@@ -195,10 +197,17 @@ fn fragment_select_pass(
         if frame.child_idx < kids.len() {
             let child = kids[frame.child_idx];
             frame.child_idx += 1;
-            stack.push(Frame { node: child, child_idx: 0, cv: vec![false; m], dv: vec![false; m] });
+            stack.push(Frame {
+                node: child,
+                child_idx: 0,
+                cv: vec![false; m],
+                dv: vec![false; m],
+            });
             continue;
         }
-        let Frame { node, cv, mut dv, .. } = stack.pop().expect("peeked");
+        let Frame {
+            node, cv, mut dv, ..
+        } = stack.pop().expect("peeked");
         work += m as u64;
         let n = tree.node(node);
         let v: Vec<bool> = if let Some(frag) = n.kind.fragment() {
@@ -313,7 +322,11 @@ fn fragment_select_pass(
     // sort anyway so the contract is independent of traversal details.
     selected.sort_by_key(|n| n.index());
 
-    SelectPass { selected, out_masks, work_units: work }
+    SelectPass {
+        selected,
+        out_masks,
+        work_units: work,
+    }
 }
 
 #[cfg(test)]
@@ -328,7 +341,10 @@ mod tests {
     }
 
     fn labels_of(tree: &Tree, nodes: &[NodeId]) -> Vec<String> {
-        nodes.iter().map(|&n| tree.label_str(n).to_string()).collect()
+        nodes
+            .iter()
+            .map(|&n| tree.label_str(n).to_string())
+            .collect()
     }
 
     #[test]
@@ -405,7 +421,9 @@ mod tests {
             .unwrap();
         let deep = {
             let t = &forest.fragment(f2).tree;
-            t.descendants(t.root()).find(|&n| t.label_str(n) == "deep").unwrap()
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == "deep")
+                .unwrap()
         };
         forest.split(f2, deep).unwrap();
         let placement = Placement::one_per_fragment(&forest);

@@ -199,7 +199,9 @@ impl MaterializedView {
             for (&f, t) in &self.triplets {
                 sys.insert(f, t.clone());
             }
-            let resolved = sys.solve(st.postorder()).expect("triplets cover all fragments");
+            let resolved = sys
+                .solve(st.postorder())
+                .expect("triplets cover all fragments");
             self.ans = resolved[&forest.root_fragment()].v[self.query.root() as usize];
         }
         report.elapsed_wall_s = wall.elapsed().as_secs_f64();
@@ -223,7 +225,12 @@ impl MaterializedView {
         let mut report = RunReport::new();
         let wall = Instant::now();
         let reevaluated = match update {
-            Update::InsNode { frag, parent, label, text } => {
+            Update::InsNode {
+                frag,
+                parent,
+                label,
+                text,
+            } => {
                 let tree = &mut forest.fragment_mut(frag).tree;
                 match text {
                     Some(t) => tree.add_text_child(parent, &label, &t),
@@ -233,8 +240,11 @@ impl MaterializedView {
             }
             Update::DelNode { frag, node } => {
                 let tree = &forest.fragment(frag).tree;
-                let orphans: Vec<FragmentId> =
-                    tree.virtual_nodes(node).into_iter().map(|(_, f)| f).collect();
+                let orphans: Vec<FragmentId> = tree
+                    .virtual_nodes(node)
+                    .into_iter()
+                    .map(|(_, f)| f)
+                    .collect();
                 if !orphans.is_empty() {
                     return Err(ViewError::WouldOrphanFragments(orphans));
                 }
@@ -245,7 +255,11 @@ impl MaterializedView {
                     .map_err(ViewError::Xml)?;
                 vec![frag]
             }
-            Update::SplitFragments { frag, node, to_site } => {
+            Update::SplitFragments {
+                frag,
+                node,
+                to_site,
+            } => {
                 let new = forest.split(frag, node).map_err(ViewError::Frag)?;
                 let site = to_site.unwrap_or_else(|| placement.site_of(frag));
                 placement.assign(new, site);
@@ -277,7 +291,12 @@ impl MaterializedView {
             if site != self.home {
                 // The update notification and the fresh triplet travel
                 // between the fragment's site and the view's home site.
-                report.record_message(self.home, site, query_wire_size(&self.query), MessageKind::Control);
+                report.record_message(
+                    self.home,
+                    site,
+                    query_wire_size(&self.query),
+                    MessageKind::Control,
+                );
                 report.record_message(site, self.home, bytes, MessageKind::Triplet);
             }
             let old = self.triplets.insert(frag, run.triplet);
@@ -305,9 +324,9 @@ impl MaterializedView {
 
         report.elapsed_wall_s = wall.elapsed().as_secs_f64();
         report.elapsed_model_s = report.total_compute_s()
-            + self.model.shared_link_time(
-                report.messages.iter().map(|m| m.bytes),
-            );
+            + self
+                .model
+                .shared_link_time(report.messages.iter().map(|m| m.bytes));
         Ok(UpdateReport {
             answer: self.ans,
             answer_changed: self.ans != old_ans,
@@ -325,10 +344,8 @@ mod tests {
     use parbox_xml::Tree;
 
     fn setup(q: &str) -> (Forest, Placement, MaterializedView) {
-        let tree = Tree::parse(
-            "<r><a><x>1</x><pad/></a><b><y>2</y><pad/></b><c><z>3</z></c></r>",
-        )
-        .unwrap();
+        let tree = Tree::parse("<r><a><x>1</x><pad/></a><b><y>2</y><pad/></b><c><z>3</z></c></r>")
+            .unwrap();
         let mut forest = Forest::from_tree(tree);
         let root = forest.root_fragment();
         strategies::star(&mut forest, root).unwrap();
@@ -343,7 +360,9 @@ mod tests {
 
     fn node_of(forest: &Forest, frag: FragmentId, label: &str) -> NodeId {
         let t = &forest.fragment(frag).tree;
-        t.descendants(t.root()).find(|&n| t.label_str(n) == label).unwrap()
+        t.descendants(t.root())
+            .find(|&n| t.label_str(n) == label)
+            .unwrap()
     }
 
     /// Re-evaluates from scratch as an oracle.
@@ -359,12 +378,16 @@ mod tests {
         let frag = FragmentId(2);
         let parent = node_of(&forest, frag, "b");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: "goal".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: "goal".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         assert!(rep.answer && rep.answer_changed);
         assert_eq!(rep.reevaluated, vec![frag]);
@@ -378,7 +401,11 @@ mod tests {
         let frag = FragmentId(2);
         let y = node_of(&forest, frag, "y");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::DelNode { frag, node: y })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::DelNode { frag, node: y },
+            )
             .unwrap();
         assert!(!rep.answer && rep.answer_changed);
         assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
@@ -392,12 +419,16 @@ mod tests {
         let frag = FragmentId(3);
         let parent = node_of(&forest, frag, "c");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: "noise".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: "noise".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         assert!(rep.answer && !rep.answer_changed);
         assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
@@ -409,16 +440,24 @@ mod tests {
         let frag = FragmentId(1);
         let parent = node_of(&forest, frag, "a");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: "noise".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: "noise".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         // Only the updated fragment's site was visited.
-        let visited: Vec<_> =
-            rep.report.sites().filter(|(_, r)| r.visits > 0).map(|(s, _)| s).collect();
+        let visited: Vec<_> = rep
+            .report
+            .sites()
+            .filter(|(_, r)| r.visits > 0)
+            .map(|(s, _)| s)
+            .collect();
         assert_eq!(visited, vec![placement.site_of(frag)]);
     }
 
@@ -429,11 +468,15 @@ mod tests {
         let frag = FragmentId(2);
         let y = node_of(&forest, frag, "y");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::SplitFragments {
-                frag,
-                node: y,
-                to_site: Some(SiteId(9)),
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::SplitFragments {
+                    frag,
+                    node: y,
+                    to_site: Some(SiteId(9)),
+                },
+            )
             .unwrap();
         assert!(rep.answer, "splitting must not change the answer");
         assert!(!rep.answer_changed);
@@ -457,10 +500,14 @@ mod tests {
             .unwrap()
             .0;
         let rep = view
-            .apply(&mut forest, &mut placement, Update::MergeFragments {
-                frag: root,
-                node: vnode,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::MergeFragments {
+                    frag: root,
+                    node: vnode,
+                },
+            )
             .unwrap();
         assert!(rep.answer && !rep.answer_changed);
         assert_eq!(forest.card(), 3);
@@ -473,7 +520,11 @@ mod tests {
         let frag = FragmentId(2);
         let y = node_of(&forest, frag, "y");
         let rep = view
-            .apply(&mut forest, &mut placement, Update::MergeFragments { frag, node: y })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::MergeFragments { frag, node: y },
+            )
             .unwrap();
         assert!(rep.reevaluated.is_empty());
         assert!(!rep.answer_changed);
@@ -486,11 +537,15 @@ mod tests {
         // contains the virtual node.
         let frag = FragmentId(2);
         let y = node_of(&forest, frag, "y");
-        view.apply(&mut forest, &mut placement, Update::SplitFragments {
-            frag,
-            node: y,
-            to_site: None,
-        })
+        view.apply(
+            &mut forest,
+            &mut placement,
+            Update::SplitFragments {
+                frag,
+                node: y,
+                to_site: None,
+            },
+        )
         .unwrap();
         let b = {
             let t = &forest.fragment(frag).tree;
@@ -502,7 +557,11 @@ mod tests {
         let t = &forest.fragment(frag).tree;
         let v = t.virtual_nodes(b)[0].0;
         let err = view
-            .apply(&mut forest, &mut placement, Update::DelNode { frag, node: v })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::DelNode { frag, node: v },
+            )
             .unwrap_err();
         assert!(matches!(err, ViewError::WouldOrphanFragments(_)));
     }
@@ -514,30 +573,42 @@ mod tests {
         let parent = node_of(&forest, frag, "a");
         // Small update.
         let rep1 = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: "n1".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: "n1".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         // Large update: 100 inserts, then one more to measure.
         for i in 0..100 {
-            view.apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: format!("bulk{i}"),
-                text: Some("payload".into()),
-            })
+            view.apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: format!("bulk{i}"),
+                    text: Some("payload".into()),
+                },
+            )
             .unwrap();
         }
         let rep2 = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent,
-                label: "n2".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent,
+                    label: "n2".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         assert_eq!(
             rep1.report.total_bytes(),
@@ -565,7 +636,11 @@ mod tests {
                 0 => Update::InsNode {
                     frag,
                     parent: node,
-                    label: if rng.random_bool(0.2) { "goal".into() } else { "pad".into() },
+                    label: if rng.random_bool(0.2) {
+                        "goal".into()
+                    } else {
+                        "pad".into()
+                    },
                     text: None,
                 },
                 1 => {
@@ -578,7 +653,11 @@ mod tests {
                     if node == tree.root() || tree.subtree_size(node) < 2 {
                         continue;
                     }
-                    Update::SplitFragments { frag, node, to_site: None }
+                    Update::SplitFragments {
+                        frag,
+                        node,
+                        to_site: None,
+                    }
                 }
             };
             view.apply(&mut forest, &mut placement, update).unwrap();

@@ -41,8 +41,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FragError::UnknownFragment(FragmentId(3)).to_string().contains("F3"));
-        assert!(FragError::NoCutPoint(FragmentId(0)).to_string().contains("cut point"));
+        assert!(FragError::UnknownFragment(FragmentId(3))
+            .to_string()
+            .contains("F3"));
+        assert!(FragError::NoCutPoint(FragmentId(0))
+            .to_string()
+            .contains("cut point"));
         let e = FragError::Tree(XmlError::RootNotAllowed);
         assert!(e.to_string().contains("root"));
     }

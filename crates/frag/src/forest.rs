@@ -72,7 +72,11 @@ impl Forest {
     pub fn from_tree(tree: Tree) -> Forest {
         let root = FragmentId(0);
         Forest {
-            fragments: vec![Some(Fragment { id: root, tree, parent: None })],
+            fragments: vec![Some(Fragment {
+                id: root,
+                tree,
+                parent: None,
+            })],
             root,
         }
     }
@@ -142,10 +146,7 @@ impl Forest {
         }
         let new_id = FragmentId(self.fragments.len() as u32);
         let host = self.fragment_mut(frag);
-        let subtree = host
-            .tree
-            .split_off(node, new_id)
-            .map_err(FragError::Tree)?;
+        let subtree = host.tree.split_off(node, new_id).map_err(FragError::Tree)?;
         // Sub-fragments whose virtual nodes moved into the new fragment now
         // hang below it in the fragment tree.
         let moved: Vec<FragmentId> = subtree
@@ -271,7 +272,9 @@ impl Forest {
         let mut referenced = vec![0usize; self.fragments.len()];
         for id in self.fragment_ids() {
             let frag = self.fragment(id);
-            frag.tree.validate().map_err(|e| format!("fragment {id}: {e}"))?;
+            frag.tree
+                .validate()
+                .map_err(|e| format!("fragment {id}: {e}"))?;
             for sub in frag.sub_fragments() {
                 if !self.is_live(sub) {
                     return Err(format!("fragment {id} references dead fragment {sub}"));

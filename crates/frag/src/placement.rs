@@ -198,7 +198,10 @@ mod tests {
         let mut p = Placement::new();
         p.assign(FragmentId(3), SiteId(1));
         p.assign(FragmentId(1), SiteId(1));
-        assert_eq!(p.fragments_at(SiteId(1)), vec![FragmentId(1), FragmentId(3)]);
+        assert_eq!(
+            p.fragments_at(SiteId(1)),
+            vec![FragmentId(1), FragmentId(3)]
+        );
         assert_eq!(p.try_site_of(FragmentId(9)), None);
     }
 }

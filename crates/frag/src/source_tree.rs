@@ -185,7 +185,10 @@ mod tests {
         assert_eq!(st.entry(FragmentId(3)).parent, Some(FragmentId(0)));
         assert_eq!(st.sites(), vec![SiteId(0), SiteId(1), SiteId(2)]);
         // S2 stores both F2 and F3 — the site NaiveDistributed visits twice.
-        assert_eq!(st.fragments_at(SiteId(2)), vec![FragmentId(2), FragmentId(3)]);
+        assert_eq!(
+            st.fragments_at(SiteId(2)),
+            vec![FragmentId(2), FragmentId(3)]
+        );
     }
 
     #[test]

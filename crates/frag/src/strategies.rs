@@ -108,9 +108,7 @@ mod tests {
     fn bushy() -> Forest {
         let mut xml = String::from("<r>");
         for i in 0..4 {
-            xml.push_str(&format!(
-                "<s{i}><a><l1/><l2/></a><b><l3/></b></s{i}>"
-            ));
+            xml.push_str(&format!("<s{i}><a><l1/><l2/></a><b><l3/></b></s{i}>"));
         }
         xml.push_str("</r>");
         Forest::from_tree(Tree::parse(&xml).unwrap())

@@ -63,7 +63,11 @@ impl<'a> Cluster<'a> {
     /// Largest per-site aggregated fragment size `max_Si |F_Si|` — the
     /// parallel-computation bound of Fig. 4.
     pub fn max_site_nodes(&self) -> usize {
-        self.sites().into_iter().map(|s| self.nodes_at(s)).max().unwrap_or(0)
+        self.sites()
+            .into_iter()
+            .map(|s| self.nodes_at(s))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -30,14 +30,18 @@ where
     F: Fn(SiteId) -> R + Sync,
 {
     let work = &work;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = sites
             .iter()
             .map(|&site| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = Instant::now();
                     let output = work(site);
-                    SiteRun { site, output, elapsed: start.elapsed() }
+                    SiteRun {
+                        site,
+                        output,
+                        elapsed: start.elapsed(),
+                    }
                 })
             })
             .collect();
@@ -46,7 +50,6 @@ where
             .map(|h| h.join().expect("site worker panicked"))
             .collect()
     })
-    .expect("site scope panicked")
 }
 
 /// Runs `work` for every site sequentially (the naive baselines), still
@@ -60,7 +63,11 @@ where
         .map(|&site| {
             let start = Instant::now();
             let output = work(site);
-            SiteRun { site, output, elapsed: start.elapsed() }
+            SiteRun {
+                site,
+                output,
+                elapsed: start.elapsed(),
+            }
         })
         .collect()
 }

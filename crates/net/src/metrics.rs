@@ -85,7 +85,12 @@ impl RunReport {
 
     /// Records a message, updating both endpoints.
     pub fn record_message(&mut self, from: SiteId, to: SiteId, bytes: usize, kind: MessageKind) {
-        self.messages.push(Message { from, to, bytes, kind });
+        self.messages.push(Message {
+            from,
+            to,
+            bytes,
+            kind,
+        });
         let s = self.site_mut(from);
         s.msgs_sent += 1;
         s.bytes_sent += bytes;

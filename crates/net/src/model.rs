@@ -22,18 +22,27 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// 100 Mbit/s switched LAN with 0.2 ms latency — the paper's setting.
     pub fn lan() -> NetworkModel {
-        NetworkModel { latency_s: 0.2e-3, bandwidth_bytes_per_s: 100e6 / 8.0 }
+        NetworkModel {
+            latency_s: 0.2e-3,
+            bandwidth_bytes_per_s: 100e6 / 8.0,
+        }
     }
 
     /// 10 Mbit/s wide-area link with 30 ms latency (P2P/Internet setting
     /// discussed in the paper's introduction).
     pub fn wan() -> NetworkModel {
-        NetworkModel { latency_s: 30e-3, bandwidth_bytes_per_s: 10e6 / 8.0 }
+        NetworkModel {
+            latency_s: 30e-3,
+            bandwidth_bytes_per_s: 10e6 / 8.0,
+        }
     }
 
     /// Free network — isolates pure computation in ablation benches.
     pub fn infinite() -> NetworkModel {
-        NetworkModel { latency_s: 0.0, bandwidth_bytes_per_s: f64::INFINITY }
+        NetworkModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        }
     }
 
     /// Modeled time to deliver one message of `bytes` payload.
@@ -89,6 +98,8 @@ mod tests {
 
     #[test]
     fn wan_slower_than_lan() {
-        assert!(NetworkModel::wan().transfer_time(10_000) > NetworkModel::lan().transfer_time(10_000));
+        assert!(
+            NetworkModel::wan().transfer_time(10_000) > NetworkModel::lan().transfer_time(10_000)
+        );
     }
 }

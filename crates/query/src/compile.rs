@@ -199,7 +199,10 @@ pub enum Op {
 /// ```
 pub fn compile(q: &Query) -> CompiledQuery {
     let n = normalize(q);
-    let mut b = Builder { subs: Vec::new(), memo: HashMap::new() };
+    let mut b = Builder {
+        subs: Vec::new(),
+        memo: HashMap::new(),
+    };
     let root = b.compile_nquery(&n);
     CompiledQuery { subs: b.subs, root }
 }

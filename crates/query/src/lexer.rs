@@ -103,60 +103,102 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             b'[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    at: i,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    at: i,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    at: i,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    at: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    at: i,
+                });
                 i += 1;
             }
             b'!' => {
-                tokens.push(Token { kind: TokenKind::Not, at: i });
+                tokens.push(Token {
+                    kind: TokenKind::Not,
+                    at: i,
+                });
                 i += 1;
             }
             b'/' => {
                 if bytes.get(i + 1) == Some(&b'/') {
-                    tokens.push(Token { kind: TokenKind::DoubleSlash, at: i });
+                    tokens.push(Token {
+                        kind: TokenKind::DoubleSlash,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Slash, at: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        at: i,
+                    });
                     i += 1;
                 }
             }
             b'&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::And, at: i });
+                    tokens.push(Token {
+                        kind: TokenKind::And,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected '&&'".into(), at: i });
+                    return Err(LexError {
+                        message: "expected '&&'".into(),
+                        at: i,
+                    });
                 }
             }
             b'|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::Or, at: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Or,
+                        at: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected '||'".into(), at: i });
+                    return Err(LexError {
+                        message: "expected '||'".into(),
+                        at: i,
+                    });
                 }
             }
             b'"' | b'\'' => {
@@ -167,11 +209,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { message: "unterminated string literal".into(), at: i });
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        at: i,
+                    });
                 }
-                let s = std::str::from_utf8(&bytes[start..j])
-                    .map_err(|_| LexError { message: "invalid UTF-8 in string".into(), at: i })?;
-                tokens.push(Token { kind: TokenKind::Str(s.to_string()), at: i });
+                let s = std::str::from_utf8(&bytes[start..j]).map_err(|_| LexError {
+                    message: "invalid UTF-8 in string".into(),
+                    at: i,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s.to_string()),
+                    at: i,
+                });
                 i = j + 1;
             }
             _ if !c.is_ascii() => {
@@ -180,15 +230,24 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let ch = rest.chars().next().expect("non-empty");
                 match ch {
                     '∧' => {
-                        tokens.push(Token { kind: TokenKind::And, at: i });
+                        tokens.push(Token {
+                            kind: TokenKind::And,
+                            at: i,
+                        });
                         i += ch.len_utf8();
                     }
                     '∨' => {
-                        tokens.push(Token { kind: TokenKind::Or, at: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Or,
+                            at: i,
+                        });
                         i += ch.len_utf8();
                     }
                     '¬' => {
-                        tokens.push(Token { kind: TokenKind::Not, at: i });
+                        tokens.push(Token {
+                            kind: TokenKind::Not,
+                            at: i,
+                        });
                         i += ch.len_utf8();
                     }
                     _ if ch.is_alphabetic() => {
@@ -236,7 +295,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, at: bytes.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        at: bytes.len(),
+    });
     Ok(tokens)
 }
 
@@ -269,7 +331,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -292,7 +358,12 @@ mod tests {
     fn lexes_functions_and_strings() {
         assert_eq!(
             kinds("text() = \"GOOG\""),
-            vec![TokenKind::TextFn, TokenKind::Eq, TokenKind::Str("GOOG".into()), TokenKind::Eof]
+            vec![
+                TokenKind::TextFn,
+                TokenKind::Eq,
+                TokenKind::Str("GOOG".into()),
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("label() = stock"),
@@ -307,7 +378,10 @@ mod tests {
 
     #[test]
     fn name_text_without_parens_is_a_name() {
-        assert_eq!(kinds("text"), vec![TokenKind::Name("text".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("text"),
+            vec![TokenKind::Name("text".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -345,7 +419,10 @@ mod tests {
 
     #[test]
     fn single_quotes_work() {
-        assert_eq!(kinds("'x y'"), vec![TokenKind::Str("x y".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'x y'"),
+            vec![TokenKind::Str("x y".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -153,12 +153,12 @@ mod tests {
     #[test]
     fn label_step_desugars_to_wildcard_plus_qualifier() {
         let n = norm("[A]");
-        let NQuery::Path(steps) = n else { panic!("expected path, got {n}") };
+        let NQuery::Path(steps) = n else {
+            panic!("expected path, got {n}")
+        };
         assert_eq!(steps.len(), 2);
         assert_eq!(steps[0], NStep::Wildcard);
-        assert!(
-            matches!(&steps[1], NStep::Qual(q) if **q == NQuery::LabelIs("A".into()))
-        );
+        assert!(matches!(&steps[1], NStep::Qual(q) if **q == NQuery::LabelIs("A".into())));
     }
 
     #[test]
@@ -166,18 +166,28 @@ mod tests {
         // q = //stock[code/text() = "yhoo"]
         // normalize = ε[//ε[label()=stock ∧ */ε[label()=code ∧ text()="yhoo"]]]
         let n = norm("[//stock[code/text() = \"yhoo\"]]");
-        let NQuery::Path(steps) = &n else { panic!("expected path, got {n}") };
+        let NQuery::Path(steps) = &n else {
+            panic!("expected path, got {n}")
+        };
         // Leading //, then wildcard (from `stock`), then one merged qualifier.
         assert_eq!(steps[0], NStep::DescOrSelf);
         assert_eq!(steps[1], NStep::Wildcard);
-        let NStep::Qual(q) = &steps[2] else { panic!("expected qualifier") };
+        let NStep::Qual(q) = &steps[2] else {
+            panic!("expected qualifier")
+        };
         // Merged: label()=stock ∧ (inner path)
-        let NQuery::And(l, r) = &**q else { panic!("expected ∧, got {q}") };
+        let NQuery::And(l, r) = &**q else {
+            panic!("expected ∧, got {q}")
+        };
         assert_eq!(**l, NQuery::LabelIs("stock".into()));
-        let NQuery::Path(inner) = &**r else { panic!("expected inner path") };
+        let NQuery::Path(inner) = &**r else {
+            panic!("expected inner path")
+        };
         assert_eq!(inner[0], NStep::Wildcard);
         let NStep::Qual(iq) = &inner[1] else { panic!() };
-        let NQuery::And(il, ir) = &**iq else { panic!("expected merged ∧") };
+        let NQuery::And(il, ir) = &**iq else {
+            panic!("expected merged ∧")
+        };
         assert_eq!(**il, NQuery::LabelIs("code".into()));
         assert_eq!(**ir, NQuery::TextIs("yhoo".into()));
     }
@@ -207,7 +217,9 @@ mod tests {
         let NQuery::Path(steps) = &n else { panic!() };
         assert_eq!(steps[0], NStep::Wildcard);
         let NStep::Qual(q) = &steps[1] else { panic!() };
-        let NQuery::And(l, r) = &**q else { panic!("expected label ∧ text merge") };
+        let NQuery::And(l, r) = &**q else {
+            panic!("expected label ∧ text merge")
+        };
         assert_eq!(**l, NQuery::LabelIs("code".into()));
         assert_eq!(**r, NQuery::TextIs("GOOG".into()));
     }

@@ -41,7 +41,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, at: e.at }
+        ParseError {
+            message: e.message,
+            at: e.at,
+        }
     }
 }
 
@@ -286,9 +289,10 @@ mod tests {
 
     #[test]
     fn parses_paper_stock_query() {
-        let q =
-            parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap();
-        let Query::Path(p) = q else { panic!("expected path") };
+        let q = parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap();
+        let Query::Path(p) = q else {
+            panic!("expected path")
+        };
         assert!(matches!(p.steps.last(), Some(Step::Qualifier(_))));
     }
 
@@ -317,15 +321,23 @@ mod tests {
 
     #[test]
     fn label_comparison_forms() {
-        assert_eq!(parse_query("[label() = stock]").unwrap(), Query::LabelEq("stock".into()));
-        assert_eq!(parse_query("[label() = \"stock\"]").unwrap(), Query::LabelEq("stock".into()));
+        assert_eq!(
+            parse_query("[label() = stock]").unwrap(),
+            Query::LabelEq("stock".into())
+        );
+        assert_eq!(
+            parse_query("[label() = \"stock\"]").unwrap(),
+            Query::LabelEq("stock".into())
+        );
     }
 
     #[test]
     fn precedence_or_lower_than_and() {
         let q = parse_query("[//a or //b and //c]").unwrap();
         // Must parse as a or (b and c).
-        let Query::Or(_, rhs) = q else { panic!("expected Or at top") };
+        let Query::Or(_, rhs) = q else {
+            panic!("expected Or at top")
+        };
         assert!(matches!(*rhs, Query::And(_, _)));
     }
 
@@ -335,7 +347,11 @@ mod tests {
         let Query::Path(p) = q else { panic!() };
         assert_eq!(
             p.steps,
-            vec![Step::Label("a".into()), Step::DescOrSelf, Step::Label("b".into())]
+            vec![
+                Step::Label("a".into()),
+                Step::DescOrSelf,
+                Step::Label("b".into())
+            ]
         );
     }
 

@@ -61,7 +61,10 @@ impl fmt::Display for SelectionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SelectionError::NotAPath => {
-                write!(f, "selection requires a path query (Boolean combinations select no nodes)")
+                write!(
+                    f,
+                    "selection requires a path query (Boolean combinations select no nodes)"
+                )
             }
             SelectionError::TooLong(n) => {
                 write!(f, "selection path has {n} steps; at most 63 are supported")
@@ -116,7 +119,10 @@ pub fn compile_selection(q: &Query) -> Result<SelectionProgram, SelectionError> 
     if steps.len() > 63 {
         return Err(SelectionError::TooLong(steps.len()));
     }
-    let mut builder = QualBuilder { subs: Vec::new(), memo: HashMap::new() };
+    let mut builder = QualBuilder {
+        subs: Vec::new(),
+        memo: HashMap::new(),
+    };
     let steps: Vec<SelStep> = steps
         .iter()
         .map(|s| match s {
@@ -125,7 +131,10 @@ pub fn compile_selection(q: &Query) -> Result<SelectionProgram, SelectionError> 
             NStep::Qual(q) => SelStep::Qual(builder.compile(q)),
         })
         .collect();
-    Ok(SelectionProgram { steps, quals: builder.finish() })
+    Ok(SelectionProgram {
+        steps,
+        quals: builder.finish(),
+    })
 }
 
 /// Builds one shared `CompiledQuery` holding every qualifier.
@@ -259,6 +268,9 @@ mod tests {
         let long = format!("[{}]", vec!["a"; 40].join("/"));
         // 40 labels → 80 steps (wildcard + qualifier each).
         let q = parse_query(&long).unwrap();
-        assert!(matches!(compile_selection(&q), Err(SelectionError::TooLong(_))));
+        assert!(matches!(
+            compile_selection(&q),
+            Err(SelectionError::TooLong(_))
+        ));
     }
 }

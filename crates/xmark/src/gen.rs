@@ -23,23 +23,55 @@ pub struct XmarkConfig {
 impl XmarkConfig {
     /// Convenience constructor.
     pub fn sized(target_bytes: usize) -> XmarkConfig {
-        XmarkConfig { target_bytes, seed: 0xC0FFEE }
+        XmarkConfig {
+            target_bytes,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
-const REGIONS: [&str; 6] =
-    ["africa", "asia", "australia", "europe", "namerica", "samerica"];
-
-const WORDS: [&str; 24] = [
-    "auction", "great", "condition", "vintage", "rare", "collector", "mint", "original",
-    "shipping", "included", "antique", "classic", "bargain", "quality", "limited", "edition",
-    "signed", "certified", "restored", "working", "complete", "boxed", "sealed", "tested",
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
 ];
 
-const FIRST: [&str; 10] =
-    ["Ada", "Brke", "Chen", "Dara", "Edur", "Fumi", "Gert", "Hana", "Ivor", "Jin"];
-const LAST: [&str; 10] =
-    ["Adams", "Brown", "Cortez", "Dietz", "Endo", "Fagin", "Gupta", "Hopper", "Ito", "Jones"];
+const WORDS: [&str; 24] = [
+    "auction",
+    "great",
+    "condition",
+    "vintage",
+    "rare",
+    "collector",
+    "mint",
+    "original",
+    "shipping",
+    "included",
+    "antique",
+    "classic",
+    "bargain",
+    "quality",
+    "limited",
+    "edition",
+    "signed",
+    "certified",
+    "restored",
+    "working",
+    "complete",
+    "boxed",
+    "sealed",
+    "tested",
+];
+
+const FIRST: [&str; 10] = [
+    "Ada", "Brke", "Chen", "Dara", "Edur", "Fumi", "Gert", "Hana", "Ivor", "Jin",
+];
+const LAST: [&str; 10] = [
+    "Adams", "Brown", "Cortez", "Dietz", "Endo", "Fagin", "Gupta", "Hopper", "Ito", "Jones",
+];
 
 /// Generates an XMark-style document of roughly `config.target_bytes`
 /// serialized bytes.
@@ -75,8 +107,7 @@ impl Generator {
     fn run(mut self) -> Tree {
         let root = self.tree.root();
         let regions = self.el(root, "regions");
-        let region_nodes: Vec<NodeId> =
-            REGIONS.iter().map(|r| self.el(regions, r)).collect();
+        let region_nodes: Vec<NodeId> = REGIONS.iter().map(|r| self.el(regions, r)).collect();
         let categories = self.el(root, "categories");
         let people = self.el(root, "people");
         let open = self.el(root, "open_auctions");
@@ -139,14 +170,22 @@ impl Generator {
         let item = self.el(region, "item");
         let name = format!("item{id}");
         self.text(item, "name", &name);
-        let loc = if self.rng.random_bool(0.7) { "United States" } else { "Elsewhere" };
+        let loc = if self.rng.random_bool(0.7) {
+            "United States"
+        } else {
+            "Elsewhere"
+        };
         self.text(item, "location", loc);
-        let qty = self.rng.random_range(1..5).to_string();
+        let qty = self.rng.random_range(1..5u32).to_string();
         self.text(item, "quantity", &qty);
         let desc = self.el(item, "description");
         let body = self.words(8);
         self.text(desc, "text", &body);
-        let payment = if self.rng.random_bool(0.5) { "Creditcard" } else { "Cash" };
+        let payment = if self.rng.random_bool(0.5) {
+            "Creditcard"
+        } else {
+            "Cash"
+        };
         self.text(item, "payment", payment);
         if self.rng.random_bool(0.3) {
             let mailbox = self.el(item, "mailbox");
@@ -178,11 +217,11 @@ impl Generator {
         let id = self.auction_seq;
         self.auction_seq += 1;
         let a = self.el(open, "open_auction");
-        let initial = format!("{}.{:02}", self.rng.random_range(1..200), id % 100);
+        let initial = format!("{}.{:02}", self.rng.random_range(1..200u32), id % 100);
         self.text(a, "initial", &initial);
-        for _ in 0..self.rng.random_range(1..4) {
+        for _ in 0..self.rng.random_range(1..4u32) {
             let bidder = self.el(a, "bidder");
-            let inc = format!("{}.00", self.rng.random_range(1..20));
+            let inc = format!("{}.00", self.rng.random_range(1..20u32));
             self.text(bidder, "increase", &inc);
         }
         let itemref = format!("item{}", self.rng.random_range(0..self.item_seq.max(1)));
@@ -191,7 +230,7 @@ impl Generator {
 
     fn closed_auction(&mut self, closed: NodeId) {
         let a = self.el(closed, "closed_auction");
-        let price = format!("{}.00", self.rng.random_range(5..500));
+        let price = format!("{}.00", self.rng.random_range(5..500u32));
         self.text(a, "price", &price);
         let seller = self.person_name();
         self.text(a, "seller", &seller);
@@ -220,10 +259,19 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = generate(XmarkConfig { target_bytes: 20_000, seed: 7 });
-        let b = generate(XmarkConfig { target_bytes: 20_000, seed: 7 });
+        let a = generate(XmarkConfig {
+            target_bytes: 20_000,
+            seed: 7,
+        });
+        let b = generate(XmarkConfig {
+            target_bytes: 20_000,
+            seed: 7,
+        });
         assert!(a.structural_eq(&b));
-        let c = generate(XmarkConfig { target_bytes: 20_000, seed: 8 });
+        let c = generate(XmarkConfig {
+            target_bytes: 20_000,
+            seed: 8,
+        });
         assert!(!a.structural_eq(&c));
     }
 
@@ -247,8 +295,18 @@ mod tests {
             labels.insert(t.label_str(n).to_string());
         }
         for expect in [
-            "site", "regions", "asia", "item", "name", "people", "person",
-            "open_auctions", "open_auction", "bidder", "closed_auctions", "price",
+            "site",
+            "regions",
+            "asia",
+            "item",
+            "name",
+            "people",
+            "person",
+            "open_auctions",
+            "open_auction",
+            "bidder",
+            "closed_auctions",
+            "price",
         ] {
             assert!(labels.contains(expect), "missing {expect}");
         }

@@ -21,7 +21,12 @@ pub struct PortfolioConfig {
 
 impl Default for PortfolioConfig {
     fn default() -> Self {
-        PortfolioConfig { brokers: 2, markets_per_broker: 2, stocks_per_market: 3, seed: 1 }
+        PortfolioConfig {
+            brokers: 2,
+            markets_per_broker: 2,
+            stocks_per_market: 3,
+            seed: 1,
+        }
     }
 }
 
@@ -60,9 +65,9 @@ pub fn portfolio(config: PortfolioConfig) -> Tree {
 pub fn add_stock(tree: &mut Tree, market: NodeId, code: &str, rng: &mut StdRng) -> NodeId {
     let stock = tree.add_child(market, "stock");
     tree.add_text_child(stock, "code", code);
-    let buy = rng.random_range(30..400);
+    let buy = rng.random_range(30..400u32);
     tree.add_text_child(stock, "buy", &buy.to_string());
-    let sell = buy + rng.random_range(0..6) - 2;
+    let sell = buy + rng.random_range(0..6u32) - 2;
     tree.add_text_child(stock, "sell", &sell.to_string());
     stock
 }

@@ -11,8 +11,9 @@ use rand::{Rng, SeedableRng};
 
 /// Default label vocabulary: XMark element names that occur in any
 /// generated document, so structural conjuncts are satisfiable.
-pub const XMARK_VOCAB: [&str; 8] =
-    ["item", "name", "person", "bidder", "price", "quantity", "payment", "category"];
+pub const XMARK_VOCAB: [&str; 8] = [
+    "item", "name", "person", "bidder", "price", "quantity", "payment", "category",
+];
 
 /// Builds a query with `|QList(q)| == target` (`target ≥ 2`) over the
 /// given vocabulary. Deterministic under `seed`.

@@ -62,11 +62,21 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { at } => {
                 write!(f, "unexpected end of input at byte {at}")
             }
-            XmlError::UnexpectedChar { found, expected, at } => {
-                write!(f, "unexpected character {found:?} at byte {at}, expected {expected}")
+            XmlError::UnexpectedChar {
+                found,
+                expected,
+                at,
+            } => {
+                write!(
+                    f,
+                    "unexpected character {found:?} at byte {at}, expected {expected}"
+                )
             }
             XmlError::MismatchedTag { open, close, at } => {
-                write!(f, "mismatched closing tag </{close}> for <{open}> at byte {at}")
+                write!(
+                    f,
+                    "mismatched closing tag </{close}> for <{open}> at byte {at}"
+                )
             }
             XmlError::TrailingContent { at } => {
                 write!(f, "trailing content after the root element at byte {at}")
@@ -94,10 +104,18 @@ mod tests {
 
     #[test]
     fn display_renders_human_readable_messages() {
-        let e = XmlError::UnexpectedChar { found: '<', expected: "a tag name", at: 3 };
+        let e = XmlError::UnexpectedChar {
+            found: '<',
+            expected: "a tag name",
+            at: 3,
+        };
         assert!(e.to_string().contains("byte 3"));
         assert!(e.to_string().contains("tag name"));
-        let e = XmlError::MismatchedTag { open: "a".into(), close: "b".into(), at: 9 };
+        let e = XmlError::MismatchedTag {
+            open: "a".into(),
+            close: "b".into(),
+            at: 9,
+        };
         assert!(e.to_string().contains("</b>"));
         assert!(e.to_string().contains("<a>"));
     }

@@ -10,7 +10,10 @@ pub struct Descendants<'a> {
 
 impl<'a> Descendants<'a> {
     pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
-        Descendants { tree, stack: vec![start] }
+        Descendants {
+            tree,
+            stack: vec![start],
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub struct Postorder<'a> {
 
 impl<'a> Postorder<'a> {
     pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
-        Postorder { tree, stack: vec![(start, 0)] }
+        Postorder {
+            tree,
+            stack: vec![(start, 0)],
+        }
     }
 }
 
@@ -67,7 +73,10 @@ pub struct Ancestors<'a> {
 
 impl<'a> Ancestors<'a> {
     pub(crate) fn new(tree: &'a Tree, start: NodeId) -> Self {
-        Ancestors { tree, cur: tree.node(start).parent() }
+        Ancestors {
+            tree,
+            cur: tree.node(start).parent(),
+        }
     }
 }
 
@@ -99,16 +108,20 @@ mod tests {
     #[test]
     fn preorder_is_document_order() {
         let t = sample();
-        let labels: Vec<_> =
-            t.descendants(t.root()).map(|n| t.label_str(n).to_string()).collect();
+        let labels: Vec<_> = t
+            .descendants(t.root())
+            .map(|n| t.label_str(n).to_string())
+            .collect();
         assert_eq!(labels, vec!["r", "a", "c", "d", "b"]);
     }
 
     #[test]
     fn postorder_visits_children_first() {
         let t = sample();
-        let labels: Vec<_> =
-            t.postorder(t.root()).map(|n| t.label_str(n).to_string()).collect();
+        let labels: Vec<_> = t
+            .postorder(t.root())
+            .map(|n| t.label_str(n).to_string())
+            .collect();
         assert_eq!(labels, vec!["c", "d", "a", "b", "r"]);
     }
 

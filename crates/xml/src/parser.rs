@@ -25,13 +25,21 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { trim_text: true, decode_virtual: true }
+        ParseOptions {
+            trim_text: true,
+            decode_virtual: true,
+        }
     }
 }
 
 /// Parses an XML document into a [`Tree`].
 pub fn parse_str(input: &str, opts: &ParseOptions) -> Result<Tree, XmlError> {
-    Parser { input: input.as_bytes(), pos: 0, opts }.parse_document()
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        opts,
+    }
+    .parse_document()
 }
 
 struct Parser<'a> {
@@ -99,7 +107,10 @@ impl<'a> Parser<'a> {
                         self.skip_comment()?;
                     } else if self.starts_with(b"<![CDATA[") {
                         let data = self.parse_cdata()?;
-                        open.last_mut().expect("checked non-empty").2.push_str(&data);
+                        open.last_mut()
+                            .expect("checked non-empty")
+                            .2
+                            .push_str(&data);
                     } else if self.starts_with(b"<?") {
                         self.skip_pi()?;
                     } else {
@@ -111,7 +122,10 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     let data = self.parse_char_data()?;
-                    open.last_mut().expect("checked non-empty").2.push_str(&data);
+                    open.last_mut()
+                        .expect("checked non-empty")
+                        .2
+                        .push_str(&data);
                 }
             }
         }
@@ -161,28 +175,28 @@ impl<'a> Parser<'a> {
 
     /// Applies trimming and stores non-empty text on the node.
     fn store_text(&self, tree: &mut Tree, id: crate::NodeId, text: String) {
-        let value = if self.opts.trim_text { text.trim() } else { &text };
+        let value = if self.opts.trim_text {
+            text.trim()
+        } else {
+            &text
+        };
         if !value.is_empty() {
             tree.set_text(id, value);
         }
     }
 
     /// Decodes virtual-node elements after the subtree has been parsed.
-    fn finish_node(
-        &self,
-        tree: &mut Tree,
-        id: crate::NodeId,
-        name: &str,
-    ) -> Result<(), XmlError> {
+    fn finish_node(&self, tree: &mut Tree, id: crate::NodeId, name: &str) -> Result<(), XmlError> {
         if self.opts.decode_virtual && name == VIRTUAL_TAG {
-            let value = tree
-                .node(id)
-                .attr("ref")
-                .unwrap_or("")
-                .to_string();
-            let num: u32 = value.strip_prefix('F').unwrap_or(&value).parse().map_err(|_| {
-                XmlError::BadVirtualRef { value: value.clone(), at: self.pos }
-            })?;
+            let value = tree.node(id).attr("ref").unwrap_or("").to_string();
+            let num: u32 = value
+                .strip_prefix('F')
+                .unwrap_or(&value)
+                .parse()
+                .map_err(|_| XmlError::BadVirtualRef {
+                    value: value.clone(),
+                    at: self.pos,
+                })?;
             let node = tree.node_mut(id);
             node.kind = NodeKind::Virtual(FragmentId(num));
             node.attrs.retain(|(k, _)| k.as_ref() != "ref");
@@ -236,8 +250,7 @@ impl<'a> Parser<'a> {
                 return Err(XmlError::UnexpectedEof { at: self.pos });
             }
             if &self.input[self.pos..self.pos + 3] == b"]]>" {
-                let raw =
-                    std::str::from_utf8(&self.input[start..self.pos]).expect("utf8 input");
+                let raw = std::str::from_utf8(&self.input[start..self.pos]).expect("utf8 input");
                 self.pos += 3;
                 return Ok(raw.to_string());
             }
@@ -476,7 +489,10 @@ mod tests {
     #[test]
     fn cdata_is_literal() {
         let t = Tree::parse("<a><![CDATA[<not-a-tag> & stuff]]></a>").unwrap();
-        assert_eq!(t.node(t.root()).text.as_deref(), Some("<not-a-tag> & stuff"));
+        assert_eq!(
+            t.node(t.root()).text.as_deref(),
+            Some("<not-a-tag> & stuff")
+        );
     }
 
     #[test]
@@ -503,7 +519,10 @@ mod tests {
             Tree::parse("<a><b>").unwrap_err(),
             XmlError::UnexpectedEof { .. }
         ));
-        assert!(matches!(Tree::parse("").unwrap_err(), XmlError::NoRootElement));
+        assert!(matches!(
+            Tree::parse("").unwrap_err(),
+            XmlError::NoRootElement
+        ));
     }
 
     #[test]
@@ -515,7 +534,10 @@ mod tests {
 
     #[test]
     fn virtual_decode_can_be_disabled() {
-        let opts = ParseOptions { decode_virtual: false, ..Default::default() };
+        let opts = ParseOptions {
+            decode_virtual: false,
+            ..Default::default()
+        };
         let t = parse_str(r#"<a><parbox:virtual ref="3"/></a>"#, &opts).unwrap();
         let v = t.children(t.root()).next().unwrap();
         assert_eq!(t.node(v).kind, NodeKind::Element);
@@ -535,7 +557,10 @@ mod tests {
 
     #[test]
     fn untrimmed_mode_preserves_whitespace() {
-        let opts = ParseOptions { trim_text: false, ..Default::default() };
+        let opts = ParseOptions {
+            trim_text: false,
+            ..Default::default()
+        };
         let t = parse_str("<a> x </a>", &opts).unwrap();
         assert_eq!(t.node(t.root()).text.as_deref(), Some(" x "));
     }

@@ -26,7 +26,12 @@ impl Tree {
         let mut labels = LabelTable::new();
         let lid = labels.intern(root_label);
         let root = Node::new(lid, NodeKind::Element);
-        Tree { nodes: vec![root], labels, root: NodeId(0), live_count: 1 }
+        Tree {
+            nodes: vec![root],
+            labels,
+            root: NodeId(0),
+            live_count: 1,
+        }
     }
 
     /// Parses an XML document string. See [`crate::parse_str`].
@@ -212,7 +217,10 @@ impl Tree {
         }
         let parent = self.nodes[id.index()].parent.expect("non-root has parent");
         let kids = &mut self.nodes[parent.index()].children;
-        let pos = kids.iter().position(|&c| c == id).expect("child listed in parent");
+        let pos = kids
+            .iter()
+            .position(|&c| c == id)
+            .expect("child listed in parent");
         kids.remove(pos);
         // Tomb-stone the whole subtree.
         let ids: Vec<NodeId> = self.descendants(id).collect();
@@ -314,7 +322,9 @@ impl Tree {
             self.node(at).kind.is_virtual(),
             "graft target must be a virtual node"
         );
-        let parent = self.nodes[at.index()].parent.ok_or(XmlError::RootNotAllowed)?;
+        let parent = self.nodes[at.index()]
+            .parent
+            .ok_or(XmlError::RootNotAllowed)?;
         let pos = self.nodes[parent.index()]
             .children
             .iter()
@@ -367,8 +377,7 @@ impl Tree {
                 let node = self.node(n);
                 // "<tag>" + "</tag>" + text + attributes.
                 let tag = self.labels.resolve(node.label).len();
-                let attrs: usize =
-                    node.attrs.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
+                let attrs: usize = node.attrs.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
                 2 * tag + 5 + attrs + node.text.as_deref().map_or(0, str::len)
             })
             .sum()

@@ -20,7 +20,11 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
         let mut stack: Vec<(usize, NodeId)> = vec![(0, tree.root())];
         for (depth, label, text, attr) in rows {
             let depth = depth + 1;
-            while stack.last().map(|&(d, _)| d + 1 > depth && d > 0).unwrap_or(false) {
+            while stack
+                .last()
+                .map(|&(d, _)| d + 1 > depth && d > 0)
+                .unwrap_or(false)
+            {
                 stack.pop();
             }
             let parent = stack.last().expect("root kept").1;

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example analytics`
 
 use parbox::core::{
-    count_centralized, count_distributed, select_centralized, select_distributed,
-    sum_distributed,
+    count_centralized, count_distributed, select_centralized, select_distributed, sum_distributed,
 };
 use parbox::frag::{Forest, Placement};
 use parbox::net::{Cluster, NetworkModel};
@@ -42,8 +41,8 @@ fn main() {
     );
 
     // --- Selection: which stocks are GOOG positions? -------------------
-    let sel = compile_selection(&parse_query("[//stock[code/text() = \"GOOG\"]]").unwrap())
-        .unwrap();
+    let sel =
+        compile_selection(&parse_query("[//stock[code/text() = \"GOOG\"]]").unwrap()).unwrap();
     let picked = select_distributed(&cluster, &sel);
     println!("GOOG positions ({} found):", picked.nodes.len());
     for &(frag, node) in &picked.nodes {

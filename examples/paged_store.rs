@@ -34,14 +34,16 @@ impl Pager {
             let xml = forest.fragment(f).tree.to_xml();
             std::fs::write(dir.join(format!("{f}.xml")), xml)?;
         }
-        Ok(Pager { dir, loads: RefCell::new(HashMap::new()) })
+        Ok(Pager {
+            dir,
+            loads: RefCell::new(HashMap::new()),
+        })
     }
 
     /// Loads (and counts) a fragment page.
     fn load(&self, f: FragmentId) -> Tree {
         *self.loads.borrow_mut().entry(f).or_insert(0) += 1;
-        let xml = std::fs::read_to_string(self.dir.join(format!("{f}.xml")))
-            .expect("page exists");
+        let xml = std::fs::read_to_string(self.dir.join(format!("{f}.xml"))).expect("page exists");
         Tree::parse(&xml).expect("page is valid XML")
     }
 
@@ -66,7 +68,9 @@ fn main() -> std::io::Result<()> {
     let f0 = forest.root_fragment();
     let find = |forest: &Forest, frag, label: &str| -> NodeId {
         let t = &forest.fragment(frag).tree;
-        t.descendants(t.root()).find(|&n| t.label_str(n) == label).unwrap()
+        t.descendants(t.root())
+            .find(|&n| t.label_str(n) == label)
+            .unwrap()
     };
     let x = find(&forest, f0, "x");
     let fx = forest.split(f0, x).unwrap();
@@ -74,9 +78,7 @@ fn main() -> std::io::Result<()> {
     let fz = forest.split(fx, z).unwrap();
     let y = find(&forest, f0, "y");
     let fy = forest.split(f0, y).unwrap();
-    println!(
-        "fragments on disk: R={f0}, X={fx}, Z={fz}, Y={fy}\nquery: [//A ∧ //B]\n"
-    );
+    println!("fragments on disk: R={f0}, X={fx}, Z={fz}, Y={fy}\nquery: [//A ∧ //B]\n");
 
     let q = compile(&parse_query("[//A ∧ //B]").unwrap());
     let pager = Pager::new(&forest)?;

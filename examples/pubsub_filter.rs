@@ -21,7 +21,10 @@ struct Subscription {
 fn main() {
     // The "publisher": an auction site whose top-level sections live on
     // different machines (regions, categories, people, auctions…).
-    let tree = generate(XmarkConfig { target_bytes: 40_000, seed: 99 });
+    let tree = generate(XmarkConfig {
+        target_bytes: 40_000,
+        seed: 99,
+    });
     let mut forest = Forest::from_tree(tree);
     let f0 = forest.root_fragment();
     let sections: Vec<_> = {
@@ -29,7 +32,9 @@ fn main() {
         t.children(t.root()).collect()
     };
     for s in sections {
-        forest.split(f0, s).expect("top-level sections split cleanly");
+        forest
+            .split(f0, s)
+            .expect("top-level sections split cleanly");
     }
     let mut placement = Placement::one_per_fragment(&forest);
     println!(
@@ -41,7 +46,10 @@ fn main() {
     // Subscriptions, from plain structural to negated compound.
     let subs: Vec<Subscription> = [
         ("cash-items", "[//item[payment/text() = \"Cash\"]]"),
-        ("recall-watch", "[//item[name/text() = \"recalled-widget\"]]"),
+        (
+            "recall-watch",
+            "[//item[name/text() = \"recalled-widget\"]]",
+        ),
         ("empty-site", "[not(//item) and not(//person)]"),
         ("combo", "[//person and //item[payment/text() = \"Cash\"]]"),
     ]
@@ -79,24 +87,32 @@ fn main() {
 
     // Apply the mutation once, through the first view…
     views[0]
-        .apply(&mut forest, &mut placement, Update::InsNode {
-            frag: regions_frag,
-            parent: region_node,
-            label: "item".into(),
-            text: None,
-        })
+        .apply(
+            &mut forest,
+            &mut placement,
+            Update::InsNode {
+                frag: regions_frag,
+                parent: region_node,
+                label: "item".into(),
+                text: None,
+            },
+        )
         .unwrap();
     let item_node = {
         let t = &forest.fragment(regions_frag).tree;
         t.children(region_node).last().expect("just inserted")
     };
     views[0]
-        .apply(&mut forest, &mut placement, Update::InsNode {
-            frag: regions_frag,
-            parent: item_node,
-            label: "name".into(),
-            text: Some("recalled-widget".into()),
-        })
+        .apply(
+            &mut forest,
+            &mut placement,
+            Update::InsNode {
+                frag: regions_frag,
+                parent: item_node,
+                label: "name".into(),
+                text: Some("recalled-widget".into()),
+            },
+        )
         .unwrap();
 
     // …then notify the rest: each re-evaluates only the changed fragment.

@@ -35,7 +35,9 @@ fn main() {
         t.children(t.root()).collect()
     };
     for broker in brokers {
-        forest.split(f0, broker).expect("broker subtrees are splittable");
+        forest
+            .split(f0, broker)
+            .expect("broker subtrees are splittable");
     }
     println!("fragments: {}", forest.card());
 
@@ -49,7 +51,10 @@ fn main() {
         .expect("valid XBL");
     let compiled = compile(&query);
     println!("query: {query}");
-    println!("compiled QList ({} sub-queries):\n{compiled}", compiled.len());
+    println!(
+        "compiled QList ({} sub-queries):\n{compiled}",
+        compiled.len()
+    );
 
     // 5. Evaluate with ParBoX: one visit per site, triplet-sized traffic.
     let out = parbox(&cluster, &compiled);

@@ -36,12 +36,16 @@ fn main() {
     let f1 = forest.split(f0, broker2).unwrap();
     let market_in_f1 = {
         let t = &forest.fragment(f1).tree;
-        t.descendants(t.root()).find(|&n| t.label_str(n) == "market").unwrap()
+        t.descendants(t.root())
+            .find(|&n| t.label_str(n) == "market")
+            .unwrap()
     };
     let f2 = forest.split(f1, market_in_f1).unwrap();
     let market_in_f0 = {
         let t = &forest.fragment(f0).tree;
-        t.descendants(t.root()).find(|&n| t.label_str(n) == "market").unwrap()
+        t.descendants(t.root())
+            .find(|&n| t.label_str(n) == "market")
+            .unwrap()
     };
     let f3 = forest.split(f0, market_in_f0).unwrap();
 
@@ -55,7 +59,9 @@ fn main() {
     let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
 
     // The alert: has GOOG reached a selling price of 376 anywhere?
-    let q = compile(&parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap());
+    let q = compile(
+        &parse_query("[//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]").unwrap(),
+    );
 
     println!("== all six algorithms, one query ==");
     for (name, out) in [
@@ -79,17 +85,25 @@ fn main() {
     println!("\n== incremental maintenance of the alert view ==");
     let (mut view, initial) =
         MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &q);
-    println!("materialized: answer={} ({} bytes)", view.answer(), initial.report.total_bytes());
+    println!(
+        "materialized: answer={} ({} bytes)",
+        view.answer(),
+        initial.report.total_bytes()
+    );
 
     // A trade on an unrelated stock: triplet unchanged, no re-solve.
     let market = forest.fragment(f2).tree.root();
     let rep = view
-        .apply(&mut forest, &mut placement, Update::InsNode {
-            frag: f2,
-            parent: market,
-            label: "tick".into(),
-            text: Some("noise".into()),
-        })
+        .apply(
+            &mut forest,
+            &mut placement,
+            Update::InsNode {
+                frag: f2,
+                parent: market,
+                label: "tick".into(),
+                text: Some("noise".into()),
+            },
+        )
         .unwrap();
     println!(
         "irrelevant tick:   answer={} changed={} traffic={}B",
@@ -99,24 +113,32 @@ fn main() {
     );
 
     // GOOG hits 376 on the exchange: one fragment re-evaluated, answer flips.
-    view.apply(&mut forest, &mut placement, Update::InsNode {
-        frag: f2,
-        parent: market,
-        label: "stock".into(),
-        text: None,
-    })
+    view.apply(
+        &mut forest,
+        &mut placement,
+        Update::InsNode {
+            frag: f2,
+            parent: market,
+            label: "stock".into(),
+            text: None,
+        },
+    )
     .unwrap();
     let new_stock = {
         let t = &forest.fragment(f2).tree;
         t.children(market).last().unwrap()
     };
     for (label, text) in [("code", "GOOG"), ("sell", "376")] {
-        view.apply(&mut forest, &mut placement, Update::InsNode {
-            frag: f2,
-            parent: new_stock,
-            label: label.into(),
-            text: Some(text.into()),
-        })
+        view.apply(
+            &mut forest,
+            &mut placement,
+            Update::InsNode {
+                frag: f2,
+                parent: new_stock,
+                label: label.into(),
+                text: Some(text.into()),
+            },
+        )
         .unwrap();
     }
     println!("GOOG@376 listed:   answer={} (alert fires)", view.answer());
@@ -124,11 +146,15 @@ fn main() {
 
     // The exchange archives that market into its own fragment.
     let rep2 = view
-        .apply(&mut forest, &mut placement, Update::SplitFragments {
-            frag: f2,
-            node: new_stock,
-            to_site: Some(SiteId(3)),
-        })
+        .apply(
+            &mut forest,
+            &mut placement,
+            Update::SplitFragments {
+                frag: f2,
+                node: new_stock,
+                to_site: Some(SiteId(3)),
+            },
+        )
         .unwrap();
     println!(
         "archive split:     answer={} changed={} fragments={}",

@@ -25,7 +25,10 @@ fn main() {
         tree.set_attr(version, "seq", &v.to_string());
         let tag = tree.add_child(version, "release");
         tree.set_text(tag, &format!("r{v}"));
-        let snapshot = generate(XmarkConfig { target_bytes: 12_000, seed: 7 + v as u64 });
+        let snapshot = generate(XmarkConfig {
+            target_bytes: 12_000,
+            seed: 7 + v as u64,
+        });
         tree.append_tree(version, &snapshot);
         cur = version;
     }
@@ -56,9 +59,8 @@ fn main() {
     // Query 2: was release r5 ever published? (deep — end of the chain)
     // Query 3: was release r9 ever published? (nowhere — full walk)
     for release in ["r1", "r5", "r9"] {
-        let q = compile(
-            &parse_query(&format!("[//version[release/text() = \"{release}\"]]")).unwrap(),
-        );
+        let q =
+            compile(&parse_query(&format!("[//version[release/text() = \"{release}\"]]")).unwrap());
         let eager = parbox(&cluster, &q);
         let lazy = lazy_parbox(&cluster, &q);
         let fulld = full_dist_parbox(&cluster, &q);

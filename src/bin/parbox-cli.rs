@@ -62,9 +62,7 @@ Algorithms: ParBoX NaiveCentralized NaiveDistributed HybridParBoX FullDistParBoX
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].clone())
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -135,7 +133,12 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
         path.reverse();
         path.push(tree.label_str(n));
         let text = tree.node(n).text.as_deref().unwrap_or("");
-        println!("/{}{}{}", path.join("/"), if text.is_empty() { "" } else { " = " }, text);
+        println!(
+            "/{}{}{}",
+            path.join("/"),
+            if text.is_empty() { "" } else { " = " },
+            text
+        );
     }
     eprintln!("({} nodes selected)", nodes.len());
     Ok(())
@@ -160,7 +163,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let [file, src] = pos[..] else {
         return Err("usage: parbox-cli run <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]".into());
     };
-    let fragments: usize = flag(args, "--fragments").map(|v| v.parse().unwrap_or(4)).unwrap_or(4);
+    let fragments: usize = flag(args, "--fragments")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
     let sites: u32 = flag(args, "--sites")
         .map(|v| v.parse().unwrap_or(fragments as u32))
         .unwrap_or(fragments as u32);
@@ -171,8 +176,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let expected = centralized_eval(&tree, &q);
 
     let mut forest = Forest::from_tree(tree);
-    strategies::fragment_evenly(&mut forest, fragments)
-        .map_err(|e| format!("fragmenting: {e}"))?;
+    strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
     let placement = Placement::round_robin(&forest, sites.max(1));
     let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
     println!(
@@ -227,8 +231,13 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         .ok_or("usage: parbox-cli generate --bytes N [--seed S]")?
         .parse()
         .map_err(|e| format!("--bytes: {e}"))?;
-    let seed: u64 = flag(args, "--seed").map(|v| v.parse().unwrap_or(0)).unwrap_or(0);
-    let tree = generate(XmarkConfig { target_bytes: bytes, seed });
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().unwrap_or(0))
+        .unwrap_or(0);
+    let tree = generate(XmarkConfig {
+        target_bytes: bytes,
+        seed,
+    });
     println!("{}", tree.to_xml());
     Ok(())
 }

@@ -68,9 +68,9 @@ pub mod prelude {
         naive_centralized, naive_distributed, parbox, select_distributed, sum_distributed,
         EvalOutcome, MaterializedView, Update,
     };
-    pub use parbox_query::compile_selection;
     pub use parbox_frag::{Forest, Placement, SourceTree};
     pub use parbox_net::{Cluster, NetworkModel, SiteId};
+    pub use parbox_query::compile_selection;
     pub use parbox_query::{compile, parse_query, CompiledQuery, Query};
     pub use parbox_xml::{FragmentId, NodeId, Tree};
 }

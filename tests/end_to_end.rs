@@ -14,7 +14,10 @@ use parbox::xmark::{marker_query, query_with_qlist};
 use parbox_bench::{ft1, ft2_chain, ft3, single_site_split, Scale};
 
 fn tiny() -> Scale {
-    Scale { corpus_bytes: 36_000, seed: 4242 }
+    Scale {
+        corpus_bytes: 36_000,
+        seed: 4242,
+    }
 }
 
 #[test]
@@ -24,7 +27,11 @@ fn all_algorithms_agree_on_every_topology() {
         ("ft1", ft1(scale, 5).0, ft1(scale, 5).1),
         ("ft2", ft2_chain(scale, 5).0, ft2_chain(scale, 5).1),
         ("ft3", ft3(scale, 0.5).0, ft3(scale, 0.5).1),
-        ("single-site", single_site_split(scale, 4).0, single_site_split(scale, 4).1),
+        (
+            "single-site",
+            single_site_split(scale, 4).0,
+            single_site_split(scale, 4).1,
+        ),
     ];
     let queries = [
         marker_query("F0"),
@@ -50,13 +57,21 @@ fn all_algorithms_agree_on_every_topology() {
                 expected,
                 "nd {name} {src}"
             );
-            assert_eq!(hybrid_parbox(&cluster, &q).answer, expected, "hy {name} {src}");
+            assert_eq!(
+                hybrid_parbox(&cluster, &q).answer,
+                expected,
+                "hy {name} {src}"
+            );
             assert_eq!(
                 full_dist_parbox(&cluster, &q).answer,
                 expected,
                 "fd {name} {src}"
             );
-            assert_eq!(lazy_parbox(&cluster, &q).answer, expected, "lz {name} {src}");
+            assert_eq!(
+                lazy_parbox(&cluster, &q).answer,
+                expected,
+                "lz {name} {src}"
+            );
         }
     }
 }
@@ -125,10 +140,16 @@ fn experiment_series_are_internally_consistent() {
     // 4 MiB-scale harness runs recorded in EXPERIMENTS.md.
     let rows = exp::experiment1_fig7(scale, 6);
     let rt = |series: &str, x: f64| {
-        rows.iter().find(|r| r.series == series && r.x == x).unwrap().runtime_s
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .runtime_s
     };
     let bytes = |series: &str, x: f64| {
-        rows.iter().find(|r| r.series == series && r.x == x).unwrap().bytes
+        rows.iter()
+            .find(|r| r.series == series && r.x == x)
+            .unwrap()
+            .bytes
     };
     assert!(rt("NaiveCentralized", 6.0) > rt("NaiveCentralized", 1.0));
     assert!(bytes("NaiveCentralized", 6.0) > 10 * bytes("ParBoX", 6.0));
@@ -151,7 +172,10 @@ fn experiment_series_are_internally_consistent() {
     // Fig. 4: ParBoX ships less than NaiveCentralized, visits once.
     let table = exp::fig4_table(scale, 4);
     let pb = table.iter().find(|r| r.algorithm == "ParBoX").unwrap();
-    let nc = table.iter().find(|r| r.algorithm == "NaiveCentralized").unwrap();
+    let nc = table
+        .iter()
+        .find(|r| r.algorithm == "NaiveCentralized")
+        .unwrap();
     assert!(pb.bytes < nc.bytes);
     assert_eq!(pb.max_visits, 1);
 }

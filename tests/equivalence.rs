@@ -18,19 +18,25 @@ const TEXTS: [&str; 4] = ["x", "7", "3.5", "z"];
 /// Strategy for a small labelled tree with optional text.
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     // A tree is encoded as a preorder list of (depth, label, text?) rows.
-    let row = (0usize..4, 0usize..LABELS.len(), proptest::option::of(0usize..TEXTS.len()));
+    let row = (
+        0usize..4,
+        0usize..LABELS.len(),
+        proptest::option::of(0usize..TEXTS.len()),
+    );
     proptest::collection::vec(row, 0..40).prop_map(|rows| {
         let mut tree = Tree::new("root");
         // Stack of (depth, node).
         let mut stack: Vec<(usize, NodeId)> = vec![(0, tree.root())];
         for (depth, label, text) in rows {
-            let depth = depth + 1; // children of root start at depth 1
-            while stack.last().map(|&(d, _)| d + 1 < depth).unwrap_or(false) {
-                // Requested depth deeper than possible: clamp by attaching
-                // to the current deepest node.
-                break;
-            }
-            while stack.last().map(|&(d, _)| d + 1 > depth && d > 0).unwrap_or(false) {
+            // Children of root start at depth 1; a requested depth deeper
+            // than possible clamps naturally by attaching to the current
+            // deepest node.
+            let depth = depth + 1;
+            while stack
+                .last()
+                .map(|&(d, _)| d + 1 > depth && d > 0)
+                .unwrap_or(false)
+            {
                 stack.pop();
             }
             let parent = stack.last().expect("root never popped").1;
@@ -54,16 +60,17 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             TEXTS[t].to_string()
         )),
         (0usize..LABELS.len()).prop_map(|i| Query::LabelEq(LABELS[i].to_string())),
-        Just(Query::Path(Path::empty().desc().then(parbox::query::Step::Wildcard))),
+        Just(Query::Path(
+            Path::empty().desc().then(parbox::query::Step::Wildcard)
+        )),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             inner.clone().prop_map(Query::not),
-            (0usize..LABELS.len(), inner.clone()).prop_map(|(i, q)| Query::Path(
-                Path::empty().desc().child(LABELS[i]).filter(q)
-            )),
+            (0usize..LABELS.len(), inner.clone())
+                .prop_map(|(i, q)| Query::Path(Path::empty().desc().child(LABELS[i]).filter(q))),
         ]
     })
 }

@@ -2,8 +2,8 @@
 //! checked as executable assertions over measured run reports.
 
 use parbox::core::{
-    full_dist_parbox, lazy_parbox, naive_centralized, naive_distributed, parbox,
-    query_wire_size, resolved_triplet_wire_size,
+    full_dist_parbox, lazy_parbox, naive_centralized, naive_distributed, parbox, query_wire_size,
+    resolved_triplet_wire_size,
 };
 use parbox::frag::{Forest, Placement, SiteId};
 use parbox::net::{Cluster, MessageKind, NetworkModel};
@@ -15,7 +15,10 @@ fn star_cluster(bytes: usize, n: usize) -> (Forest, Placement) {
     let mut tree = parbox::xml::Tree::new("collection");
     let root = tree.root();
     for i in 0..n {
-        let site = generate(XmarkConfig { target_bytes: bytes / n, seed: 5 + i as u64 });
+        let site = generate(XmarkConfig {
+            target_bytes: bytes / n,
+            seed: 5 + i as u64,
+        });
         tree.append_tree(root, &site);
     }
     let mut forest = Forest::from_tree(tree);
@@ -89,7 +92,10 @@ fn naive_centralized_traffic_scales_with_document() {
     };
     let small = traffic(30_000);
     let large = traffic(300_000);
-    assert!(large > 5 * small, "shipping must scale with |T|: {small} -> {large}");
+    assert!(
+        large > 5 * small,
+        "shipping must scale with |T|: {small} -> {large}"
+    );
 }
 
 #[test]
@@ -116,7 +122,10 @@ fn guarantee_c_total_work_comparable_to_centralized() {
 fn guarantee_d_arbitrary_fragmentation_allowed() {
     // Nested fragments at different levels and wildly different sizes,
     // several per site: the algorithm imposes no constraints.
-    let tree = generate(XmarkConfig { target_bytes: 50_000, seed: 3 });
+    let tree = generate(XmarkConfig {
+        target_bytes: 50_000,
+        seed: 3,
+    });
     let mut forest = Forest::from_tree(tree);
     let f0 = forest.root_fragment();
     // Nest: split a subtree, then split inside the new fragment twice.
@@ -127,7 +136,10 @@ fn guarantee_d_arbitrary_fragmentation_allowed() {
             .skip(1)
             .filter(|&n| !t.node(n).kind.is_virtual() && t.subtree_size(n) > 3)
             .collect();
-        candidates.last().copied().map(|last| *candidates.get(skip).unwrap_or(&last))
+        candidates
+            .last()
+            .copied()
+            .map(|last| *candidates.get(skip).unwrap_or(&last))
     };
     let f1 = forest.split(f0, pick(&forest, f0, 0).unwrap()).unwrap();
     let f2 = forest.split(f1, pick(&forest, f1, 1).unwrap()).unwrap();
@@ -146,7 +158,11 @@ fn guarantee_d_arbitrary_fragmentation_allowed() {
     for src in ["[//item]", "[//person and //bidder]", "[not //nothing]"] {
         let q = compile(&parse_query(src).unwrap());
         let out = parbox(&cluster, &q);
-        assert_eq!(out.answer, parbox::core::centralized_eval(&whole, &q), "{src}");
+        assert_eq!(
+            out.answer,
+            parbox::core::centralized_eval(&whole, &q),
+            "{src}"
+        );
         assert!(out.report.max_visits() <= 1);
     }
 }

@@ -15,7 +15,10 @@ fn setup(bytes: usize, frags: usize, q: &str) -> (Forest, Placement, Materialize
     let mut tree = parbox::xml::Tree::new("corpus");
     let root = tree.root();
     for i in 0..frags {
-        let doc = generate(XmarkConfig { target_bytes: bytes / frags, seed: 31 + i as u64 });
+        let doc = generate(XmarkConfig {
+            target_bytes: bytes / frags,
+            seed: 31 + i as u64,
+        });
         tree.append_tree(root, &doc);
     }
     let mut forest = Forest::from_tree(tree);
@@ -53,8 +56,11 @@ fn random_node(forest: &Forest, rng: &mut StdRng) -> (FragmentId, NodeId) {
 
 #[test]
 fn long_random_update_sequence_stays_consistent() {
-    let (mut forest, mut placement, mut view) =
-        setup(24_000, 4, "[//item[payment/text() = \"Cash\"] or //sentinel]");
+    let (mut forest, mut placement, mut view) = setup(
+        24_000,
+        4,
+        "[//item[payment/text() = \"Cash\"] or //sentinel]",
+    );
     let mut rng = StdRng::seed_from_u64(0xFEED);
     let mut applied = 0;
     for step in 0..120 {
@@ -64,7 +70,12 @@ fn long_random_update_sequence_stays_consistent() {
             0..=4 => Update::InsNode {
                 frag,
                 parent: node,
-                label: if rng.random_bool(0.1) { "sentinel" } else { "filler" }.into(),
+                label: if rng.random_bool(0.1) {
+                    "sentinel"
+                } else {
+                    "filler"
+                }
+                .into(),
                 text: rng.random_bool(0.5).then(|| "Cash".to_string()),
             },
             5..=6 => {
@@ -112,12 +123,16 @@ fn maintenance_visits_only_the_updated_fragments_site() {
         let (frag, node) = random_node(&forest, &mut rng);
         let expected_site = placement.site_of(frag);
         let rep = view
-            .apply(&mut forest, &mut placement, Update::InsNode {
-                frag,
-                parent: node,
-                label: "filler".into(),
-                text: None,
-            })
+            .apply(
+                &mut forest,
+                &mut placement,
+                Update::InsNode {
+                    frag,
+                    parent: node,
+                    label: "filler".into(),
+                    text: None,
+                },
+            )
             .unwrap();
         let visited: Vec<SiteId> = rep
             .report
@@ -135,15 +150,17 @@ fn maintenance_traffic_constant_as_document_grows() {
     let frag = forest.fragment_ids().last().unwrap();
     let parent = forest.fragment(frag).tree.root();
 
-    let probe = |view: &mut MaterializedView,
-                 forest: &mut Forest,
-                 placement: &mut Placement| {
-        view.apply(forest, placement, Update::InsNode {
-            frag,
-            parent,
-            label: "probe".into(),
-            text: None,
-        })
+    let probe = |view: &mut MaterializedView, forest: &mut Forest, placement: &mut Placement| {
+        view.apply(
+            forest,
+            placement,
+            Update::InsNode {
+                frag,
+                parent,
+                label: "probe".into(),
+                text: None,
+            },
+        )
         .unwrap()
         .report
         .total_bytes()
@@ -152,12 +169,16 @@ fn maintenance_traffic_constant_as_document_grows() {
     let before = probe(&mut view, &mut forest, &mut placement);
     // Grow the fragment by three orders of magnitude more nodes.
     for i in 0..2_000 {
-        view.apply(&mut forest, &mut placement, Update::InsNode {
-            frag,
-            parent,
-            label: "bulk".into(),
-            text: Some(format!("row {i}")),
-        })
+        view.apply(
+            &mut forest,
+            &mut placement,
+            Update::InsNode {
+                frag,
+                parent,
+                label: "bulk".into(),
+                text: Some(format!("row {i}")),
+            },
+        )
         .unwrap();
     }
     let after = probe(&mut view, &mut forest, &mut placement);
@@ -176,10 +197,14 @@ fn view_survives_full_defragmentation() {
             t.virtual_nodes(t.root()).first().map(|&(n, _)| n)
         };
         let Some(vnode) = vnode else { break };
-        view.apply(&mut forest, &mut placement, Update::MergeFragments {
-            frag: root,
-            node: vnode,
-        })
+        view.apply(
+            &mut forest,
+            &mut placement,
+            Update::MergeFragments {
+                frag: root,
+                node: vnode,
+            },
+        )
         .unwrap();
         assert_eq!(view.answer(), oracle(&forest, &placement, view.query()));
     }
@@ -195,7 +220,10 @@ fn refresh_tracks_external_mutations() {
     // writer would, then refresh the view for the changed fragment.
     let frag = forest.fragment_ids().last().unwrap();
     let root = forest.fragment(frag).tree.root();
-    forest.fragment_mut(frag).tree.add_child(root, "external-marker");
+    forest
+        .fragment_mut(frag)
+        .tree
+        .add_child(root, "external-marker");
     let rep = view.refresh(&forest, &placement, frag);
     assert!(rep.answer_changed);
     assert!(view.answer());

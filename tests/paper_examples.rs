@@ -37,8 +37,14 @@ fn intro_figure_1a() {
 
     // The paper's hand-computed per-fragment results: (zA, zB) = (1, 0),
     // (yA, yB) = (0, 1).
-    let rz = bottom_up(&forest.fragment(fz).tree, &q).triplet.resolved().unwrap();
-    let ry = bottom_up(&forest.fragment(fy).tree, &q).triplet.resolved().unwrap();
+    let rz = bottom_up(&forest.fragment(fz).tree, &q)
+        .triplet
+        .resolved()
+        .unwrap();
+    let ry = bottom_up(&forest.fragment(fy).tree, &q)
+        .triplet
+        .resolved()
+        .unwrap();
     // Sub-query //A is the Desc op over label A; find it by shape.
     let desc_a = q
         .subs()
@@ -61,7 +67,10 @@ fn intro_figure_1a() {
 
     // And the composed answer is true.
     let out = parbox(&cluster, &q);
-    assert!(out.answer, "Q(R, X, Y, Z) = (rA∨xA∨yA∨zA) ∧ (rB∨xB∨yB∨zB) = 1");
+    assert!(
+        out.answer,
+        "Q(R, X, Y, Z) = (rA∨xA∨yA∨zA) ∧ (rB∨xB∨yB∨zB) = 1"
+    );
 
     // Removing the B leaf flips it.
     let mut forest2 = forest.clone();
@@ -82,7 +91,9 @@ fn example_2_1_normal_form() {
     assert!(rendered.contains("label() = code"), "{rendered}");
     assert!(rendered.contains("text() = \"yhoo\""), "{rendered}");
     // The outer structure is a path beginning with //.
-    let NQuery::Path(steps) = &n else { panic!("expected path, got {n}") };
+    let NQuery::Path(steps) = &n else {
+        panic!("expected path, got {n}")
+    };
     assert!(matches!(steps[0], parbox::query::NStep::DescOrSelf));
 
     // QList is topologically ordered and O(|q|) in size (paper remark).
@@ -143,7 +154,13 @@ fn examples_3_1_and_3_2_triplets() {
     let f1 = FragmentId(1);
     let run = bottom_up(&forest.fragment(f1).tree, &q);
     assert!(!run.triplet.is_closed(), "F1 depends on F2");
-    for f in run.triplet.v.iter().chain(&run.triplet.cv).chain(&run.triplet.dv) {
+    for f in run
+        .triplet
+        .v
+        .iter()
+        .chain(&run.triplet.cv)
+        .chain(&run.triplet.dv)
+    {
         for var in f.vars() {
             assert_eq!(var.frag, FragmentId(2), "only F2 variables may appear");
         }
@@ -201,9 +218,8 @@ fn example_3_3_composition() {
 fn goog_alert_round_trip() {
     let (mut forest, placement) = fig2_portfolio();
     let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-    let q = compile(
-        &parse_query("[//stock[code/text() = \"GOOG\" ∧ sell/text() = \"376\"]]").unwrap(),
-    );
+    let q =
+        compile(&parse_query("[//stock[code/text() = \"GOOG\" ∧ sell/text() = \"376\"]]").unwrap());
     assert!(!parbox(&cluster, &q).answer);
     drop(cluster);
 
@@ -214,13 +230,16 @@ fn goog_alert_round_trip() {
         t.descendants(t.root())
             .find(|&n| {
                 t.label_str(n) == "stock"
-                    && t.children(n).any(|c| t.node(c).text.as_deref() == Some("GOOG"))
+                    && t.children(n)
+                        .any(|c| t.node(c).text.as_deref() == Some("GOOG"))
             })
             .unwrap()
     };
     let sell = {
         let t = &forest.fragment(f2).tree;
-        t.children(goog_stock).find(|&c| t.label_str(c) == "sell").unwrap()
+        t.children(goog_stock)
+            .find(|&c| t.label_str(c) == "sell")
+            .unwrap()
     };
     forest.fragment_mut(f2).tree.set_text(sell, "376");
     let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
@@ -239,7 +258,11 @@ fn section_4_lazy_skips_remote_market() {
     let out = lazy_parbox(&cluster, &q);
     assert!(out.answer);
     // S2 (holding F2 and F3 at depth 2) must never be visited.
-    assert_eq!(out.report.site(SiteId(2)).visits, 0, "deep market evaluated needlessly");
+    assert_eq!(
+        out.report.site(SiteId(2)).visits,
+        0,
+        "deep market evaluated needlessly"
+    );
     let eager = parbox(&cluster, &q);
     assert!(out.report.total_work() < eager.report.total_work());
 }

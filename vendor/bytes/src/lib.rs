@@ -1,0 +1,183 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the handful of external crates the code depends on are vendored as
+//! API-compatible subsets (see `vendor/README.md`). This one covers the
+//! byte-buffer surface used by `parbox-bool`'s wire encoding: growable
+//! [`BytesMut`] with little-endian put methods, an immutable [`Bytes`]
+//! cursor with matching getters, and the [`Buf`]/[`BufMut`] traits.
+
+#![warn(missing_docs)]
+
+/// Read-side cursor abstraction over a byte buffer.
+pub trait Buf {
+    /// Number of bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances the cursor.
+    ///
+    /// # Panics
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32` and advances the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+}
+
+/// Write-side abstraction over a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+}
+
+/// A growable, mutable byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Appends a slice of bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable byte buffer read through an advancing cursor (subset of
+/// `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Number of unread bytes (cursor to end), mirroring `bytes::Bytes::len`
+    /// semantics where consumed prefixes are dropped.
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end of buffer");
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32_le past end of buffer");
+        let mut le = [0u8; 4];
+        le.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(le)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor_semantics() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        assert_eq!(buf.len(), 5);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 5);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.len(), 0);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn from_static_reads() {
+        let mut b = Bytes::from_static(&[1, 2, 3, 4, 5]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u32_le(), u32::from_le_bytes([2, 3, 4, 5]));
+    }
+}

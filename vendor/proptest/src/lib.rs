@@ -1,0 +1,716 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! external dependencies are vendored as API-compatible subsets (see
+//! `vendor/README.md`). This one is a small but *functional*
+//! property-testing framework covering the surface the parbox test suites
+//! use: composable [`strategy::Strategy`] values (ranges, tuples,
+//! [`strategy::Just`], `prop_map`, `prop_recursive`, weighted
+//! [`prop_oneof!`] unions, [`collection::vec()`], [`option::of`],
+//! [`bool::ANY`]), the [`proptest!`] test macro, and `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed so
+//!   it can be replayed, but is not minimized.
+//! * **Derived randomness** comes from the vendored `rand` xoshiro
+//!   generator; each test function's case stream is deterministic (test
+//!   name × case index), so failures are reproducible run-to-run.
+//! * `PROPTEST_CASES` in the environment overrides the per-test case
+//!   count, which CI uses to trade thoroughness for latency.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Deterministic case runner and failure plumbing.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Run-time configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A property failure: the message carried by `prop_assert!` and
+    /// friends.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable description of the failed assertion.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// The random source handed to strategies while generating one case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds a generator for one (test, case) pair.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Uniform draw from a non-empty `usize` range.
+        pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+            self.inner.random_range(range)
+        }
+
+        /// Fair coin flip.
+        pub fn flip(&mut self) -> bool {
+            self.inner.random_bool(0.5)
+        }
+
+        /// Next raw 64 random bits.
+        pub fn bits(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Runs a property over many deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner; `PROPTEST_CASES` in the environment overrides
+        /// the configured case count.
+        pub fn new(mut config: ProptestConfig) -> Self {
+            if let Some(cases) = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+            {
+                // Never 0: that would make every property pass vacuously.
+                config.cases = cases.max(1);
+            }
+            TestRunner { config }
+        }
+
+        /// Runs `body` once per case with a per-case deterministic RNG.
+        /// Panics (failing the enclosing `#[test]`) on the first case
+        /// whose body returns `Err`.
+        pub fn run_named<F>(&mut self, name: &str, mut body: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            // FNV-1a over the test name decorrelates sibling tests.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for case in 0..self.config.cases {
+                let seed = h.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1));
+                let mut rng = TestRng::from_seed(seed);
+                if let Err(e) = body(&mut rng) {
+                    panic!(
+                        "property `{name}` failed at case {case} (seed {seed:#018x}): {}",
+                        e.message
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and their combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for
+        /// the previous level and returns the strategy for one level up.
+        /// `depth` bounds nesting; the size hints of real proptest are
+        /// accepted but unused (no shrinking here, so no size budget).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                // At each level, keep a real chance of bottoming out so
+                // expected sizes stay small.
+                let leaf = self.clone().boxed();
+                let deeper = recurse(current).boxed();
+                current = Union::new(vec![(1, leaf), (2, deeper)]).boxed();
+            }
+            current
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T>
+        where
+            Self: Sized + 'static,
+        {
+            self // already erased; avoid double indirection
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies — what [`crate::prop_oneof!`]
+    /// builds.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must sum to a positive value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! requires positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.usize_in(0..self.total as usize) as u32;
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights cover the draw range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.bits() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies for primitive types (the `name: type` form of
+    //! [`crate::proptest!`] arguments and [`any`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.bits() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.flip()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for an [`Arbitrary`] type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start < self.size.end {
+                rng.usize_in(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            rng.flip().then(|| self.0.generate(rng))
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Fair-coin strategy for `bool`.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.flip()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` is expected to bring in.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` running the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test functions of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            // Strategies are built once per test (tuples of strategies are
+            // themselves strategies), then sampled once per case.
+            let __proptest_strategies = $crate::__proptest_strats!(() $($args)*);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                let $crate::__proptest_pats!(() $($args)*) =
+                    $crate::strategy::Strategy::generate(&__proptest_strategies, __proptest_rng);
+                let __proptest_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: maps a [`proptest!`] argument list to a tuple of strategy
+/// expressions (the `name: Type` form becomes [`arbitrary::any`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strats {
+    ( ($($acc:tt)*) ) => { ( $($acc)* ) };
+    ( ($($acc:tt)*) $pat:pat in $strat:expr $(, $($rest:tt)*)? ) => {
+        $crate::__proptest_strats!( ($($acc)* ($strat),) $($($rest)*)? )
+    };
+    ( ($($acc:tt)*) $var:ident : $ty:ty $(, $($rest:tt)*)? ) => {
+        $crate::__proptest_strats!( ($($acc)* ($crate::arbitrary::any::<$ty>()),) $($($rest)*)? )
+    };
+}
+
+/// Internal: maps a [`proptest!`] argument list to the matching tuple
+/// pattern for one generated case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_pats {
+    ( ($($acc:tt)*) ) => { ( $($acc)* ) };
+    ( ($($acc:tt)*) $pat:pat in $strat:expr $(, $($rest:tt)*)? ) => {
+        $crate::__proptest_pats!( ($($acc)* $pat,) $($($rest)*)? )
+    };
+    ( ($($acc:tt)*) $var:ident : $ty:ty $(, $($rest:tt)*)? ) => {
+        $crate::__proptest_pats!( ($($acc)* $var,) $($($rest)*)? )
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    __l
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (usize, bool)> {
+        (0usize..10, crate::bool::ANY)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17) {
+            prop_assert!((3..17).contains(&x));
+        }
+
+        #[test]
+        fn vec_len_in_bounds(v in crate::collection::vec(0u8..255, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_and_arbitrary(p in pair_strategy(), seed: u8) {
+            let (n, _flag) = p;
+            prop_assert!(n < 10);
+            let _ = seed;
+        }
+
+        #[test]
+        fn early_return_ok_is_accepted(x in 0usize..2) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(x, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn oneof_weights_and_recursion(v in recursive_vec()) {
+            prop_assert!(depth(&v) <= 4, "depth {}", depth(&v));
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Nest {
+        Leaf(u8),
+        Node(Vec<Nest>),
+    }
+
+    fn depth(n: &Nest) -> usize {
+        match n {
+            Nest::Leaf(_) => 1,
+            Nest::Node(xs) => 1 + xs.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn recursive_vec() -> impl Strategy<Value = Nest> {
+        let leaf = prop_oneof![
+            2 => (0u8..10).prop_map(Nest::Leaf),
+            1 => Just(Nest::Leaf(99)),
+        ];
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Nest::Node)
+        })
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run_named("always_fails", |_rng| Err(TestCaseError::fail("nope")));
+        });
+        assert!(result.is_err());
+    }
+}

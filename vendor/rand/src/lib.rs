@@ -1,0 +1,176 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate (0.9 API
+//! names), covering the subset this workspace uses: a deterministic
+//! seedable generator ([`rngs::StdRng`]) and the [`Rng`] convenience
+//! methods `random_range` / `random_bool`.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! external dependencies are vendored as API-compatible subsets (see
+//! `vendor/README.md`). Everything here is deterministic per seed — which
+//! is exactly what the workload generators and tests require — but makes
+//! no statistical-quality claims beyond "good enough to exercise code
+//! paths" (the core is xoshiro256++ seeded via SplitMix64).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can serve as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Widen to i128 so full-width ranges (e.g. i64::MIN..i64::MAX)
+                // cannot overflow the span arithmetic.
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// High-level convenience methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`. Panics on empty ranges.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 random bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (xoshiro256++ core, SplitMix64
+    /// seed expansion). Stands in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            // One warm-up round so the first draws of adjacent seeds
+            // (common in test code: seed, seed + 1) decorrelate better.
+            splitmix64(&mut sm);
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let stream_a: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX)).collect();
+        let stream_c: Vec<u64> = (0..8).map(|_| c.random_range(0u64..u64::MAX)).collect();
+        assert_ne!(stream_a, stream_c);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(30..400);
+            assert!((30..400).contains(&v));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

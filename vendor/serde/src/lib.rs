@@ -1,0 +1,48 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! external dependencies are vendored as API-compatible subsets (see
+//! `vendor/README.md`). The workspace only *derives* `Serialize` /
+//! `Deserialize` to mark wire-shaped types — the one JSON emitter
+//! (`parbox-bench`'s result tables) formats rows manually — so the traits
+//! here are empty markers and the derives emit empty impls. Swapping in
+//! real serde later requires no source changes at the use sites.
+
+#![warn(missing_docs)]
+
+// Lets the `::serde::…` paths the derives emit resolve even inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        _x: f64,
+        _y: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        _Dot,
+        _Line(u8),
+    }
+
+    fn assert_both<T: Serialize + Deserialize>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        assert_both::<Point>();
+        assert_both::<Shape>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` subset (see `vendor/README.md`) defines
+//! `Serialize` / `Deserialize` as marker traits: the workspace only ever
+//! derives them (the one JSON emitter in `parbox-bench` formats rows by
+//! hand), so the derives just emit empty trait impls. Written against raw
+//! [`proc_macro`] — no `syn`/`quote` — because the build container has no
+//! crates.io access.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+///
+/// Derive inputs with generic parameters are rejected: nothing in this
+/// workspace derives on generic types, and supporting them without `syn`
+/// would be speculative complexity.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde_derive does not support generic type `{name}`"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum/union in derive input");
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let name = type_name(input);
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored marker trait `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the vendored marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
