@@ -1,0 +1,50 @@
+//! Criterion bench for Experiment B: one batched round vs N sequential
+//! ParBoX runs over the same queries, wall-clock.
+
+// The experiment is named expB in the issue tracker; keep the bench name.
+#![allow(non_snake_case)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::{ft1, Scale};
+use parbox_core::{parbox, run_batch};
+use parbox_net::{Cluster, NetworkModel};
+use parbox_query::{compile, compile_batch};
+use parbox_xmark::batch_workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale {
+        corpus_bytes: 96 * 1024,
+        seed: 2006,
+    };
+    let (forest, placement) = ft1(scale, 4);
+    let mut group = c.benchmark_group("expB");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        let queries = batch_workload(n, scale.seed);
+        let batch = compile_batch(&queries);
+        let compiled: Vec<_> = queries.iter().map(compile).collect();
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                black_box(run_batch(&cluster, &batch).answers.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+                let mut trues = 0usize;
+                for q in &compiled {
+                    if parbox(&cluster, q).answer {
+                        trues += 1;
+                    }
+                }
+                black_box(trues)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

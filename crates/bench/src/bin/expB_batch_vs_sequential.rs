@@ -1,0 +1,47 @@
+//! **Experiment B**: the batched multi-query engine vs sequential ParBoX
+//! — batches of 1–64 concurrent queries from the default XMark serving
+//! workload, on an FT1 deployment.
+//!
+//! Usage: `cargo run --release -p parbox-bench --bin expB_batch_vs_sequential [--scale BYTES]`
+
+// The experiment is named expB in the issue tracker; keep the binary name.
+#![allow(non_snake_case)]
+
+use parbox_bench::experiments::expb_batch_vs_sequential;
+use parbox_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let machines = 4;
+    let rows = expb_batch_vs_sequential(scale, machines, &[1, 2, 4, 8, 16, 32, 64]);
+    println!(
+        "Experiment B — batch engine vs sequential ParBoX (corpus {} bytes, {machines} machines)",
+        scale.corpus_bytes
+    );
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>11} {:>11} {:>12} {:>12} {:>8}",
+        "batch",
+        "|QL|mrg",
+        "|QL|sum",
+        "visits",
+        "bytes(B)",
+        "bytes(seq)",
+        "net s (B)",
+        "net s (seq)",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>7} {:>7} {:>7} {:>11} {:>11} {:>12.6} {:>12.6} {:>7.1}x",
+            r.batch_size,
+            r.merged_qlist,
+            r.summed_qlist,
+            r.batch_max_visits,
+            r.batch_bytes,
+            r.sequential_bytes,
+            r.batch_network_s,
+            r.sequential_network_s,
+            r.sequential_network_s / r.batch_network_s.max(1e-12),
+        );
+    }
+}

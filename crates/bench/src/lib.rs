@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # parbox-bench
 //!

@@ -160,6 +160,46 @@ pub fn triplet_wire_size(t: &Triplet) -> usize {
     buf.len()
 }
 
+/// Encodes a *site envelope*: every `(fragment, triplet)` pair one site
+/// computed for a query batch, packed into a single message.
+///
+/// The batch engine ships one envelope per site and visit instead of one
+/// triplet message per fragment and query; the envelope is a count
+/// followed by `fragment id + triplet` records.
+pub fn encode_site_envelope(entries: &[(FragmentId, &Triplet)], buf: &mut BytesMut) {
+    buf.put_u32_le(entries.len() as u32);
+    for (frag, t) in entries {
+        buf.put_u32_le(frag.0);
+        encode_triplet(t, buf);
+    }
+}
+
+/// Decodes a site envelope back into `(fragment, triplet)` pairs.
+pub fn decode_site_envelope(buf: &mut Bytes) -> Result<Vec<(FragmentId, Triplet)>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le();
+    let mut entries = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let frag = FragmentId(buf.get_u32_le());
+        entries.push((frag, decode_triplet(buf)?));
+    }
+    Ok(entries)
+}
+
+/// Exact wire size in bytes of a site envelope:
+/// `4 + Σ (4 + triplet_wire_size)`.
+pub fn site_envelope_wire_size(entries: &[(FragmentId, &Triplet)]) -> usize {
+    4 + entries
+        .iter()
+        .map(|(_, t)| 4 + triplet_wire_size(t))
+        .sum::<usize>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +263,57 @@ mod tests {
         assert!(b > s);
         assert_eq!(s, 3 * (4 + 2));
         assert_eq!(b, 3 * (4 + 23));
+    }
+
+    #[test]
+    fn round_trip_site_envelope() {
+        let a = Triplet::fresh_vars(FragmentId(1), 3);
+        let b = Triplet::all_false(3);
+        let entries = vec![(FragmentId(1), &a), (FragmentId(4), &b)];
+        let mut buf = BytesMut::new();
+        encode_site_envelope(&entries, &mut buf);
+        assert_eq!(buf.len(), site_envelope_wire_size(&entries));
+        let mut bytes = buf.freeze();
+        let back = decode_site_envelope(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0);
+        assert_eq!(back, vec![(FragmentId(1), a), (FragmentId(4), b)]);
+    }
+
+    #[test]
+    fn empty_envelope_is_just_a_count() {
+        let mut buf = BytesMut::new();
+        encode_site_envelope(&[], &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(site_envelope_wire_size(&[]), 4);
+        let back = decode_site_envelope(&mut buf.freeze()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn envelope_beats_per_query_messages_on_shared_width() {
+        // A batch of 8 two-sub-query members with full overlap: the
+        // envelope carries one width-2 triplet instead of 8.
+        let t = Triplet::all_false(2);
+        let batched = site_envelope_wire_size(&[(FragmentId(0), &t)]);
+        let sequential = 8 * triplet_wire_size(&t);
+        assert!(batched < sequential, "{batched} vs {sequential}");
+    }
+
+    #[test]
+    fn truncated_envelope_errors() {
+        let mut empty = Bytes::new();
+        assert_eq!(
+            decode_site_envelope(&mut empty),
+            Err(DecodeError::Truncated)
+        );
+        // Count says one record but the payload is missing.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_site_envelope(&mut bytes),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]

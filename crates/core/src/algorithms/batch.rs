@@ -1,0 +1,264 @@
+//! The multi-query **batch engine**: ParBoX's three stages amortized over
+//! a whole batch of concurrent queries.
+//!
+//! The paper proves, per query, that every site is visited exactly once
+//! with `O(|q| · card(F))` traffic. Under serving traffic the unit of
+//! work is a *batch* of `N` concurrent queries, and running ParBoX `N`
+//! times repeats the per-site round trip — and the per-fragment tree
+//! traversal — `N` times. [`run_batch`] instead:
+//!
+//! 1. ships each site the **merged program** of the whole batch
+//!    ([`parbox_query::QueryBatch`]) in one visit;
+//! 2. partially evaluates the merged program with **one `bottomUp`
+//!    traversal per fragment** — the `(V, CV, DV)` triplet is as wide as
+//!    the merged `QList`, so every member query's partial answer falls
+//!    out of the same pass — and returns **one envelope per site**
+//!    carrying all of its fragments' triplets;
+//! 3. solves the combined equation system in **one solver pass**, then
+//!    reads each member's answer off its own root sub-query.
+//!
+//! The per-site traffic stays within the paper's bound summed over the
+//! batch (`O(Σ|qᵢ| · card(F))`), and is strictly below it whenever
+//! members share sub-queries, since shared entries are shipped once.
+
+use crate::algorithms::query_wire_size;
+use crate::eval::bottom_up;
+use parbox_bool::{site_envelope_wire_size, EquationSystem, Triplet};
+use parbox_net::{run_sites_parallel, BatchRound, Cluster, RunReport};
+use parbox_query::QueryBatch;
+use parbox_xml::FragmentId;
+use std::time::Instant;
+
+/// Result of one batched evaluation round.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-member answers, in the batch's input order.
+    pub answers: Vec<bool>,
+    /// Full cost accounting of the round (all members combined).
+    pub report: RunReport,
+    /// Algorithm label for harness output.
+    pub algorithm: &'static str,
+}
+
+/// Wire size in bytes of a batch request: the merged program plus the
+/// root-id table (4 bytes per member; [`query_wire_size`] already counts
+/// the first root id).
+pub fn batch_query_wire_size(batch: &QueryBatch) -> usize {
+    query_wire_size(batch.merged()) + 4 * (batch.len() - 1)
+}
+
+/// Evaluates every query of `batch` over the cluster in one ParBoX-style
+/// round: one visit, one request and one envelope per site, one
+/// `bottomUp` traversal per fragment, one solver pass.
+pub fn run_batch(cluster: &Cluster<'_>, batch: &QueryBatch) -> BatchOutcome {
+    let wall = Instant::now();
+    let coord = cluster.coordinator();
+    let sites = cluster.sites();
+    let merged = batch.merged();
+    let request_bytes = batch_query_wire_size(batch);
+
+    // Stage 1: one visit per site, shipping the merged program once.
+    let mut round = BatchRound::new(coord);
+    for &s in &sites {
+        round.visit(s, request_bytes).expect("sites are distinct");
+    }
+
+    // Stage 2: each site partially evaluates the merged program over each
+    // of its fragments — one traversal per fragment for the whole batch.
+    let runs = run_sites_parallel(&sites, |s| {
+        cluster
+            .fragments_at(s)
+            .into_iter()
+            .map(|f| (f, bottom_up(&cluster.forest.fragment(f).tree, merged)))
+            .collect::<Vec<(FragmentId, crate::eval::FragmentRun)>>()
+    });
+
+    let mut sys = EquationSystem::new();
+    let mut remote_envelope_bytes: Vec<usize> = Vec::new();
+    let mut max_compute = 0.0f64;
+    for run in runs {
+        round.report_mut().record_compute(run.site, run.elapsed);
+        max_compute = max_compute.max(run.elapsed.as_secs_f64());
+        let entries: Vec<(FragmentId, &Triplet)> = run
+            .output
+            .iter()
+            .map(|(f, frun)| (*f, &frun.triplet))
+            .collect();
+        let bytes = site_envelope_wire_size(&entries);
+        round.reply(run.site, bytes).expect("site was visited");
+        if run.site != coord {
+            remote_envelope_bytes.push(bytes);
+        }
+        for (frag, frun) in run.output {
+            round.report_mut().record_work(run.site, frun.work_units);
+            sys.insert(frag, frun.triplet);
+        }
+    }
+
+    // Stage 3: one solver pass over the combined equation system.
+    let solve_start = Instant::now();
+    let resolved = sys
+        .solve(cluster.source_tree.postorder())
+        .expect("envelopes cover every fragment in bottom-up order");
+    let solve_time = solve_start.elapsed();
+    let mut report = round.finish();
+    report.record_compute(coord, solve_time);
+    // The combined system has O(|merged QList| · card(F)) entries.
+    report.record_work(coord, (merged.len() * cluster.forest.card()) as u64);
+
+    // Each member's answer is its own root sub-query's value at the root
+    // fragment — all read off the single resolved system.
+    let root_frag = cluster.forest.root_fragment();
+    let root_v = &resolved[&root_frag].v;
+    let answers = batch.roots().iter().map(|&r| root_v[r as usize]).collect();
+
+    // Modeled elapsed time, as for single-query ParBoX: request broadcast
+    // ∥ → parallel compute → envelope return over the coordinator's shared
+    // inbound link → solve.
+    let model = &cluster.model;
+    let broadcast = if sites.len() > 1 {
+        model.transfer_time(request_bytes)
+    } else {
+        0.0
+    };
+    let collect = model.shared_link_time(remote_envelope_bytes.iter().copied());
+    report.elapsed_model_s = broadcast + max_compute + collect + solve_time.as_secs_f64();
+    report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+
+    BatchOutcome {
+        answers,
+        report,
+        algorithm: "BatchParBoX",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::parbox;
+    use crate::eval::centralized::centralized_eval;
+    use parbox_frag::{Forest, Placement};
+    use parbox_net::{MessageKind, NetworkModel};
+    use parbox_query::{compile, compile_batch, parse_query, Query};
+    use parbox_xml::Tree;
+
+    fn fig1_forest() -> Forest {
+        let tree = Tree::parse("<r><x><z><A/><A/></z><pad/></x><y><B/></y></r>").unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let f0 = forest.root_fragment();
+        let find = |forest: &Forest, frag, label: &str| {
+            let t = &forest.fragment(frag).tree;
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == label)
+                .unwrap()
+        };
+        let x = find(&forest, f0, "x");
+        let fx = forest.split(f0, x).unwrap();
+        let z = find(&forest, fx, "z");
+        forest.split(fx, z).unwrap();
+        let y = find(&forest, f0, "y");
+        forest.split(f0, y).unwrap();
+        forest
+    }
+
+    fn queries(srcs: &[&str]) -> Vec<Query> {
+        srcs.iter().map(|s| parse_query(s).unwrap()).collect()
+    }
+
+    const SRCS: [&str; 6] = [
+        "[//A and //B]",
+        "[//A]",
+        "[//B and //pad]",
+        "[//x[z/A]]",
+        "[//A and not //B]",
+        "[not(//nothing)]",
+    ];
+
+    #[test]
+    fn batch_answers_match_per_query_parbox_and_centralized() {
+        let forest = fig1_forest();
+        let whole = forest.reassemble();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let qs = queries(&SRCS);
+        let out = run_batch(&cluster, &compile_batch(&qs));
+        assert_eq!(out.answers.len(), SRCS.len());
+        assert_eq!(out.algorithm, "BatchParBoX");
+        for (i, src) in SRCS.iter().enumerate() {
+            let solo = parbox(&cluster, &compile(&qs[i]));
+            assert_eq!(out.answers[i], solo.answer, "parbox mismatch on {src}");
+            let central = centralized_eval(&whole, &compile(&qs[i]));
+            assert_eq!(out.answers[i], central, "centralized mismatch on {src}");
+        }
+    }
+
+    #[test]
+    fn one_visit_and_one_envelope_per_site() {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = run_batch(&cluster, &compile_batch(&queries(&SRCS)));
+        assert_eq!(out.report.max_visits(), 1);
+        for (site, rep) in out.report.sites() {
+            assert_eq!(rep.visits, 1, "site {}", site.0);
+        }
+        // Exactly one request + one envelope per remote site.
+        let remote = cluster.sites().len() - 1;
+        assert_eq!(out.report.total_messages(), 2 * remote);
+        assert!(out.report.bytes_of_kind(MessageKind::Envelope) > 0);
+    }
+
+    #[test]
+    fn batch_traffic_below_sequential_sum() {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let qs = queries(&SRCS);
+        let batched = run_batch(&cluster, &compile_batch(&qs));
+        let sequential: usize = qs
+            .iter()
+            .map(|q| parbox(&cluster, &compile(q)).report.total_bytes())
+            .sum();
+        assert!(
+            batched.report.total_bytes() < sequential,
+            "batched {} vs sequential {sequential}",
+            batched.report.total_bytes()
+        );
+    }
+
+    #[test]
+    fn multi_fragment_sites_still_one_envelope() {
+        let forest = fig1_forest();
+        let placement = Placement::round_robin(&forest, 2);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = run_batch(&cluster, &compile_batch(&queries(&SRCS)));
+        assert_eq!(out.report.max_visits(), 1);
+        assert_eq!(out.report.total_messages(), 2);
+        assert!(out.answers[0]);
+    }
+
+    #[test]
+    fn single_site_batch_needs_no_traffic() {
+        let tree = Tree::parse("<a><b/></a>").unwrap();
+        let forest = Forest::from_tree(tree);
+        let placement = Placement::single_site(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let out = run_batch(&cluster, &compile_batch(&queries(&["[//b]", "[//c]"])));
+        assert_eq!(out.answers, vec![true, false]);
+        assert_eq!(out.report.total_messages(), 0);
+    }
+
+    #[test]
+    fn batch_of_one_agrees_with_parbox_costs() {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let q = parse_query("[//A and //B]").unwrap();
+        let batched = run_batch(&cluster, &compile_batch(std::slice::from_ref(&q)));
+        let solo = parbox(&cluster, &compile(&q));
+        assert_eq!(batched.answers, vec![solo.answer]);
+        assert_eq!(batched.report.max_visits(), solo.report.max_visits());
+        // Same traversal work; the envelope adds a constant per fragment.
+        assert_eq!(batched.report.total_work(), solo.report.total_work());
+    }
+}

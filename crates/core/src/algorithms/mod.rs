@@ -8,12 +8,14 @@
 //! regenerate the paper's Fig. 4 complexity table and the runtime figures
 //! of Section 6.
 
+mod batch;
 mod fulldist;
 mod hybrid;
 mod lazy;
 mod naive;
 mod parbox_algo;
 
+pub use self::batch::{batch_query_wire_size, run_batch, BatchOutcome};
 pub use self::fulldist::full_dist_parbox;
 pub use self::hybrid::{hybrid_parbox, hybrid_prefers_parbox};
 pub use self::lazy::lazy_parbox;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # parbox-core
 //!
@@ -13,7 +14,49 @@
 //! * [`hybrid_parbox`], [`full_dist_parbox`], [`lazy_parbox`] — its
 //!   variants (Section 4);
 //! * [`MaterializedView`] — incremental maintenance of Boolean XPath
-//!   views under data and fragmentation updates (Section 5).
+//!   views under data and fragmentation updates (Section 5);
+//! * [`run_batch`] — the **batch engine**: a whole batch of concurrent
+//!   queries evaluated in one ParBoX round (one visit per site, one
+//!   traversal per fragment, one solver pass).
+//!
+//! Every algorithm takes a [`parbox_net::Cluster`] (fragmented document +
+//! placement + network model) and a compiled query, and returns the
+//! Boolean answer with a full [`parbox_net::RunReport`] of visits,
+//! messages and work — the paper's guarantees are assertions over these
+//! reports.
+//!
+//! ```
+//! use parbox_core::{parbox, run_batch};
+//! use parbox_frag::{Forest, Placement};
+//! use parbox_net::{Cluster, NetworkModel};
+//! use parbox_query::{compile, compile_batch, parse_query};
+//! use parbox_xml::Tree;
+//!
+//! // Fragment a document over two sites…
+//! let tree = Tree::parse("<r><x><A/></x><y><B/></y></r>").unwrap();
+//! let mut forest = Forest::from_tree(tree);
+//! let f0 = forest.root_fragment();
+//! let y = {
+//!     let t = &forest.fragment(f0).tree;
+//!     t.descendants(t.root()).find(|&n| t.label_str(n) == "y").unwrap()
+//! };
+//! forest.split(f0, y).unwrap();
+//! let placement = Placement::one_per_fragment(&forest);
+//! let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+//!
+//! // …one query through ParBoX: each site is visited exactly once.
+//! let q = compile(&parse_query("[//A and //B]").unwrap());
+//! let out = parbox(&cluster, &q);
+//! assert!(out.answer);
+//! assert_eq!(out.report.max_visits(), 1);
+//!
+//! // …and a whole batch through the batch engine: still one visit.
+//! let queries: Vec<_> = ["[//A]", "[//B]", "[//A and not //B]"]
+//!     .iter().map(|s| parse_query(s).unwrap()).collect();
+//! let batch = run_batch(&cluster, &compile_batch(&queries));
+//! assert_eq!(batch.answers, vec![true, true, false]);
+//! assert_eq!(batch.report.max_visits(), 1);
+//! ```
 
 pub mod aggregate;
 pub mod algorithms;
@@ -25,8 +68,9 @@ pub use aggregate::{
     count_centralized, count_distributed, sum_centralized, sum_distributed, AggregateOutcome,
 };
 pub use algorithms::{
-    full_dist_parbox, hybrid_parbox, hybrid_prefers_parbox, lazy_parbox, naive_centralized,
-    naive_distributed, parbox, query_wire_size, resolved_triplet_wire_size, EvalOutcome,
+    batch_query_wire_size, full_dist_parbox, hybrid_parbox, hybrid_prefers_parbox, lazy_parbox,
+    naive_centralized, naive_distributed, parbox, query_wire_size, resolved_triplet_wire_size,
+    run_batch, BatchOutcome, EvalOutcome,
 };
 pub use eval::{
     bottom_up, bottom_up_formula_only, centralized_eval, centralized_eval_counted, CentralizedRun,

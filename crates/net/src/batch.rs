@@ -1,0 +1,201 @@
+//! The single-visit batched exchange protocol.
+//!
+//! ParBoX proves its traffic bound per query; the batch engine amortizes
+//! the same per-site round trip over a whole batch of queries: the
+//! coordinator ships each site the *merged* program once
+//! ([`MessageKind::BatchQuery`]) and the site answers with one
+//! [`MessageKind::Envelope`] carrying every fragment triplet it computed —
+//! one visit and at most two messages per site, however many queries the
+//! batch holds.
+//!
+//! [`BatchRound`] is the coordinator-side bookkeeping for one such round:
+//! it wraps a [`RunReport`] and *enforces* the single-visit discipline —
+//! a second visit to a site, or a reply from a site that was never
+//! visited, is a protocol error rather than a silently mis-accounted
+//! message.
+
+use crate::{MessageKind, RunReport, SiteId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Violation of the batch protocol's single-visit discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchProtocolError {
+    /// A site was visited a second time within one round.
+    DoubleVisit(SiteId),
+    /// A site replied without having been visited.
+    ReplyWithoutVisit(SiteId),
+    /// A site sent a second envelope within one round.
+    DoubleReply(SiteId),
+}
+
+impl fmt::Display for BatchProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchProtocolError::DoubleVisit(s) => {
+                write!(f, "site {} visited twice in one batch round", s.0)
+            }
+            BatchProtocolError::ReplyWithoutVisit(s) => {
+                write!(f, "site {} replied without being visited", s.0)
+            }
+            BatchProtocolError::DoubleReply(s) => {
+                write!(f, "site {} sent two envelopes in one batch round", s.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchProtocolError {}
+
+/// Coordinator-side accounting for one batched evaluation round.
+///
+/// Local work at the coordinator itself involves no network: visiting and
+/// replying from the coordinator site records the visit but no message.
+#[derive(Debug, Clone)]
+pub struct BatchRound {
+    report: RunReport,
+    coordinator: SiteId,
+    visited: BTreeSet<u32>,
+    replied: BTreeSet<u32>,
+}
+
+impl BatchRound {
+    /// Starts a round coordinated by `coordinator`.
+    pub fn new(coordinator: SiteId) -> BatchRound {
+        BatchRound {
+            report: RunReport::new(),
+            coordinator,
+            visited: BTreeSet::new(),
+            replied: BTreeSet::new(),
+        }
+    }
+
+    /// The coordinating site of this round.
+    pub fn coordinator(&self) -> SiteId {
+        self.coordinator
+    }
+
+    /// Visits `site`, shipping it the merged program of `request_bytes`.
+    /// Records the visit, and — for remote sites — one
+    /// [`MessageKind::BatchQuery`] message.
+    pub fn visit(&mut self, site: SiteId, request_bytes: usize) -> Result<(), BatchProtocolError> {
+        if !self.visited.insert(site.0) {
+            return Err(BatchProtocolError::DoubleVisit(site));
+        }
+        self.report.record_visit(site);
+        if site != self.coordinator {
+            self.report.record_message(
+                self.coordinator,
+                site,
+                request_bytes,
+                MessageKind::BatchQuery,
+            );
+        }
+        Ok(())
+    }
+
+    /// Records `site`'s single batched reply of `envelope_bytes` — one
+    /// [`MessageKind::Envelope`] message for remote sites. A reply from an
+    /// unvisited site, or a second reply from the same site, is a
+    /// protocol error.
+    pub fn reply(&mut self, site: SiteId, envelope_bytes: usize) -> Result<(), BatchProtocolError> {
+        if !self.visited.contains(&site.0) {
+            return Err(BatchProtocolError::ReplyWithoutVisit(site));
+        }
+        if !self.replied.insert(site.0) {
+            return Err(BatchProtocolError::DoubleReply(site));
+        }
+        if site != self.coordinator {
+            self.report.record_message(
+                site,
+                self.coordinator,
+                envelope_bytes,
+                MessageKind::Envelope,
+            );
+        }
+        Ok(())
+    }
+
+    /// Mutable access to the wrapped report for compute/work accounting
+    /// (which the single-visit discipline does not constrain).
+    pub fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    /// Ends the round, yielding the completed report. Every visited site
+    /// holds exactly one visit by construction.
+    pub fn finish(self) -> RunReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_visit_two_messages_per_remote_site() {
+        let coord = SiteId(0);
+        let mut round = BatchRound::new(coord);
+        for s in [0u32, 1, 2] {
+            round.visit(SiteId(s), 100).unwrap();
+        }
+        for s in [0u32, 1, 2] {
+            round.reply(SiteId(s), 40).unwrap();
+        }
+        let report = round.finish();
+        assert_eq!(report.max_visits(), 1);
+        // The coordinator exchanges no messages with itself.
+        assert_eq!(report.total_messages(), 4);
+        assert_eq!(report.total_bytes(), 2 * 100 + 2 * 40);
+        assert_eq!(report.bytes_of_kind(MessageKind::BatchQuery), 200);
+        assert_eq!(report.bytes_of_kind(MessageKind::Envelope), 80);
+    }
+
+    #[test]
+    fn double_visit_is_rejected() {
+        let mut round = BatchRound::new(SiteId(0));
+        round.visit(SiteId(1), 10).unwrap();
+        assert_eq!(
+            round.visit(SiteId(1), 10),
+            Err(BatchProtocolError::DoubleVisit(SiteId(1)))
+        );
+    }
+
+    #[test]
+    fn reply_requires_visit() {
+        let mut round = BatchRound::new(SiteId(0));
+        assert_eq!(
+            round.reply(SiteId(2), 5),
+            Err(BatchProtocolError::ReplyWithoutVisit(SiteId(2)))
+        );
+        round.visit(SiteId(2), 5).unwrap();
+        assert!(round.reply(SiteId(2), 5).is_ok());
+    }
+
+    #[test]
+    fn double_reply_is_rejected() {
+        let mut round = BatchRound::new(SiteId(0));
+        round.visit(SiteId(2), 5).unwrap();
+        round.reply(SiteId(2), 5).unwrap();
+        assert_eq!(
+            round.reply(SiteId(2), 5),
+            Err(BatchProtocolError::DoubleReply(SiteId(2)))
+        );
+        let report = round.finish();
+        assert_eq!(report.total_messages(), 2, "rejected reply not recorded");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(BatchProtocolError::DoubleVisit(SiteId(3))
+            .to_string()
+            .contains("visited twice"));
+        assert!(BatchProtocolError::ReplyWithoutVisit(SiteId(3))
+            .to_string()
+            .contains("without being visited"));
+        assert!(BatchProtocolError::DoubleReply(SiteId(3))
+            .to_string()
+            .contains("two envelopes"));
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # parbox-net
 //!
@@ -7,16 +8,44 @@
 //! The paper evaluated on ten Linux machines over a LAN. Here, each
 //! *site* is a worker thread that really evaluates its fragments in
 //! parallel ([`run_sites_parallel`]), while network costs are *modeled*
-//! ([`NetworkModel`]): every message is recorded with its exact payload
-//! size, and modeled elapsed time combines measured per-site compute with
-//! latency + bandwidth terms. See DESIGN.md §5 for why this substitution
-//! preserves the paper's experimental shapes.
+//! ([`NetworkModel`]): every message is recorded in a [`RunReport`] with
+//! its exact payload size, and modeled elapsed time combines measured
+//! per-site compute with latency + bandwidth terms. See DESIGN.md §5 for
+//! why this substitution preserves the paper's experimental shapes.
+//!
+//! A [`Cluster`] bundles a fragmented document, its placement and a cost
+//! model — the input every algorithm in `parbox-core` takes. For batched
+//! evaluation, [`BatchRound`] enforces the single-visit discipline: one
+//! request and one triplet envelope per site per batch, however many
+//! queries the batch holds.
+//!
+//! ```
+//! use parbox_net::{BatchRound, MessageKind, NetworkModel, SiteId};
+//!
+//! // A LAN message costs latency plus payload over bandwidth.
+//! let lan = NetworkModel::lan();
+//! assert!(lan.transfer_time(1_000) < lan.transfer_time(1_000_000));
+//!
+//! // One batched round: visit both sites once, collect one envelope each.
+//! let mut round = BatchRound::new(SiteId(0));
+//! for s in [SiteId(0), SiteId(1)] {
+//!     round.visit(s, 120).unwrap();
+//! }
+//! round.reply(SiteId(1), 48).unwrap();
+//! // A second visit would break the paper's guarantee — and is rejected.
+//! assert!(round.visit(SiteId(1), 120).is_err());
+//! let report = round.finish();
+//! assert_eq!(report.max_visits(), 1);
+//! assert_eq!(report.bytes_of_kind(MessageKind::Envelope), 48);
+//! ```
 
+mod batch;
 mod cluster;
 mod exec;
 mod metrics;
 mod model;
 
+pub use batch::{BatchProtocolError, BatchRound};
 pub use cluster::Cluster;
 pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
 pub use metrics::{Message, MessageKind, RunReport, SiteReport};

@@ -4,6 +4,7 @@
 //! and the Fig. 4 complexity table of the paper are regenerated from
 //! these reports.
 
+use crate::NetworkModel;
 use parbox_frag::SiteId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -20,6 +21,11 @@ pub enum MessageKind {
     Data,
     /// Control traffic (visit requests, acknowledgements).
     Control,
+    /// A merged multi-query program (stage 1 of the batch protocol).
+    BatchQuery,
+    /// A per-site envelope of all fragment triplets for one batch
+    /// (stage 2 → 3 of the batch protocol).
+    Envelope,
 }
 
 /// One recorded message.
@@ -161,6 +167,21 @@ impl RunReport {
     pub fn max_visits(&self) -> usize {
         self.per_site.values().map(|r| r.visits).max().unwrap_or(0)
     }
+
+    /// Total simulated network cost in seconds: the sum over all recorded
+    /// messages of their modeled transfer time (per-message latency plus
+    /// payload over bandwidth). Unlike `elapsed_model_s` this counts
+    /// network *resource usage* — overlapping transfers are not collapsed
+    /// — which is the right unit for comparing how much network a batched
+    /// round saves over sequential per-query rounds.
+    pub fn network_cost_s(&self, model: &NetworkModel) -> f64 {
+        // fold, not sum(): an empty f64 sum() yields -0.0, which formats
+        // as "-0.000000" in reports.
+        self.messages
+            .iter()
+            .map(|m| model.transfer_time(m.bytes))
+            .fold(0.0, |acc, t| acc + t)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +221,17 @@ mod tests {
         r.record_compute(SiteId(1), Duration::from_millis(50));
         assert!((r.total_compute_s() - 0.08).abs() < 1e-9);
         assert!((r.max_site_compute_s() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_cost_sums_per_message_transfer_times() {
+        let mut r = RunReport::new();
+        r.record_message(SiteId(0), SiteId(1), 1_000, MessageKind::Query);
+        r.record_message(SiteId(1), SiteId(0), 500, MessageKind::Triplet);
+        let m = crate::NetworkModel::lan();
+        let expected = m.transfer_time(1_000) + m.transfer_time(500);
+        assert!((r.network_cost_s(&m) - expected).abs() < 1e-12);
+        assert_eq!(RunReport::new().network_cost_s(&m), 0.0);
     }
 
     #[test]

@@ -207,6 +207,102 @@ pub fn compile(q: &Query) -> CompiledQuery {
     CompiledQuery { subs: b.subs, root }
 }
 
+/// A batch of queries compiled into **one shared program**: the union of
+/// the member queries' `QList`s, hash-consed across query boundaries, plus
+/// one root id per member.
+///
+/// This is the front end of the multi-query batch engine: evaluating the
+/// merged program once per fragment computes every member query's answer
+/// in the same tree traversal, so a whole batch costs one site visit and
+/// one `(V, CV, DV)` exchange instead of one per query. Sub-queries shared
+/// between members (common predicates, common path prefixes) are compiled
+/// — and evaluated, and shipped — exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBatch {
+    merged: CompiledQuery,
+    roots: Vec<SubId>,
+}
+
+impl QueryBatch {
+    /// The merged program covering every member query.
+    ///
+    /// Its [`CompiledQuery::root`] is the last member's root; per-member
+    /// answers are read through [`QueryBatch::roots`] instead.
+    #[inline]
+    pub fn merged(&self) -> &CompiledQuery {
+        &self.merged
+    }
+
+    /// Root sub-query id of each member, in input order.
+    #[inline]
+    pub fn roots(&self) -> &[SubId] {
+        &self.roots
+    }
+
+    /// Root sub-query id of member `i`.
+    #[inline]
+    pub fn root_of(&self, i: usize) -> SubId {
+        self.roots[i]
+    }
+
+    /// Number of member queries in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True for a batch with no member queries (never produced by
+    /// [`compile_batch`], which rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// `|QList|` of the merged program — the width of the batched
+    /// `(V, CV, DV)` triplets. At most the sum of the members' individual
+    /// `|QList|`s; smaller whenever members share sub-queries.
+    #[inline]
+    pub fn merged_len(&self) -> usize {
+        self.merged.len()
+    }
+}
+
+/// Compiles `queries` into a [`QueryBatch`] with one merged, deduplicated
+/// `QList`. Linear in the total query size; panics on an empty slice.
+///
+/// ```
+/// use parbox_query::{compile, compile_batch, parse_query};
+///
+/// let queries: Vec<_> = ["[//item and //person]", "[//item and //price]"]
+///     .iter()
+///     .map(|s| parse_query(s).unwrap())
+///     .collect();
+/// let batch = compile_batch(&queries);
+/// assert_eq!(batch.len(), 2);
+/// // `//item` is compiled once: the merged program is smaller than the
+/// // two programs compiled separately.
+/// let separate: usize = queries.iter().map(|q| compile(q).len()).sum();
+/// assert!(batch.merged_len() < separate);
+/// ```
+pub fn compile_batch(queries: &[Query]) -> QueryBatch {
+    assert!(!queries.is_empty(), "empty query batch");
+    let mut b = Builder {
+        subs: Vec::new(),
+        memo: HashMap::new(),
+    };
+    let roots: Vec<SubId> = queries
+        .iter()
+        .map(|q| {
+            let n = normalize(q);
+            b.compile_nquery(&n)
+        })
+        .collect();
+    let root = *roots.last().expect("non-empty batch");
+    QueryBatch {
+        merged: CompiledQuery { subs: b.subs, root },
+        roots,
+    }
+}
+
 struct Builder {
     subs: Vec<SubQuery>,
     memo: HashMap<SubQuery, SubId>,
@@ -383,5 +479,70 @@ mod tests {
         let c = comp("[.]");
         assert_eq!(c.len(), 1);
         assert!(matches!(c.subs()[0], SubQuery::True));
+    }
+
+    fn batch(srcs: &[&str]) -> QueryBatch {
+        let queries: Vec<_> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        compile_batch(&queries)
+    }
+
+    #[test]
+    fn batch_merged_program_is_topologically_ordered() {
+        let b = batch(&["[//a and //b]", "[//b or //c]", "[not(//a)]"]);
+        assert_eq!(b.len(), 3);
+        for (i, s) in b.merged().subs().iter().enumerate() {
+            for op in s.operands() {
+                assert!((op as usize) < i);
+            }
+        }
+        for &r in b.roots() {
+            assert!((r as usize) < b.merged_len());
+        }
+    }
+
+    #[test]
+    fn batch_members_evaluate_like_their_solo_programs() {
+        // Each member's root in the merged program denotes the same
+        // sub-query as its solo compilation's root op.
+        let srcs = ["[//a and //b]", "[//a]", "[//x[y/text() = \"v\"]]"];
+        let b = batch(&srcs);
+        for (i, src) in srcs.iter().enumerate() {
+            let solo = comp(src);
+            let merged_root = &b.merged().subs()[b.root_of(i) as usize];
+            let solo_root = &solo.subs()[solo.root() as usize];
+            assert_eq!(
+                std::mem::discriminant(merged_root),
+                std::mem::discriminant(solo_root),
+                "root op of {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_dedups_across_members() {
+        let solo = comp("[//a and //b]");
+        // Two identical members: merged program no bigger than one copy.
+        let b = batch(&["[//a and //b]", "[//a and //b]"]);
+        assert_eq!(b.merged_len(), solo.len());
+        assert_eq!(b.root_of(0), b.root_of(1));
+        // Overlapping members share the `//a` chain.
+        let b = batch(&["[//a and //b]", "[//a and //c]"]);
+        let sum = solo.len() + comp("[//a and //c]").len();
+        assert!(b.merged_len() < sum, "{} vs {sum}", b.merged_len());
+    }
+
+    #[test]
+    fn batch_of_one_matches_compile() {
+        let q = parse_query("[//a/b]").unwrap();
+        let b = compile_batch(std::slice::from_ref(&q));
+        assert_eq!(b.merged(), &compile(&q));
+        assert_eq!(b.roots(), &[b.merged().root()]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query batch")]
+    fn empty_batch_panics() {
+        compile_batch(&[]);
     }
 }

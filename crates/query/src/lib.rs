@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # parbox-query
 //!
@@ -27,7 +28,9 @@ mod selection;
 pub mod normalize;
 
 pub use ast::{Path, Query, Step};
-pub use compile::{compile, CompiledQuery, Op, ResolvedQuery, SubId, SubQuery};
+pub use compile::{
+    compile, compile_batch, CompiledQuery, Op, QueryBatch, ResolvedQuery, SubId, SubQuery,
+};
 pub use lexer::{tokenize, LexError, Token, TokenKind};
 pub use normalize::{normalize, NQuery, NStep};
 pub use parser::{parse_query, ParseError};

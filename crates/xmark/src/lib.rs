@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # parbox-xmark
 //!
@@ -19,4 +20,4 @@ mod queries;
 
 pub use gen::{generate, marker_query, plant_marker, XmarkConfig};
 pub use portfolio::{add_stock, portfolio, PortfolioConfig, BROKERS, CODES, MARKETS};
-pub use queries::{query_with_qlist, standard_sweep, XMARK_VOCAB};
+pub use queries::{batch_workload, query_with_qlist, standard_sweep, XMARK_VOCAB};

@@ -81,6 +81,51 @@ pub fn query_with_qlist(target: usize, seed: u64) -> (Query, CompiledQuery) {
     (q, compiled)
 }
 
+/// One conjunct of the shared pool behind [`batch_workload`]: `//L` or
+/// `*/L` over the XMark vocabulary, so distinct queries overlap.
+fn pool_conjunct(i: usize) -> Query {
+    let label = XMARK_VOCAB[(i / 2) % XMARK_VOCAB.len()];
+    let path = if i.is_multiple_of(2) {
+        Path::empty().desc().child(label)
+    } else {
+        Path::empty().child(label)
+    };
+    Query::Path(path)
+}
+
+/// A serving-traffic workload: `n` concurrent queries, each a conjunction
+/// of 2–4 conjuncts drawn from a *shared pool* of `2 × |XMARK_VOCAB|`
+/// path predicates. Deterministic under `seed`.
+///
+/// Concurrent queries from many users overlap heavily in practice (the
+/// same hot predicates recur across requests); drawing conjuncts from a
+/// common pool reproduces that shape, so the batch compiler's cross-query
+/// deduplication has something realistic to merge:
+///
+/// ```
+/// use parbox_query::{compile, compile_batch};
+/// use parbox_xmark::batch_workload;
+///
+/// let queries = batch_workload(32, 42);
+/// let merged = compile_batch(&queries).merged_len();
+/// let summed: usize = queries.iter().map(|q| compile(q).len()).sum();
+/// assert!(merged < summed / 2, "merged {merged} vs summed {summed}");
+/// ```
+pub fn batch_workload(n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = 2 * XMARK_VOCAB.len();
+    (0..n)
+        .map(|_| {
+            let conjuncts = rng.random_range(2..5usize);
+            let mut q = pool_conjunct(rng.random_range(0..pool));
+            for _ in 1..conjuncts {
+                q = q.and(pool_conjunct(rng.random_range(0..pool)));
+            }
+            q
+        })
+        .collect()
+}
+
 /// A batch of queries for the paper's standard sweep sizes.
 pub fn standard_sweep(seed: u64) -> Vec<(usize, Query, CompiledQuery)> {
     [2usize, 8, 15, 23]
@@ -119,6 +164,30 @@ mod tests {
         let (c, _) = query_with_qlist(15, 6);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_workload_is_deterministic_and_sized() {
+        let a = batch_workload(16, 3);
+        let b = batch_workload(16, 3);
+        let c = batch_workload(16, 4);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_workload_queries_compile_and_overlap() {
+        let queries = batch_workload(32, 7);
+        let batch = parbox_query::compile_batch(&queries);
+        let summed: usize = queries.iter().map(|q| compile(q).len()).sum();
+        // The shared pool bounds the merged program by the pool's distinct
+        // sub-queries plus the conjunction nodes, far below the sum.
+        assert!(
+            batch.merged_len() * 2 < summed,
+            "merged {} vs summed {summed}",
+            batch.merged_len()
+        );
     }
 
     #[test]

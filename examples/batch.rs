@@ -1,0 +1,105 @@
+//! Serving a batch of concurrent queries in one ParBoX round.
+//!
+//! Many users ask questions of the same fragmented document at once; the
+//! batch engine compiles them into one merged program, visits every site
+//! once for the whole batch, and reads each user's answer off a single
+//! solver pass.
+//!
+//! Run with: `cargo run --example batch`
+
+use parbox::core::{batch_query_wire_size, parbox, run_batch};
+use parbox::prelude::*;
+use parbox::query::{compile, compile_batch};
+
+fn main() {
+    // 1. The Fig. 1(b) portfolio document, fragmented per broker as in
+    //    the quickstart example.
+    let tree = Tree::parse(
+        r#"<portofolio>
+             <broker>
+               <name>Merill Lynch</name>
+               <market><name>NASDAQ</name>
+                 <stock><code>GOOG</code><buy>374</buy><sell>373</sell></stock>
+                 <stock><code>YHOO</code><buy>33</buy><sell>35</sell></stock>
+               </market>
+             </broker>
+             <broker>
+               <name>Bache</name>
+               <market><name>NYSE</name>
+                 <stock><code>IBM</code><buy>80</buy><sell>78</sell></stock>
+               </market>
+             </broker>
+           </portofolio>"#,
+    )
+    .expect("valid XML");
+    let mut forest = Forest::from_tree(tree);
+    let f0 = forest.root_fragment();
+    let brokers: Vec<_> = {
+        let t = &forest.fragment(f0).tree;
+        t.children(t.root()).collect()
+    };
+    for broker in brokers {
+        forest.split(f0, broker).expect("splittable");
+    }
+    let placement = Placement::one_per_fragment(&forest);
+    let model = NetworkModel::lan();
+    let cluster = Cluster::new(&forest, &placement, model);
+
+    // 2. Four concurrent user queries. They overlap — three mention
+    //    stocks, two mention codes — so the merged program is much
+    //    smaller than the four compiled separately.
+    let sources = [
+        "[//stock[code/text() = \"GOOG\"]]",
+        "[//stock[code/text() = \"MSFT\"]]",
+        "[//stock and //market[name/text() = \"NYSE\"]]",
+        "[//broker[name/text() = \"Bache\"]]",
+    ];
+    let queries: Vec<Query> = sources
+        .iter()
+        .map(|s| parse_query(s).expect("valid XBL"))
+        .collect();
+    let batch = compile_batch(&queries);
+    let compiled: Vec<_> = queries.iter().map(compile).collect();
+    let summed: usize = compiled.iter().map(|c| c.len()).sum();
+    println!(
+        "merged QList: {} sub-queries for {} queries ({} compiled separately)",
+        batch.merged_len(),
+        batch.len(),
+        summed
+    );
+    println!(
+        "one batch request is {} bytes on the wire",
+        batch_query_wire_size(&batch)
+    );
+
+    // 3. One round answers everything: one visit, one request and one
+    //    triplet envelope per site.
+    let out = run_batch(&cluster, &batch);
+    for (src, answer) in sources.iter().zip(&out.answers) {
+        println!("{answer:<5}  {src}");
+    }
+    println!(
+        "visits (max/site): {}   messages: {}   traffic: {} bytes",
+        out.report.max_visits(),
+        out.report.total_messages(),
+        out.report.total_bytes()
+    );
+    assert_eq!(out.report.max_visits(), 1);
+
+    // 4. The same queries run sequentially visit every site once *per
+    //    query* and pay the round-trip latency each time.
+    let mut sequential_bytes = 0usize;
+    let mut sequential_net = 0.0f64;
+    for (i, c) in compiled.iter().enumerate() {
+        let solo = parbox(&cluster, c);
+        assert_eq!(solo.answer, out.answers[i], "engines must agree");
+        sequential_bytes += solo.report.total_bytes();
+        sequential_net += solo.report.network_cost_s(&model);
+    }
+    let batched_net = out.report.network_cost_s(&model);
+    println!(
+        "sequential ParBoX: {sequential_bytes} bytes, {sequential_net:.6}s network \
+         — the batch saves {:.1}x network cost",
+        sequential_net / batched_net.max(1e-12)
+    );
+}

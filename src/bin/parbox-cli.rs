@@ -6,16 +6,18 @@
 //! parbox-cli select   <file.xml> '<path query>'     list matching nodes
 //! parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME]
 //!                                                   fragment + evaluate distributed
+//! parbox-cli batch    <file.xml> '<q1>' '<q2>' … [--fragments N] [--sites K]
+//!                                                   evaluate a whole batch in one round
 //! parbox-cli generate --bytes N [--seed S]          emit an XMark document to stdout
 //! ```
 
 use parbox::core::{
     centralized_eval, count_centralized, full_dist_parbox, hybrid_parbox, lazy_parbox,
-    naive_centralized, naive_distributed, parbox, select_centralized, sum_centralized,
+    naive_centralized, naive_distributed, parbox, run_batch, select_centralized, sum_centralized,
 };
 use parbox::frag::{strategies, Forest, Placement};
 use parbox::net::{Cluster, NetworkModel};
-use parbox::query::{compile, compile_selection, normalize, parse_query};
+use parbox::query::{compile, compile_batch, compile_selection, normalize, parse_query};
 use parbox::xmark::{generate, XmarkConfig};
 use parbox::xml::Tree;
 use std::process::ExitCode;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         Some("count") => cmd_aggregate(&args[1..], true),
         Some("sum") => cmd_aggregate(&args[1..], false),
         Some("run") => cmd_run(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
@@ -55,6 +58,7 @@ USAGE:
   parbox-cli count    <file.xml> '<predicate>'
   parbox-cli sum      <file.xml> '<predicate>'
   parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]
+  parbox-cli batch    <file.xml> '<q1>' '<q2>' ... [--fragments N] [--sites K]
   parbox-cli generate --bytes N [--seed S]
 
 Query syntax (XBL): [//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]
@@ -223,6 +227,72 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             return Err(format!("{name} disagreed with the centralized answer!"));
         }
     }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let Some((&file, queries)) = pos.split_first() else {
+        return Err(
+            "usage: parbox-cli batch <file.xml> '<q1>' '<q2>' ... [--fragments N] [--sites K]"
+                .into(),
+        );
+    };
+    if queries.is_empty() {
+        return Err("batch needs at least one query".into());
+    }
+    let fragments: usize = flag(args, "--fragments")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let sites: u32 = flag(args, "--sites")
+        .map(|v| v.parse().unwrap_or(fragments as u32))
+        .unwrap_or(fragments as u32);
+
+    let tree = load_tree(file)?;
+    let parsed = queries
+        .iter()
+        .map(|src| parse_arg_query(src))
+        .collect::<Result<Vec<_>, _>>()?;
+    let batch = compile_batch(&parsed);
+
+    let mut forest = Forest::from_tree(tree);
+    strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
+    let placement = Placement::round_robin(&forest, sites.max(1));
+    let model = NetworkModel::lan();
+    let cluster = Cluster::new(&forest, &placement, model);
+
+    let out = run_batch(&cluster, &batch);
+    let compiled: Vec<_> = parsed.iter().map(compile).collect();
+    let summed: usize = compiled.iter().map(|c| c.len()).sum();
+    println!(
+        "batch of {} queries — merged QList {} (vs {} compiled separately), {} fragments, {} site(s)",
+        batch.len(),
+        batch.merged_len(),
+        summed,
+        forest.card(),
+        placement.sites().len()
+    );
+    for (src, answer) in queries.iter().zip(&out.answers) {
+        println!("{answer:<5}  {src}");
+    }
+    let sequential: f64 = compiled
+        .iter()
+        .map(|c| parbox(&cluster, c).report.network_cost_s(&model))
+        .sum();
+    let batched = out.report.network_cost_s(&model);
+    let saving = if batched > 0.0 {
+        format!("{:.1}x", sequential / batched)
+    } else {
+        "all fragments local, no network".into()
+    };
+    println!(
+        "one round: max visits/site {}, {} messages, {} bytes; network cost {:.6}s vs {:.6}s sequential ({saving})",
+        out.report.max_visits(),
+        out.report.total_messages(),
+        out.report.total_bytes(),
+        batched,
+        sequential,
+    );
     Ok(())
 }
 

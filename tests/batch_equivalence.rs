@@ -1,0 +1,118 @@
+//! Batch-engine equivalence and traffic bounds: a batched round must
+//! answer exactly like per-query ParBoX (and the centralized oracle), and
+//! its traffic must stay within the per-query bound summed over the
+//! batch, at every site.
+
+use parbox::core::{centralized_eval, parbox, run_batch};
+use parbox::frag::Placement;
+use parbox::net::{Cluster, NetworkModel};
+use parbox::query::{compile, compile_batch};
+use proptest::prelude::*;
+
+mod common;
+use common::{fragment_randomly, query_strategy, tree_strategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_matches_per_query_parbox_and_centralized(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..6),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+        n_sites in 1u32..4,
+    ) {
+        let whole = tree.clone();
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+
+        let out = run_batch(&cluster, &compile_batch(&queries));
+        prop_assert_eq!(out.answers.len(), queries.len());
+        prop_assert!(out.report.max_visits() <= 1, "more than one visit");
+        for (i, q) in queries.iter().enumerate() {
+            let compiled = compile(q);
+            prop_assert_eq!(
+                out.answers[i],
+                centralized_eval(&whole, &compiled),
+                "centralized mismatch on member {} = {}", i, q
+            );
+            prop_assert_eq!(
+                out.answers[i],
+                parbox(&cluster, &compiled).answer,
+                "parbox mismatch on member {} = {}", i, q
+            );
+        }
+    }
+
+    #[test]
+    fn batch_traffic_within_summed_per_query_bound(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 2..6),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+        n_sites in 1u32..4,
+    ) {
+        // The paper bounds per-query traffic by O(|q| · card(F)); the
+        // batched round must stay within that bound *summed over the
+        // batch* — at every single site, not just in aggregate.
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+
+        let batched = run_batch(&cluster, &compile_batch(&queries));
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| parbox(&cluster, &compile(q)))
+            .collect();
+
+        for &site in &cluster.sites() {
+            let b = batched.report.site(site);
+            let sent: usize = solo.iter().map(|o| o.report.site(site).bytes_sent).sum();
+            let recv: usize = solo.iter().map(|o| o.report.site(site).bytes_recv).sum();
+            prop_assert!(
+                b.bytes_sent <= sent,
+                "site {} sent {} batched but {} sequentially", site.0, b.bytes_sent, sent
+            );
+            prop_assert!(
+                b.bytes_recv <= recv,
+                "site {} received {} batched but {} sequentially", site.0, b.bytes_recv, recv
+            );
+        }
+        let sequential_total: usize = solo.iter().map(|o| o.report.total_bytes()).sum();
+        prop_assert!(batched.report.total_bytes() <= sequential_total);
+        // Message count: at most one request + one envelope per site vs
+        // that much *per query* sequentially.
+        prop_assert!(batched.report.total_messages() <= 2 * (cluster.sites().len() - 1));
+    }
+}
+
+#[test]
+fn xmark_serving_batch_one_visit_and_bounded_traffic() {
+    // Deterministic end-to-end check on the default XMark serving
+    // workload over an FT1 deployment (the expB setting at test scale).
+    let scale = parbox_bench::Scale {
+        corpus_bytes: 30_000,
+        seed: 2006,
+    };
+    let (forest, placement) = parbox_bench::ft1(scale, 4);
+    let model = NetworkModel::lan();
+    let cluster = Cluster::new(&forest, &placement, model);
+    let queries = parbox::xmark::batch_workload(32, scale.seed);
+    let batch = compile_batch(&queries);
+    let out = run_batch(&cluster, &batch);
+
+    assert_eq!(out.report.max_visits(), 1, "one visit per site");
+    let mut sequential_bytes = 0usize;
+    let mut sequential_net = 0.0f64;
+    for (i, q) in queries.iter().enumerate() {
+        let solo = parbox(&cluster, &compile(q));
+        assert_eq!(solo.answer, out.answers[i], "member {i}");
+        sequential_bytes += solo.report.total_bytes();
+        sequential_net += solo.report.network_cost_s(&model);
+    }
+    assert!(out.report.total_bytes() < sequential_bytes);
+    assert!(
+        sequential_net >= 4.0 * out.report.network_cost_s(&model),
+        "expB acceptance: >= 4x network win at batch 32"
+    );
+}

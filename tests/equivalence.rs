@@ -6,97 +6,14 @@ use parbox::core::{
     centralized_eval, full_dist_parbox, hybrid_parbox, lazy_parbox, naive_centralized,
     naive_distributed, parbox,
 };
-use parbox::frag::{Forest, Placement};
+use parbox::frag::Placement;
 use parbox::net::{Cluster, NetworkModel};
-use parbox::query::{compile, Path, Query};
-use parbox::xml::{NodeId, Tree};
+use parbox::query::compile;
+use parbox::xml::Tree;
 use proptest::prelude::*;
 
-const LABELS: [&str; 5] = ["a", "b", "c", "d", "e"];
-const TEXTS: [&str; 4] = ["x", "7", "3.5", "z"];
-
-/// Strategy for a small labelled tree with optional text.
-fn tree_strategy() -> impl Strategy<Value = Tree> {
-    // A tree is encoded as a preorder list of (depth, label, text?) rows.
-    let row = (
-        0usize..4,
-        0usize..LABELS.len(),
-        proptest::option::of(0usize..TEXTS.len()),
-    );
-    proptest::collection::vec(row, 0..40).prop_map(|rows| {
-        let mut tree = Tree::new("root");
-        // Stack of (depth, node).
-        let mut stack: Vec<(usize, NodeId)> = vec![(0, tree.root())];
-        for (depth, label, text) in rows {
-            // Children of root start at depth 1; a requested depth deeper
-            // than possible clamps naturally by attaching to the current
-            // deepest node.
-            let depth = depth + 1;
-            while stack
-                .last()
-                .map(|&(d, _)| d + 1 > depth && d > 0)
-                .unwrap_or(false)
-            {
-                stack.pop();
-            }
-            let parent = stack.last().expect("root never popped").1;
-            let node = tree.add_child(parent, LABELS[label]);
-            if let Some(t) = text {
-                tree.set_text(node, TEXTS[t]);
-            }
-            stack.push((stack.last().unwrap().0 + 1, node));
-        }
-        tree
-    })
-}
-
-/// Strategy for a small XBL query over the same vocabulary.
-fn query_strategy() -> impl Strategy<Value = Query> {
-    let leaf = prop_oneof![
-        (0usize..LABELS.len()).prop_map(|i| Query::Path(Path::empty().desc().child(LABELS[i]))),
-        (0usize..LABELS.len()).prop_map(|i| Query::Path(Path::empty().child(LABELS[i]))),
-        (0usize..LABELS.len(), 0usize..TEXTS.len()).prop_map(|(i, t)| Query::TextEq(
-            Path::empty().desc().child(LABELS[i]),
-            TEXTS[t].to_string()
-        )),
-        (0usize..LABELS.len()).prop_map(|i| Query::LabelEq(LABELS[i].to_string())),
-        Just(Query::Path(
-            Path::empty().desc().then(parbox::query::Step::Wildcard)
-        )),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.clone().prop_map(Query::not),
-            (0usize..LABELS.len(), inner.clone())
-                .prop_map(|(i, q)| Query::Path(Path::empty().desc().child(LABELS[i]).filter(q))),
-        ]
-    })
-}
-
-/// Random fragmentation: pick up to `cuts` random non-root nodes and
-/// split them off, in sequence, wherever they currently live.
-fn fragment_randomly(tree: Tree, cut_seeds: &[usize]) -> Forest {
-    let mut forest = Forest::from_tree(tree);
-    for &seed in cut_seeds {
-        let frags: Vec<_> = forest.fragment_ids().collect();
-        let frag = frags[seed % frags.len()];
-        let candidates: Vec<NodeId> = {
-            let t = &forest.fragment(frag).tree;
-            t.descendants(t.root())
-                .skip(1)
-                .filter(|&n| !t.node(n).kind.is_virtual())
-                .collect()
-        };
-        if candidates.is_empty() {
-            continue;
-        }
-        let node = candidates[(seed / 7) % candidates.len()];
-        forest.split(frag, node).expect("valid cut");
-    }
-    forest
-}
+mod common;
+use common::{fragment_randomly, query_strategy, tree_strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
