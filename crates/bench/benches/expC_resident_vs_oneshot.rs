@@ -1,0 +1,85 @@
+//! Criterion bench for Experiment C: a repeated-heavy query stream
+//! through the resident engine vs spawn-per-query one-shot ParBoX,
+//! wall-clock. The engine's threads, caches and admission batching stay
+//! warm across iterations — that residency is exactly what is measured.
+
+// The experiment is named expC in the issue tracker; keep the bench name.
+#![allow(non_snake_case)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::{ft1, Scale};
+use parbox_core::{parbox, Engine, EngineConfig};
+use parbox_net::{Cluster, NetworkModel};
+use parbox_query::compile;
+use parbox_xmark::{mixed_workload, MixedConfig, MixedOp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale {
+        corpus_bytes: 96 * 1024,
+        seed: 2006,
+    };
+    let sites = 8;
+    let (forest, placement) = ft1(scale, sites);
+    // Query-only stream (updates would mutate state across iterations).
+    let queries: Vec<_> = mixed_workload(MixedConfig {
+        ops: 64,
+        repeat_fraction: 0.2,
+        update_fraction: 0.0,
+        seed: scale.seed,
+    })
+    .into_iter()
+    .filter_map(|op| match op {
+        MixedOp::Query(q) => Some(q),
+        MixedOp::Update { .. } => None,
+    })
+    .collect();
+
+    let mut group = c.benchmark_group("expC");
+    group.sample_size(10);
+    let n = queries.len();
+
+    let mut engine = Engine::new(
+        forest.clone(),
+        placement.clone(),
+        EngineConfig {
+            max_batch: 32,
+            batch_window: Duration::from_secs(3600),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid deployment");
+    group.bench_with_input(BenchmarkId::new("resident", n), &n, |b, _| {
+        b.iter(|| {
+            let mut trues = 0usize;
+            for q in &queries {
+                engine.submit(q);
+                if let Some(out) = engine.poll() {
+                    trues += out.answers.iter().filter(|&&(_, a)| a).count();
+                }
+            }
+            if let Some(out) = engine.flush() {
+                trues += out.answers.iter().filter(|&&(_, a)| a).count();
+            }
+            black_box(trues)
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("oneshot", n), &n, |b, _| {
+        b.iter(|| {
+            let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+            let mut trues = 0usize;
+            for q in &queries {
+                if parbox(&cluster, &compile(q)).answer {
+                    trues += 1;
+                }
+            }
+            black_box(trues)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

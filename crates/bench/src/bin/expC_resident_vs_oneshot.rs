@@ -1,0 +1,106 @@
+//! **Experiment C**: the resident serving engine vs spawn-per-query
+//! one-shot ParBoX on a mixed serving workload — by default 10 000+
+//! operations (~20% repeated queries, interleaved Section-5 updates)
+//! against a 64-site FT1 deployment.
+//!
+//! Usage:
+//! `cargo run --release -p parbox-bench --bin expC_resident_vs_oneshot \
+//!    [--scale BYTES] [--sites N] [--ops N] [--json PATH]`
+//!
+//! `--json PATH` additionally writes the measured row as a JSON object
+//! (the CI workflow uploads it as the throughput artifact).
+
+// The experiment is named expC in the issue tracker; keep the binary name.
+#![allow(non_snake_case)]
+
+use parbox_bench::experiments::{expc_resident_vs_oneshot, ExpCRow};
+use parbox_bench::Scale;
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn to_json(r: &ExpCRow) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"expC_resident_vs_oneshot\",\n",
+            "  \"sites\": {},\n",
+            "  \"ops\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"updates_applied\": {},\n",
+            "  \"resident_wall_s\": {:.6},\n",
+            "  \"oneshot_wall_s\": {:.6},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"resident_bytes\": {},\n",
+            "  \"oneshot_bytes\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"members_from_cache\": {},\n",
+            "  \"site_cache_hits\": {},\n",
+            "  \"cached_repeat_data_plane_bytes\": {}\n",
+            "}}\n"
+        ),
+        r.sites,
+        r.ops,
+        r.queries,
+        r.updates_applied,
+        r.resident_wall_s,
+        r.oneshot_wall_s,
+        r.oneshot_wall_s / r.resident_wall_s.max(1e-12),
+        r.resident_bytes,
+        r.oneshot_bytes,
+        r.rounds,
+        r.members_from_cache,
+        r.site_cache_hits,
+        r.cached_repeat_data_plane_bytes,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sites: usize = flag("--sites").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let ops: usize = flag("--ops").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+
+    let row = expc_resident_vs_oneshot(scale, sites, ops);
+    println!(
+        "Experiment C — resident engine vs spawn-per-query ParBoX \
+         (corpus {} bytes, {} sites, {} ops)",
+        scale.corpus_bytes, row.sites, row.ops
+    );
+    println!(
+        "  stream: {} queries answered, {} updates applied, {} admission rounds",
+        row.queries, row.updates_applied, row.rounds
+    );
+    println!(
+        "  wall-clock: resident {:.3}s vs one-shot {:.3}s ({:.1}x)",
+        row.resident_wall_s,
+        row.oneshot_wall_s,
+        row.oneshot_wall_s / row.resident_wall_s.max(1e-12)
+    );
+    println!(
+        "  traffic: resident {} bytes vs one-shot {} bytes",
+        row.resident_bytes, row.oneshot_bytes
+    );
+    println!(
+        "  caches: {} members answered at the coordinator, {} site-cache hits",
+        row.members_from_cache, row.site_cache_hits
+    );
+    println!(
+        "  cached repeat query data-plane bytes: {} (must be 0)",
+        row.cached_repeat_data_plane_bytes
+    );
+    assert_eq!(
+        row.cached_repeat_data_plane_bytes, 0,
+        "a fully cached repeat query must move zero data-plane bytes"
+    );
+    assert!(
+        row.resident_wall_s < row.oneshot_wall_s,
+        "the resident engine must beat spawn-per-query wall-clock"
+    );
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&row)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  json row written to {path}");
+    }
+}

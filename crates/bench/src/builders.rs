@@ -55,7 +55,7 @@ impl Scale {
 pub fn plant_markers(forest: &mut Forest) {
     let ids: Vec<FragmentId> = forest.fragment_ids().collect();
     for id in ids {
-        let tree = &mut forest.fragment_mut(id).tree;
+        let tree = forest.tree_mut(id);
         let root = tree.root();
         plant_marker(tree, root, &id.to_string());
     }

@@ -225,6 +225,68 @@ mod tests {
     }
 
     #[test]
+    fn fragments_below_answering_depth_are_never_evaluated() {
+        // A deep chain with one fragment (and one site) per level; each
+        // fragment holds two `lvl` levels, so `mark2` lives in F1 at
+        // fragment depth 1. The step loop must stop after the depth-1
+        // wavefront: every fragment below the answering depth gets no
+        // visit, no work and no compute at all.
+        let forest = chain_with_markers(6);
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let st = &cluster.source_tree;
+        let q = compile(&parse_query("[//mark2]").unwrap());
+        let out = lazy_parbox(&cluster, &q);
+        assert!(out.answer);
+
+        let answering_depth = 1usize;
+        for frag in forest.fragment_ids() {
+            let depth = forest.depth(frag);
+            let site = st.site_of(frag);
+            let rep = out.report.site(site);
+            if depth > answering_depth {
+                assert_eq!(rep.visits, 0, "{frag} (depth {depth}) was visited");
+                assert_eq!(rep.work_units, 0, "{frag} (depth {depth}) did work");
+                assert_eq!(rep.compute_s, 0.0, "{frag} (depth {depth}) computed");
+            } else if site != cluster.coordinator() {
+                assert_eq!(rep.visits, 1, "{frag} (depth {depth}) missing its visit");
+                assert!(rep.work_units > 0, "{frag} (depth {depth}) did no work");
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_work_is_bounded_by_evaluated_wavefronts() {
+        // Work units are exactly `nodes × |QList|` per evaluated fragment
+        // (plus per-step solve terms); stopping at depth d bounds total
+        // work by the nodes of depths ≤ d — far below eager ParBoX's
+        // whole-chain evaluation on a long chain.
+        let forest = chain_with_markers(6);
+        let placement = Placement::one_per_fragment(&forest);
+        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let q = compile(&parse_query("[//mark2]").unwrap());
+        let lazy = lazy_parbox(&cluster, &q);
+
+        let shallow_nodes: u64 = forest
+            .fragment_ids()
+            .filter(|&f| forest.depth(f) <= 1)
+            .map(|f| forest.fragment(f).len() as u64)
+            .sum();
+        // Evaluation work of the two evaluated fragments + the per-step
+        // solve accounting (|q| × gathered fragments per step, 2 steps).
+        let solve_slack = (q.len() * forest.card() * 2) as u64;
+        assert!(
+            lazy.report.total_work() <= shallow_nodes * q.len() as u64 + solve_slack,
+            "lazy work {} exceeds the depth-1 wavefront bound {}",
+            lazy.report.total_work(),
+            shallow_nodes * q.len() as u64 + solve_slack
+        );
+        // Strictly below eager ParBoX, which evaluates all six levels.
+        let eager = parbox(&cluster, &q);
+        assert!(lazy.report.total_work() * 2 < eager.report.total_work());
+    }
+
+    #[test]
     fn partial_solve_reports_unknown() {
         let forest = chain_with_markers(3);
         let placement = Placement::one_per_fragment(&forest);

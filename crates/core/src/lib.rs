@@ -17,7 +17,10 @@
 //!   views under data and fragmentation updates (Section 5);
 //! * [`run_batch`] — the **batch engine**: a whole batch of concurrent
 //!   queries evaluated in one ParBoX round (one visit per site, one
-//!   traversal per fragment, one solver pass).
+//!   traversal per fragment, one solver pass);
+//! * [`Engine`] — the **resident serving engine** ([`serve`]): an owned,
+//!   long-lived deployment with persistent site workers, two-level
+//!   triplet caching and update routing, for query/update *streams*.
 //!
 //! Every algorithm takes a [`parbox_net::Cluster`] (fragmented document +
 //! placement + network model) and a compiled query, and returns the
@@ -62,6 +65,7 @@ pub mod aggregate;
 pub mod algorithms;
 pub mod eval;
 pub mod selection;
+pub mod serve;
 pub mod views;
 
 pub use aggregate::{
@@ -77,4 +81,9 @@ pub use eval::{
     FragmentRun,
 };
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
-pub use views::{MaterializedView, Update, UpdateReport};
+pub use serve::{
+    Engine, EngineConfig, EngineStats, QueryOutcome, RoundOutcome, Ticket, UpdateOutcome,
+};
+pub use views::{
+    apply_update_to_forest, MaterializedView, Update, UpdateEffect, UpdateReport, ViewError,
+};

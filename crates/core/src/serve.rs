@@ -1,0 +1,998 @@
+//! The resident serving engine: an owned, long-lived deployment that
+//! answers a *stream* of queries and updates instead of one-shot calls.
+//!
+//! Every algorithm in [`crate::algorithms`] borrows a
+//! [`parbox_net::Cluster`] and spawns a fresh scoped thread per site per
+//! query. [`Engine`] instead **owns** its deployment: each site is a
+//! persistent worker thread ([`parbox_net::SitePool`]) holding shared
+//! handles to its fragments, spawned once and reused for millions of
+//! requests. On top of the resident substrate it layers:
+//!
+//! * an **admission queue** — submitted queries coalesce into one
+//!   [`parbox_query::QueryBatch`] per round (under a configurable
+//!   batching window / batch-size bound), so the data plane keeps the
+//!   batch engine's one-visit-per-site discipline under online traffic;
+//! * a two-level **triplet cache** keyed by `(FragmentId,`
+//!   [`QueryFingerprint`]`)` — each site worker memoizes the triplets it
+//!   computed (skipping `bottomUp` on a repeat), and the coordinator
+//!   memoizes the triplets it received per *member* fingerprint, so a
+//!   repeated query is re-solved locally with **zero data-plane
+//!   messages**;
+//! * **update routing** — [`Engine::apply`] reuses the Section 5
+//!   maintenance logic ([`crate::views::apply_update_to_forest`]) and
+//!   invalidates only the touched fragment's cache entries, at both
+//!   levels, keeping every cached triplet consistent with the document.
+//!
+//! Batch evaluation merges the round's distinct member queries into one
+//! program; per-member triplets are recovered from the merged triplet via
+//! the structural embedding ([`CompiledQuery::embedding_into`]) and cached
+//! under each member's own fingerprint — so a query repeated *across
+//! different batches* still hits.
+
+use crate::algorithms::batch_query_wire_size;
+use crate::eval::bottom_up;
+use crate::views::{apply_update_to_forest, Update, UpdateEffect, ViewError};
+use parbox_bool::{site_envelope_wire_size, EquationSystem, Formula, Triplet, Var};
+use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
+use parbox_net::engine::{FragmentEval, SiteCacheStats, SitePool};
+use parbox_net::{BatchRound, MessageKind, NetworkModel, RunReport};
+use parbox_query::{compile, merge_programs, CompiledQuery, Query, QueryFingerprint, SubId};
+use parbox_xml::{FragmentId, Tree};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wire size of an update notification (coordinator → owning site):
+/// opcode + fragment id + node id + a small payload descriptor.
+const UPDATE_CONTROL_BYTES: usize = 16;
+
+/// Configuration of a resident [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Network cost model for the report accounting.
+    pub model: NetworkModel,
+    /// Admission flushes a round once this many queries are pending…
+    pub max_batch: usize,
+    /// …or once the oldest pending submission has waited this long
+    /// (checked by [`Engine::poll`]).
+    pub batch_window: Duration,
+    /// Per-site triplet cache capacity, in entries (FIFO eviction;
+    /// 0 disables site-side caching).
+    pub site_cache_capacity: usize,
+    /// Coordinator-side solve cache capacity, in distinct query
+    /// fingerprints (FIFO eviction; 0 disables coordinator caching).
+    pub solve_cache_fingerprints: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            model: NetworkModel::lan(),
+            max_batch: 32,
+            batch_window: Duration::from_millis(1),
+            site_cache_capacity: 4096,
+            solve_cache_fingerprints: 512,
+        }
+    }
+}
+
+/// Handle identifying one submitted query within its engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+/// Result of one admission round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// `(ticket, answer)` for every query of the round, in submission
+    /// order.
+    pub answers: Vec<(Ticket, bool)>,
+    /// Cost accounting of the whole round.
+    pub report: RunReport,
+    /// Distinct query programs in the round (duplicates coalesce).
+    pub members: usize,
+    /// Members answered entirely from the coordinator's triplet cache —
+    /// zero data-plane messages, no site left idle-less.
+    pub members_from_cache: usize,
+    /// Fragments whose triplets were requested from sites this round.
+    pub fragments_evaluated: usize,
+    /// Requested triplets the sites served from their own caches
+    /// (shipping the cached triplet instead of re-running `bottomUp`).
+    pub site_cache_hits: usize,
+}
+
+/// Result of [`Engine::query`], the single-query convenience path.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The Boolean answer.
+    pub answer: bool,
+    /// Cost accounting of the (single-member) round.
+    pub report: RunReport,
+    /// True when the answer came entirely from the coordinator cache.
+    pub from_cache: bool,
+}
+
+/// Result of [`Engine::apply`].
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// Queries that were still pending when the update arrived are
+    /// answered first, against the pre-update document.
+    pub flushed: Option<RoundOutcome>,
+    /// Which fragments the update touched / added / removed.
+    pub effect: UpdateEffect,
+    /// Cost accounting of the maintenance step (control traffic plus any
+    /// shipped subtree on a cross-site split).
+    pub report: RunReport,
+    /// Coordinator cache entries invalidated by the update.
+    pub invalidated: usize,
+}
+
+/// Running counters of an engine's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Admission rounds flushed.
+    pub rounds: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Distinct members evaluated through the data plane.
+    pub members_evaluated: u64,
+    /// Members answered from the coordinator cache.
+    pub members_from_cache: u64,
+    /// Per-fragment evaluations requested from sites.
+    pub fragments_evaluated: u64,
+    /// Requested triplets served from site-side caches.
+    pub site_cache_hits: u64,
+    /// Updates applied.
+    pub updates: u64,
+}
+
+/// Coordinator-side cache of one member program's solve inputs.
+#[derive(Debug)]
+struct SolveEntry {
+    /// Root sub-query id within the member's own program.
+    root: SubId,
+    /// Per-fragment triplets, each as wide as the member program.
+    triplets: HashMap<FragmentId, Arc<Triplet>>,
+    /// Memoized answer; dropped whenever any triplet is invalidated.
+    answer: Option<bool>,
+}
+
+/// A long-lived deployment: persistent site workers, triplet caches, an
+/// admission queue, and update routing. See the module docs for the
+/// architecture; see `tests/serve.rs` for the equivalence properties it
+/// upholds.
+#[derive(Debug)]
+pub struct Engine {
+    forest: Forest,
+    placement: Placement,
+    source_tree: SourceTree,
+    coordinator: SiteId,
+    config: EngineConfig,
+    pool: SitePool,
+    solve_cache: HashMap<QueryFingerprint, SolveEntry>,
+    /// FIFO eviction order of cached fingerprints.
+    solve_order: VecDeque<QueryFingerprint>,
+    pending: Vec<(Ticket, CompiledQuery)>,
+    /// Rounds flushed implicitly by [`Engine::query`], kept so their
+    /// answers stay retrievable ([`Engine::take_parked_rounds`]).
+    parked: Vec<RoundOutcome>,
+    opened_at: Option<Instant>,
+    next_ticket: u64,
+    stats: EngineStats,
+}
+
+/// The evaluation kernel the site workers run: procedure `bottomUp`.
+fn kernel(tree: &Tree, q: &CompiledQuery) -> FragmentEval {
+    let run = bottom_up(tree, q);
+    FragmentEval {
+        triplet: run.triplet,
+        work_units: run.work_units,
+    }
+}
+
+impl Engine {
+    /// Deploys the fragmented document: spawns one persistent worker per
+    /// site, each owning handles to its fragments. Errs if the placement
+    /// does not cover every fragment.
+    pub fn new(
+        forest: Forest,
+        placement: Placement,
+        config: EngineConfig,
+    ) -> Result<Engine, FragError> {
+        placement.check(&forest)?;
+        let source_tree = SourceTree::new(&forest, &placement);
+        let coordinator = source_tree.site_of(forest.root_fragment());
+        let sites = source_tree
+            .sites()
+            .into_iter()
+            .map(|s| {
+                let frags = source_tree
+                    .fragments_at(s)
+                    .into_iter()
+                    .map(|f| (f, forest.tree_handle(f)))
+                    .collect();
+                (s, frags)
+            })
+            .collect();
+        let pool = SitePool::spawn(sites, config.site_cache_capacity, kernel);
+        Ok(Engine {
+            forest,
+            placement,
+            source_tree,
+            coordinator,
+            config,
+            pool,
+            solve_cache: HashMap::new(),
+            solve_order: VecDeque::new(),
+            pending: Vec::new(),
+            parked: Vec::new(),
+            opened_at: None,
+            next_ticket: 0,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// The authoritative current document (the deployed fragment trees
+    /// are shared handles into this forest).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// The current placement `h : F → S`.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The coordinating site (home of the root fragment).
+    pub fn coordinator(&self) -> SiteId {
+        self.coordinator
+    }
+
+    /// The engine's network cost model.
+    pub fn model(&self) -> &NetworkModel {
+        &self.config.model
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Per-site triplet-cache counters (from the resident workers).
+    pub fn site_cache_stats(&self) -> BTreeMap<u32, SiteCacheStats> {
+        self.pool.cache_stats()
+    }
+
+    /// Queries waiting in the admission queue.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drops every coordinator-side cached triplet (memory-pressure
+    /// valve). Site-side caches are unaffected: the next round re-ships
+    /// cached triplets instead of recomputing them.
+    pub fn clear_solve_cache(&mut self) {
+        self.solve_cache.clear();
+        self.solve_order.clear();
+    }
+
+    /// Enqueues a query into the admission window; the answer arrives
+    /// with the round that flushes it ([`Engine::poll`] /
+    /// [`Engine::flush`]), labelled by the returned ticket.
+    pub fn submit(&mut self, query: &Query) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push((ticket, compile(query)));
+        self.opened_at.get_or_insert_with(Instant::now);
+        ticket
+    }
+
+    /// Flushes the admission queue if the round is due — the batch-size
+    /// bound is reached or the oldest submission has outwaited the
+    /// batching window. Call this from the serving loop after submits.
+    pub fn poll(&mut self) -> Option<RoundOutcome> {
+        let due = self.pending.len() >= self.config.max_batch
+            || self
+                .opened_at
+                .is_some_and(|t| t.elapsed() >= self.config.batch_window);
+        if due {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates every pending query as one admission round (regardless
+    /// of window/batch bounds). Returns `None` when nothing is pending.
+    pub fn flush(&mut self) -> Option<RoundOutcome> {
+        let pending = std::mem::take(&mut self.pending);
+        self.opened_at = None;
+        if pending.is_empty() {
+            return None;
+        }
+        Some(self.run_round(pending))
+    }
+
+    /// Single-query convenience: answers `query` in a round of its own.
+    /// Anything still pending is flushed first and its [`RoundOutcome`]
+    /// *parked* — no answer is ever lost; drain parked rounds with
+    /// [`Engine::take_parked_rounds`].
+    pub fn query(&mut self, query: &Query) -> QueryOutcome {
+        if let Some(prior) = self.flush() {
+            self.parked.push(prior);
+        }
+        self.submit(query);
+        let outcome = self.flush().expect("one query is pending");
+        QueryOutcome {
+            answer: outcome.answers[0].1,
+            from_cache: outcome.members_from_cache == 1,
+            report: outcome.report,
+        }
+    }
+
+    /// Rounds that [`Engine::query`] flushed on behalf of earlier
+    /// [`Engine::submit`] calls, in flush order. Empty unless `submit`
+    /// and `query` were interleaved.
+    pub fn take_parked_rounds(&mut self) -> Vec<RoundOutcome> {
+        std::mem::take(&mut self.parked)
+    }
+
+    fn run_round(&mut self, pending: Vec<(Ticket, CompiledQuery)>) -> RoundOutcome {
+        let wall = Instant::now();
+        let live: Vec<FragmentId> = self.forest.fragment_ids().collect();
+        let postorder = self.source_tree.postorder().to_vec();
+        let root_frag = self.forest.root_fragment();
+
+        // Coalesce duplicate programs: one member per distinct fingerprint.
+        struct Member {
+            fp: QueryFingerprint,
+            /// Index into `pending` of the first submission of this program.
+            idx: usize,
+            /// All `pending` indices answered by this member.
+            submissions: Vec<usize>,
+        }
+        let mut members: Vec<Member> = Vec::new();
+        let mut by_fp: HashMap<QueryFingerprint, usize> = HashMap::new();
+        for (i, (_, compiled)) in pending.iter().enumerate() {
+            let fp = compiled.fingerprint();
+            let mi = *by_fp.entry(fp).or_insert_with(|| {
+                members.push(Member {
+                    fp,
+                    idx: i,
+                    submissions: Vec::new(),
+                });
+                members.len() - 1
+            });
+            members[mi].submissions.push(i);
+        }
+
+        let mut round = BatchRound::new(self.coordinator);
+        let mut answers: Vec<Option<bool>> = vec![None; pending.len()];
+        let mut solve_total = 0.0f64;
+        let mut members_from_cache = 0usize;
+        let mut site_cache_hits = 0usize;
+        let mut fragments_evaluated = 0usize;
+
+        // Phase 1 — members whose triplets are fully cached at the
+        // coordinator: re-solve locally, zero data-plane messages.
+        let mut active: Vec<usize> = Vec::new();
+        for (mi, m) in members.iter().enumerate() {
+            let fully_cached = self
+                .solve_cache
+                .get(&m.fp)
+                .is_some_and(|e| live.iter().all(|f| e.triplets.contains_key(f)));
+            if !fully_cached {
+                active.push(mi);
+                continue;
+            }
+            members_from_cache += 1;
+            let compiled = &pending[m.idx].1;
+            let entry = self.solve_cache.get_mut(&m.fp).expect("checked above");
+            let answer = match entry.answer {
+                Some(a) => a,
+                None => {
+                    let start = Instant::now();
+                    let a = solve_entry(entry, &postorder, root_frag);
+                    solve_total += start.elapsed().as_secs_f64();
+                    round
+                        .report_mut()
+                        .record_compute(self.coordinator, start.elapsed());
+                    round
+                        .report_mut()
+                        .record_work(self.coordinator, (compiled.len() * live.len()) as u64);
+                    entry.answer = Some(a);
+                    a
+                }
+            };
+            for &pi in &m.submissions {
+                answers[pi] = Some(answer);
+            }
+        }
+
+        // Phase 2 — the rest: one merged batch round over the resident
+        // workers, then per-member projection, caching and solving.
+        let mut broadcast = 0.0f64;
+        let mut collect = 0.0f64;
+        let mut max_compute = 0.0f64;
+        if !active.is_empty() {
+            // Merge the members' already-compiled programs — submit()
+            // compiled each query once; no re-parse/re-compile per round.
+            let programs: Vec<CompiledQuery> = active
+                .iter()
+                .map(|&mi| pending[members[mi].idx].1.clone())
+                .collect();
+            let batch = merge_programs(&programs);
+            let merged = Arc::new(batch.merged().clone());
+            let projections: Vec<Vec<SubId>> = programs
+                .iter()
+                .map(|p| {
+                    p.embedding_into(&merged)
+                        .expect("member embeds into merged batch program")
+                })
+                .collect();
+
+            // A fragment is evaluated iff some active member lacks its
+            // cached triplet (after an update, that is just the touched
+            // fragments).
+            let need: Vec<FragmentId> = live
+                .iter()
+                .copied()
+                .filter(|f| {
+                    active.iter().any(|&mi| {
+                        !self
+                            .solve_cache
+                            .get(&members[mi].fp)
+                            .is_some_and(|e| e.triplets.contains_key(f))
+                    })
+                })
+                .collect();
+            fragments_evaluated = need.len();
+
+            let mut per_site: BTreeMap<u32, Vec<FragmentId>> = BTreeMap::new();
+            for &f in &need {
+                per_site
+                    .entry(self.source_tree.site_of(f).0)
+                    .or_default()
+                    .push(f);
+            }
+            let request_bytes = batch_query_wire_size(&batch);
+            let mut any_remote = false;
+            for &s in per_site.keys() {
+                round
+                    .visit(SiteId(s), request_bytes)
+                    .expect("one visit per site per round");
+                any_remote |= SiteId(s) != self.coordinator;
+            }
+            if any_remote {
+                broadcast = self.config.model.transfer_time(request_bytes);
+            }
+
+            // The site caches key by *program* fingerprint: the merged
+            // program's root fingerprint is just its last member's, so
+            // two batches sharing a tail member would collide and serve
+            // triplets of the wrong width.
+            let replies = self.pool.eval_round(
+                &merged,
+                merged.program_fingerprint(),
+                per_site
+                    .into_iter()
+                    .map(|(s, fs)| (SiteId(s), fs))
+                    .collect(),
+            );
+
+            let mut merged_triplets: HashMap<FragmentId, Arc<Triplet>> = HashMap::new();
+            let mut remote_envelopes: Vec<usize> = Vec::new();
+            for reply in replies {
+                round.report_mut().record_compute(reply.site, reply.elapsed);
+                round.report_mut().record_work(reply.site, reply.work_units);
+                max_compute = max_compute.max(reply.elapsed.as_secs_f64());
+                site_cache_hits += reply.triplets.iter().filter(|(_, _, hit)| *hit).count();
+                let entries: Vec<(FragmentId, &Triplet)> =
+                    reply.triplets.iter().map(|(f, t, _)| (*f, &**t)).collect();
+                let bytes = site_envelope_wire_size(&entries);
+                round.reply(reply.site, bytes).expect("site was visited");
+                if reply.site != self.coordinator {
+                    remote_envelopes.push(bytes);
+                }
+                for (f, t, _) in reply.triplets {
+                    merged_triplets.insert(f, t);
+                }
+            }
+            collect = self
+                .config
+                .model
+                .shared_link_time(remote_envelopes.iter().copied());
+
+            for (k, &mi) in active.iter().enumerate() {
+                let m = &members[mi];
+                let compiled = &pending[m.idx].1;
+                let proj = &projections[k];
+                let inv: HashMap<u32, u32> = proj
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &h)| (h, i as u32))
+                    .collect();
+                if !self.solve_cache.contains_key(&m.fp) {
+                    self.solve_order.push_back(m.fp);
+                    self.solve_cache.insert(
+                        m.fp,
+                        SolveEntry {
+                            root: compiled.root(),
+                            triplets: HashMap::new(),
+                            answer: None,
+                        },
+                    );
+                }
+                let entry = self.solve_cache.get_mut(&m.fp).expect("just inserted");
+                for &f in &live {
+                    entry.triplets.entry(f).or_insert_with(|| {
+                        let merged_t = merged_triplets
+                            .get(&f)
+                            .expect("fragment missing from cache was evaluated");
+                        Arc::new(project_triplet(merged_t, proj, &inv))
+                    });
+                }
+                let start = Instant::now();
+                let answer = solve_entry(entry, &postorder, root_frag);
+                solve_total += start.elapsed().as_secs_f64();
+                round
+                    .report_mut()
+                    .record_compute(self.coordinator, start.elapsed());
+                round
+                    .report_mut()
+                    .record_work(self.coordinator, (compiled.len() * live.len()) as u64);
+                entry.answer = Some(answer);
+                for &pi in &m.submissions {
+                    answers[pi] = Some(answer);
+                }
+            }
+
+            // Bound the coordinator cache (FIFO over fingerprints).
+            while self.solve_cache.len() > self.config.solve_cache_fingerprints {
+                match self.solve_order.pop_front() {
+                    Some(fp) => {
+                        self.solve_cache.remove(&fp);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        let mut report = round.finish();
+        report.elapsed_model_s = broadcast + max_compute + collect + solve_total;
+        report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+
+        self.stats.rounds += 1;
+        self.stats.queries += pending.len() as u64;
+        self.stats.members_evaluated += active.len() as u64;
+        self.stats.members_from_cache += members_from_cache as u64;
+        self.stats.fragments_evaluated += fragments_evaluated as u64;
+        self.stats.site_cache_hits += site_cache_hits as u64;
+
+        RoundOutcome {
+            answers: pending
+                .iter()
+                .zip(&answers)
+                .map(|((t, _), a)| (*t, a.expect("every member was answered")))
+                .collect(),
+            report,
+            members: members.len(),
+            members_from_cache,
+            fragments_evaluated,
+            site_cache_hits,
+        }
+    }
+
+    /// Applies one Section-5 update to the live deployment: pending
+    /// queries are flushed first (answered against the pre-update
+    /// document), the forest mutates through the shared maintenance path,
+    /// and only the touched fragments' cache entries are invalidated —
+    /// at the owning site *and* in the coordinator's solve cache.
+    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, ViewError> {
+        let flushed = self.flush();
+        let mut report = RunReport::new();
+        let wall = Instant::now();
+        let effect = apply_update_to_forest(&mut self.forest, &mut self.placement, update)?;
+        let mut invalidated = 0usize;
+
+        for &gone in &effect.removed {
+            // The placement keeps the stale mapping of a merged-away
+            // fragment, which is exactly the site its worker lives on.
+            let site = self.placement.site_of(gone);
+            self.pool.unload(site, gone);
+            invalidated += self.purge_fragment(gone);
+        }
+        for f in effect.stale() {
+            let site = self.placement.site_of(f);
+            self.pool.ensure_site(site);
+            self.pool.load(site, f, self.forest.tree_handle(f));
+            invalidated += self.purge_fragment(f);
+            report.record_visit(site);
+            if site != self.coordinator {
+                report.record_message(
+                    self.coordinator,
+                    site,
+                    UPDATE_CONTROL_BYTES,
+                    MessageKind::Control,
+                );
+            }
+        }
+        // A split that lands the new fragment on a different site ships
+        // the subtree there — the one data-plane cost an update can have.
+        if let (Some(&host), Some(&new)) = (effect.touched.first(), effect.added.first()) {
+            let host_site = self.placement.site_of(host);
+            let new_site = self.placement.site_of(new);
+            if host_site != new_site {
+                report.record_message(
+                    host_site,
+                    new_site,
+                    self.forest.fragment(new).byte_size(),
+                    MessageKind::Data,
+                );
+            }
+        }
+        if effect.restructured() {
+            self.source_tree = SourceTree::new(&self.forest, &self.placement);
+            self.coordinator = self.source_tree.site_of(self.forest.root_fragment());
+        }
+
+        report.elapsed_model_s = report.network_cost_s(&self.config.model);
+        report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+        self.stats.updates += 1;
+        Ok(UpdateOutcome {
+            flushed,
+            effect,
+            report,
+            invalidated,
+        })
+    }
+
+    /// Drops `frag`'s triplet from every coordinator cache entry and
+    /// voids the memoized answers (any document change can flip any
+    /// cached answer). Returns the number of entries dropped.
+    fn purge_fragment(&mut self, frag: FragmentId) -> usize {
+        let mut n = 0usize;
+        for entry in self.solve_cache.values_mut() {
+            if entry.triplets.remove(&frag).is_some() {
+                n += 1;
+            }
+            entry.answer = None;
+        }
+        n
+    }
+}
+
+/// Re-solves a member program from its cached per-fragment triplets.
+fn solve_entry(entry: &SolveEntry, postorder: &[FragmentId], root_frag: FragmentId) -> bool {
+    let mut sys = EquationSystem::new();
+    for (&f, t) in &entry.triplets {
+        sys.insert(f, (**t).clone());
+    }
+    let resolved = sys
+        .solve(postorder)
+        .expect("cached triplets cover every live fragment");
+    resolved[&root_frag].v[entry.root as usize]
+}
+
+/// Projects a member's triplet out of a merged batch triplet: entry `i`
+/// of the member is entry `proj[i]` of the merged program, with variable
+/// sub-query ids renumbered back into the member's id space (`inv`).
+fn project_triplet(merged: &Triplet, proj: &[SubId], inv: &HashMap<u32, u32>) -> Triplet {
+    let renumber = |f: &Formula| {
+        f.substitute(&|var: Var| {
+            let sub = *inv
+                .get(&var.sub)
+                .expect("variable stays within the member's sub-query closure");
+            Some(Formula::Var(Var::new(var.frag, var.vec, sub)))
+        })
+    };
+    let row = |xs: &[Formula]| proj.iter().map(|&i| renumber(&xs[i as usize])).collect();
+    Triplet {
+        v: row(&merged.v),
+        cv: row(&merged.cv),
+        dv: row(&merged.dv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::parbox;
+    use parbox_net::Cluster;
+    use parbox_query::parse_query;
+    use parbox_xml::NodeId;
+
+    fn fig1_forest() -> Forest {
+        let tree = Tree::parse("<r><x><z><A/><A/></z><pad/></x><y><B/></y></r>").unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let f0 = forest.root_fragment();
+        let find = |forest: &Forest, frag, label: &str| {
+            let t = &forest.fragment(frag).tree;
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == label)
+                .unwrap()
+        };
+        let x = find(&forest, f0, "x");
+        let fx = forest.split(f0, x).unwrap();
+        let z = find(&forest, fx, "z");
+        forest.split(fx, z).unwrap();
+        let y = find(&forest, f0, "y");
+        forest.split(f0, y).unwrap();
+        forest
+    }
+
+    fn engine() -> Engine {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        Engine::new(forest, placement, EngineConfig::default()).unwrap()
+    }
+
+    fn oracle(engine: &Engine, q: &Query) -> bool {
+        let cluster = Cluster::new(engine.forest(), engine.placement(), NetworkModel::lan());
+        parbox(&cluster, &compile(q)).answer
+    }
+
+    const SRCS: [&str; 6] = [
+        "[//A and //B]",
+        "[//A]",
+        "[//B and //pad]",
+        "[//x[z/A]]",
+        "[//A and not //B]",
+        "[not(//nothing)]",
+    ];
+
+    #[test]
+    fn engine_agrees_with_parbox() {
+        let mut e = engine();
+        for src in SRCS {
+            let q = parse_query(src).unwrap();
+            assert_eq!(e.query(&q).answer, oracle(&e, &q), "{src}");
+        }
+    }
+
+    #[test]
+    fn query_parks_pending_round_instead_of_discarding_it() {
+        let mut e = engine();
+        let a = parse_query("[//A]").unwrap();
+        let b = parse_query("[//B]").unwrap();
+        let ticket = e.submit(&a);
+        // query() flushes the pending round for `a` — its answer must
+        // remain retrievable, not be silently dropped.
+        let out = e.query(&b);
+        assert_eq!(out.answer, oracle(&e, &b));
+        let parked = e.take_parked_rounds();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].answers, vec![(ticket, oracle(&e, &a))]);
+        assert!(e.take_parked_rounds().is_empty(), "drained");
+    }
+
+    #[test]
+    fn batches_sharing_a_tail_member_do_not_collide_in_site_caches() {
+        // Regression: two merged batch programs ending in the same member
+        // share a *root* fingerprint. If the site caches keyed by it,
+        // round 2 would be served round 1's (differently shaped) triplets
+        // and the projection would read the wrong entries.
+        let mut e = engine();
+        let a = parse_query("[//A]").unwrap();
+        let b = parse_query("[//B]").unwrap();
+        let c = parse_query("[//pad]").unwrap();
+        // Round 1: merged program [A, B], cached at every site.
+        e.submit(&a);
+        e.submit(&b);
+        e.flush().unwrap();
+        // Invalidate one fragment so B is active again next round.
+        let frag = FragmentId(3);
+        let parent = e.forest().fragment(frag).tree.root();
+        e.apply(Update::InsNode {
+            frag,
+            parent,
+            label: "noise".into(),
+            text: None,
+        })
+        .unwrap();
+        // Round 2: merged program [C, B] — same root fingerprint as
+        // round 1's, different program. Every fragment is requested
+        // (C is new), so stale site-cache entries would be hit.
+        e.submit(&c);
+        e.submit(&b);
+        let out = e.flush().unwrap();
+        assert_eq!(out.answers[0].1, oracle(&e, &c), "[//pad]");
+        assert_eq!(out.answers[1].1, oracle(&e, &b), "[//B]");
+    }
+
+    #[test]
+    fn repeat_query_is_served_with_zero_data_plane_messages() {
+        let mut e = engine();
+        let q = parse_query("[//A and //B]").unwrap();
+        let first = e.query(&q);
+        assert!(!first.from_cache);
+        assert!(first.report.data_plane_bytes() > 0);
+
+        let second = e.query(&q);
+        assert!(second.from_cache);
+        assert_eq!(second.answer, first.answer);
+        assert_eq!(second.report.total_messages(), 0, "no traffic at all");
+        assert_eq!(second.report.bytes_of_kind(MessageKind::Triplet), 0);
+        assert_eq!(second.report.bytes_of_kind(MessageKind::Envelope), 0);
+        assert_eq!(second.report.max_visits(), 0, "no site contacted");
+    }
+
+    #[test]
+    fn duplicate_submissions_coalesce_within_a_round() {
+        let mut e = engine();
+        let q = parse_query("[//A]").unwrap();
+        let r = parse_query("[//B]").unwrap();
+        let t1 = e.submit(&q);
+        let t2 = e.submit(&r);
+        let t3 = e.submit(&q);
+        let out = e.flush().unwrap();
+        assert_eq!(out.members, 2, "three submissions, two programs");
+        assert_eq!(out.answers.len(), 3);
+        let by_ticket: HashMap<Ticket, bool> = out.answers.iter().copied().collect();
+        assert_eq!(by_ticket[&t1], by_ticket[&t3]);
+        assert_eq!(by_ticket[&t1], oracle(&e, &q));
+        assert_eq!(by_ticket[&t2], oracle(&e, &r));
+        // One merged round: one visit per site at most.
+        assert!(out.report.max_visits() <= 1);
+    }
+
+    #[test]
+    fn admission_respects_batch_bound_and_window() {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let config = EngineConfig {
+            max_batch: 2,
+            batch_window: Duration::from_secs(3600),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(forest, placement, config).unwrap();
+        e.submit(&parse_query("[//A]").unwrap());
+        assert!(e.poll().is_none(), "one pending, window still open");
+        e.submit(&parse_query("[//B]").unwrap());
+        let out = e.poll().expect("batch bound reached");
+        assert_eq!(out.answers.len(), 2);
+        assert_eq!(e.pending(), 0);
+        // An elapsed window also flushes.
+        let mut e2 = {
+            let forest = fig1_forest();
+            let placement = Placement::one_per_fragment(&forest);
+            Engine::new(
+                forest,
+                placement,
+                EngineConfig {
+                    max_batch: 100,
+                    batch_window: Duration::ZERO,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        e2.submit(&parse_query("[//A]").unwrap());
+        assert!(e2.poll().is_some(), "zero window flushes immediately");
+    }
+
+    #[test]
+    fn update_invalidates_only_touched_fragment() {
+        let mut e = engine();
+        let q = parse_query("[//goal]").unwrap();
+        assert!(!e.query(&q).answer);
+        // Insert `goal` into fragment 3 (the y-subtree).
+        let frag = FragmentId(3);
+        let parent = {
+            let t = &e.forest().fragment(frag).tree;
+            t.root()
+        };
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "goal".into(),
+                text: None,
+            })
+            .unwrap();
+        assert_eq!(up.effect.touched, vec![frag]);
+        assert!(up.invalidated >= 1);
+
+        let after = e.query(&q);
+        assert!(after.answer, "update flipped the answer");
+        assert_eq!(after.answer, oracle(&e, &q));
+        assert!(!after.from_cache);
+        // Only the touched fragment was re-evaluated.
+        let out_frags = e.stats();
+        assert!(out_frags.fragments_evaluated >= 1);
+    }
+
+    #[test]
+    fn partial_invalidation_reevaluates_one_fragment() {
+        let mut e = engine();
+        let q = parse_query("[//A and //B]").unwrap();
+        e.query(&q);
+        let frag = FragmentId(3);
+        let parent = {
+            let t = &e.forest().fragment(frag).tree;
+            t.root()
+        };
+        e.apply(Update::InsNode {
+            frag,
+            parent,
+            label: "noise".into(),
+            text: None,
+        })
+        .unwrap();
+        let before = e.stats().fragments_evaluated;
+        let again = e.query(&q);
+        assert_eq!(again.answer, oracle(&e, &q));
+        assert_eq!(
+            e.stats().fragments_evaluated - before,
+            1,
+            "only the invalidated fragment goes back to its site"
+        );
+    }
+
+    #[test]
+    fn split_and_merge_keep_engine_consistent() {
+        let mut e = engine();
+        let q = parse_query("[//B]").unwrap();
+        assert!(e.query(&q).answer);
+        // Split B's node out of fragment 3 onto a brand-new site.
+        let frag = FragmentId(3);
+        let b: NodeId = {
+            let t = &e.forest().fragment(frag).tree;
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == "B")
+                .unwrap()
+        };
+        let up = e
+            .apply(Update::SplitFragments {
+                frag,
+                node: b,
+                to_site: Some(SiteId(9)),
+            })
+            .unwrap();
+        assert_eq!(up.effect.added.len(), 1);
+        // The subtree shipped to the new site is data-plane traffic.
+        assert!(up.report.bytes_of_kind(MessageKind::Data) > 0);
+        assert!(e.query(&q).answer);
+        assert_eq!(e.query(&q).answer, oracle(&e, &q));
+
+        // Merge it back.
+        let new = up.effect.added[0];
+        let vnode = {
+            let t = &e.forest().fragment(frag).tree;
+            t.virtual_nodes(t.root())
+                .into_iter()
+                .find(|&(_, f)| f == new)
+                .unwrap()
+                .0
+        };
+        let down = e
+            .apply(Update::MergeFragments { frag, node: vnode })
+            .unwrap();
+        assert_eq!(down.effect.removed, vec![new]);
+        assert!(e.query(&q).answer);
+        assert_eq!(e.query(&q).answer, oracle(&e, &q));
+    }
+
+    #[test]
+    fn site_cache_serves_when_coordinator_cache_is_dropped() {
+        let mut e = engine();
+        let q = parse_query("[//A and //B]").unwrap();
+        e.query(&q);
+        // Memory pressure at the coordinator: triplets must be re-shipped,
+        // but the sites still skip bottomUp (their caches survive).
+        e.clear_solve_cache();
+        let card = e.forest().card();
+        let again = e.query(&q);
+        assert!(!again.from_cache);
+        assert!(again.report.data_plane_bytes() > 0, "triplets re-shipped");
+        assert_eq!(
+            e.stats().site_cache_hits as usize,
+            card,
+            "every fragment served from its site cache"
+        );
+        assert_eq!(
+            again.report.total_work(),
+            (compile(&q).len() * card) as u64,
+            "only the coordinator's solve pass did any work"
+        );
+    }
+}

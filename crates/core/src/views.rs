@@ -97,6 +97,110 @@ impl std::fmt::Display for ViewError {
 
 impl std::error::Error for ViewError {}
 
+/// The structural effect of applying one [`Update`] to a forest.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateEffect {
+    /// Fragments whose trees changed in place (the update's host
+    /// fragments).
+    pub touched: Vec<FragmentId>,
+    /// Fragments created by the update (`splitFragments`).
+    pub added: Vec<FragmentId>,
+    /// Fragments that ceased to exist (`mergeFragments`).
+    pub removed: Vec<FragmentId>,
+}
+
+impl UpdateEffect {
+    /// Fragments whose `(V, CV, DV)` triplets are stale after the update:
+    /// the touched hosts plus any newly created fragments.
+    pub fn stale(&self) -> impl Iterator<Item = FragmentId> + '_ {
+        self.touched.iter().chain(&self.added).copied()
+    }
+
+    /// True when the fragment tree itself changed shape (split/merge), so
+    /// the source tree must be re-induced.
+    pub fn restructured(&self) -> bool {
+        !self.added.is_empty() || !self.removed.is_empty()
+    }
+}
+
+/// Applies one update to the fragmented document, mutating the forest and
+/// placement, and reports which fragments were touched, added or removed.
+///
+/// This is the shared mutation path of [`MaterializedView::apply`] and the
+/// serving engine's update routing ([`crate::serve::Engine::apply`]): the
+/// callers differ only in how they maintain their cached triplets
+/// afterwards.
+pub fn apply_update_to_forest(
+    forest: &mut Forest,
+    placement: &mut Placement,
+    update: Update,
+) -> Result<UpdateEffect, ViewError> {
+    match update {
+        Update::InsNode {
+            frag,
+            parent,
+            label,
+            text,
+        } => {
+            let tree = forest.tree_mut(frag);
+            match text {
+                Some(t) => tree.add_text_child(parent, &label, &t),
+                None => tree.add_child(parent, &label),
+            };
+            Ok(UpdateEffect {
+                touched: vec![frag],
+                ..Default::default()
+            })
+        }
+        Update::DelNode { frag, node } => {
+            let tree = &forest.fragment(frag).tree;
+            let orphans: Vec<FragmentId> = tree
+                .virtual_nodes(node)
+                .into_iter()
+                .map(|(_, f)| f)
+                .collect();
+            if !orphans.is_empty() {
+                return Err(ViewError::WouldOrphanFragments(orphans));
+            }
+            forest
+                .tree_mut(frag)
+                .remove_subtree(node)
+                .map_err(ViewError::Xml)?;
+            Ok(UpdateEffect {
+                touched: vec![frag],
+                ..Default::default()
+            })
+        }
+        Update::SplitFragments {
+            frag,
+            node,
+            to_site,
+        } => {
+            let new = forest.split(frag, node).map_err(ViewError::Frag)?;
+            let site = to_site.unwrap_or_else(|| placement.site_of(frag));
+            placement.assign(new, site);
+            // Splitting does not change any query answer, but both the
+            // triplets and the source tree must be refreshed (paper,
+            // Section 5).
+            Ok(UpdateEffect {
+                touched: vec![frag],
+                added: vec![new],
+                ..Default::default()
+            })
+        }
+        Update::MergeFragments { frag, node } => {
+            match forest.merge(frag, node).map_err(ViewError::Frag)? {
+                Some(gone) => Ok(UpdateEffect {
+                    touched: vec![frag],
+                    removed: vec![gone],
+                    ..Default::default()
+                }),
+                None => Ok(UpdateEffect::default()), // non-virtual node: no action
+            }
+        }
+    }
+}
+
 /// Cost/result report of one maintenance step.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
@@ -224,59 +328,11 @@ impl MaterializedView {
     ) -> Result<UpdateReport, ViewError> {
         let mut report = RunReport::new();
         let wall = Instant::now();
-        let reevaluated = match update {
-            Update::InsNode {
-                frag,
-                parent,
-                label,
-                text,
-            } => {
-                let tree = &mut forest.fragment_mut(frag).tree;
-                match text {
-                    Some(t) => tree.add_text_child(parent, &label, &t),
-                    None => tree.add_child(parent, &label),
-                };
-                vec![frag]
-            }
-            Update::DelNode { frag, node } => {
-                let tree = &forest.fragment(frag).tree;
-                let orphans: Vec<FragmentId> = tree
-                    .virtual_nodes(node)
-                    .into_iter()
-                    .map(|(_, f)| f)
-                    .collect();
-                if !orphans.is_empty() {
-                    return Err(ViewError::WouldOrphanFragments(orphans));
-                }
-                forest
-                    .fragment_mut(frag)
-                    .tree
-                    .remove_subtree(node)
-                    .map_err(ViewError::Xml)?;
-                vec![frag]
-            }
-            Update::SplitFragments {
-                frag,
-                node,
-                to_site,
-            } => {
-                let new = forest.split(frag, node).map_err(ViewError::Frag)?;
-                let site = to_site.unwrap_or_else(|| placement.site_of(frag));
-                placement.assign(new, site);
-                // Splitting does not change `ans`, but both triplets and
-                // the source tree must be refreshed (paper, Section 5).
-                vec![frag, new]
-            }
-            Update::MergeFragments { frag, node } => {
-                match forest.merge(frag, node).map_err(ViewError::Frag)? {
-                    Some(gone) => {
-                        self.triplets.remove(&gone);
-                        vec![frag]
-                    }
-                    None => Vec::new(), // non-virtual node: no action
-                }
-            }
-        };
+        let effect = apply_update_to_forest(forest, placement, update)?;
+        for gone in &effect.removed {
+            self.triplets.remove(gone);
+        }
+        let reevaluated: Vec<FragmentId> = effect.stale().collect();
 
         // Localized recomputation: only the updated fragments' site works.
         let mut changed = false;

@@ -12,6 +12,9 @@ pub enum FragError {
     Tree(XmlError),
     /// A strategy could not find a node worth cutting in the fragment.
     NoCutPoint(FragmentId),
+    /// A fragment is not assigned to any site — the placement does not
+    /// cover the forest.
+    UnplacedFragment(FragmentId),
 }
 
 impl fmt::Display for FragError {
@@ -21,6 +24,9 @@ impl fmt::Display for FragError {
             FragError::Tree(e) => write!(f, "tree operation failed: {e}"),
             FragError::NoCutPoint(id) => {
                 write!(f, "no suitable cut point inside fragment {id}")
+            }
+            FragError::UnplacedFragment(id) => {
+                write!(f, "fragment {id} is not placed on any site")
             }
         }
     }

@@ -12,14 +12,21 @@
 
 use crate::FragError;
 use parbox_xml::{FragmentId, NodeId, Tree};
+use std::sync::Arc;
 
 /// One fragment of a fragmented tree.
+///
+/// The tree is held behind an [`Arc`] so a long-lived deployment (the
+/// serving engine's per-site workers) can share fragment trees with the
+/// authoritative forest without copying; updates go through
+/// [`Forest::tree_mut`], which copies-on-write when a site still holds
+/// the old handle.
 #[derive(Debug, Clone)]
 pub struct Fragment {
     /// The fragment's id (its index in the forest).
     pub id: FragmentId,
     /// The fragment's tree; leaves may be virtual nodes.
-    pub tree: Tree,
+    pub tree: Arc<Tree>,
     /// Parent fragment in the fragment tree (`None` for the root fragment).
     pub parent: Option<FragmentId>,
 }
@@ -74,7 +81,7 @@ impl Forest {
         Forest {
             fragments: vec![Some(Fragment {
                 id: root,
-                tree,
+                tree: Arc::new(tree),
                 parent: None,
             })],
             root,
@@ -102,6 +109,26 @@ impl Forest {
         self.fragments[id.index()]
             .as_mut()
             .unwrap_or_else(|| panic!("fragment {id} was merged away"))
+    }
+
+    /// Mutable access to a fragment's tree, copying-on-write if the tree
+    /// is currently shared (e.g. with a serving engine's site worker —
+    /// the worker keeps its old handle until the engine ships it a fresh
+    /// one).
+    ///
+    /// # Panics
+    /// Panics if `id` does not name a live fragment.
+    pub fn tree_mut(&mut self, id: FragmentId) -> &mut Tree {
+        Arc::make_mut(&mut self.fragment_mut(id).tree)
+    }
+
+    /// A shared handle to a fragment's tree (cheap to clone and send to
+    /// a site worker).
+    ///
+    /// # Panics
+    /// Panics if `id` does not name a live fragment.
+    pub fn tree_handle(&self, id: FragmentId) -> Arc<Tree> {
+        Arc::clone(&self.fragment(id).tree)
     }
 
     /// True if `id` names a live fragment.
@@ -145,8 +172,10 @@ impl Forest {
             return Err(FragError::UnknownFragment(frag));
         }
         let new_id = FragmentId(self.fragments.len() as u32);
-        let host = self.fragment_mut(frag);
-        let subtree = host.tree.split_off(node, new_id).map_err(FragError::Tree)?;
+        let subtree = self
+            .tree_mut(frag)
+            .split_off(node, new_id)
+            .map_err(FragError::Tree)?;
         // Sub-fragments whose virtual nodes moved into the new fragment now
         // hang below it in the fragment tree.
         let moved: Vec<FragmentId> = subtree
@@ -156,7 +185,7 @@ impl Forest {
             .collect();
         self.fragments.push(Some(Fragment {
             id: new_id,
-            tree: subtree,
+            tree: Arc::new(subtree),
             parent: Some(frag),
         }));
         for m in moved {
@@ -189,8 +218,9 @@ impl Forest {
         let sub = self.fragments[sub_id.index()]
             .take()
             .expect("liveness checked");
-        let host = self.fragment_mut(frag);
-        host.tree.graft(node, &sub.tree).map_err(FragError::Tree)?;
+        self.tree_mut(frag)
+            .graft(node, &sub.tree)
+            .map_err(FragError::Tree)?;
         // Grand-children fragments are adopted by the host.
         for g in sub.sub_fragments() {
             if self.is_live(g) {
@@ -253,7 +283,7 @@ impl Forest {
                         .merge(root, n)
                         .expect("merging a listed virtual node cannot fail");
                 }
-                None => return forest.fragment(root).tree.clone(),
+                None => return Tree::clone(&forest.fragment(root).tree),
             }
         }
     }

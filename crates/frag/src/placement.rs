@@ -124,9 +124,15 @@ impl Placement {
 
     /// Checks that every fragment of the forest is placed.
     pub fn validate(&self, forest: &Forest) -> Result<(), String> {
+        self.check(forest).map_err(|e| e.to_string())
+    }
+
+    /// Typed variant of [`Placement::validate`]: the error names the
+    /// first unplaced fragment.
+    pub fn check(&self, forest: &Forest) -> Result<(), crate::FragError> {
         for f in forest.fragment_ids() {
             if !self.map.contains_key(&f) {
-                return Err(format!("fragment {f} is not placed"));
+                return Err(crate::FragError::UnplacedFragment(f));
             }
         }
         Ok(())

@@ -1,7 +1,7 @@
 //! The [`Cluster`]: a fragmented document deployed on simulated sites.
 
 use crate::NetworkModel;
-use parbox_frag::{Forest, Placement, SiteId, SourceTree};
+use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
 use parbox_xml::FragmentId;
 
 /// A deployment of a fragmented document: forest + placement + induced
@@ -23,17 +23,28 @@ impl<'a> Cluster<'a> {
     /// Builds a cluster, inducing the source tree.
     ///
     /// # Panics
-    /// Panics if some fragment is unplaced.
+    /// Panics if some fragment is unplaced. Fallible callers (the CLI, a
+    /// serving engine fed external configuration) should use
+    /// [`Cluster::try_new`] instead.
     pub fn new(forest: &'a Forest, placement: &'a Placement, model: NetworkModel) -> Cluster<'a> {
-        placement
-            .validate(forest)
-            .unwrap_or_else(|e| panic!("invalid placement: {e}"));
-        Cluster {
+        Cluster::try_new(forest, placement, model)
+            .unwrap_or_else(|e| panic!("invalid placement: {e}"))
+    }
+
+    /// Builds a cluster, inducing the source tree; errs (instead of
+    /// panicking) when the placement does not cover every fragment.
+    pub fn try_new(
+        forest: &'a Forest,
+        placement: &'a Placement,
+        model: NetworkModel,
+    ) -> Result<Cluster<'a>, FragError> {
+        placement.check(forest)?;
+        Ok(Cluster {
             forest,
             placement,
             source_tree: SourceTree::new(forest, placement),
             model,
-        }
+        })
     }
 
     /// The coordinating site: the site storing the root fragment (the
@@ -108,5 +119,15 @@ mod tests {
         let (forest, _) = setup();
         let empty = Placement::new();
         let _ = Cluster::new(&forest, &empty, NetworkModel::lan());
+    }
+
+    #[test]
+    fn try_new_reports_unplaced_fragment() {
+        let (forest, placement) = setup();
+        assert!(Cluster::try_new(&forest, &placement, NetworkModel::lan()).is_ok());
+        let mut partial = Placement::new();
+        partial.assign(forest.root_fragment(), parbox_frag::SiteId(0));
+        let err = Cluster::try_new(&forest, &partial, NetworkModel::lan()).unwrap_err();
+        assert!(matches!(err, FragError::UnplacedFragment(_)), "{err}");
     }
 }

@@ -1,0 +1,458 @@
+//! Persistent site workers — the resident substrate of the serving
+//! engine.
+//!
+//! The one-shot algorithms ([`crate::run_sites_parallel`]) spawn a fresh
+//! scoped thread per site *per query* and throw all per-site state away
+//! when the query returns. A serving deployment instead keeps every site
+//! **resident**: [`SitePool`] spawns one long-lived worker thread per
+//! site, each owning shared handles to its fragments' trees and a
+//! [`(FragmentId, QueryFingerprint)`](parbox_query::QueryFingerprint)
+//! keyed **triplet cache**, and serves evaluation requests over a
+//! request channel (an actor loop). Site startup is paid once per
+//! deployment instead of once per query, and a fragment evaluated twice
+//! under the same program fingerprint skips `bottomUp` entirely.
+//!
+//! Layering: this module provides the *mechanics* (threads, channels,
+//! fragment ownership, caching); the evaluation kernel is injected by the
+//! algorithm layer as an [`EvalFn`] (`parbox-core` passes its `bottomUp`)
+//! and the protocol accounting (visits, messages, cost models) stays with
+//! the coordinator in `parbox-core::serve`.
+
+use crate::SiteId;
+use parbox_bool::Triplet;
+use parbox_query::{CompiledQuery, QueryFingerprint};
+use parbox_xml::{FragmentId, Tree};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Result of evaluating one program over one fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentEval {
+    /// The fragment's `(V, CV, DV)` triplet under the program.
+    pub triplet: Triplet,
+    /// Work units spent (`nodes visited × |QList|`; 0 on a cache hit).
+    pub work_units: u64,
+}
+
+/// The per-fragment evaluation kernel a site worker runs. Injected by the
+/// algorithm layer (`parbox-core` passes procedure `bottomUp`), keeping
+/// this crate below the algorithms in the dependency DAG.
+pub type EvalFn = fn(&Tree, &CompiledQuery) -> FragmentEval;
+
+/// The initial deployment passed to [`SitePool::spawn`]: each site with
+/// the fragments (ids + shared tree handles) it will own.
+pub type SiteDeployment = Vec<(SiteId, Vec<(FragmentId, Arc<Tree>)>)>;
+
+/// One site's reply to an evaluation request.
+#[derive(Debug)]
+pub struct EvalReply {
+    /// The replying site.
+    pub site: SiteId,
+    /// Per requested fragment: its triplet and whether it was served from
+    /// the site's cache (no `bottomUp` run).
+    pub triplets: Vec<(FragmentId, Arc<Triplet>, bool)>,
+    /// Work units actually spent (cache hits contribute none).
+    pub work_units: u64,
+    /// Measured wall-clock time of the site's local work.
+    pub elapsed: Duration,
+}
+
+/// Cache counters of one resident site worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteCacheStats {
+    /// Live cache entries.
+    pub entries: usize,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that ran the evaluation kernel.
+    pub misses: u64,
+    /// Entries dropped by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation (updates).
+    pub invalidated: u64,
+}
+
+enum Request {
+    /// Evaluate `program` over the listed resident fragments, consulting
+    /// the cache under `fingerprint`.
+    Eval {
+        program: Arc<CompiledQuery>,
+        fingerprint: QueryFingerprint,
+        frags: Vec<FragmentId>,
+        reply: mpsc::Sender<EvalReply>,
+    },
+    /// Install (or replace) a fragment's tree handle, dropping every
+    /// cache entry of that fragment — the update-invalidation path.
+    Load {
+        frag: FragmentId,
+        tree: Arc<Tree>,
+    },
+    /// Remove a fragment (merged away or migrated) and its cache entries.
+    Unload {
+        frag: FragmentId,
+    },
+    /// Report cache counters.
+    Stats {
+        reply: mpsc::Sender<SiteCacheStats>,
+    },
+    Shutdown,
+}
+
+struct SiteWorker {
+    site: SiteId,
+    eval: EvalFn,
+    fragments: HashMap<FragmentId, Arc<Tree>>,
+    cache: HashMap<(FragmentId, QueryFingerprint), Arc<Triplet>>,
+    /// FIFO eviction order of cache keys.
+    order: VecDeque<(FragmentId, QueryFingerprint)>,
+    capacity: usize,
+    stats: SiteCacheStats,
+}
+
+impl SiteWorker {
+    fn run(mut self, inbox: mpsc::Receiver<Request>) {
+        while let Ok(req) = inbox.recv() {
+            match req {
+                Request::Eval {
+                    program,
+                    fingerprint,
+                    frags,
+                    reply,
+                } => {
+                    let start = Instant::now();
+                    let mut work_units = 0u64;
+                    let triplets: Vec<(FragmentId, Arc<Triplet>, bool)> = frags
+                        .into_iter()
+                        .map(|f| {
+                            if let Some(t) = self.cache.get(&(f, fingerprint)) {
+                                self.stats.hits += 1;
+                                return (f, Arc::clone(t), true);
+                            }
+                            self.stats.misses += 1;
+                            let tree = self.fragments.get(&f).unwrap_or_else(|| {
+                                panic!("site {}: fragment {f} not resident", self.site)
+                            });
+                            let run = (self.eval)(tree, &program);
+                            work_units += run.work_units;
+                            let t = Arc::new(run.triplet);
+                            self.insert(f, fingerprint, Arc::clone(&t));
+                            (f, t, false)
+                        })
+                        .collect();
+                    // The round may have been abandoned; a dead reply
+                    // channel is not the worker's problem.
+                    let _ = reply.send(EvalReply {
+                        site: self.site,
+                        triplets,
+                        work_units,
+                        elapsed: start.elapsed(),
+                    });
+                }
+                Request::Load { frag, tree } => {
+                    self.fragments.insert(frag, tree);
+                    self.drop_entries_of(frag);
+                }
+                Request::Unload { frag } => {
+                    self.fragments.remove(&frag);
+                    self.drop_entries_of(frag);
+                }
+                Request::Stats { reply } => {
+                    let mut s = self.stats.clone();
+                    s.entries = self.cache.len();
+                    let _ = reply.send(s);
+                }
+                Request::Shutdown => break,
+            }
+        }
+    }
+
+    fn insert(&mut self, frag: FragmentId, fp: QueryFingerprint, t: Arc<Triplet>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.cache.insert((frag, fp), t).is_none() {
+            self.order.push_back((frag, fp));
+        }
+        while self.cache.len() > self.capacity {
+            // Entries already removed by invalidation may linger in the
+            // order queue; skip them until a live key is found.
+            match self.order.pop_front() {
+                Some(key) => {
+                    if self.cache.remove(&key).is_some() {
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn drop_entries_of(&mut self, frag: FragmentId) {
+        let before = self.cache.len();
+        self.cache.retain(|(f, _), _| *f != frag);
+        self.stats.invalidated += (before - self.cache.len()) as u64;
+    }
+}
+
+/// A pool of resident site workers — one long-lived thread per site,
+/// spawned once per deployment and reused across every query, batch and
+/// update until the pool is dropped.
+#[derive(Debug)]
+pub struct SitePool {
+    eval: EvalFn,
+    capacity: usize,
+    senders: BTreeMap<u32, mpsc::Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl SitePool {
+    /// Spawns one worker per site, each owning handles to its fragments'
+    /// trees and an empty triplet cache bounded to `cache_capacity`
+    /// entries (FIFO eviction; 0 disables caching).
+    pub fn spawn(sites: SiteDeployment, cache_capacity: usize, eval: EvalFn) -> SitePool {
+        let mut pool = SitePool {
+            eval,
+            capacity: cache_capacity,
+            senders: BTreeMap::new(),
+            handles: Vec::new(),
+        };
+        for (site, frags) in sites {
+            pool.spawn_worker(site, frags);
+        }
+        pool
+    }
+
+    fn spawn_worker(&mut self, site: SiteId, frags: Vec<(FragmentId, Arc<Tree>)>) {
+        let (tx, rx) = mpsc::channel();
+        let worker = SiteWorker {
+            site,
+            eval: self.eval,
+            fragments: frags.into_iter().collect(),
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: self.capacity,
+            stats: SiteCacheStats::default(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("parbox-site-{}", site.0))
+            .spawn(move || worker.run(rx))
+            .expect("spawn site worker");
+        self.senders.insert(site.0, tx);
+        self.handles.push(handle);
+    }
+
+    /// Ensures a worker exists for `site` (updates can migrate fragments
+    /// to sites that were not part of the initial deployment).
+    pub fn ensure_site(&mut self, site: SiteId) {
+        if !self.senders.contains_key(&site.0) {
+            self.spawn_worker(site, Vec::new());
+        }
+    }
+
+    /// Sites with a resident worker, ascending.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.senders.keys().map(|&s| SiteId(s)).collect()
+    }
+
+    fn sender(&self, site: SiteId) -> &mpsc::Sender<Request> {
+        self.senders
+            .get(&site.0)
+            .unwrap_or_else(|| panic!("no resident worker for site {site}"))
+    }
+
+    /// Fans one evaluation round out to the listed sites **in parallel**
+    /// (each worker runs concurrently on its own thread) and collects all
+    /// replies. Replies are returned in ascending site order.
+    pub fn eval_round(
+        &self,
+        program: &Arc<CompiledQuery>,
+        fingerprint: QueryFingerprint,
+        per_site: Vec<(SiteId, Vec<FragmentId>)>,
+    ) -> Vec<EvalReply> {
+        let (tx, rx) = mpsc::channel();
+        let n = per_site.len();
+        for (site, frags) in per_site {
+            self.sender(site)
+                .send(Request::Eval {
+                    program: Arc::clone(program),
+                    fingerprint,
+                    frags,
+                    reply: tx.clone(),
+                })
+                .expect("site worker alive");
+        }
+        drop(tx);
+        let mut replies: Vec<EvalReply> = (0..n)
+            .map(|_| rx.recv().expect("site worker replied"))
+            .collect();
+        replies.sort_by_key(|r| r.site);
+        replies
+    }
+
+    /// Installs (or refreshes) a fragment's tree handle at `site`,
+    /// invalidating that fragment's cache entries there.
+    pub fn load(&self, site: SiteId, frag: FragmentId, tree: Arc<Tree>) {
+        self.sender(site)
+            .send(Request::Load { frag, tree })
+            .expect("site worker alive");
+    }
+
+    /// Removes a fragment (and its cache entries) from `site`.
+    pub fn unload(&self, site: SiteId, frag: FragmentId) {
+        self.sender(site)
+            .send(Request::Unload { frag })
+            .expect("site worker alive");
+    }
+
+    /// Snapshot of every site's cache counters (sequential per site; the
+    /// stats path is diagnostic, not hot).
+    pub fn cache_stats(&self) -> BTreeMap<u32, SiteCacheStats> {
+        let mut out = BTreeMap::new();
+        for (&site, sender) in &self.senders {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(Request::Stats { reply: tx })
+                .expect("site worker alive");
+            out.insert(site, rx.recv().expect("site worker replied"));
+        }
+        out
+    }
+}
+
+impl Drop for SitePool {
+    fn drop(&mut self) {
+        for sender in self.senders.values() {
+            let _ = sender.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_bool::Formula;
+    use parbox_query::{compile, parse_query};
+
+    /// A toy kernel: constant triplet, one work unit per program op.
+    fn toy_eval(tree: &Tree, q: &CompiledQuery) -> FragmentEval {
+        FragmentEval {
+            triplet: Triplet {
+                v: vec![Formula::Const(tree.len().is_multiple_of(2)); q.len()],
+                cv: vec![Formula::FALSE; q.len()],
+                dv: vec![Formula::FALSE; q.len()],
+            },
+            work_units: q.len() as u64,
+        }
+    }
+
+    fn pool_of(n_sites: u32, capacity: usize) -> SitePool {
+        let sites = (0..n_sites)
+            .map(|s| {
+                let tree = Arc::new(Tree::parse(&format!("<s{s}><a/></s{s}>")).unwrap());
+                (SiteId(s), vec![(FragmentId(s), tree)])
+            })
+            .collect();
+        SitePool::spawn(sites, capacity, toy_eval)
+    }
+
+    fn q() -> Arc<CompiledQuery> {
+        Arc::new(compile(&parse_query("[//a]").unwrap()))
+    }
+
+    #[test]
+    fn round_reaches_all_sites_in_parallel() {
+        let pool = pool_of(4, 16);
+        let program = q();
+        let per_site = (0..4).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        let replies = pool.eval_round(&program, program.fingerprint(), per_site);
+        assert_eq!(replies.len(), 4);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.site, SiteId(i as u32));
+            assert_eq!(r.triplets.len(), 1);
+            assert!(!r.triplets[0].2, "first evaluation cannot hit the cache");
+            assert_eq!(r.work_units, program.len() as u64);
+        }
+    }
+
+    #[test]
+    fn repeat_fingerprint_hits_cache_and_skips_work() {
+        let pool = pool_of(2, 16);
+        let program = q();
+        let per_site: Vec<_> = (0..2).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        pool.eval_round(&program, program.fingerprint(), per_site.clone());
+        let replies = pool.eval_round(&program, program.fingerprint(), per_site);
+        for r in &replies {
+            assert!(r.triplets[0].2, "second round must hit");
+            assert_eq!(r.work_units, 0);
+        }
+        let stats = pool.cache_stats();
+        assert_eq!(stats[&0].hits, 1);
+        assert_eq!(stats[&0].misses, 1);
+    }
+
+    #[test]
+    fn load_invalidates_only_that_fragment() {
+        let tree = Arc::new(Tree::parse("<r><a/></r>").unwrap());
+        let sites = vec![(
+            SiteId(0),
+            vec![(FragmentId(0), Arc::clone(&tree)), (FragmentId(1), tree)],
+        )];
+        let pool = SitePool::spawn(sites, 16, toy_eval);
+        let program = q();
+        let frags = vec![(SiteId(0), vec![FragmentId(0), FragmentId(1)])];
+        pool.eval_round(&program, program.fingerprint(), frags.clone());
+        // Refresh fragment 0 only.
+        pool.load(
+            SiteId(0),
+            FragmentId(0),
+            Arc::new(Tree::parse("<r><a/><b/></r>").unwrap()),
+        );
+        let replies = pool.eval_round(&program, program.fingerprint(), frags);
+        assert!(!replies[0].triplets[0].2, "refreshed fragment re-evaluates");
+        assert!(replies[0].triplets[1].2, "untouched fragment stays cached");
+        let stats = pool.cache_stats();
+        assert_eq!(stats[&0].invalidated, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let pool = pool_of(1, 1);
+        let a = Arc::new(compile(&parse_query("[//a]").unwrap()));
+        let b = Arc::new(compile(&parse_query("[//b]").unwrap()));
+        let frags = vec![(SiteId(0), vec![FragmentId(0)])];
+        pool.eval_round(&a, a.fingerprint(), frags.clone());
+        pool.eval_round(&b, b.fingerprint(), frags.clone());
+        // `a` was evicted to make room for `b`.
+        let replies = pool.eval_round(&a, a.fingerprint(), frags);
+        assert!(!replies[0].triplets[0].2);
+        let stats = pool.cache_stats();
+        assert!(stats[&0].evictions >= 1);
+        assert_eq!(stats[&0].entries, 1);
+    }
+
+    #[test]
+    fn ensure_site_spawns_new_workers() {
+        let mut pool = pool_of(1, 4);
+        assert_eq!(pool.sites(), vec![SiteId(0)]);
+        pool.ensure_site(SiteId(7));
+        pool.ensure_site(SiteId(7)); // idempotent
+        assert_eq!(pool.sites(), vec![SiteId(0), SiteId(7)]);
+        pool.load(
+            SiteId(7),
+            FragmentId(3),
+            Arc::new(Tree::parse("<m><a/></m>").unwrap()),
+        );
+        let program = q();
+        let replies = pool.eval_round(
+            &program,
+            program.fingerprint(),
+            vec![(SiteId(7), vec![FragmentId(3)])],
+        );
+        assert_eq!(replies[0].site, SiteId(7));
+    }
+}

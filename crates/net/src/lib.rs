@@ -17,7 +17,10 @@
 //! model — the input every algorithm in `parbox-core` takes. For batched
 //! evaluation, [`BatchRound`] enforces the single-visit discipline: one
 //! request and one triplet envelope per site per batch, however many
-//! queries the batch holds.
+//! queries the batch holds. For *serving* traffic, the [`engine`] module
+//! replaces per-query scoped threads with a [`SitePool`] of persistent
+//! site workers — one resident actor per site, owning its fragments and
+//! a fingerprint-keyed triplet cache.
 //!
 //! ```
 //! use parbox_net::{BatchRound, MessageKind, NetworkModel, SiteId};
@@ -41,12 +44,14 @@
 
 mod batch;
 mod cluster;
+pub mod engine;
 mod exec;
 mod metrics;
 mod model;
 
 pub use batch::{BatchProtocolError, BatchRound};
 pub use cluster::Cluster;
+pub use engine::{EvalFn, EvalReply, FragmentEval, SiteCacheStats, SiteDeployment, SitePool};
 pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
 pub use metrics::{Message, MessageKind, RunReport, SiteReport};
 pub use model::NetworkModel;

@@ -130,6 +130,16 @@ impl RunReport {
         self.messages.iter().map(|m| m.bytes).sum()
     }
 
+    /// Total bytes of data-plane payloads — triplets, envelopes and raw
+    /// fragment data, excluding query shipping and control traffic. The
+    /// serving engine's cache guarantee is phrased over this figure: a
+    /// fully cached round moves zero data-plane bytes.
+    pub fn data_plane_bytes(&self) -> usize {
+        self.bytes_of_kind(MessageKind::Triplet)
+            + self.bytes_of_kind(MessageKind::Envelope)
+            + self.bytes_of_kind(MessageKind::Data)
+    }
+
     /// Total bytes of a given message kind.
     pub fn bytes_of_kind(&self, kind: MessageKind) -> usize {
         self.messages

@@ -53,6 +53,82 @@ impl SubQuery {
         };
         a.into_iter().chain(b)
     }
+
+    /// A copy with operand ids rewritten through `f` (used to translate a
+    /// program's ops into another program's id space).
+    fn remap(&self, f: impl Fn(SubId) -> SubId) -> SubQuery {
+        match self {
+            SubQuery::True | SubQuery::LabelIs(_) | SubQuery::TextIs(_) => self.clone(),
+            SubQuery::Child(x) => SubQuery::Child(f(*x)),
+            SubQuery::Desc(x) => SubQuery::Desc(f(*x)),
+            SubQuery::Not(x) => SubQuery::Not(f(*x)),
+            SubQuery::Or(x, y) => SubQuery::Or(f(*x), f(*y)),
+            SubQuery::And(x, y) => SubQuery::And(f(*x), f(*y)),
+        }
+    }
+}
+
+/// A stable, structural fingerprint of a compiled query.
+///
+/// Fingerprints are computed *hash-consed*: every sub-query's fingerprint
+/// is an FNV-1a hash over its op-code tag and the fingerprints of its
+/// operands, and the query fingerprint is its root sub-query's. Two
+/// programs denoting the same (hash-consed) query structure therefore
+/// fingerprint identically — in particular, a [`QueryBatch`] member's
+/// fingerprint equals the fingerprint of the member compiled solo, which
+/// is what lets a serving engine key its triplet caches by
+/// `(fragment, fingerprint)` across batch boundaries.
+///
+/// Fingerprints depend only on the program structure (no pointer values,
+/// no process state), so they are stable across runs and machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u64);
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, x: u64) -> u64 {
+    fnv_bytes(h, &x.to_le_bytes())
+}
+
+/// Computes the structural fingerprint of every sub-query of a program,
+/// in program order. Entry `i` depends only on the *structure* reachable
+/// from sub-query `i`, never on its numeric id.
+pub fn sub_fingerprints(subs: &[SubQuery]) -> Vec<u64> {
+    let mut fps: Vec<u64> = Vec::with_capacity(subs.len());
+    for s in subs {
+        let h = match s {
+            SubQuery::True => fnv_bytes(FNV_OFFSET, &[0]),
+            SubQuery::LabelIs(a) => fnv_bytes(fnv_bytes(FNV_OFFSET, &[1]), a.as_bytes()),
+            SubQuery::TextIs(t) => fnv_bytes(fnv_bytes(FNV_OFFSET, &[2]), t.as_bytes()),
+            SubQuery::Child(x) => fnv_u64(fnv_bytes(FNV_OFFSET, &[3]), fps[*x as usize]),
+            SubQuery::Desc(x) => fnv_u64(fnv_bytes(FNV_OFFSET, &[4]), fps[*x as usize]),
+            SubQuery::Not(x) => fnv_u64(fnv_bytes(FNV_OFFSET, &[5]), fps[*x as usize]),
+            SubQuery::Or(x, y) => fnv_u64(
+                fnv_u64(fnv_bytes(FNV_OFFSET, &[6]), fps[*x as usize]),
+                fps[*y as usize],
+            ),
+            SubQuery::And(x, y) => fnv_u64(
+                fnv_u64(fnv_bytes(FNV_OFFSET, &[7]), fps[*x as usize]),
+                fps[*y as usize],
+            ),
+        };
+        fps.push(h);
+    }
+    fps
 }
 
 /// A compiled XBL query: the topologically sorted list of distinct
@@ -61,6 +137,9 @@ impl SubQuery {
 pub struct CompiledQuery {
     subs: Vec<SubQuery>,
     root: SubId,
+    /// Structural fingerprint of the root sub-query (derived from `subs`
+    /// and `root`, so the derived equality stays consistent).
+    fp: QueryFingerprint,
 }
 
 impl CompiledQuery {
@@ -73,7 +152,59 @@ impl CompiledQuery {
             .iter()
             .enumerate()
             .all(|(i, s)| s.operands().all(|op| (op as usize) < i)));
-        CompiledQuery { subs, root }
+        let fp = QueryFingerprint(sub_fingerprints(&subs)[root as usize]);
+        CompiledQuery { subs, root, fp }
+    }
+
+    /// The query's stable structural fingerprint — see
+    /// [`QueryFingerprint`] for the guarantees it carries.
+    #[inline]
+    pub fn fingerprint(&self) -> QueryFingerprint {
+        self.fp
+    }
+
+    /// Fingerprint of the whole program *as a compiled artifact*: hashes
+    /// every sub-query's structural fingerprint in program order, so two
+    /// programs collide only when their `QList`s are identical entry for
+    /// entry — same structure *and* same numbering — which is exactly
+    /// when their triplets are interchangeable.
+    ///
+    /// Contrast with [`CompiledQuery::fingerprint`], which identifies the
+    /// root sub-query's *meaning* and deliberately ignores unreachable
+    /// entries: a merged [`QueryBatch`] program shares its root
+    /// fingerprint with its last member, but not its program fingerprint.
+    /// Caches holding whole-program evaluation results (a site worker's
+    /// triplet cache) must key by this one.
+    pub fn program_fingerprint(&self) -> QueryFingerprint {
+        let mut h = FNV_OFFSET;
+        for fp in sub_fingerprints(&self.subs) {
+            h = fnv_u64(h, fp);
+        }
+        QueryFingerprint(fnv_u64(h, self.root as u64))
+    }
+
+    /// For each sub-query of `self`, the id of the structurally identical
+    /// sub-query in `host`; `None` if some sub-query has no counterpart.
+    ///
+    /// A [`QueryBatch`] member always embeds into the batch's merged
+    /// program (`compile_batch` hash-conses every member sub-query into
+    /// the merged `QList`), so this mapping recovers where each member
+    /// entry landed — the serving engine uses it to project a member's
+    /// triplet out of a merged batch triplet.
+    pub fn embedding_into(&self, host: &CompiledQuery) -> Option<Vec<SubId>> {
+        let memo: HashMap<&SubQuery, SubId> = host
+            .subs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s, i as SubId))
+            .collect();
+        let mut map: Vec<SubId> = Vec::with_capacity(self.subs.len());
+        for s in &self.subs {
+            let translated = s.remap(|op| map[op as usize]);
+            let id = *memo.get(&translated)?;
+            map.push(id);
+        }
+        Some(map)
     }
 
     /// `|QList|` — the number of distinct sub-queries. This is the query
@@ -204,7 +335,7 @@ pub fn compile(q: &Query) -> CompiledQuery {
         memo: HashMap::new(),
     };
     let root = b.compile_nquery(&n);
-    CompiledQuery { subs: b.subs, root }
+    CompiledQuery::from_parts(b.subs, root)
 }
 
 /// A batch of queries compiled into **one shared program**: the union of
@@ -221,6 +352,9 @@ pub fn compile(q: &Query) -> CompiledQuery {
 pub struct QueryBatch {
     merged: CompiledQuery,
     roots: Vec<SubId>,
+    /// Structural fingerprint of each member (derived from `merged` and
+    /// `roots`), equal to the fingerprint of the member compiled solo.
+    member_fps: Vec<QueryFingerprint>,
 }
 
 impl QueryBatch {
@@ -243,6 +377,14 @@ impl QueryBatch {
     #[inline]
     pub fn root_of(&self, i: usize) -> SubId {
         self.roots[i]
+    }
+
+    /// Structural fingerprint of member `i` — equal to
+    /// `compile(&members[i]).fingerprint()`, because fingerprints are
+    /// computed over sub-query structure, not numeric ids.
+    #[inline]
+    pub fn member_fingerprint(&self, i: usize) -> QueryFingerprint {
+        self.member_fps[i]
     }
 
     /// Number of member queries in the batch.
@@ -297,9 +439,61 @@ pub fn compile_batch(queries: &[Query]) -> QueryBatch {
         })
         .collect();
     let root = *roots.last().expect("non-empty batch");
+    let merged = CompiledQuery::from_parts(b.subs, root);
+    let fps = sub_fingerprints(merged.subs());
+    let member_fps = roots
+        .iter()
+        .map(|&r| QueryFingerprint(fps[r as usize]))
+        .collect();
     QueryBatch {
-        merged: CompiledQuery { subs: b.subs, root },
+        merged,
         roots,
+        member_fps,
+    }
+}
+
+/// Merges *already compiled* programs into a [`QueryBatch`], hash-consing
+/// their `QList`s exactly as [`compile_batch`] would — without re-running
+/// parse/normalize/compile on the members. Produces the identical batch:
+/// a serving engine that compiled each query once at admission reuses
+/// those programs for every round the query participates in.
+///
+/// Panics on an empty slice, like [`compile_batch`].
+///
+/// ```
+/// use parbox_query::{compile, compile_batch, merge_programs, parse_query};
+///
+/// let queries: Vec<_> = ["[//item and //person]", "[//item and //price]"]
+///     .iter()
+///     .map(|s| parse_query(s).unwrap())
+///     .collect();
+/// let compiled: Vec<_> = queries.iter().map(compile).collect();
+/// assert_eq!(merge_programs(&compiled), compile_batch(&queries));
+/// ```
+pub fn merge_programs(programs: &[CompiledQuery]) -> QueryBatch {
+    assert!(!programs.is_empty(), "empty query batch");
+    let mut b = Builder {
+        subs: Vec::new(),
+        memo: HashMap::new(),
+    };
+    let mut roots: Vec<SubId> = Vec::with_capacity(programs.len());
+    let mut member_fps: Vec<QueryFingerprint> = Vec::with_capacity(programs.len());
+    for p in programs {
+        // Translate the member's ops into the shared id space; `add`
+        // dedups against everything merged so far.
+        let mut map: Vec<SubId> = Vec::with_capacity(p.len());
+        for s in p.subs() {
+            let translated = s.remap(|op| map[op as usize]);
+            map.push(b.add(translated));
+        }
+        roots.push(map[p.root() as usize]);
+        member_fps.push(p.fingerprint());
+    }
+    let root = *roots.last().expect("non-empty batch");
+    QueryBatch {
+        merged: CompiledQuery::from_parts(b.subs, root),
+        roots,
+        member_fps,
     }
 }
 
@@ -544,5 +738,128 @@ mod tests {
     #[should_panic(expected = "empty query batch")]
     fn empty_batch_panics() {
         compile_batch(&[]);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_stable() {
+        // Equal programs fingerprint identically; distinct ones differ.
+        assert_eq!(
+            comp("[//a and //b]").fingerprint(),
+            comp("[//a ∧ //b]").fingerprint()
+        );
+        assert_ne!(
+            comp("[//a and //b]").fingerprint(),
+            comp("[//a and //c]").fingerprint()
+        );
+        assert_ne!(comp("[//a]").fingerprint(), comp("[not //a]").fingerprint());
+        // Stable across processes: pin one value so a hash-function change
+        // (which would silently invalidate persisted cache keys) is loud.
+        let fps = sub_fingerprints(comp("[.]").subs());
+        assert_eq!(fps, vec![0xaf63_bd4c_8601_b7df]);
+    }
+
+    #[test]
+    fn merge_programs_equals_compile_batch() {
+        let srcs = [
+            "[//a and //b]",
+            "[//b or //c]",
+            "[//a and //b]",
+            "[//x[y/text() = \"v\"]]",
+            "[not(//a)]",
+        ];
+        let queries: Vec<_> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let compiled: Vec<_> = queries.iter().map(compile).collect();
+        // Identical merged program, roots and member fingerprints — the
+        // two entry points are interchangeable.
+        assert_eq!(merge_programs(&compiled), compile_batch(&queries));
+        // Single program: the merge is the program itself.
+        let solo = merge_programs(&compiled[..1]);
+        assert_eq!(solo.merged(), &compiled[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query batch")]
+    fn merge_programs_rejects_empty() {
+        merge_programs(&[]);
+    }
+
+    #[test]
+    fn program_fingerprint_distinguishes_batches_with_shared_tail() {
+        // Two merged programs ending in the same member share their root
+        // fingerprint but MUST NOT share their program fingerprint — a
+        // whole-program cache keyed by the root fingerprint would serve
+        // triplets of the wrong program.
+        let ab = batch(&["[//a]", "[//b]"]).merged().clone();
+        let cb = batch(&["[//c]", "[//b]"]).merged().clone();
+        assert_eq!(ab.fingerprint(), cb.fingerprint(), "same root meaning");
+        assert_ne!(
+            ab.program_fingerprint(),
+            cb.program_fingerprint(),
+            "different programs"
+        );
+        // Identical programs agree on both.
+        let ab2 = batch(&["[//a]", "[//b]"]).merged().clone();
+        assert_eq!(ab.program_fingerprint(), ab2.program_fingerprint());
+        // A program differing only in root sub-query also differs.
+        let ba = batch(&["[//b]", "[//a]"]).merged().clone();
+        assert_ne!(ab.program_fingerprint(), ba.program_fingerprint());
+    }
+
+    #[test]
+    fn batch_member_fingerprints_match_solo_compiles() {
+        let srcs = [
+            "[//a and //b]",
+            "[//b or //c]",
+            "[//a and //b]",
+            "[not(//a)]",
+        ];
+        let b = batch(&srcs);
+        for (i, src) in srcs.iter().enumerate() {
+            assert_eq!(
+                b.member_fingerprint(i),
+                comp(src).fingerprint(),
+                "member {i} ({src})"
+            );
+        }
+        // Identical members share a fingerprint.
+        assert_eq!(b.member_fingerprint(0), b.member_fingerprint(2));
+    }
+
+    #[test]
+    fn members_embed_into_merged_program() {
+        let srcs = [
+            "[//a and //b]",
+            "[//x[y/text() = \"v\"]]",
+            "[//b or not //a]",
+        ];
+        let b = batch(&srcs);
+        for (i, src) in srcs.iter().enumerate() {
+            let solo = comp(src);
+            let map = solo
+                .embedding_into(b.merged())
+                .unwrap_or_else(|| panic!("member {src} must embed"));
+            assert_eq!(map.len(), solo.len());
+            // The member's root maps onto the batch's recorded root.
+            assert_eq!(map[solo.root() as usize], b.root_of(i));
+            // Mapped ops are structurally identical after translation.
+            for (j, s) in solo.subs().iter().enumerate() {
+                let host = &b.merged().subs()[map[j] as usize];
+                assert_eq!(
+                    std::mem::discriminant(s),
+                    std::mem::discriminant(host),
+                    "op {j} of {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_fails_for_foreign_programs() {
+        let a = comp("[//a and //b]");
+        let other = comp("[//c]");
+        assert_eq!(other.embedding_into(&a), None);
+        // Self-embedding is the identity.
+        let id = a.embedding_into(&a).unwrap();
+        assert_eq!(id, (0..a.len() as SubId).collect::<Vec<_>>());
     }
 }

@@ -8,6 +8,9 @@
 //!                                                   fragment + evaluate distributed
 //! parbox-cli batch    <file.xml> '<q1>' '<q2>' … [--fragments N] [--sites K]
 //!                                                   evaluate a whole batch in one round
+//! parbox-cli serve    <file.xml> [--fragments N] [--sites K] [--ops N] [--seed S]
+//!                                                   drive a mixed workload through the
+//!                                                   resident serving engine
 //! parbox-cli generate --bytes N [--seed S]          emit an XMark document to stdout
 //! ```
 
@@ -15,10 +18,11 @@ use parbox::core::{
     centralized_eval, count_centralized, full_dist_parbox, hybrid_parbox, lazy_parbox,
     naive_centralized, naive_distributed, parbox, run_batch, select_centralized, sum_centralized,
 };
+use parbox::core::{Engine, EngineConfig};
 use parbox::frag::{strategies, Forest, Placement};
 use parbox::net::{Cluster, NetworkModel};
 use parbox::query::{compile, compile_batch, compile_selection, normalize, parse_query};
-use parbox::xmark::{generate, XmarkConfig};
+use parbox::xmark::{drive_stream, generate, mixed_workload, MixedConfig, XmarkConfig};
 use parbox::xml::Tree;
 use std::process::ExitCode;
 
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
         Some("sum") => cmd_aggregate(&args[1..], false),
         Some("run") => cmd_run(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
@@ -59,6 +64,7 @@ USAGE:
   parbox-cli sum      <file.xml> '<predicate>'
   parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]
   parbox-cli batch    <file.xml> '<q1>' '<q2>' ... [--fragments N] [--sites K]
+  parbox-cli serve    <file.xml> [--fragments N] [--sites K] [--ops N] [--seed S] [--batch N]
   parbox-cli generate --bytes N [--seed S]
 
 Query syntax (XBL): [//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]
@@ -182,7 +188,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut forest = Forest::from_tree(tree);
     strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
     let placement = Placement::round_robin(&forest, sites.max(1));
-    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+    let cluster = Cluster::try_new(&forest, &placement, NetworkModel::lan())
+        .map_err(|e| format!("deploying: {e}"))?;
     println!(
         "document fragmented into {} fragments over {} site(s); centralized answer: {expected}",
         forest.card(),
@@ -259,7 +266,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
     let placement = Placement::round_robin(&forest, sites.max(1));
     let model = NetworkModel::lan();
-    let cluster = Cluster::new(&forest, &placement, model);
+    let cluster =
+        Cluster::try_new(&forest, &placement, model).map_err(|e| format!("deploying: {e}"))?;
 
     let out = run_batch(&cluster, &batch);
     let compiled: Vec<_> = parsed.iter().map(compile).collect();
@@ -292,6 +300,68 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         out.report.total_bytes(),
         batched,
         sequential,
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let [file] = positional(args)[..] else {
+        return Err(
+            "usage: parbox-cli serve <file.xml> [--fragments N] [--sites K] [--ops N] \
+             [--seed S] [--batch N]"
+                .into(),
+        );
+    };
+    let fragments: usize = flag(args, "--fragments")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let sites: u32 = flag(args, "--sites")
+        .map(|v| v.parse().unwrap_or(fragments as u32))
+        .unwrap_or(fragments as u32);
+    let ops: usize = flag(args, "--ops")
+        .map(|v| v.parse().unwrap_or(1000))
+        .unwrap_or(1000);
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().unwrap_or(2006))
+        .unwrap_or(2006);
+    let max_batch: usize = flag(args, "--batch")
+        .map(|v| v.parse().unwrap_or(32))
+        .unwrap_or(32);
+
+    let tree = load_tree(file)?;
+    let mut forest = Forest::from_tree(tree);
+    strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
+    let placement = Placement::round_robin(&forest, sites.max(1));
+    let config = EngineConfig {
+        max_batch,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::new(forest, placement, config).map_err(|e| format!("deploying: {e}"))?;
+    println!(
+        "deployed {} fragments over {} resident site worker(s); serving {ops} mixed ops \
+         (seed {seed}, admission batch {max_batch})",
+        engine.forest().card(),
+        engine.placement().sites().len()
+    );
+
+    let stream = mixed_workload(MixedConfig::serving(ops, seed));
+    let start = std::time::Instant::now();
+    let served = drive_stream(&mut engine, &stream);
+    let wall = start.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let trues = served.answers.iter().filter(|&&a| a).count();
+    println!(
+        "answered {} queries ({trues} true) and applied {} updates \
+         in {wall:.3}s ({:.0} queries/s)",
+        served.answers.len(),
+        served.updates_applied,
+        served.answers.len() as f64 / wall.max(1e-9)
+    );
+    println!(
+        "rounds {}  coordinator cache hits {}  site cache hits {}  traffic {} bytes",
+        stats.rounds, stats.members_from_cache, stats.site_cache_hits, served.bytes
     );
     Ok(())
 }

@@ -74,7 +74,8 @@ pub mod prelude {
     pub use parbox_core::{
         centralized_eval, count_distributed, full_dist_parbox, hybrid_parbox, lazy_parbox,
         naive_centralized, naive_distributed, parbox, run_batch, select_distributed,
-        sum_distributed, BatchOutcome, EvalOutcome, MaterializedView, Update,
+        sum_distributed, BatchOutcome, Engine, EngineConfig, EvalOutcome, MaterializedView,
+        QueryOutcome, RoundOutcome, Update,
     };
     pub use parbox_frag::{Forest, Placement, SourceTree};
     pub use parbox_net::{Cluster, NetworkModel, SiteId};

@@ -1,11 +1,31 @@
 //! Shared property-test scaffolding: random documents, random XBL
-//! queries, and random fragmentations over a small common vocabulary.
-//! Used by `tests/equivalence.rs` and `tests/batch_equivalence.rs`.
+//! queries, random fragmentations over a small common vocabulary, and
+//! the network-model matrix the suites sweep. Used by
+//! `tests/equivalence.rs`, `tests/batch_equivalence.rs`,
+//! `tests/guarantees.rs` and `tests/serve.rs`.
+
+// Each integration-test crate compiles its own copy of this module and
+// uses a subset of it; unused items in one crate are used by another.
+#![allow(dead_code)]
 
 use parbox::frag::Forest;
+use parbox::net::NetworkModel;
 use parbox::query::{Path, Query};
 use parbox::xml::{NodeId, Tree};
 use proptest::prelude::*;
+
+/// The network cost models every equivalence/guarantee suite sweeps: the
+/// paper's 100 Mbit LAN, the introduction's WAN setting, and the free
+/// network that isolates pure computation. Correctness and the visit /
+/// traffic guarantees must hold under all three (the model only scales
+/// *modeled elapsed time*, never behaviour).
+pub fn network_models() -> [(&'static str, NetworkModel); 3] {
+    [
+        ("lan", NetworkModel::lan()),
+        ("wan", NetworkModel::wan()),
+        ("infinite", NetworkModel::infinite()),
+    ]
+}
 
 /// Label vocabulary shared by documents and queries.
 pub const LABELS: [&str; 5] = ["a", "b", "c", "d", "e"];

@@ -13,7 +13,7 @@ use parbox::xml::Tree;
 use proptest::prelude::*;
 
 mod common;
-use common::{fragment_randomly, query_strategy, tree_strategy};
+use common::{fragment_randomly, network_models, query_strategy, tree_strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -24,24 +24,32 @@ proptest! {
         query in query_strategy(),
         cuts in proptest::collection::vec(0usize..1000, 0..6),
         n_sites in 1u32..4,
+        model_idx in 0usize..3,
     ) {
+        let (model_name, model) = network_models()[model_idx];
         let compiled = compile(&query);
         let expected = centralized_eval(&tree, &compiled);
 
         let forest = fragment_randomly(tree, &cuts);
         forest.validate().expect("valid forest");
         let placement = Placement::round_robin(&forest, n_sites);
-        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+        let cluster = Cluster::new(&forest, &placement, model);
 
-        prop_assert_eq!(parbox(&cluster, &compiled).answer, expected, "parbox");
         prop_assert_eq!(
-            naive_centralized(&cluster, &compiled).answer, expected, "naive central");
+            parbox(&cluster, &compiled).answer, expected, "parbox on {}", model_name);
         prop_assert_eq!(
-            naive_distributed(&cluster, &compiled).answer, expected, "naive dist");
-        prop_assert_eq!(hybrid_parbox(&cluster, &compiled).answer, expected, "hybrid");
+            naive_centralized(&cluster, &compiled).answer, expected,
+            "naive central on {}", model_name);
         prop_assert_eq!(
-            full_dist_parbox(&cluster, &compiled).answer, expected, "full dist");
-        prop_assert_eq!(lazy_parbox(&cluster, &compiled).answer, expected, "lazy");
+            naive_distributed(&cluster, &compiled).answer, expected,
+            "naive dist on {}", model_name);
+        prop_assert_eq!(
+            hybrid_parbox(&cluster, &compiled).answer, expected, "hybrid on {}", model_name);
+        prop_assert_eq!(
+            full_dist_parbox(&cluster, &compiled).answer, expected,
+            "full dist on {}", model_name);
+        prop_assert_eq!(
+            lazy_parbox(&cluster, &compiled).answer, expected, "lazy on {}", model_name);
     }
 
     #[test]
@@ -158,12 +166,39 @@ proptest! {
         query in query_strategy(),
         cuts in proptest::collection::vec(0usize..1000, 0..6),
         n_sites in 1u32..4,
+        model_idx in 0usize..3,
+    ) {
+        let (model_name, model) = network_models()[model_idx];
+        let compiled = compile(&query);
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, n_sites);
+        let cluster = Cluster::new(&forest, &placement, model);
+        let out = parbox(&cluster, &compiled);
+        prop_assert!(out.report.max_visits() <= 1, "visits under {}", model_name);
+    }
+
+    /// The single-visit and traffic guarantees are *behavioural*: the
+    /// cost model scales modeled time, never what is sent. Messages and
+    /// bytes must be bit-identical across LAN, WAN and free networks.
+    #[test]
+    fn traffic_is_identical_across_network_models(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+        n_sites in 1u32..4,
     ) {
         let compiled = compile(&query);
         let forest = fragment_randomly(tree, &cuts);
         let placement = Placement::round_robin(&forest, n_sites);
-        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        let out = parbox(&cluster, &compiled);
-        prop_assert!(out.report.max_visits() <= 1);
+        let mut seen: Option<(usize, usize, bool)> = None;
+        for (name, model) in network_models() {
+            let cluster = Cluster::new(&forest, &placement, model);
+            let out = parbox(&cluster, &compiled);
+            let sig = (out.report.total_messages(), out.report.total_bytes(), out.answer);
+            match seen {
+                None => seen = Some(sig),
+                Some(prev) => prop_assert_eq!(prev, sig, "model {} diverged", name),
+            }
+        }
     }
 }

@@ -10,6 +10,9 @@ use parbox::net::{Cluster, MessageKind, NetworkModel};
 use parbox::query::{compile, parse_query, CompiledQuery};
 use parbox::xmark::{generate, query_with_qlist, XmarkConfig};
 
+mod common;
+use common::network_models;
+
 /// Builds an n-fragment star over an XMark corpus (one site each).
 fn star_cluster(bytes: usize, n: usize) -> (Forest, Placement) {
     let mut tree = parbox::xml::Tree::new("collection");
@@ -40,11 +43,18 @@ fn q8() -> CompiledQuery {
 
 #[test]
 fn guarantee_a_each_site_visited_once() {
+    // The guarantee is behavioural: it must hold under every cost model.
     let (forest, placement) = star_cluster(60_000, 6);
-    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-    let out = parbox(&cluster, &q8());
-    for (site, rep) in out.report.sites() {
-        assert_eq!(rep.visits, 1, "site {site} visited {} times", rep.visits);
+    for (model_name, model) in network_models() {
+        let cluster = Cluster::new(&forest, &placement, model);
+        let out = parbox(&cluster, &q8());
+        for (site, rep) in out.report.sites() {
+            assert_eq!(
+                rep.visits, 1,
+                "site {site} visited {} times on {model_name}",
+                rep.visits
+            );
+        }
     }
 }
 
@@ -53,33 +63,40 @@ fn guarantee_b_traffic_bounded_by_query_and_card() {
     // Total traffic ≤ card(F) × (query size + per-triplet bound), where a
     // triplet entry may carry O(card(F_j)) variables.
     let (forest, placement) = star_cluster(80_000, 8);
-    let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
     let q = q8();
-    let out = parbox(&cluster, &q);
-    let card = forest.card();
-    // Generous constant: ~40 bytes per sub-query per fragment reference.
-    let per_fragment = query_wire_size(&q) + 40 * q.len() * (card + 1);
-    assert!(
-        out.report.total_bytes() <= card * per_fragment,
-        "{} > {}",
-        out.report.total_bytes(),
-        card * per_fragment
-    );
-    // And, crucially: zero raw data shipped.
-    assert_eq!(out.report.bytes_of_kind(MessageKind::Data), 0);
+    for (model_name, model) in network_models() {
+        let cluster = Cluster::new(&forest, &placement, model);
+        let out = parbox(&cluster, &q);
+        let card = forest.card();
+        // Generous constant: ~40 bytes per sub-query per fragment reference.
+        let per_fragment = query_wire_size(&q) + 40 * q.len() * (card + 1);
+        assert!(
+            out.report.total_bytes() <= card * per_fragment,
+            "{} > {} on {model_name}",
+            out.report.total_bytes(),
+            card * per_fragment
+        );
+        // And, crucially: zero raw data shipped.
+        assert_eq!(out.report.bytes_of_kind(MessageKind::Data), 0);
+    }
 }
 
 #[test]
 fn guarantee_b_traffic_independent_of_document_size() {
     let q = q8();
-    let traffic = |bytes: usize| {
-        let (forest, placement) = star_cluster(bytes, 5);
-        let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        parbox(&cluster, &q).report.total_bytes()
-    };
-    let small = traffic(30_000);
-    let large = traffic(300_000);
-    assert_eq!(small, large, "ParBoX traffic must not depend on |T|");
+    for (model_name, model) in network_models() {
+        let traffic = |bytes: usize| {
+            let (forest, placement) = star_cluster(bytes, 5);
+            let cluster = Cluster::new(&forest, &placement, model);
+            parbox(&cluster, &q).report.total_bytes()
+        };
+        let small = traffic(30_000);
+        let large = traffic(300_000);
+        assert_eq!(
+            small, large,
+            "ParBoX traffic must not depend on |T| ({model_name})"
+        );
+    }
 }
 
 #[test]

@@ -220,10 +220,7 @@ fn refresh_tracks_external_mutations() {
     // writer would, then refresh the view for the changed fragment.
     let frag = forest.fragment_ids().last().unwrap();
     let root = forest.fragment(frag).tree.root();
-    forest
-        .fragment_mut(frag)
-        .tree
-        .add_child(root, "external-marker");
+    forest.tree_mut(frag).add_child(root, "external-marker");
     let rep = view.refresh(&forest, &placement, frag);
     assert!(rep.answer_changed);
     assert!(view.answer());

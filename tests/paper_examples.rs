@@ -75,7 +75,7 @@ fn intro_figure_1a() {
     // Removing the B leaf flips it.
     let mut forest2 = forest.clone();
     let b = find(&forest2, fy, "B");
-    forest2.fragment_mut(fy).tree.remove_subtree(b).unwrap();
+    forest2.tree_mut(fy).remove_subtree(b).unwrap();
     let cluster2 = Cluster::new(&forest2, &placement, NetworkModel::lan());
     assert!(!parbox(&cluster2, &q).answer);
 }
@@ -241,7 +241,7 @@ fn goog_alert_round_trip() {
             .find(|&c| t.label_str(c) == "sell")
             .unwrap()
     };
-    forest.fragment_mut(f2).tree.set_text(sell, "376");
+    forest.tree_mut(f2).set_text(sell, "376");
     let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
     assert!(parbox(&cluster, &q).answer);
 }

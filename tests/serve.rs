@@ -1,0 +1,178 @@
+//! Resident serving engine: equivalence and cache-consistency
+//! properties.
+//!
+//! The acceptance bar for the engine is behavioural equivalence with the
+//! one-shot algorithms *at every step of a mixed query/update stream*:
+//! with admission batching, two levels of triplet caching and update
+//! invalidation all enabled, every answer must equal what one-shot
+//! ParBoX computes on the materialized forest at that moment.
+
+use parbox::core::{parbox, Engine, EngineConfig, Update};
+use parbox::frag::Placement;
+use parbox::net::{Cluster, MessageKind, NetworkModel};
+use parbox::query::{compile, Query};
+use parbox::xml::{FragmentId, NodeId};
+use proptest::prelude::*;
+
+mod common;
+use common::{fragment_randomly, network_models, query_strategy, tree_strategy};
+
+fn engine_of(forest: parbox::frag::Forest, model: NetworkModel) -> Engine {
+    let placement = Placement::round_robin(&forest, 3);
+    let config = EngineConfig {
+        model,
+        ..EngineConfig::default()
+    };
+    Engine::new(forest, placement, config).expect("round-robin placement covers the forest")
+}
+
+fn oracle(engine: &Engine, q: &Query) -> bool {
+    let cluster = Cluster::new(engine.forest(), engine.placement(), *engine.model());
+    parbox(&cluster, &compile(q)).answer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Engine answers equal one-shot ParBoX, for every network model,
+    /// with every query issued twice so the second pass exercises the
+    /// fully cached path.
+    #[test]
+    fn engine_matches_parbox_with_caching(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+        model_idx in 0usize..3,
+    ) {
+        let (_, model) = network_models()[model_idx];
+        let forest = fragment_randomly(tree, &cuts);
+        let mut engine = engine_of(forest, model);
+        for q in &queries {
+            let expected = oracle(&engine, q);
+            let first = engine.query(q);
+            prop_assert_eq!(first.answer, expected, "first pass of {}", q);
+            let second = engine.query(q);
+            prop_assert_eq!(second.answer, expected, "cached pass of {}", q);
+            prop_assert!(second.from_cache, "repeat of {} must hit the cache", q);
+            // The cache guarantee: a repeated query moves zero data-plane
+            // bytes and triggers no triplet/envelope messages at all.
+            prop_assert_eq!(second.report.data_plane_bytes(), 0);
+            prop_assert_eq!(second.report.bytes_of_kind(MessageKind::Triplet), 0);
+            prop_assert_eq!(second.report.max_visits(), 0);
+        }
+    }
+
+    /// A whole admission round coalesces into at most one visit per site
+    /// — the batch-engine guarantee survives the resident substrate.
+    #[test]
+    fn admission_round_visits_each_site_at_most_once(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..6),
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+    ) {
+        let forest = fragment_randomly(tree, &cuts);
+        let mut engine = engine_of(forest, NetworkModel::lan());
+        let expected: Vec<bool> = queries.iter().map(|q| oracle(&engine, q)).collect();
+        for q in &queries {
+            engine.submit(q);
+        }
+        let out = engine.flush().expect("queries pending");
+        prop_assert!(out.report.max_visits() <= 1, "visits: {}", out.report.max_visits());
+        for (i, &(_, answer)) in out.answers.iter().enumerate() {
+            prop_assert_eq!(answer, expected[i], "member {}: {}", i, &queries[i]);
+        }
+    }
+}
+
+/// The ISSUE acceptance property: a long random stream of interleaved
+/// queries and Section-5 updates, with caching enabled throughout —
+/// after *every* step the engine's answers equal one-shot ParBoX on the
+/// materialized forest.
+#[test]
+fn engine_equivalent_to_oneshot_after_every_update_step() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let tree = parbox::xml::Tree::parse(
+        "<r><a><x>1</x><pad/></a><b><y>2</y><pad/></b><c><z>3</z></c></r>",
+    )
+    .unwrap();
+    let mut forest = parbox::frag::Forest::from_tree(tree);
+    let root = forest.root_fragment();
+    parbox::frag::strategies::star(&mut forest, root).unwrap();
+    let placement = Placement::one_per_fragment(&forest);
+    let mut engine = Engine::new(forest, placement, EngineConfig::default()).unwrap();
+
+    let queries: Vec<Query> = [
+        "[//x = \"1\" or //goal]",
+        "[//goal]",
+        "[//y and //pad]",
+        "[not //z]",
+    ]
+    .iter()
+    .map(|s| parbox::query::parse_query(s).unwrap())
+    .collect();
+
+    let mut rng = StdRng::seed_from_u64(2006);
+    for step in 0..60 {
+        // One random update against the live forest.
+        let frags: Vec<FragmentId> = engine.forest().fragment_ids().collect();
+        let frag = frags[rng.random_range(0..frags.len())];
+        let update = {
+            let tree = &engine.forest().fragment(frag).tree;
+            let nodes: Vec<NodeId> = tree
+                .descendants(tree.root())
+                .filter(|&n| !tree.node(n).kind.is_virtual())
+                .collect();
+            let node = nodes[rng.random_range(0..nodes.len())];
+            match rng.random_range(0..4u32) {
+                0 => Update::InsNode {
+                    frag,
+                    parent: node,
+                    label: if rng.random_bool(0.3) {
+                        "goal".into()
+                    } else {
+                        "pad".into()
+                    },
+                    text: None,
+                },
+                1 => {
+                    if node == tree.root() || !tree.virtual_nodes(node).is_empty() {
+                        continue;
+                    }
+                    Update::DelNode { frag, node }
+                }
+                2 => {
+                    if node == tree.root() || tree.subtree_size(node) < 2 {
+                        continue;
+                    }
+                    Update::SplitFragments {
+                        frag,
+                        node,
+                        to_site: None,
+                    }
+                }
+                _ => {
+                    let t = &engine.forest().fragment(frag).tree;
+                    match t.virtual_nodes(t.root()).first() {
+                        Some(&(vnode, _)) => Update::MergeFragments { frag, node: vnode },
+                        None => continue,
+                    }
+                }
+            }
+        };
+        engine.apply(update).unwrap();
+        engine.forest().validate().unwrap();
+
+        // After the update, every query — asked twice, so both the
+        // re-evaluation path and the cached path are checked — must
+        // match one-shot ParBoX on the materialized forest.
+        for q in &queries {
+            let expected = oracle(&engine, q);
+            assert_eq!(engine.query(q).answer, expected, "step {step}: {q}");
+            let cached = engine.query(q);
+            assert_eq!(cached.answer, expected, "step {step} (cached): {q}");
+            assert!(cached.from_cache, "step {step}: repeat must hit");
+        }
+    }
+}
