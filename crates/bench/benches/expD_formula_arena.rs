@@ -1,0 +1,91 @@
+//! Criterion bench for Experiment D: the formula-path kernel — wide
+//! fan-out `bottomUp` plus the coordinator solve — through the
+//! hash-consed arena vs the preserved seed tree representation, and the
+//! two triplet wire codecs.
+
+// The experiment is named expD in the issue tracker; keep the bench name.
+#![allow(non_snake_case)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parbox_bench::{ft1, Scale};
+use parbox_bool::reference::{ref_solve, RefTriplet};
+use parbox_bool::{triplet_dag_wire_size, triplet_wire_size, EquationSystem};
+use parbox_core::{bottom_up, bottom_up_reference};
+use parbox_xml::FragmentId;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fragments = 256usize;
+    let scale = Scale {
+        corpus_bytes: fragments * 1024,
+        seed: 2006,
+    };
+    let (forest, _) = ft1(scale, fragments);
+    let (_, q) = parbox_xmark::query_with_qlist(8, scale.seed);
+    let order = forest.postorder();
+
+    let mut group = c.benchmark_group("expD");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("arena_bottom_up_star", fragments),
+        &fragments,
+        |b, _| {
+            b.iter(|| {
+                let mut sys = EquationSystem::new();
+                for f in forest.fragment_ids() {
+                    sys.insert(f, bottom_up(&forest.fragment(f).tree, &q).triplet);
+                }
+                black_box(sys.solve(&order).unwrap().len())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("seed_bottom_up_star", fragments),
+        &fragments,
+        |b, _| {
+            b.iter(|| {
+                let mut triplets: HashMap<FragmentId, RefTriplet> = HashMap::new();
+                for f in forest.fragment_ids() {
+                    triplets.insert(f, bottom_up_reference(&forest.fragment(f).tree, &q).triplet);
+                }
+                black_box(ref_solve(&triplets, &order).unwrap().len())
+            })
+        },
+    );
+
+    // Memoized repeat solve (the serving engine's hot path) vs seed.
+    let sys = {
+        let mut sys = EquationSystem::new();
+        for f in forest.fragment_ids() {
+            sys.insert(f, bottom_up(&forest.fragment(f).tree, &q).triplet);
+        }
+        sys
+    };
+    group.bench_function("arena_repeat_solve", |b| {
+        b.iter(|| black_box(sys.solve(&order).unwrap().len()))
+    });
+    let seed_triplets: HashMap<FragmentId, RefTriplet> = forest
+        .fragment_ids()
+        .map(|f| (f, bottom_up_reference(&forest.fragment(f).tree, &q).triplet))
+        .collect();
+    group.bench_function("seed_repeat_solve", |b| {
+        b.iter(|| black_box(ref_solve(&seed_triplets, &order).unwrap().len()))
+    });
+
+    // Wire codecs over the star hub's (widest) triplet.
+    let hub = sys.get(forest.root_fragment()).unwrap().clone();
+    group.bench_function("triplet_encode_tree", |b| {
+        b.iter(|| black_box(triplet_wire_size(&hub)))
+    });
+    group.bench_function("triplet_encode_dag", |b| {
+        b.iter(|| black_box(triplet_dag_wire_size(&hub)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

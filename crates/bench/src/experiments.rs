@@ -339,6 +339,206 @@ pub fn expc_resident_vs_oneshot(scale: Scale, machines: usize, ops: usize) -> Ex
     }
 }
 
+/// Result of Experiment D: the hash-consed formula arena against the
+/// seed tree representation on the formula-path kernel.
+#[derive(Debug, Clone)]
+pub struct ExpDRow {
+    /// Fragments in the wide-fan-out star (root fan-out = fragments − 1).
+    pub fragments: usize,
+    /// Sites the deployment is spread over.
+    pub sites: usize,
+    /// `|QList|` of the query.
+    pub qlist: usize,
+    /// `evalST` solve passes timed after the single partial evaluation
+    /// (the serving engine re-solves cached triplets on repeats).
+    pub solve_repeats: usize,
+    /// Wall-clock of the arena pipeline (bottomUp + solves), seconds.
+    pub arena_s: f64,
+    /// Wall-clock of the seed pipeline, seconds.
+    pub seed_s: f64,
+    /// `seed_s / arena_s`.
+    pub speedup: f64,
+    /// Σ per-fragment triplet bytes in the seed tree wire format.
+    pub tree_triplet_bytes: usize,
+    /// Σ per-fragment triplet bytes in the DAG wire format.
+    pub dag_triplet_bytes: usize,
+    /// One all-fragment envelope in the tree wire format, bytes.
+    pub envelope_tree_bytes: usize,
+    /// The same envelope in the DAG wire format (one shared node table).
+    pub envelope_dag_bytes: usize,
+}
+
+/// **Experiment D**: the formula-path kernel — `bottomUp` partial
+/// evaluation over a wide-fan-out spine fragment plus `solve_repeats`
+/// coordinator solves — through the hash-consed arena versus the
+/// preserved seed tree representation
+/// ([`parbox_core::bottom_up_reference`]). Answers are asserted
+/// byte-identical (full resolved triplet maps), and the DAG wire
+/// encoding is asserted never larger than the tree encoding on every
+/// fragment triplet.
+///
+/// The star shape is the adversarial case for the seed representation:
+/// the root fragment's child-accumulation loop re-flattens a growing
+/// n-ary `Or` once per virtual child (`O(fan-out²)` clones), and every
+/// solve re-walks the `O(fan-out)`-sized entry trees; the arena buffers
+/// operands, interns once, and solves over the memoized DAG.
+pub fn expd_formula_arena(
+    scale: Scale,
+    sites: usize,
+    fragments: usize,
+    solve_repeats: usize,
+) -> ExpDRow {
+    use parbox_bool::reference::{ref_solve, RefTriplet};
+    use parbox_bool::{
+        site_envelope_dag_wire_size, site_envelope_wire_size, triplet_dag_wire_size,
+        triplet_wire_size, EquationSystem, Triplet,
+    };
+    use parbox_core::{bottom_up, bottom_up_reference};
+    use std::collections::HashMap;
+
+    // One small XMark document per fragment: content subtrees take the
+    // bitset fast path in both pipelines, so the measured difference is
+    // the formula kernel at the star's hub.
+    let (forest, _) = ft1(
+        Scale {
+            corpus_bytes: scale.corpus_bytes.max(fragments * 1024),
+            seed: scale.seed,
+        },
+        fragments,
+    );
+    let placement = Placement::round_robin(&forest, sites as u32);
+    placement.validate(&forest).expect("valid placement");
+    let (_, q) = query_with_qlist(8, scale.seed);
+    let order = forest.postorder();
+    let root = forest.root_fragment();
+
+    // --- Arena pipeline ------------------------------------------------
+    let start = Instant::now();
+    let mut sys = EquationSystem::new();
+    for f in forest.fragment_ids() {
+        sys.insert(f, bottom_up(&forest.fragment(f).tree, &q).triplet);
+    }
+    let mut arena_solved = sys.solve(&order).expect("solvable star");
+    for _ in 1..solve_repeats.max(1) {
+        arena_solved = sys.solve(&order).expect("solvable star");
+    }
+    let arena_s = start.elapsed().as_secs_f64();
+
+    // --- Seed pipeline -------------------------------------------------
+    let start = Instant::now();
+    let mut seed_triplets: HashMap<FragmentId, RefTriplet> = HashMap::new();
+    for f in forest.fragment_ids() {
+        seed_triplets.insert(f, bottom_up_reference(&forest.fragment(f).tree, &q).triplet);
+    }
+    let mut seed_solved = ref_solve(&seed_triplets, &order).expect("solvable star");
+    for _ in 1..solve_repeats.max(1) {
+        seed_solved = ref_solve(&seed_triplets, &order).expect("solvable star");
+    }
+    let seed_s = start.elapsed().as_secs_f64();
+
+    // Byte-identical answers: the full resolved triplet of every
+    // fragment, not just the root bit.
+    for f in forest.fragment_ids() {
+        assert_eq!(
+            arena_solved[&f], seed_solved[&f],
+            "arena and seed pipelines diverged on fragment {f}"
+        );
+    }
+    assert_eq!(
+        arena_solved[&root].v[q.root() as usize],
+        seed_solved[&root].v[q.root() as usize]
+    );
+
+    // Wire accounting over the arena triplets: the DAG format must never
+    // exceed the tree format, per fragment and for the packed envelope.
+    let mut tree_triplet_bytes = 0usize;
+    let mut dag_triplet_bytes = 0usize;
+    let mut entries: Vec<(FragmentId, &Triplet)> = Vec::new();
+    for f in forest.fragment_ids() {
+        let t = sys.get(f).expect("inserted above");
+        let tree_b = triplet_wire_size(t);
+        let dag_b = triplet_dag_wire_size(t);
+        assert!(
+            dag_b <= tree_b,
+            "DAG encoding larger than tree on fragment {f}: {dag_b} > {tree_b}"
+        );
+        tree_triplet_bytes += tree_b;
+        dag_triplet_bytes += dag_b;
+        entries.push((f, t));
+    }
+    let envelope_tree_bytes = site_envelope_wire_size(&entries);
+    let envelope_dag_bytes = site_envelope_dag_wire_size(&entries);
+    assert!(envelope_dag_bytes <= envelope_tree_bytes);
+
+    ExpDRow {
+        fragments,
+        sites,
+        qlist: q.len(),
+        solve_repeats: solve_repeats.max(1),
+        arena_s,
+        seed_s,
+        speedup: seed_s / arena_s.max(1e-12),
+        tree_triplet_bytes,
+        dag_triplet_bytes,
+        envelope_tree_bytes,
+        envelope_dag_bytes,
+    }
+}
+
+/// Per-workload wire-byte comparison of Experiment D.
+#[derive(Debug, Clone)]
+pub struct ExpDWireRow {
+    /// Workload label (fragment-tree shape × query).
+    pub workload: String,
+    /// Fragments in the forest.
+    pub fragments: usize,
+    /// Σ per-fragment triplet bytes, tree format.
+    pub tree_bytes: usize,
+    /// Σ per-fragment triplet bytes, DAG format.
+    pub dag_bytes: usize,
+}
+
+/// **Experiment D, wire sweep**: encodes every fragment triplet of the
+/// expA–expC fragment-tree shapes (FT1 star, FT2 chain, FT3 skew) for
+/// `|QList| ∈ {8, 23}` in both wire formats, asserting the DAG encoding
+/// is never larger than the tree encoding on any triplet.
+pub fn expd_dag_bytes_on_workloads(scale: Scale) -> Vec<ExpDWireRow> {
+    use parbox_bool::{triplet_dag_wire_size, triplet_wire_size};
+    use parbox_core::bottom_up;
+
+    let shapes: Vec<(String, Forest)> = vec![
+        ("FT1-star-6".into(), ft1(scale, 6).0),
+        ("FT2-chain-6".into(), ft2_chain(scale, 6).0),
+        ("FT3-skew".into(), ft3(scale, 0.5).0),
+    ];
+    let mut rows = Vec::new();
+    for (name, forest) in shapes {
+        for qlist in [8usize, 23] {
+            let (_, q) = query_with_qlist(qlist, scale.seed ^ qlist as u64);
+            let mut tree_bytes = 0usize;
+            let mut dag_bytes = 0usize;
+            for f in forest.fragment_ids() {
+                let t = bottom_up(&forest.fragment(f).tree, &q).triplet;
+                let tree_b = triplet_wire_size(&t);
+                let dag_b = triplet_dag_wire_size(&t);
+                assert!(
+                    dag_b <= tree_b,
+                    "{name} |QList|={qlist}: DAG {dag_b} > tree {tree_b} on {f}"
+                );
+                tree_bytes += tree_b;
+                dag_bytes += dag_b;
+            }
+            rows.push(ExpDWireRow {
+                workload: format!("{name} |QList|={qlist}"),
+                fragments: forest.card(),
+                tree_bytes,
+                dag_bytes,
+            });
+        }
+    }
+    rows
+}
+
 /// A measured row of the Fig. 4 complexity table.
 #[derive(Debug, Clone)]
 pub struct Fig4Row {
@@ -665,6 +865,43 @@ mod tests {
             row.resident_wall_s,
             row.oneshot_wall_s
         );
+    }
+
+    #[test]
+    fn expd_arena_matches_seed_and_wins() {
+        // The ISSUE acceptance criterion, at test scale: the arena
+        // pipeline must produce byte-identical resolved triplets to the
+        // seed representation and a DAG wire encoding that never exceeds
+        // the tree encoding (both asserted inside the experiment). The
+        // ≥2x speedup headline is asserted by the release-mode
+        // `expD_formula_arena` binary that CI runs (4x at the default
+        // 2048-fragment scale); unoptimized debug timings at test scale
+        // measure mutex/hashing constants, not the quadratic-vs-linear
+        // asymptotics, so no timing is asserted here.
+        let row = expd_formula_arena(tiny(), 8, 160, 4);
+        assert_eq!(row.fragments, 160);
+        assert!(row.arena_s > 0.0 && row.seed_s > 0.0);
+        assert!(row.dag_triplet_bytes <= row.tree_triplet_bytes);
+        assert!(row.envelope_dag_bytes <= row.envelope_tree_bytes);
+        // The star's hub triplet is dominated by shared wide
+        // disjunctions, so the DAG format should be a real win, not a tie.
+        assert!(
+            row.dag_triplet_bytes * 10 <= row.tree_triplet_bytes * 9,
+            "expected ≥10% wire win: dag {} vs tree {}",
+            row.dag_triplet_bytes,
+            row.tree_triplet_bytes
+        );
+    }
+
+    #[test]
+    fn expd_dag_never_larger_across_workloads() {
+        // asserts dag ≤ tree per triplet internally, across the FT1/FT2/
+        // FT3 shapes of experiments A–C.
+        let rows = expd_dag_bytes_on_workloads(tiny());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.dag_bytes <= r.tree_bytes, "{}", r.workload);
+        }
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The hash-consing formula arena backing [`crate::Formula`].
+//!
+//! Every distinct formula is stored exactly once in a process-wide flat
+//! node table; a [`FormulaId`] (a `u32`) names it. Interning performs
+//! *canonicalization* at construction time:
+//!
+//! * constants fold (`compFm`'s cases, plus `¬¬f = f`),
+//! * `And`/`Or` operands are flattened one level (children of a
+//!   canonical `And` are never `And`s or constants), sorted by id and
+//!   deduplicated.
+//!
+//! Canonical form makes structural equality *id equality* (`O(1)`), lets
+//! per-node metadata (`size`, `has_vars`) be computed once at interning,
+//! and turns `substitute`/`eval` into memoized single passes over the
+//! shared DAG instead of walks over an exponentially larger tree
+//! expansion.
+//!
+//! Locking discipline: the arena is a single [`Mutex`]; every public
+//! operation of [`crate::Formula`] takes the lock at most once per call
+//! and **never** while invoking caller-supplied closures (lookups and
+//! assignments run against a lock-free [`Dag`] snapshot). The arena only
+//! grows — ids stay valid for the life of the process — and growth is
+//! bounded by the number of *distinct* formulas ever built, which
+//! hash-consing keeps proportional to live working-set size rather than
+//! to the number of operations performed.
+
+use crate::var::Var;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Range;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// The rustc-style Fx multiplicative hasher. Interning hashes a `Node`
+/// on every constructor call — the hottest hash site in the system —
+/// and the inputs are tiny structured ids, exactly the workload SipHash
+/// is overkill for.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Id of one distinct (canonical) formula in the process-wide arena.
+///
+/// Two formulas are structurally equal iff their ids are equal, which is
+/// what makes [`crate::Formula`] comparisons, hashing, and cache keys
+/// `O(1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FormulaId(pub u32);
+
+/// Id of the constant `false` (seeded at arena construction).
+pub(crate) const FALSE_ID: FormulaId = FormulaId(0);
+/// Id of the constant `true` (seeded at arena construction).
+pub(crate) const TRUE_ID: FormulaId = FormulaId(1);
+
+/// One interned node. Operands are ids of strictly older nodes, so the
+/// table is topologically ordered by construction.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Node {
+    Const(bool),
+    Var(Var),
+    Not(FormulaId),
+    And(Arc<[FormulaId]>),
+    Or(Arc<[FormulaId]>),
+}
+
+/// Arena occupancy counters (see [`crate::Formula::arena_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct formulas interned since process start.
+    pub nodes: usize,
+    /// Total operand slots stored across all n-ary nodes — the figure
+    /// that is linear in fan-out for buffered construction and quadratic
+    /// for naive pairwise accumulation.
+    pub operand_slots: u64,
+}
+
+pub(crate) struct Inner {
+    nodes: Vec<Node>,
+    /// Tree-expansion node count per formula (saturating).
+    size: Vec<u64>,
+    /// Does the formula reference any variable?
+    has_vars: Vec<bool>,
+    intern: HashMap<Node, FormulaId, FxBuild>,
+    operand_slots: u64,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        let mut inner = Inner {
+            nodes: Vec::new(),
+            size: Vec::new(),
+            has_vars: Vec::new(),
+            intern: HashMap::default(),
+            operand_slots: 0,
+        };
+        let f = inner.intern(Node::Const(false), 1, false);
+        let t = inner.intern(Node::Const(true), 1, false);
+        debug_assert_eq!(f, FALSE_ID);
+        debug_assert_eq!(t, TRUE_ID);
+        inner
+    }
+
+    fn intern(&mut self, node: Node, size: u64, has_vars: bool) -> FormulaId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        // Count operand slots only for nodes actually stored — a
+        // hash-consing hit stores nothing.
+        if let Node::And(xs) | Node::Or(xs) = &node {
+            self.operand_slots += xs.len() as u64;
+        }
+        // `< u32::MAX`, not `≤`: the snapshot memo stores `id + 1`.
+        let raw = u32::try_from(self.nodes.len())
+            .ok()
+            .filter(|&r| r < u32::MAX)
+            .expect("formula arena full (2^32 nodes)");
+        let id = FormulaId(raw);
+        self.nodes.push(node.clone());
+        self.size.push(size);
+        self.has_vars.push(has_vars);
+        self.intern.insert(node, id);
+        id
+    }
+
+    pub(crate) fn mk_const(b: bool) -> FormulaId {
+        if b {
+            TRUE_ID
+        } else {
+            FALSE_ID
+        }
+    }
+
+    pub(crate) fn mk_var(&mut self, v: Var) -> FormulaId {
+        self.intern(Node::Var(v), 1, true)
+    }
+
+    pub(crate) fn mk_not(&mut self, a: FormulaId) -> FormulaId {
+        match self.nodes[a.0 as usize] {
+            Node::Const(b) => Self::mk_const(!b),
+            Node::Not(inner) => inner,
+            _ => {
+                let size = self.size[a.0 as usize].saturating_add(1);
+                let has_vars = self.has_vars[a.0 as usize];
+                self.intern(Node::Not(a), size, has_vars)
+            }
+        }
+    }
+
+    /// Canonical n-ary conjunction (`conj`) or disjunction: folds
+    /// constants, flattens same-operator children one level (sufficient
+    /// by the canonical invariant), sorts by id and deduplicates, all in
+    /// one pass — a single interning regardless of operand count.
+    pub(crate) fn mk_nary<I>(&mut self, conj: bool, ops: I) -> FormulaId
+    where
+        I: IntoIterator<Item = FormulaId>,
+    {
+        let (absorbing, neutral) = if conj {
+            (FALSE_ID, TRUE_ID)
+        } else {
+            (TRUE_ID, FALSE_ID)
+        };
+        let mut out: Vec<FormulaId> = Vec::new();
+        for id in ops {
+            if id == absorbing {
+                return absorbing;
+            }
+            if id == neutral {
+                continue;
+            }
+            match &self.nodes[id.0 as usize] {
+                Node::And(xs) if conj => out.extend_from_slice(xs),
+                Node::Or(xs) if !conj => out.extend_from_slice(xs),
+                _ => out.push(id),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        match out.len() {
+            0 => neutral,
+            1 => out[0],
+            _ => {
+                let size = out
+                    .iter()
+                    .fold(1u64, |acc, i| acc.saturating_add(self.size[i.0 as usize]));
+                let has_vars = out.iter().any(|i| self.has_vars[i.0 as usize]);
+                let node = if conj {
+                    Node::And(out.into())
+                } else {
+                    Node::Or(out.into())
+                };
+                self.intern(node, size, has_vars)
+            }
+        }
+    }
+
+    pub(crate) fn size_of(&self, id: FormulaId) -> u64 {
+        self.size[id.0 as usize]
+    }
+
+    pub(crate) fn has_vars(&self, id: FormulaId) -> bool {
+        self.has_vars[id.0 as usize]
+    }
+
+    pub(crate) fn node(&self, id: FormulaId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub(crate) fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            nodes: self.nodes.len(),
+            operand_slots: self.operand_slots,
+        }
+    }
+
+    /// Extracts the sub-DAG reachable from `roots` into a lock-free local
+    /// snapshot, children before parents. Iterative (no recursion), so
+    /// arbitrarily deep formulas cannot overflow the stack.
+    pub(crate) fn snapshot(&self, roots: &[FormulaId]) -> Dag {
+        let mut dag = Dag {
+            nodes: Vec::new(),
+            operands: Vec::new(),
+            roots: Vec::with_capacity(roots.len()),
+        };
+        let mut memo = IdMap::new();
+        let mut stack: Vec<(FormulaId, bool)> = Vec::new();
+        for &root in roots {
+            if memo.get(root.0).is_none() {
+                stack.push((root, false));
+                while let Some((id, expanded)) = stack.pop() {
+                    if memo.get(id.0).is_some() {
+                        continue;
+                    }
+                    let node = &self.nodes[id.0 as usize];
+                    if expanded {
+                        let at = |x: &FormulaId| memo.get(x.0).expect("child snapshot first");
+                        let local = match node {
+                            Node::Const(b) => DagNode::Const(*b),
+                            Node::Var(v) => DagNode::Var(*v),
+                            Node::Not(x) => DagNode::Not(at(x)),
+                            Node::And(xs) | Node::Or(xs) => {
+                                let start = dag.operands.len() as u32;
+                                dag.operands.extend(xs.iter().map(at));
+                                let range = start..dag.operands.len() as u32;
+                                if matches!(node, Node::And(_)) {
+                                    DagNode::And(range)
+                                } else {
+                                    DagNode::Or(range)
+                                }
+                            }
+                        };
+                        memo.insert(id.0, dag.nodes.len() as u32);
+                        dag.nodes.push(local);
+                    } else {
+                        stack.push((id, true));
+                        match node {
+                            Node::Not(x) if memo.get(x.0).is_none() => stack.push((*x, false)),
+                            Node::And(xs) | Node::Or(xs) => {
+                                for x in xs.iter() {
+                                    if memo.get(x.0).is_none() {
+                                        stack.push((*x, false));
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            dag.roots
+                .push(memo.get(root.0).expect("root snapshot above"));
+        }
+        dag
+    }
+}
+
+/// One node of a [`Dag`] snapshot; operand references are indices into
+/// [`Dag::operands`] / earlier [`Dag::nodes`] entries.
+#[derive(Debug, Clone)]
+pub(crate) enum DagNode {
+    Const(bool),
+    Var(Var),
+    Not(u32),
+    And(Range<u32>),
+    Or(Range<u32>),
+}
+
+/// A lock-free snapshot of the sub-DAG reachable from a set of roots, in
+/// topological order (children strictly before parents). All traversal
+/// algorithms — eval, substitute, rendering, wire encoding — run over
+/// snapshots so the arena lock is never held across user code.
+#[derive(Debug, Clone)]
+pub(crate) struct Dag {
+    pub(crate) nodes: Vec<DagNode>,
+    pub(crate) operands: Vec<u32>,
+    /// One entry per requested root, in request order.
+    pub(crate) roots: Vec<u32>,
+}
+
+impl Dag {
+    /// Local indices of the operands of an n-ary node.
+    pub(crate) fn ops(&self, range: &Range<u32>) -> &[u32] {
+        &self.operands[range.start as usize..range.end as usize]
+    }
+}
+
+/// Minimal open-addressing `u32 → u32` map with multiplicative hashing.
+/// The snapshot memo is the hot data structure of every
+/// substitute/eval/encode pass; `std`'s SipHash-backed `HashMap`
+/// dominated those passes, and the keys here are small dense ids for
+/// which a Fibonacci-hashed probe sequence is both faster and collision-
+/// resistant enough.
+struct IdMap {
+    /// `(key + 1, value)`; key slot 0 means empty.
+    slots: Vec<(u32, u32)>,
+    mask: usize,
+    len: usize,
+}
+
+impl IdMap {
+    fn new() -> IdMap {
+        IdMap {
+            slots: vec![(0, 0); 16],
+            mask: 15,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn probe(&self, key: u32) -> usize {
+        (key.wrapping_add(1).wrapping_mul(0x9e37_79b1) as usize) & self.mask
+    }
+
+    fn get(&self, key: u32) -> Option<u32> {
+        let stored = key + 1;
+        let mut i = self.probe(key);
+        loop {
+            let (k, v) = self.slots[i];
+            if k == stored {
+                return Some(v);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, key: u32, value: u32) {
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let stored = key + 1;
+        let mut i = self.probe(key);
+        loop {
+            let (k, _) = self.slots[i];
+            if k == 0 {
+                self.slots[i] = (stored, value);
+                self.len += 1;
+                return;
+            }
+            if k == stored {
+                self.slots[i] = (stored, value);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); 0]);
+        self.mask = old.len() * 2 - 1;
+        self.slots = vec![(0, 0); old.len() * 2];
+        self.len = 0;
+        for (k, v) in old {
+            if k != 0 {
+                self.insert(k - 1, v);
+            }
+        }
+    }
+}
+
+static ARENA: OnceLock<Mutex<Inner>> = OnceLock::new();
+
+/// Locks the global arena. Poisoning is ignored: interning either
+/// completes or leaves the maps untouched, so a panicking holder cannot
+/// leave the arena in a state that later operations would misread.
+pub(crate) fn lock() -> MutexGuard<'static, Inner> {
+    ARENA
+        .get_or_init(|| Mutex::new(Inner::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,17 +1,31 @@
-//! Binary wire encoding for formulas and triplets.
+//! Binary wire encodings for formulas and triplets.
 //!
 //! The network layer ships triplets between sites; encoding them gives
 //! honest byte counts for the paper's communication-cost measurements
-//! (`O(|q| · card(F))` per query). The format is a compact tagged
-//! preorder serialization.
+//! (`O(|q| · card(F))` per query). Two formats exist:
+//!
+//! * the **tree format** ([`encode_formula`] / [`encode_triplet`] /
+//!   [`encode_site_envelope`]) — the seed's compact tagged preorder
+//!   serialization, kept as the baseline the `expD` experiment compares
+//!   against. Shared subformulas are re-encoded once per occurrence.
+//! * the **DAG format** ([`encode_triplet_dag`] /
+//!   [`encode_site_envelope_dag`]) — a varint-compressed *node table*
+//!   (children before parents, operands as table indices) followed by
+//!   per-entry root indices. Shared subformulas are encoded **once**, and
+//!   an envelope shares one table across every triplet it carries; this
+//!   is the format the production algorithms account traffic in.
+//!
+//! All encoders and decoders are iterative (explicit work stacks over
+//! arena snapshots), so a deep `Not`/`And` chain cannot overflow the call
+//! stack in either direction.
 
+use crate::arena::DagNode;
 use crate::formula::Formula;
 use crate::triplet::Triplet;
 use crate::var::{Var, VecKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parbox_xml::FragmentId;
 use std::fmt;
-use std::sync::Arc;
 
 const TAG_FALSE: u8 = 0;
 const TAG_TRUE: u8 = 1;
@@ -29,6 +43,9 @@ pub enum DecodeError {
     BadTag(u8),
     /// An n-ary node with fewer than two operands.
     BadArity(u32),
+    /// A DAG reference pointing at itself, forward, or out of the table —
+    /// or a varint wider than the format allows.
+    BadIndex(u64),
 }
 
 impl fmt::Display for DecodeError {
@@ -37,92 +54,146 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "truncated formula encoding"),
             DecodeError::BadTag(t) => write!(f, "unknown formula tag {t}"),
             DecodeError::BadArity(n) => write!(f, "n-ary formula with arity {n}"),
+            DecodeError::BadIndex(i) => write!(f, "invalid DAG node reference {i}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes a formula into `buf`.
+/// Never pre-allocate more than this many elements from an
+/// attacker-controlled count; the vectors still grow to the real size.
+const MAX_PREALLOC: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Tree format (seed-compatible bytes, iterative traversal)
+// ---------------------------------------------------------------------------
+
+/// Encodes a formula into `buf` (tree format: tagged preorder, shared
+/// subformulas expanded per occurrence).
 pub fn encode_formula(f: &Formula, buf: &mut BytesMut) {
-    match f {
-        Formula::Const(false) => buf.put_u8(TAG_FALSE),
-        Formula::Const(true) => buf.put_u8(TAG_TRUE),
-        Formula::Var(v) => {
-            buf.put_u8(TAG_VAR);
-            buf.put_u32_le(v.frag.0);
-            buf.put_u8(match v.vec {
-                VecKind::V => 0,
-                VecKind::CV => 1,
-                VecKind::DV => 2,
-            });
-            buf.put_u32_le(v.sub);
-        }
-        Formula::Not(inner) => {
-            buf.put_u8(TAG_NOT);
-            encode_formula(inner, buf);
-        }
-        Formula::And(xs) => {
-            buf.put_u8(TAG_AND);
-            buf.put_u32_le(xs.len() as u32);
-            for x in xs.iter() {
-                encode_formula(x, buf);
+    let dag = Formula::snapshot_many(std::slice::from_ref(f));
+    encode_tree_from(&dag, dag.roots[0], buf);
+}
+
+fn encode_var(v: &Var, buf: &mut BytesMut) {
+    buf.put_u8(TAG_VAR);
+    buf.put_u32_le(v.frag.0);
+    buf.put_u8(match v.vec {
+        VecKind::V => 0,
+        VecKind::CV => 1,
+        VecKind::DV => 2,
+    });
+    buf.put_u32_le(v.sub);
+}
+
+fn encode_tree_from(dag: &crate::arena::Dag, root: u32, buf: &mut BytesMut) {
+    let mut stack = vec![root];
+    while let Some(ix) = stack.pop() {
+        match &dag.nodes[ix as usize] {
+            DagNode::Const(false) => buf.put_u8(TAG_FALSE),
+            DagNode::Const(true) => buf.put_u8(TAG_TRUE),
+            DagNode::Var(v) => encode_var(v, buf),
+            DagNode::Not(x) => {
+                buf.put_u8(TAG_NOT);
+                stack.push(*x);
             }
-        }
-        Formula::Or(xs) => {
-            buf.put_u8(TAG_OR);
-            buf.put_u32_le(xs.len() as u32);
-            for x in xs.iter() {
-                encode_formula(x, buf);
+            DagNode::And(r) | DagNode::Or(r) => {
+                let conj = matches!(&dag.nodes[ix as usize], DagNode::And(_));
+                buf.put_u8(if conj { TAG_AND } else { TAG_OR });
+                let ops = dag.ops(r);
+                buf.put_u32_le(ops.len() as u32);
+                for &x in ops.iter().rev() {
+                    stack.push(x);
+                }
             }
         }
     }
 }
 
-/// Decodes one formula from `buf`.
-pub fn decode_formula(buf: &mut Bytes) -> Result<Formula, DecodeError> {
-    if buf.remaining() < 1 {
+fn decode_var(buf: &mut Bytes) -> Result<Formula, DecodeError> {
+    if buf.remaining() < 9 {
         return Err(DecodeError::Truncated);
     }
-    match buf.get_u8() {
-        TAG_FALSE => Ok(Formula::FALSE),
-        TAG_TRUE => Ok(Formula::TRUE),
-        TAG_VAR => {
-            if buf.remaining() < 9 {
-                return Err(DecodeError::Truncated);
-            }
-            let frag = FragmentId(buf.get_u32_le());
-            let vec = match buf.get_u8() {
-                0 => VecKind::V,
-                1 => VecKind::CV,
-                2 => VecKind::DV,
-                t => return Err(DecodeError::BadTag(t)),
-            };
-            let sub = buf.get_u32_le();
-            Ok(Formula::Var(Var::new(frag, vec, sub)))
+    let frag = FragmentId(buf.get_u32_le());
+    let vec = match buf.get_u8() {
+        0 => VecKind::V,
+        1 => VecKind::CV,
+        2 => VecKind::DV,
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let sub = buf.get_u32_le();
+    Ok(Formula::var(Var::new(frag, vec, sub)))
+}
+
+/// Decodes one formula from `buf` (tree format). Iterative: an explicit
+/// continuation stack replaces recursion.
+pub fn decode_formula(buf: &mut Bytes) -> Result<Formula, DecodeError> {
+    enum Pending {
+        Not,
+        Nary {
+            conj: bool,
+            remaining: u32,
+            ops: Vec<Formula>,
+        },
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    loop {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
         }
-        TAG_NOT => Ok(Formula::Not(Arc::new(decode_formula(buf)?))),
-        TAG_AND | TAG_OR if buf.remaining() < 4 => Err(DecodeError::Truncated),
-        tag @ (TAG_AND | TAG_OR) => {
-            let n = buf.get_u32_le();
-            if n < 2 {
-                return Err(DecodeError::BadArity(n));
+        let mut value: Option<Formula> = match buf.get_u8() {
+            TAG_FALSE => Some(Formula::FALSE),
+            TAG_TRUE => Some(Formula::TRUE),
+            TAG_VAR => Some(decode_var(buf)?),
+            TAG_NOT => {
+                pending.push(Pending::Not);
+                None
             }
-            let mut xs = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                xs.push(decode_formula(buf)?);
+            tag @ (TAG_AND | TAG_OR) => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let n = buf.get_u32_le();
+                if n < 2 {
+                    return Err(DecodeError::BadArity(n));
+                }
+                pending.push(Pending::Nary {
+                    conj: tag == TAG_AND,
+                    remaining: n,
+                    ops: Vec::with_capacity((n as usize).min(MAX_PREALLOC)),
+                });
+                None
             }
-            if tag == TAG_AND {
-                Ok(Formula::And(xs.into()))
-            } else {
-                Ok(Formula::Or(xs.into()))
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        while let Some(v) = value.take() {
+            match pending.last_mut() {
+                None => return Ok(v),
+                Some(Pending::Not) => {
+                    pending.pop();
+                    value = Some(v.not());
+                }
+                Some(Pending::Nary { remaining, ops, .. }) => {
+                    ops.push(v);
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        let Some(Pending::Nary { conj, ops, .. }) = pending.pop() else {
+                            unreachable!("just matched")
+                        };
+                        value = Some(if conj {
+                            Formula::all(ops)
+                        } else {
+                            Formula::any(ops)
+                        });
+                    }
+                }
             }
         }
-        t => Err(DecodeError::BadTag(t)),
     }
 }
 
-/// Encodes a triplet (three length-prefixed vectors).
+/// Encodes a triplet (tree format: three length-prefixed vectors).
 pub fn encode_triplet(t: &Triplet, buf: &mut BytesMut) {
     for vec in [&t.v, &t.cv, &t.dv] {
         buf.put_u32_le(vec.len() as u32);
@@ -132,7 +203,7 @@ pub fn encode_triplet(t: &Triplet, buf: &mut BytesMut) {
     }
 }
 
-/// Decodes a triplet.
+/// Decodes a triplet (tree format).
 pub fn decode_triplet(buf: &mut Bytes) -> Result<Triplet, DecodeError> {
     let mut vecs = Vec::with_capacity(3);
     for _ in 0..3 {
@@ -140,7 +211,7 @@ pub fn decode_triplet(buf: &mut Bytes) -> Result<Triplet, DecodeError> {
             return Err(DecodeError::Truncated);
         }
         let n = buf.get_u32_le();
-        let mut v = Vec::with_capacity(n as usize);
+        let mut v = Vec::with_capacity((n as usize).min(MAX_PREALLOC));
         for _ in 0..n {
             v.push(decode_formula(buf)?);
         }
@@ -152,20 +223,19 @@ pub fn decode_triplet(buf: &mut Bytes) -> Result<Triplet, DecodeError> {
     Ok(Triplet { v, cv, dv })
 }
 
-/// Exact wire size in bytes of a triplet — the unit in which the network
-/// simulator accounts traffic.
+/// Exact wire size in bytes of a triplet in the **tree format** — kept as
+/// the baseline figure; production accounting uses
+/// [`triplet_dag_wire_size`].
 pub fn triplet_wire_size(t: &Triplet) -> usize {
     let mut buf = BytesMut::new();
     encode_triplet(t, &mut buf);
     buf.len()
 }
 
-/// Encodes a *site envelope*: every `(fragment, triplet)` pair one site
-/// computed for a query batch, packed into a single message.
-///
-/// The batch engine ships one envelope per site and visit instead of one
-/// triplet message per fragment and query; the envelope is a count
-/// followed by `fragment id + triplet` records.
+/// Encodes a *site envelope* in the tree format: every
+/// `(fragment, triplet)` pair one site computed for a query batch, packed
+/// into a single message (count followed by `fragment id + triplet`
+/// records).
 pub fn encode_site_envelope(entries: &[(FragmentId, &Triplet)], buf: &mut BytesMut) {
     buf.put_u32_le(entries.len() as u32);
     for (frag, t) in entries {
@@ -174,13 +244,14 @@ pub fn encode_site_envelope(entries: &[(FragmentId, &Triplet)], buf: &mut BytesM
     }
 }
 
-/// Decodes a site envelope back into `(fragment, triplet)` pairs.
+/// Decodes a tree-format site envelope back into `(fragment, triplet)`
+/// pairs.
 pub fn decode_site_envelope(buf: &mut Bytes) -> Result<Vec<(FragmentId, Triplet)>, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
     }
     let n = buf.get_u32_le();
-    let mut entries = Vec::with_capacity(n as usize);
+    let mut entries = Vec::with_capacity((n as usize).min(MAX_PREALLOC));
     for _ in 0..n {
         if buf.remaining() < 4 {
             return Err(DecodeError::Truncated);
@@ -191,13 +262,268 @@ pub fn decode_site_envelope(buf: &mut Bytes) -> Result<Vec<(FragmentId, Triplet)
     Ok(entries)
 }
 
-/// Exact wire size in bytes of a site envelope:
+/// Exact wire size in bytes of a tree-format site envelope:
 /// `4 + Σ (4 + triplet_wire_size)`.
 pub fn site_envelope_wire_size(entries: &[(FragmentId, &Triplet)]) -> usize {
     4 + entries
         .iter()
         .map(|(_, t)| 4 + triplet_wire_size(t))
         .sum::<usize>()
+}
+
+// ---------------------------------------------------------------------------
+// DAG format (node table + root indices, varint-compressed)
+// ---------------------------------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut out: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        // The 10th byte holds only bit 63: anything above is overflow,
+        // not silently droppable (a malformed stream must not decode to
+        // a small, plausible value).
+        if shift == 63 && byte & !0x01 != 0 {
+            return Err(DecodeError::BadIndex(out));
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+    }
+    Err(DecodeError::BadIndex(out))
+}
+
+/// Writes the DAG node table: varint node count, then one record per
+/// node with operand references as varint indices of strictly earlier
+/// table entries.
+fn encode_dag_nodes(dag: &crate::arena::Dag, buf: &mut BytesMut) {
+    put_varint(buf, dag.nodes.len() as u64);
+    for node in &dag.nodes {
+        match node {
+            DagNode::Const(false) => buf.put_u8(TAG_FALSE),
+            DagNode::Const(true) => buf.put_u8(TAG_TRUE),
+            DagNode::Var(v) => {
+                buf.put_u8(TAG_VAR);
+                put_varint(buf, u64::from(v.frag.0));
+                buf.put_u8(match v.vec {
+                    VecKind::V => 0,
+                    VecKind::CV => 1,
+                    VecKind::DV => 2,
+                });
+                put_varint(buf, u64::from(v.sub));
+            }
+            DagNode::Not(x) => {
+                buf.put_u8(TAG_NOT);
+                put_varint(buf, u64::from(*x));
+            }
+            DagNode::And(r) | DagNode::Or(r) => {
+                buf.put_u8(if matches!(node, DagNode::And(_)) {
+                    TAG_AND
+                } else {
+                    TAG_OR
+                });
+                let ops = dag.ops(r);
+                put_varint(buf, ops.len() as u64);
+                for &x in ops {
+                    put_varint(buf, u64::from(x));
+                }
+            }
+        }
+    }
+}
+
+/// Reads a DAG node table back into interned formulas, one per table
+/// entry. References must point strictly backwards (acyclic by
+/// construction); anything else is a [`DecodeError::BadIndex`].
+fn decode_dag_nodes(buf: &mut Bytes) -> Result<Vec<Formula>, DecodeError> {
+    let n = get_varint(buf)? as usize;
+    let mut table: Vec<Formula> = Vec::with_capacity(n.min(MAX_PREALLOC));
+    for i in 0..n {
+        let back_ref = |ix: u64| -> Result<usize, DecodeError> {
+            if (ix as usize) < i {
+                Ok(ix as usize)
+            } else {
+                Err(DecodeError::BadIndex(ix))
+            }
+        };
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let f = match buf.get_u8() {
+            TAG_FALSE => Formula::FALSE,
+            TAG_TRUE => Formula::TRUE,
+            TAG_VAR => {
+                let frag = FragmentId(
+                    u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Truncated)?,
+                );
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let vec = match buf.get_u8() {
+                    0 => VecKind::V,
+                    1 => VecKind::CV,
+                    2 => VecKind::DV,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                let sub = u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Truncated)?;
+                Formula::var(Var::new(frag, vec, sub))
+            }
+            TAG_NOT => table[back_ref(get_varint(buf)?)?].not(),
+            tag @ (TAG_AND | TAG_OR) => {
+                let arity = get_varint(buf)?;
+                if arity < 2 {
+                    return Err(DecodeError::BadArity(arity as u32));
+                }
+                let mut ops = Vec::with_capacity((arity as usize).min(MAX_PREALLOC));
+                for _ in 0..arity {
+                    ops.push(table[back_ref(get_varint(buf)?)?]);
+                }
+                if tag == TAG_AND {
+                    Formula::all(ops)
+                } else {
+                    Formula::any(ops)
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        table.push(f);
+    }
+    Ok(table)
+}
+
+fn encode_root_rows(dag: &crate::arena::Dag, rows: &[usize], buf: &mut BytesMut) {
+    // `dag.roots` holds one local index per requested root formula, in
+    // request order; `rows` gives the length of each row to emit.
+    let mut next = 0usize;
+    for &len in rows {
+        put_varint(buf, len as u64);
+        for _ in 0..len {
+            put_varint(buf, u64::from(dag.roots[next]));
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, dag.roots.len());
+}
+
+fn decode_root_row(buf: &mut Bytes, table: &[Formula]) -> Result<Vec<Formula>, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
+    for _ in 0..len {
+        let ix = get_varint(buf)?;
+        let f = table.get(ix as usize).ok_or(DecodeError::BadIndex(ix))?;
+        out.push(*f);
+    }
+    Ok(out)
+}
+
+/// Encodes one formula in the DAG format (node table + root index).
+pub fn encode_formula_dag(f: &Formula, buf: &mut BytesMut) {
+    let dag = Formula::snapshot_many(std::slice::from_ref(f));
+    encode_dag_nodes(&dag, buf);
+    put_varint(buf, u64::from(dag.roots[0]));
+}
+
+/// Decodes one DAG-format formula.
+pub fn decode_formula_dag(buf: &mut Bytes) -> Result<Formula, DecodeError> {
+    let table = decode_dag_nodes(buf)?;
+    let ix = get_varint(buf)?;
+    table
+        .get(ix as usize)
+        .copied()
+        .ok_or(DecodeError::BadIndex(ix))
+}
+
+/// Encodes a triplet in the DAG format: one node table shared by all
+/// `3·|QList|` entries, then the three root-index vectors. Subformulas
+/// shared across entries — the common case, since `DV` accumulates `V` —
+/// are encoded once.
+pub fn encode_triplet_dag(t: &Triplet, buf: &mut BytesMut) {
+    let roots: Vec<Formula> = t.v.iter().chain(&t.cv).chain(&t.dv).copied().collect();
+    let dag = Formula::snapshot_many(&roots);
+    encode_dag_nodes(&dag, buf);
+    encode_root_rows(&dag, &[t.v.len(), t.cv.len(), t.dv.len()], buf);
+}
+
+/// Decodes a DAG-format triplet.
+pub fn decode_triplet_dag(buf: &mut Bytes) -> Result<Triplet, DecodeError> {
+    let table = decode_dag_nodes(buf)?;
+    let v = decode_root_row(buf, &table)?;
+    let cv = decode_root_row(buf, &table)?;
+    let dv = decode_root_row(buf, &table)?;
+    Ok(Triplet { v, cv, dv })
+}
+
+/// Exact wire size in bytes of a DAG-format triplet — the unit in which
+/// the production algorithms account data-plane traffic.
+pub fn triplet_dag_wire_size(t: &Triplet) -> usize {
+    let mut buf = BytesMut::new();
+    encode_triplet_dag(t, &mut buf);
+    buf.len()
+}
+
+/// Encodes a site envelope in the DAG format: **one node table for the
+/// whole envelope**, shared across every fragment's triplet, then per
+/// entry the fragment id and its three root-index vectors.
+pub fn encode_site_envelope_dag(entries: &[(FragmentId, &Triplet)], buf: &mut BytesMut) {
+    let roots: Vec<Formula> = entries
+        .iter()
+        .flat_map(|(_, t)| t.v.iter().chain(&t.cv).chain(&t.dv).copied())
+        .collect();
+    let dag = Formula::snapshot_many(&roots);
+    put_varint(buf, entries.len() as u64);
+    encode_dag_nodes(&dag, buf);
+    // `dag.roots` holds one index per entry formula, in request order.
+    let mut next = 0usize;
+    for (frag, t) in entries {
+        put_varint(buf, u64::from(frag.0));
+        for len in [t.v.len(), t.cv.len(), t.dv.len()] {
+            put_varint(buf, len as u64);
+            for _ in 0..len {
+                put_varint(buf, u64::from(dag.roots[next]));
+                next += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next, dag.roots.len());
+}
+
+/// Decodes a DAG-format site envelope.
+pub fn decode_site_envelope_dag(
+    buf: &mut Bytes,
+) -> Result<Vec<(FragmentId, Triplet)>, DecodeError> {
+    let n = get_varint(buf)? as usize;
+    let table = decode_dag_nodes(buf)?;
+    let mut entries = Vec::with_capacity(n.min(MAX_PREALLOC));
+    for _ in 0..n {
+        let frag = FragmentId(u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Truncated)?);
+        let v = decode_root_row(buf, &table)?;
+        let cv = decode_root_row(buf, &table)?;
+        let dv = decode_root_row(buf, &table)?;
+        entries.push((frag, Triplet { v, cv, dv }));
+    }
+    Ok(entries)
+}
+
+/// Exact wire size in bytes of a DAG-format site envelope.
+pub fn site_envelope_dag_wire_size(entries: &[(FragmentId, &Triplet)]) -> usize {
+    let mut buf = BytesMut::new();
+    encode_site_envelope_dag(entries, &mut buf);
+    buf.len()
 }
 
 #[cfg(test)]
@@ -213,35 +539,51 @@ mod tests {
         out
     }
 
+    fn rt_dag(f: &Formula) -> Formula {
+        let mut buf = BytesMut::new();
+        encode_formula_dag(f, &mut buf);
+        let mut bytes = buf.freeze();
+        let out = decode_formula_dag(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0, "trailing bytes");
+        out
+    }
+
+    fn var(frag: u32, vec: VecKind, sub: u32) -> Formula {
+        Formula::var(Var::new(FragmentId(frag), vec, sub))
+    }
+
     #[test]
     fn round_trip_constants_and_vars() {
-        assert_eq!(rt(&Formula::TRUE), Formula::TRUE);
-        assert_eq!(rt(&Formula::FALSE), Formula::FALSE);
-        let v = Formula::Var(Var::new(FragmentId(7), VecKind::CV, 3));
-        assert_eq!(rt(&v), v);
+        for f in [Formula::TRUE, Formula::FALSE, var(7, VecKind::CV, 3)] {
+            assert_eq!(rt(&f), f);
+            assert_eq!(rt_dag(&f), f);
+        }
     }
 
     #[test]
     fn round_trip_nested() {
-        let a = Formula::Var(Var::new(FragmentId(1), VecKind::V, 0));
-        let b = Formula::Var(Var::new(FragmentId(2), VecKind::DV, 9));
-        let f = Formula::and(Formula::or(a, b.clone()), b).not();
+        let a = var(1, VecKind::V, 0);
+        let b = var(2, VecKind::DV, 9);
+        let f = Formula::and(Formula::or(a, b), b.not()).not();
         assert_eq!(rt(&f), f);
+        assert_eq!(rt_dag(&f), f);
     }
 
     #[test]
-    fn round_trip_triplet() {
+    fn round_trip_triplet_both_formats() {
         let mut t = Triplet::fresh_vars(FragmentId(3), 5);
         t.v[0] = Formula::TRUE;
-        t.cv[4] = Formula::or(
-            Formula::Var(Var::new(FragmentId(1), VecKind::V, 2)),
-            Formula::Var(Var::new(FragmentId(2), VecKind::V, 2)),
-        );
+        t.cv[4] = Formula::or(var(1, VecKind::V, 2), var(2, VecKind::V, 2));
         let mut buf = BytesMut::new();
         encode_triplet(&t, &mut buf);
         let mut bytes = buf.freeze();
-        let back = decode_triplet(&mut bytes).unwrap();
-        assert_eq!(back, t);
+        assert_eq!(decode_triplet(&mut bytes).unwrap(), t);
+        assert_eq!(bytes.remaining(), 0);
+
+        let mut buf = BytesMut::new();
+        encode_triplet_dag(&t, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_triplet_dag(&mut bytes).unwrap(), t);
         assert_eq!(bytes.remaining(), 0);
     }
 
@@ -251,11 +593,14 @@ mod tests {
         let mut buf = BytesMut::new();
         encode_triplet(&t, &mut buf);
         assert_eq!(triplet_wire_size(&t), buf.len());
+        let mut buf = BytesMut::new();
+        encode_triplet_dag(&t, &mut buf);
+        assert_eq!(triplet_dag_wire_size(&t), buf.len());
     }
 
     #[test]
     fn wire_size_scales_with_qlist_not_data() {
-        // Constant-entry triplets: 3*(4 + n) bytes.
+        // Constant-entry triplets, tree format: 3*(4 + n) bytes.
         let small = Triplet::all_false(2);
         let big = Triplet::all_false(23);
         let s = triplet_wire_size(&small);
@@ -263,6 +608,31 @@ mod tests {
         assert!(b > s);
         assert_eq!(s, 3 * (4 + 2));
         assert_eq!(b, 3 * (4 + 23));
+    }
+
+    #[test]
+    fn dag_never_larger_than_tree_on_shared_triplets() {
+        // DV accumulates V, so entries share structure: the DAG format
+        // encodes the shared parts once and must win (or tie).
+        let shared = Formula::any((0..12).map(|i| var(i, VecKind::DV, 0)));
+        let mut t = Triplet::all_false(4);
+        for i in 0..4 {
+            t.v[i] = Formula::or(shared, var(20, VecKind::V, i as u32));
+            t.dv[i] = t.v[i];
+            t.cv[i] = shared;
+        }
+        assert!(
+            triplet_dag_wire_size(&t) <= triplet_wire_size(&t),
+            "dag {} vs tree {}",
+            triplet_dag_wire_size(&t),
+            triplet_wire_size(&t)
+        );
+        // Constant triplets too (varint headers beat fixed u32 headers).
+        let c = Triplet::all_false(8);
+        assert!(triplet_dag_wire_size(&c) <= triplet_wire_size(&c));
+        // And fresh-variable triplets.
+        let f = Triplet::fresh_vars(FragmentId(3), 8);
+        assert!(triplet_dag_wire_size(&f) <= triplet_wire_size(&f));
     }
 
     #[test]
@@ -276,7 +646,35 @@ mod tests {
         let mut bytes = buf.freeze();
         let back = decode_site_envelope(&mut bytes).unwrap();
         assert_eq!(bytes.remaining(), 0);
+        assert_eq!(
+            back,
+            vec![(FragmentId(1), a.clone()), (FragmentId(4), b.clone())]
+        );
+
+        let mut buf = BytesMut::new();
+        encode_site_envelope_dag(&entries, &mut buf);
+        assert_eq!(buf.len(), site_envelope_dag_wire_size(&entries));
+        let mut bytes = buf.freeze();
+        let back = decode_site_envelope_dag(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0);
         assert_eq!(back, vec![(FragmentId(1), a), (FragmentId(4), b)]);
+    }
+
+    #[test]
+    fn dag_envelope_shares_one_table_across_fragments() {
+        // Two fragments with identical triplets: the DAG envelope stores
+        // the formulas once, so it beats per-fragment tree encoding by
+        // nearly 2x — and is never larger.
+        let t = Triplet::fresh_vars(FragmentId(9), 6);
+        let entries = vec![(FragmentId(1), &t), (FragmentId(2), &t)];
+        let dag = site_envelope_dag_wire_size(&entries);
+        let tree = site_envelope_wire_size(&entries);
+        assert!(dag <= tree, "dag {dag} vs tree {tree}");
+        let single = site_envelope_dag_wire_size(&entries[..1]);
+        assert!(
+            dag < single + single / 2,
+            "sharing failed: 2 frags {dag} vs 1 frag {single}"
+        );
     }
 
     #[test]
@@ -286,6 +684,12 @@ mod tests {
         assert_eq!(buf.len(), 4);
         assert_eq!(site_envelope_wire_size(&[]), 4);
         let back = decode_site_envelope(&mut buf.freeze()).unwrap();
+        assert!(back.is_empty());
+        // DAG format: varint count + varint empty table = 2 bytes.
+        assert_eq!(site_envelope_dag_wire_size(&[]), 2);
+        let mut buf = BytesMut::new();
+        encode_site_envelope_dag(&[], &mut buf);
+        let back = decode_site_envelope_dag(&mut buf.freeze()).unwrap();
         assert!(back.is_empty());
     }
 
@@ -314,6 +718,11 @@ mod tests {
             decode_site_envelope(&mut bytes),
             Err(DecodeError::Truncated)
         );
+        let mut empty = Bytes::new();
+        assert_eq!(
+            decode_site_envelope_dag(&mut empty),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
@@ -331,5 +740,55 @@ mod tests {
         buf.put_u8(TAG_TRUE);
         let mut bytes = buf.freeze();
         assert_eq!(decode_formula(&mut bytes), Err(DecodeError::BadArity(1)));
+    }
+
+    #[test]
+    fn dag_decode_rejects_forward_references() {
+        // Table of one Not node referencing itself (index 0 at index 0).
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1);
+        buf.put_u8(TAG_NOT);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_formula_dag(&mut bytes),
+            Err(DecodeError::BadIndex(0))
+        );
+        // Root index past the table.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1);
+        buf.put_u8(TAG_TRUE);
+        put_varint(&mut buf, 7);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_formula_dag(&mut bytes),
+            Err(DecodeError::BadIndex(7))
+        );
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert_eq!(bytes.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn deep_chain_encodes_and_decodes_iteratively() {
+        // Alternating ∧/¬ chain ~60k deep: recursive codecs would
+        // overflow the stack in both directions; ours must not.
+        let mut f = var(0, VecKind::V, 0);
+        for i in 1..30_000u32 {
+            f = Formula::and(var(i, VecKind::V, 0), f.not());
+        }
+        assert_eq!(rt(&f), f);
+        assert_eq!(rt_dag(&f), f);
+        // Display is iterative too (length check keeps output unused).
+        assert!(f.to_string().len() > 100_000);
     }
 }

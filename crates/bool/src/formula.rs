@@ -7,29 +7,32 @@
 //! a formula only retains structure that genuinely depends on unknown
 //! sub-fragment values.
 //!
-//! `And`/`Or` are n-ary and flattened, keeping formula size linear in the
-//! number of referenced virtual nodes — the paper's `O(card(F_j))` bound
-//! on entry size.
+//! Since the hash-consed arena rework, a [`Formula`] is a `Copy` handle
+//! (a [`FormulaId`]) into the process-wide [`crate::arena`]: equality and
+//! hashing are `O(1)` id comparisons, identical subformulas are stored
+//! once and shared as a DAG, `size`/[`Formula::closed`] read metadata
+//! cached at interning, and [`Formula::substitute`]/[`Formula::eval`] are
+//! memoized single passes over the DAG. `And`/`Or` remain n-ary and
+//! flattened (operands additionally sorted and deduplicated), keeping
+//! formula size linear in the number of referenced virtual nodes — the
+//! paper's `O(card(F_j))` bound on entry size.
+//!
+//! The previous tree representation is preserved verbatim in
+//! [`crate::reference`] as a differential-testing oracle and the baseline
+//! of the `expD` benchmark.
 
+use crate::arena::{self, DagNode, Node};
 use crate::var::Var;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
 
-/// A Boolean formula over sub-fragment variables.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Formula {
-    /// A known truth value.
-    Const(bool),
-    /// An unknown triplet entry of a sub-fragment.
-    Var(Var),
-    /// Negation.
-    Not(Arc<Formula>),
-    /// N-ary conjunction (flattened, at least two operands).
-    And(Arc<[Formula]>),
-    /// N-ary disjunction (flattened, at least two operands).
-    Or(Arc<[Formula]>),
-}
+pub use crate::arena::{ArenaStats, FormulaId};
+
+/// A Boolean formula over sub-fragment variables — a cheap `Copy` handle
+/// into the hash-consing arena. Two handles are equal iff the formulas
+/// are structurally identical (canonical form makes this sound).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Formula(FormulaId);
 
 /// The Boolean operator argument of [`comp_fm`], mirroring the paper's
 /// `AND`, `OR`, `NEG`.
@@ -53,52 +56,76 @@ pub fn comp_fm(f1: Formula, f2: Formula, op: BoolOp) -> Formula {
     }
 }
 
+/// A structural view of a formula's top node, cloned out of the arena
+/// for pattern matching ([`Formula::node`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaNode {
+    /// A known truth value.
+    Const(bool),
+    /// An unknown triplet entry of a sub-fragment.
+    Var(Var),
+    /// Negation.
+    Not(Formula),
+    /// N-ary conjunction (canonical: ≥ 2 sorted, distinct operands).
+    And(Vec<Formula>),
+    /// N-ary disjunction (canonical: ≥ 2 sorted, distinct operands).
+    Or(Vec<Formula>),
+}
+
 impl Formula {
     /// The constant `true`.
-    pub const TRUE: Formula = Formula::Const(true);
+    pub const TRUE: Formula = Formula(arena::TRUE_ID);
     /// The constant `false`.
-    pub const FALSE: Formula = Formula::Const(false);
+    pub const FALSE: Formula = Formula(arena::FALSE_ID);
+
+    /// The id naming this formula in the arena — stable for the life of
+    /// the process, suitable as an `O(1)` cache key.
+    #[inline]
+    pub fn id(self) -> FormulaId {
+        self.0
+    }
+
+    /// A constant formula.
+    #[inline]
+    pub fn constant(b: bool) -> Formula {
+        if b {
+            Formula::TRUE
+        } else {
+            Formula::FALSE
+        }
+    }
 
     /// A variable formula.
     #[inline]
     pub fn var(v: Var) -> Formula {
-        Formula::Var(v)
+        Formula(arena::lock().mk_var(v))
+    }
+
+    /// Interns a batch of variable formulas under one arena lock —
+    /// `bottomUp` mints `3·|QList|` fresh variables per virtual node, and
+    /// a single locked pass keeps that off the contended path.
+    pub fn var_many<I: IntoIterator<Item = Var>>(vars: I) -> Vec<Formula> {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        let mut inner = arena::lock();
+        vars.into_iter().map(|v| Formula(inner.mk_var(v))).collect()
     }
 
     /// Smart conjunction with constant folding and flattening.
     pub fn and(a: Formula, b: Formula) -> Formula {
+        // Constant cases fold without touching the arena lock.
         match (a, b) {
-            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::FALSE,
-            (Formula::Const(true), f) | (f, Formula::Const(true)) => f,
-            (a, b) => {
-                let mut ops: Vec<Formula> = Vec::with_capacity(2);
-                Self::flatten_into(a, &mut ops, true);
-                Self::flatten_into(b, &mut ops, true);
-                debug_assert!(ops.len() >= 2);
-                Formula::And(ops.into())
-            }
+            (Formula::FALSE, _) | (_, Formula::FALSE) => Formula::FALSE,
+            (Formula::TRUE, f) | (f, Formula::TRUE) => f,
+            (a, b) => Formula(arena::lock().mk_nary(true, [a.0, b.0])),
         }
     }
 
     /// Smart disjunction with constant folding and flattening.
     pub fn or(a: Formula, b: Formula) -> Formula {
         match (a, b) {
-            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::TRUE,
-            (Formula::Const(false), f) | (f, Formula::Const(false)) => f,
-            (a, b) => {
-                let mut ops: Vec<Formula> = Vec::with_capacity(2);
-                Self::flatten_into(a, &mut ops, false);
-                Self::flatten_into(b, &mut ops, false);
-                debug_assert!(ops.len() >= 2);
-                Formula::Or(ops.into())
-            }
-        }
-    }
-
-    fn flatten_into(f: Formula, ops: &mut Vec<Formula>, conj: bool) {
-        match (f, conj) {
-            (Formula::And(xs), true) | (Formula::Or(xs), false) => ops.extend(xs.iter().cloned()),
-            (f, _) => ops.push(f),
+            (Formula::TRUE, _) | (_, Formula::TRUE) => Formula::TRUE,
+            (Formula::FALSE, f) | (f, Formula::FALSE) => f,
+            (a, b) => Formula(arena::lock().mk_nary(false, [a.0, b.0])),
         }
     }
 
@@ -108,145 +135,269 @@ impl Formula {
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         match self {
-            Formula::Const(b) => Formula::Const(!b),
-            Formula::Not(inner) => (*inner).clone(),
-            f => Formula::Not(Arc::new(f)),
+            Formula::TRUE => Formula::FALSE,
+            Formula::FALSE => Formula::TRUE,
+            f => Formula(arena::lock().mk_not(f.0)),
         }
     }
 
-    /// N-ary disjunction of an iterator (absorbs constants).
+    /// N-ary disjunction of an iterator (absorbs constants). One arena
+    /// interning for the whole operand list — `O(k log k)` for fan-out
+    /// `k`, unlike a fold of binary [`Formula::or`]s which re-flattens
+    /// the accumulator per operand (`O(k²)`).
     pub fn any<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
-        items.into_iter().fold(Formula::FALSE, Formula::or)
+        // Drain the iterator *before* locking: item production may itself
+        // build formulas (and take the arena lock).
+        let ids: Vec<FormulaId> = items.into_iter().map(|f| f.0).collect();
+        Formula(arena::lock().mk_nary(false, ids))
     }
 
-    /// N-ary conjunction of an iterator (absorbs constants).
+    /// N-ary conjunction of an iterator (absorbs constants); single
+    /// interning, like [`Formula::any`].
     pub fn all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
-        items.into_iter().fold(Formula::TRUE, Formula::and)
+        let ids: Vec<FormulaId> = items.into_iter().map(|f| f.0).collect();
+        Formula(arena::lock().mk_nary(true, ids))
     }
 
     /// True when the formula is a constant. The paper's `isFormula(f)`
-    /// predicate is the negation of this.
+    /// predicate is the negation of this. `O(1)`, lock-free.
     #[inline]
     pub fn is_const(&self) -> bool {
-        matches!(self, Formula::Const(_))
+        *self == Formula::TRUE || *self == Formula::FALSE
     }
 
-    /// The constant value, if fully evaluated.
+    /// The constant value, if fully evaluated. `O(1)`, lock-free.
     #[inline]
     pub fn as_const(&self) -> Option<bool> {
-        match self {
-            Formula::Const(b) => Some(*b),
+        match *self {
+            Formula::TRUE => Some(true),
+            Formula::FALSE => Some(false),
             _ => None,
         }
     }
 
-    /// Number of nodes of the formula tree; proxy for its in-memory size.
+    /// Number of nodes of the formula's *tree expansion* (shared
+    /// subformulas counted once per occurrence, saturating); proxy for
+    /// the size a tree representation would occupy. Cached at interning —
+    /// `O(1)` per call.
     pub fn size(&self) -> usize {
-        match self {
-            Formula::Const(_) | Formula::Var(_) => 1,
-            Formula::Not(f) => 1 + f.size(),
-            Formula::And(xs) | Formula::Or(xs) => 1 + xs.iter().map(Formula::size).sum::<usize>(),
-        }
+        usize::try_from(arena::lock().size_of(self.0)).unwrap_or(usize::MAX)
     }
 
     /// The set of variables occurring in the formula.
     pub fn vars(&self) -> BTreeSet<Var> {
+        let dag = arena::lock().snapshot(&[self.0]);
         let mut out = BTreeSet::new();
-        self.collect_vars(&mut out);
+        for node in &dag.nodes {
+            if let DagNode::Var(v) = node {
+                out.insert(*v);
+            }
+        }
         out
     }
 
-    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
-        match self {
-            Formula::Const(_) => {}
-            Formula::Var(v) => {
-                out.insert(*v);
-            }
-            Formula::Not(f) => f.collect_vars(out),
-            Formula::And(xs) | Formula::Or(xs) => {
-                for f in xs.iter() {
-                    f.collect_vars(out);
-                }
-            }
+    /// True when the formula references at least one variable. Cached at
+    /// interning — `O(1)` per call, no set materialized.
+    #[inline]
+    pub fn has_free_vars(&self) -> bool {
+        if self.is_const() {
+            return false;
+        }
+        arena::lock().has_vars(self.0)
+    }
+
+    /// True when the formula references no variables. By canonical
+    /// construction a variable-free formula is always a constant, so this
+    /// is equivalent to [`Formula::is_const`] — but it is spelled against
+    /// the cached `has_free_vars` bit so the equivalence is checked, not
+    /// assumed, in debug builds.
+    pub fn closed(&self) -> bool {
+        let closed = !self.has_free_vars();
+        debug_assert_eq!(closed, self.is_const());
+        closed
+    }
+
+    /// A structural view of the top node, for pattern matching.
+    pub fn node(&self) -> FormulaNode {
+        let inner = arena::lock();
+        match inner.node(self.0) {
+            Node::Const(b) => FormulaNode::Const(*b),
+            Node::Var(v) => FormulaNode::Var(*v),
+            Node::Not(x) => FormulaNode::Not(Formula(*x)),
+            Node::And(xs) => FormulaNode::And(xs.iter().map(|&x| Formula(x)).collect()),
+            Node::Or(xs) => FormulaNode::Or(xs.iter().map(|&x| Formula(x)).collect()),
         }
     }
 
-    /// True when the formula references no variables of fragments other
-    /// than those in `allowed` (used to check the solver's invariants).
-    pub fn closed(&self) -> bool {
-        self.vars().is_empty()
-    }
-
-    /// Substitutes variables using `lookup`, re-simplifying along the way.
-    /// Variables for which `lookup` returns `None` remain free.
+    /// Substitutes variables using `lookup`, re-simplifying along the
+    /// way. Variables for which `lookup` returns `None` remain free.
+    ///
+    /// One memoized pass over the shared DAG: every distinct subformula
+    /// is rebuilt once and `lookup` is consulted once per distinct
+    /// variable, regardless of how often either occurs in the tree
+    /// expansion.
     pub fn substitute<F>(&self, lookup: &F) -> Formula
     where
         F: Fn(Var) -> Option<Formula>,
     {
-        match self {
-            Formula::Const(b) => Formula::Const(*b),
-            Formula::Var(v) => lookup(*v).unwrap_or(Formula::Var(*v)),
-            Formula::Not(f) => f.substitute(lookup).not(),
-            Formula::And(xs) => Formula::all(xs.iter().map(|f| f.substitute(lookup))),
-            Formula::Or(xs) => Formula::any(xs.iter().map(|f| f.substitute(lookup))),
-        }
+        Self::substitute_all(std::slice::from_ref(self), lookup)[0]
     }
 
-    /// Evaluates the formula under a total assignment.
+    /// [`Formula::substitute`] over several formulas at once, sharing one
+    /// snapshot and one memo table — the coordinator substitutes all
+    /// `3·|QList|` entries of a triplet in a single DAG pass.
+    pub fn substitute_all<F>(fs: &[Formula], lookup: &F) -> Vec<Formula>
+    where
+        F: Fn(Var) -> Option<Formula>,
+    {
+        // Fast path: nothing to substitute into.
+        if fs.iter().all(|f| f.is_const()) {
+            return fs.to_vec();
+        }
+        let roots: Vec<FormulaId> = fs.iter().map(|f| f.0).collect();
+        let dag = arena::lock().snapshot(&roots);
+        // Consult the lookup outside the arena lock (it may itself build
+        // formulas): one entry per *distinct* variable node.
+        let replacements: Vec<Option<Formula>> = dag
+            .nodes
+            .iter()
+            .map(|node| match node {
+                DagNode::Var(v) => lookup(*v),
+                _ => None,
+            })
+            .collect();
+        // Rebuild bottom-up under one lock; `memo[i]` is the substituted
+        // formula of local node `i`.
+        let mut inner = arena::lock();
+        let mut memo: Vec<FormulaId> = Vec::with_capacity(dag.nodes.len());
+        for (i, node) in dag.nodes.iter().enumerate() {
+            let id = match node {
+                DagNode::Const(b) => arena::Inner::mk_const(*b),
+                DagNode::Var(v) => match replacements[i] {
+                    Some(repl) => repl.0,
+                    None => inner.mk_var(*v),
+                },
+                DagNode::Not(x) => inner.mk_not(memo[*x as usize]),
+                DagNode::And(r) => {
+                    inner.mk_nary(true, dag.ops(r).iter().map(|&x| memo[x as usize]))
+                }
+                DagNode::Or(r) => {
+                    inner.mk_nary(false, dag.ops(r).iter().map(|&x| memo[x as usize]))
+                }
+            };
+            memo.push(id);
+        }
+        dag.roots
+            .iter()
+            .map(|&r| Formula(memo[r as usize]))
+            .collect()
+    }
+
+    /// Evaluates the formula under a total assignment. One memoized pass
+    /// over the shared DAG; `assign` runs outside the arena lock.
     pub fn eval<F>(&self, assign: &F) -> bool
     where
         F: Fn(Var) -> bool,
     {
-        match self {
-            Formula::Const(b) => *b,
-            Formula::Var(v) => assign(*v),
-            Formula::Not(f) => !f.eval(assign),
-            Formula::And(xs) => xs.iter().all(|f| f.eval(assign)),
-            Formula::Or(xs) => xs.iter().any(|f| f.eval(assign)),
+        if let Some(b) = self.as_const() {
+            return b;
         }
+        let dag = arena::lock().snapshot(&[self.0]);
+        let mut memo: Vec<bool> = Vec::with_capacity(dag.nodes.len());
+        for node in &dag.nodes {
+            let v = match node {
+                DagNode::Const(b) => *b,
+                DagNode::Var(v) => assign(*v),
+                DagNode::Not(x) => !memo[*x as usize],
+                DagNode::And(r) => dag.ops(r).iter().all(|&x| memo[x as usize]),
+                DagNode::Or(r) => dag.ops(r).iter().any(|&x| memo[x as usize]),
+            };
+            memo.push(v);
+        }
+        memo[dag.roots[0] as usize]
+    }
+
+    /// Arena occupancy counters — used by regression tests to assert
+    /// construction-cost bounds and by `expD` reporting.
+    pub fn arena_stats() -> ArenaStats {
+        arena::lock().stats()
+    }
+
+    /// Snapshot of the DAG reachable from `roots` (crate-internal; the
+    /// wire encoder and renderer traverse snapshots, never the arena).
+    pub(crate) fn snapshot_many(roots: &[Formula]) -> crate::arena::Dag {
+        let ids: Vec<FormulaId> = roots.iter().map(|f| f.0).collect();
+        arena::lock().snapshot(&ids)
     }
 }
 
 impl From<bool> for Formula {
     fn from(b: bool) -> Self {
-        Formula::Const(b)
+        Formula::constant(b)
     }
 }
 
 impl From<Var> for Formula {
     fn from(v: Var) -> Self {
-        Formula::Var(v)
+        Formula::var(v)
     }
 }
 
 impl fmt::Display for Formula {
+    /// Renders the tree expansion in the paper's notation. Iterative
+    /// (explicit work stack), so deep chains cannot overflow the call
+    /// stack; output length equals the tree-expansion size.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Formula::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
-            Formula::Var(v) => write!(f, "{v}"),
-            Formula::Not(inner) => write!(f, "¬({inner})"),
-            Formula::And(xs) => {
-                write!(f, "(")?;
-                for (i, x) in xs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, " ∧ ")?;
-                    }
-                    write!(f, "{x}")?;
+        render(*self, f)
+    }
+}
+
+impl fmt::Debug for Formula {
+    /// Debug output matches `Display` — a rendered formula reads better
+    /// in assertion failures than an opaque arena id.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        render(*self, f)
+    }
+}
+
+/// Iterative renderer over a DAG snapshot.
+fn render(formula: Formula, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let dag = Formula::snapshot_many(&[formula]);
+    enum Tok {
+        Node(u32),
+        Lit(&'static str),
+    }
+    let mut stack = vec![Tok::Node(dag.roots[0])];
+    while let Some(tok) = stack.pop() {
+        match tok {
+            Tok::Lit(s) => f.write_str(s)?,
+            Tok::Node(ix) => match &dag.nodes[ix as usize] {
+                DagNode::Const(b) => f.write_str(if *b { "1" } else { "0" })?,
+                DagNode::Var(v) => write!(f, "{v}")?,
+                DagNode::Not(x) => {
+                    f.write_str("¬(")?;
+                    stack.push(Tok::Lit(")"));
+                    stack.push(Tok::Node(*x));
                 }
-                write!(f, ")")
-            }
-            Formula::Or(xs) => {
-                write!(f, "(")?;
-                for (i, x) in xs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, " ∨ ")?;
+                DagNode::And(r) | DagNode::Or(r) => {
+                    let sep = if matches!(&dag.nodes[ix as usize], DagNode::And(_)) {
+                        " ∧ "
+                    } else {
+                        " ∨ "
+                    };
+                    f.write_str("(")?;
+                    stack.push(Tok::Lit(")"));
+                    for (k, &x) in dag.ops(r).iter().enumerate().rev() {
+                        stack.push(Tok::Node(x));
+                        if k > 0 {
+                            stack.push(Tok::Lit(sep));
+                        }
                     }
-                    write!(f, "{x}")?;
                 }
-                write!(f, ")")
-            }
+            },
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -297,7 +448,7 @@ mod tests {
         assert_eq!(comp_fm(v(1), Formula::FALSE, BoolOp::Or), v(1));
         // (c3) two formulas — structure retained.
         let f = comp_fm(v(1), v(2), BoolOp::And);
-        assert!(matches!(f, Formula::And(_)));
+        assert!(matches!(f.node(), FormulaNode::And(_)));
         // NEG ignores the second operand.
         assert_eq!(comp_fm(Formula::TRUE, v(9), BoolOp::Neg), Formula::FALSE);
     }
@@ -305,11 +456,28 @@ mod tests {
     #[test]
     fn nary_flattening() {
         let f = Formula::and(Formula::and(v(1), v(2)), v(3));
-        let Formula::And(xs) = &f else { panic!("{f}") };
+        let FormulaNode::And(xs) = f.node() else {
+            panic!("{f}")
+        };
         assert_eq!(xs.len(), 3);
         let g = Formula::or(v(1), Formula::or(v(2), v(3)));
-        let Formula::Or(xs) = &g else { panic!("{g}") };
+        let FormulaNode::Or(xs) = g.node() else {
+            panic!("{g}")
+        };
         assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn hash_consing_makes_equality_id_equality() {
+        // The same formula built twice, in different operand order, is
+        // the same arena node.
+        let a = Formula::and(Formula::or(v(1), v(2)), v(3).not());
+        let b = Formula::and(v(3).not(), Formula::or(v(2), v(1)));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        // Duplicate operands collapse.
+        assert_eq!(Formula::and(v(1), v(1)), v(1));
+        assert_eq!(Formula::any([v(2), v(1), v(2)]), Formula::or(v(1), v(2)));
     }
 
     #[test]
@@ -324,6 +492,8 @@ mod tests {
         assert_eq!(Formula::all(vec![]), Formula::TRUE);
         assert_eq!(Formula::any(vec![Formula::FALSE, v(2)]), v(2));
         assert_eq!(Formula::all(vec![Formula::TRUE, v(2)]), v(2));
+        assert_eq!(Formula::any(vec![v(1), Formula::TRUE]), Formula::TRUE);
+        assert_eq!(Formula::all(vec![v(1), Formula::FALSE]), Formula::FALSE);
     }
 
     #[test]
@@ -331,6 +501,15 @@ mod tests {
         let f = Formula::and(Formula::or(v(1), v(2)), v(3).not());
         let vs = f.vars();
         assert_eq!(vs.len(), 3);
+    }
+
+    #[test]
+    fn closed_without_materializing_vars() {
+        assert!(Formula::TRUE.closed());
+        assert!(!v(1).closed());
+        assert!(!Formula::or(v(1), v(2)).closed());
+        assert!(v(1).has_free_vars());
+        assert!(!Formula::FALSE.has_free_vars());
     }
 
     #[test]
@@ -356,6 +535,14 @@ mod tests {
     }
 
     #[test]
+    fn substitute_all_shares_one_memo() {
+        let fs = [Formula::or(v(1), v(2)), Formula::and(v(1), v(2)), v(1)];
+        let out =
+            Formula::substitute_all(&fs, &|var: Var| Some(Formula::constant(var.frag.0 == 1)));
+        assert_eq!(out, vec![Formula::TRUE, Formula::FALSE, Formula::TRUE]);
+    }
+
+    #[test]
     fn eval_total_assignment() {
         let f = Formula::and(v(1), v(2).not());
         assert!(f.eval(&|var: Var| var.frag.0 == 1));
@@ -363,17 +550,45 @@ mod tests {
     }
 
     #[test]
-    fn size_counts_nodes() {
+    fn size_counts_tree_expansion_nodes() {
         assert_eq!(Formula::TRUE.size(), 1);
         assert_eq!(v(1).size(), 1);
         assert_eq!(Formula::and(v(1), v(2)).size(), 3);
         assert_eq!(Formula::and(v(1), v(2)).not().size(), 4);
+        // Shared subformulas count once per occurrence:
+        // And[¬(v1∨v2), (v1∨v2∨v3)] — the second Or flattens.
+        let shared = Formula::or(v(1), v(2));
+        let f = Formula::and(shared.not(), Formula::or(shared, v(3)));
+        assert_eq!(f.size(), 1 + (1 + 3) + 4);
     }
 
     #[test]
     fn display_uses_paper_notation() {
         let f = Formula::or(v(1), v(2).not());
-        assert_eq!(f.to_string(), "(x1@F1 ∨ ¬(x1@F2))");
+        let s = f.to_string();
+        // Operand order is canonical (by arena id), so accept either.
+        assert!(
+            s == "(x1@F1 ∨ ¬(x1@F2))" || s == "(¬(x1@F2) ∨ x1@F1)",
+            "{s}"
+        );
         assert_eq!(Formula::TRUE.to_string(), "1");
+        assert_eq!(v(1).not().to_string(), "¬(x1@F1)");
+    }
+
+    #[test]
+    fn substitution_with_open_replacements() {
+        // Replacement formulas may themselves be open.
+        let f = Formula::and(v(1), v(2));
+        let g = f.substitute(&|var: Var| (var.frag.0 == 1).then(|| Formula::or(v(3), v(4))));
+        assert_eq!(g, Formula::all([Formula::or(v(3), v(4)), v(2)]));
+    }
+
+    #[test]
+    fn arena_stats_monotone() {
+        let before = Formula::arena_stats();
+        let _ = Formula::any((0..16).map(v));
+        let after = Formula::arena_stats();
+        assert!(after.nodes >= before.nodes);
+        assert!(after.operand_slots >= before.operand_slots);
     }
 }

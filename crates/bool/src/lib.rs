@@ -46,15 +46,19 @@
 //! assert!(solved[&f0].v[0]);
 //! ```
 
+mod arena;
 mod encode;
 mod formula;
+pub mod reference;
 mod triplet;
 mod var;
 
 pub use encode::{
-    decode_formula, decode_site_envelope, decode_triplet, encode_formula, encode_site_envelope,
-    encode_triplet, site_envelope_wire_size, triplet_wire_size, DecodeError,
+    decode_formula, decode_formula_dag, decode_site_envelope, decode_site_envelope_dag,
+    decode_triplet, decode_triplet_dag, encode_formula, encode_formula_dag, encode_site_envelope,
+    encode_site_envelope_dag, encode_triplet, encode_triplet_dag, site_envelope_dag_wire_size,
+    site_envelope_wire_size, triplet_dag_wire_size, triplet_wire_size, DecodeError,
 };
-pub use formula::{comp_fm, BoolOp, Formula};
+pub use formula::{comp_fm, ArenaStats, BoolOp, Formula, FormulaId, FormulaNode};
 pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet};
 pub use var::{Var, VecKind};

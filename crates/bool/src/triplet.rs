@@ -21,7 +21,12 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// The `(V, CV, DV)` triplet computed for one fragment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Entries are arena [`Formula`] handles, so triplet equality and
+/// hashing reduce to `O(1)` id comparisons per entry — `Triplet` values
+/// are therefore cheap, stable cache keys (the serving engine's
+/// content-dedup and projection memos rely on this).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Triplet {
     /// Sub-query values at the fragment root.
     pub v: Vec<Formula>,
@@ -44,16 +49,15 @@ impl Triplet {
     /// The triplet of *fresh variables* introduced at a virtual node for
     /// sub-fragment `frag`: `x_i`, `cx_i`, `dx_i` for every sub-query.
     pub fn fresh_vars(frag: FragmentId, len: usize) -> Triplet {
-        let mk = |vec: VecKind| {
-            (0..len as u32)
-                .map(|i| Formula::Var(Var::new(frag, vec, i)))
-                .collect()
-        };
-        Triplet {
-            v: mk(VecKind::V),
-            cv: mk(VecKind::CV),
-            dv: mk(VecKind::DV),
-        }
+        // One locked batch for all 3·len variables (Formula::var_many).
+        let mut all = Formula::var_many(
+            VecKind::ALL
+                .iter()
+                .flat_map(|&vec| (0..len as u32).map(move |i| Var::new(frag, vec, i))),
+        );
+        let dv = all.split_off(2 * len);
+        let cv = all.split_off(len);
+        Triplet { v: all, cv, dv }
     }
 
     /// Width (must equal `|QList(q)|`).
@@ -87,7 +91,9 @@ impl Triplet {
             .sum()
     }
 
-    /// True when no entry references a variable.
+    /// True when no entry references a variable. `O(1)` per entry: a
+    /// canonical variable-free formula is a constant, so this checks ids
+    /// against the two constant ids — no variable set is materialized.
     pub fn is_closed(&self) -> bool {
         self.v
             .iter()
@@ -96,16 +102,27 @@ impl Triplet {
             .all(|f| f.is_const())
     }
 
-    /// Substitutes every entry, re-simplifying.
+    /// Substitutes every entry, re-simplifying. All `3·|QList|` entries
+    /// share one DAG snapshot and one memo table
+    /// ([`Formula::substitute_all`]): each distinct subformula is
+    /// rebuilt once per triplet, not once per occurrence — this is the
+    /// per-fragment memo table of the solver's `evalST` pass.
     pub fn substitute<F>(&self, lookup: &F) -> Triplet
     where
         F: Fn(Var) -> Option<Formula>,
     {
-        Triplet {
-            v: self.v.iter().map(|f| f.substitute(lookup)).collect(),
-            cv: self.cv.iter().map(|f| f.substitute(lookup)).collect(),
-            dv: self.dv.iter().map(|f| f.substitute(lookup)).collect(),
-        }
+        let m = self.len();
+        let roots: Vec<Formula> = self
+            .v
+            .iter()
+            .chain(&self.cv)
+            .chain(&self.dv)
+            .copied()
+            .collect();
+        let mut out = Formula::substitute_all(&roots, lookup);
+        let dv = out.split_off(2 * m);
+        let cv = out.split_off(m);
+        Triplet { v: out, cv, dv }
     }
 
     /// Converts to plain Booleans; `None` if any entry is still open.
@@ -242,7 +259,7 @@ impl EquationSystem {
             let substituted = triplet.substitute(&|var: Var| {
                 resolved
                     .get(&var.frag)
-                    .map(|r| Formula::Const(r.value_of(var)))
+                    .map(|r| Formula::constant(r.value_of(var)))
             });
             let closed = substituted
                 .resolved()
@@ -266,8 +283,8 @@ mod tests {
         let t = Triplet::fresh_vars(fid(2), 4);
         assert_eq!(t.len(), 4);
         assert!(!t.is_closed());
-        assert_eq!(t.v[3], Formula::Var(Var::new(fid(2), VecKind::V, 3)));
-        assert_eq!(t.dv[0], Formula::Var(Var::new(fid(2), VecKind::DV, 0)));
+        assert_eq!(t.v[3], Formula::var(Var::new(fid(2), VecKind::V, 3)));
+        assert_eq!(t.dv[0], Formula::var(Var::new(fid(2), VecKind::DV, 0)));
     }
 
     #[test]
@@ -290,12 +307,12 @@ mod tests {
         // F0's answer = dy ∨ dz where dy is DV of F1, dz is DV of F3;
         // F1's DV = dx (DV of F2); F2 resolves to 1; F3 resolves to 0.
         let w = 1;
-        let dvar = |frag: u32| Formula::Var(Var::new(fid(frag), VecKind::DV, 0));
+        let dvar = |frag: u32| Formula::var(Var::new(fid(frag), VecKind::DV, 0));
 
         let mut sys = EquationSystem::new();
         let mut f0 = Triplet::all_false(w);
         f0.v[0] = Formula::or(dvar(1), dvar(3));
-        f0.dv[0] = f0.v[0].clone();
+        f0.dv[0] = f0.v[0];
         sys.insert(fid(0), f0);
 
         let mut f1 = Triplet::all_false(w);
@@ -321,7 +338,7 @@ mod tests {
     fn solve_detects_missing_fragment() {
         let mut sys = EquationSystem::new();
         let mut f0 = Triplet::all_false(1);
-        f0.v[0] = Formula::Var(Var::new(fid(9), VecKind::V, 0));
+        f0.v[0] = Formula::var(Var::new(fid(9), VecKind::V, 0));
         sys.insert(fid(0), f0);
         // Order never supplies F9's triplet.
         let err = sys.solve(&[fid(0)]).unwrap_err();
@@ -334,7 +351,7 @@ mod tests {
     fn substitute_simplifies_entries() {
         let mut t = Triplet::all_false(2);
         let x = Var::new(fid(1), VecKind::V, 0);
-        t.v[0] = Formula::or(Formula::Var(x), Formula::FALSE);
+        t.v[0] = Formula::or(Formula::var(x), Formula::FALSE);
         let s = t.substitute(&|var| (var == x).then_some(Formula::TRUE));
         assert_eq!(s.v[0], Formula::TRUE);
         assert!(s.is_closed());

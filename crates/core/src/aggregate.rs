@@ -23,7 +23,7 @@
 
 use crate::algorithms::query_wire_size;
 use crate::eval::bottom_up;
-use parbox_bool::{triplet_wire_size, EquationSystem, Formula, Var};
+use parbox_bool::{triplet_dag_wire_size, EquationSystem, Formula, Var};
 use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
 use parbox_query::{CompiledQuery, Op};
 use parbox_xml::{FragmentId, NodeId, Tree};
@@ -135,7 +135,7 @@ fn aggregate_distributed(
         for (frag, frun, residual) in run.output {
             report.record_work(run.site, 2 * frun.work_units);
             if run.site != coord {
-                let bytes = triplet_wire_size(&frun.triplet) + residual.wire_size();
+                let bytes = triplet_dag_wire_size(&frun.triplet) + residual.wire_size();
                 report.record_message(run.site, coord, bytes, MessageKind::Triplet);
             }
             sys.insert(frag, frun.triplet);
@@ -191,33 +191,33 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
     };
 
     // Postorder traversal with formula vectors, mirroring `bottomUp` but
-    // inspecting V(q_root) at every node.
+    // inspecting V(q_root) at every node. Child accumulation is buffered
+    // like `bottomUp`'s: one n-ary intern per entry at node completion,
+    // O(fan-out) operand slots instead of O(fan-out²).
     struct Frame {
         node: NodeId,
         child_idx: usize,
-        cv: Vec<Formula>,
-        dv: Vec<Formula>,
+        cv_ops: Vec<Vec<Formula>>,
+        dv_ops: Vec<Vec<Formula>>,
     }
-    let mk = |m: usize| vec![Formula::FALSE; m];
+    let mk = |m: usize| vec![Vec::new(); m];
     let mut stack = vec![Frame {
         node: tree.root(),
         child_idx: 0,
-        cv: mk(m),
-        dv: mk(m),
+        cv_ops: mk(m),
+        dv_ops: mk(m),
     }];
     let mut done: Option<(Vec<Formula>, Vec<Formula>)> = None;
     loop {
         let frame = stack.last_mut().expect("non-empty until break");
         if let Some((v_w, dv_w)) = done.take() {
             for i in 0..m {
-                frame.cv[i] = Formula::or(
-                    std::mem::replace(&mut frame.cv[i], Formula::FALSE),
-                    v_w[i].clone(),
-                );
-                frame.dv[i] = Formula::or(
-                    std::mem::replace(&mut frame.dv[i], Formula::FALSE),
-                    dv_w[i].clone(),
-                );
+                if v_w[i] != Formula::FALSE {
+                    frame.cv_ops[i].push(v_w[i]);
+                }
+                if dv_w[i] != Formula::FALSE {
+                    frame.dv_ops[i].push(dv_w[i]);
+                }
             }
         }
         let kids = tree.node(frame.node).child_ids();
@@ -227,35 +227,41 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
             stack.push(Frame {
                 node: child,
                 child_idx: 0,
-                cv: mk(m),
-                dv: mk(m),
+                cv_ops: mk(m),
+                dv_ops: mk(m),
             });
             continue;
         }
         let Frame {
-            node, cv, mut dv, ..
+            node,
+            cv_ops,
+            dv_ops,
+            ..
         } = stack.pop().expect("peeked");
         let n = tree.node(node);
-        let v: Vec<Formula> = if let Some(frag) = n.kind.fragment() {
+        let (v, dv): (Vec<Formula>, Vec<Formula>) = if let Some(frag) = n.kind.fragment() {
             // Sub-fragment: its nodes are counted by its own residual.
             out.children.push(frag);
             let t = parbox_bool::Triplet::fresh_vars(frag, m);
-            dv = t.dv;
-            t.v
+            (t.v, t.dv)
         } else {
+            let cv: Vec<Formula> = cv_ops.into_iter().map(Formula::any).collect();
+            let mut dv: Vec<Formula> = Vec::with_capacity(m);
             let mut v: Vec<Formula> = Vec::with_capacity(m);
             for (i, op) in resolved_q.ops.iter().enumerate() {
                 let value = match op {
                     Op::True => Formula::TRUE,
-                    Op::LabelIs(l) => Formula::Const(Some(n.label) == *l),
-                    Op::TextIs(s) => Formula::Const(n.text.as_deref() == Some(s.as_ref())),
-                    Op::Child(j) => cv[*j as usize].clone(),
-                    Op::Desc(j) => dv[*j as usize].clone(),
-                    Op::Or(a, b) => Formula::or(v[*a as usize].clone(), v[*b as usize].clone()),
-                    Op::And(a, b) => Formula::and(v[*a as usize].clone(), v[*b as usize].clone()),
-                    Op::Not(a) => v[*a as usize].clone().not(),
+                    Op::LabelIs(l) => Formula::constant(Some(n.label) == *l),
+                    Op::TextIs(s) => Formula::constant(n.text.as_deref() == Some(s.as_ref())),
+                    Op::Child(j) => cv[*j as usize],
+                    Op::Desc(j) => dv[*j as usize],
+                    Op::Or(a, b) => Formula::or(v[*a as usize], v[*b as usize]),
+                    Op::And(a, b) => Formula::and(v[*a as usize], v[*b as usize]),
+                    Op::Not(a) => v[*a as usize].not(),
                 };
-                dv[i] = Formula::or(value.clone(), std::mem::replace(&mut dv[i], Formula::FALSE));
+                dv.push(Formula::any(
+                    dv_ops[i].iter().copied().chain(std::iter::once(value)),
+                ));
                 v.push(value);
             }
             // This node's contribution.
@@ -271,10 +277,10 @@ fn aggregate_fragment(tree: &Tree, q: &CompiledQuery, kind: AggKind) -> Residual
                 match v[root_sub].as_const() {
                     Some(true) => out.resolved += weight,
                     Some(false) => {}
-                    None => out.pending.push((v[root_sub].clone(), weight)),
+                    None => out.pending.push((v[root_sub], weight)),
                 }
             }
-            v
+            (v, dv)
         };
         if stack.is_empty() {
             break;

@@ -23,7 +23,7 @@
 
 use crate::algorithms::query_wire_size;
 use crate::eval::bottom_up;
-use parbox_bool::{site_envelope_wire_size, EquationSystem, Triplet};
+use parbox_bool::{site_envelope_dag_wire_size, EquationSystem, Triplet};
 use parbox_net::{run_sites_parallel, BatchRound, Cluster, RunReport};
 use parbox_query::QueryBatch;
 use parbox_xml::FragmentId;
@@ -84,7 +84,7 @@ pub fn run_batch(cluster: &Cluster<'_>, batch: &QueryBatch) -> BatchOutcome {
             .iter()
             .map(|(f, frun)| (*f, &frun.triplet))
             .collect();
-        let bytes = site_envelope_wire_size(&entries);
+        let bytes = site_envelope_dag_wire_size(&entries);
         round.reply(run.site, bytes).expect("site was visited");
         if run.site != coord {
             remote_envelope_bytes.push(bytes);

@@ -80,7 +80,7 @@ pub fn full_dist_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome
             .substitute(&|var: Var| {
                 resolved
                     .get(&var.frag)
-                    .map(|r| Formula::Const(r.value_of(var)))
+                    .map(|r| Formula::constant(r.value_of(var)))
             })
             .resolved()
             .expect("children resolved in postorder");

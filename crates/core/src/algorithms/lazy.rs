@@ -12,7 +12,7 @@
 
 use crate::algorithms::{query_wire_size, EvalOutcome};
 use crate::eval::bottom_up;
-use parbox_bool::{triplet_wire_size, Triplet, Var};
+use parbox_bool::{triplet_dag_wire_size, Triplet, Var};
 use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
 use parbox_query::CompiledQuery;
 use parbox_xml::FragmentId;
@@ -68,7 +68,7 @@ pub fn lazy_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
             step_compute = step_compute.max(run.elapsed.as_secs_f64());
             for (frag, frun) in run.output {
                 report.record_work(run.site, frun.work_units);
-                let bytes = triplet_wire_size(&frun.triplet);
+                let bytes = triplet_dag_wire_size(&frun.triplet);
                 if run.site != coord {
                     report.record_message(run.site, coord, bytes, MessageKind::Triplet);
                     step_bytes.push(bytes);
@@ -125,7 +125,7 @@ pub(crate) fn partial_solve(
         let sub = t.substitute(&|var: Var| {
             partial
                 .get(&var.frag)
-                .map(|pt| pt.get(var.vec)[var.sub as usize].clone())
+                .map(|pt| pt.get(var.vec)[var.sub as usize])
         });
         partial.insert(frag, sub);
     }

@@ -22,7 +22,7 @@ pub use self::lazy::lazy_parbox;
 pub use self::naive::{naive_centralized, naive_distributed};
 pub use self::parbox_algo::parbox;
 
-use parbox_bool::{triplet_wire_size, Triplet};
+use parbox_bool::{triplet_dag_wire_size, Triplet};
 use parbox_net::{Cluster, RunReport};
 use parbox_query::{CompiledQuery, SubQuery};
 
@@ -54,15 +54,23 @@ pub fn query_wire_size(q: &CompiledQuery) -> usize {
         + 4 // root id
 }
 
-/// Wire size of a *resolved* (constant) triplet: three length-prefixed
-/// vectors of 1-byte constants.
+/// Wire size of a *resolved* (constant) triplet, in the same DAG format
+/// every other triplet message is accounted in (mixing formats would
+/// skew cross-algorithm traffic comparisons): a worst-case two-entry
+/// constant node table plus three rows of `width` node references.
 pub fn resolved_triplet_wire_size(width: usize) -> usize {
-    3 * (4 + width)
+    let mut t = Triplet::all_false(width);
+    if width > 0 {
+        // Force both constants into the table (the worst case).
+        t.v[0] = parbox_bool::Formula::TRUE;
+    }
+    triplet_dag_wire_size(&t)
 }
 
-/// Convenience: wire size of a (possibly open) triplet.
+/// Convenience: wire size of a (possibly open) triplet in the DAG
+/// format the algorithms account traffic in.
 pub fn open_triplet_wire_size(t: &Triplet) -> usize {
-    triplet_wire_size(t)
+    triplet_dag_wire_size(t)
 }
 
 /// Extracts the final answer from the root fragment's resolved `V`
@@ -91,7 +99,12 @@ mod tests {
 
     #[test]
     fn resolved_triplet_size_is_linear_in_width() {
-        assert_eq!(resolved_triplet_wire_size(8), 3 * 12);
+        // DAG format: 3-byte constant table + three rows of (len + refs).
+        assert_eq!(resolved_triplet_wire_size(8), 6 + 3 * 8);
         assert!(resolved_triplet_wire_size(23) > resolved_triplet_wire_size(2));
+        // Matches the honest encoding of an actual resolved triplet.
+        let mut t = Triplet::all_false(5);
+        t.dv[3] = parbox_bool::Formula::TRUE;
+        assert_eq!(resolved_triplet_wire_size(5), triplet_dag_wire_size(&t));
     }
 }

@@ -94,7 +94,7 @@ pub fn naive_distributed(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcom
             .substitute(&|var: Var| {
                 resolved
                     .get(&var.frag)
-                    .map(|r| Formula::Const(r.value_of(var)))
+                    .map(|r| Formula::constant(r.value_of(var)))
             })
             .resolved()
             .expect("postorder guarantees children resolved");

@@ -17,7 +17,7 @@
 
 use crate::algorithms::{answer_from_resolved, query_wire_size, EvalOutcome};
 use crate::eval::bottom_up;
-use parbox_bool::{triplet_wire_size, EquationSystem};
+use parbox_bool::{triplet_dag_wire_size, EquationSystem};
 use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
 use parbox_query::CompiledQuery;
 use parbox_xml::FragmentId;
@@ -56,7 +56,7 @@ pub fn parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
         max_compute = max_compute.max(run.elapsed.as_secs_f64());
         for (frag, frun) in run.output {
             report.record_work(run.site, frun.work_units);
-            let bytes = triplet_wire_size(&frun.triplet);
+            let bytes = triplet_dag_wire_size(&frun.triplet);
             if run.site != coord {
                 report.record_message(run.site, coord, bytes, MessageKind::Triplet);
                 remote_triplet_bytes.push(bytes);

@@ -10,7 +10,13 @@
 //!
 //! Like the paper's procedure, the implementation maintains only two
 //! vector triplets at a time per live ancestor (current accumulation +
-//! completed child), not one per node.
+//! completed child), not one per node. Child accumulation is **buffered**:
+//! each live frame collects per-sub-query operand lists and interns one
+//! n-ary `Or` per entry when the node completes, so fan-out `k` costs
+//! `O(k)` operand slots instead of the `O(k²)` a pairwise
+//! re-flattening accumulation pays (see the `wide_fanout_*` regression
+//! tests). The seed implementation, with the original accumulation, is
+//! preserved in [`crate::eval::reference`] as the `expD` baseline.
 
 use parbox_bool::{Formula, Triplet};
 use parbox_query::{CompiledQuery, Op, ResolvedQuery};
@@ -43,7 +49,9 @@ pub fn bottom_up(tree: &Tree, q: &CompiledQuery) -> FragmentRun {
     if !spine[root.index()] {
         let (v, cv, dv, nodes) = crate::eval::centralized::eval_vectors_at(tree, &resolved, root);
         let to_vec = |b: &crate::eval::bitset::BitSet| {
-            (0..m).map(|i| Formula::Const(b.get(i))).collect::<Vec<_>>()
+            (0..m)
+                .map(|i| Formula::constant(b.get(i)))
+                .collect::<Vec<_>>()
         };
         return FragmentRun {
             triplet: Triplet {
@@ -117,8 +125,11 @@ struct FormulaEvaluator<'a> {
 struct Frame {
     node: NodeId,
     child_idx: usize,
-    cv: Vec<Formula>,
-    dv: Vec<Formula>,
+    /// Per sub-query: `V_w(qi)` of each completed child `w` (lines 3–5's
+    /// `CV_v(qi) |= V_w(qi)`, deferred to one n-ary intern at pop).
+    cv_ops: Vec<Vec<Formula>>,
+    /// Per sub-query: `DV_w(qi)` of each completed child.
+    dv_ops: Vec<Vec<Formula>>,
 }
 
 type Vectors = (Vec<Formula>, Vec<Formula>, Vec<Formula>);
@@ -128,8 +139,8 @@ impl<'a> FormulaEvaluator<'a> {
         Frame {
             node,
             child_idx: 0,
-            cv: vec![Formula::FALSE; self.m],
-            dv: vec![Formula::FALSE; self.m],
+            cv_ops: vec![Vec::new(); self.m],
+            dv_ops: vec![Vec::new(); self.m],
         }
     }
 
@@ -141,10 +152,18 @@ impl<'a> FormulaEvaluator<'a> {
         loop {
             let frame = stack.last_mut().expect("non-empty until return");
             if let Some((v_w, dv_w)) = done.take() {
-                // Lines 3–5: CV_v(qi) |= V_w(qi); DV_v(qi) |= DV_w(qi).
+                // Lines 3–5: buffer the child's vectors; the disjunction
+                // is interned once when this frame pops. `false` operands
+                // would be dropped by the n-ary constructor anyway — skip
+                // them here so buffers stay proportional to the number of
+                // *contributing* children.
                 for i in 0..self.m {
-                    frame.cv[i] = Formula::or(take(&mut frame.cv[i]), v_w[i].clone());
-                    frame.dv[i] = Formula::or(take(&mut frame.dv[i]), dv_w[i].clone());
+                    if v_w[i] != Formula::FALSE {
+                        frame.cv_ops[i].push(v_w[i]);
+                    }
+                    if dv_w[i] != Formula::FALSE {
+                        frame.dv_ops[i].push(dv_w[i]);
+                    }
                 }
             }
             let kids = self.tree.node(frame.node).child_ids();
@@ -157,7 +176,9 @@ impl<'a> FormulaEvaluator<'a> {
                         crate::eval::centralized::eval_vectors_at(self.tree, self.q, child);
                     self.nodes += nodes;
                     let to_vec = |b: &crate::eval::bitset::BitSet, m: usize| {
-                        (0..m).map(|i| Formula::Const(b.get(i))).collect::<Vec<_>>()
+                        (0..m)
+                            .map(|i| Formula::constant(b.get(i)))
+                            .collect::<Vec<_>>()
                     };
                     done = Some((to_vec(&v, self.m), to_vec(&dv, self.m)));
                     continue;
@@ -176,30 +197,40 @@ impl<'a> FormulaEvaluator<'a> {
     }
 
     /// Computes `V` at a node (lines 6–17), or introduces fresh variables
-    /// at a virtual node.
+    /// at a virtual node. The buffered child operands are interned here —
+    /// one n-ary `Or` per sub-query entry.
     fn compute_node(&mut self, frame: Frame) -> Vectors {
         self.nodes += 1;
         let Frame {
-            node, cv, mut dv, ..
+            node,
+            cv_ops,
+            dv_ops,
+            ..
         } = frame;
         let n = self.tree.node(node);
         if let Some(frag) = n.kind.fragment() {
             return self.virtual_vectors(frag);
         }
+        let cv: Vec<Formula> = cv_ops.into_iter().map(Formula::any).collect();
+        let mut dv: Vec<Formula> = Vec::with_capacity(self.m);
         let mut v: Vec<Formula> = Vec::with_capacity(self.m);
         for (i, op) in self.q.ops.iter().enumerate() {
             let value = match op {
                 Op::True => Formula::TRUE,
-                Op::LabelIs(l) => Formula::Const(Some(n.label) == *l),
-                Op::TextIs(s) => Formula::Const(n.text.as_deref() == Some(s.as_ref())),
-                Op::Child(j) => cv[*j as usize].clone(),
-                Op::Desc(j) => dv[*j as usize].clone(),
-                Op::Or(a, b) => Formula::or(v[*a as usize].clone(), v[*b as usize].clone()),
-                Op::And(a, b) => Formula::and(v[*a as usize].clone(), v[*b as usize].clone()),
-                Op::Not(a) => v[*a as usize].clone().not(),
+                Op::LabelIs(l) => Formula::constant(Some(n.label) == *l),
+                Op::TextIs(s) => Formula::constant(n.text.as_deref() == Some(s.as_ref())),
+                Op::Child(j) => cv[*j as usize],
+                // Sub-queries are topologically numbered, so `j < i` and
+                // `dv[j]` is already finalized (includes `V` at this node).
+                Op::Desc(j) => dv[*j as usize],
+                Op::Or(a, b) => Formula::or(v[*a as usize], v[*b as usize]),
+                Op::And(a, b) => Formula::and(v[*a as usize], v[*b as usize]),
+                Op::Not(a) => v[*a as usize].not(),
             };
-            // Line 17: DV_v(qi) := V_v(qi) ∨ DV_v(qi).
-            dv[i] = Formula::or(value.clone(), take(&mut dv[i]));
+            // Line 17: DV_v(qi) := V_v(qi) ∨ ⋁_w DV_w(qi), one intern.
+            dv.push(Formula::any(
+                dv_ops[i].iter().copied().chain(std::iter::once(value)),
+            ));
             v.push(value);
         }
         (v, cv, dv)
@@ -215,14 +246,6 @@ impl<'a> FormulaEvaluator<'a> {
         let t = Triplet::fresh_vars(frag, self.m);
         (t.v, t.cv, t.dv)
     }
-}
-
-/// Moves a formula out of a slot, leaving `false` (always immediately
-/// overwritten). `std::mem::take` requires `Default`, which `Formula`
-/// deliberately does not implement.
-#[inline]
-fn take(f: &mut Formula) -> Formula {
-    std::mem::replace(f, Formula::FALSE)
 }
 
 #[cfg(test)]
@@ -344,5 +367,67 @@ mod tests {
         // Child accumulation uses V vars; descendant accumulation uses DV.
         assert!(kinds.contains(&VecKind::V));
         assert!(kinds.contains(&VecKind::DV));
+    }
+
+    /// Builds a fragment whose root has `fanout` virtual children — the
+    /// widest possible formula-path node.
+    fn wide_fanout_tree(fanout: u32) -> Tree {
+        let mut xml = String::from("<hub>");
+        for i in 0..fanout {
+            xml.push_str(&format!(r#"<parbox:virtual ref="{}"/>"#, i + 1));
+        }
+        xml.push_str("</hub>");
+        Tree::parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn wide_fanout_accumulation_is_linear() {
+        // Regression for the O(k²) child-accumulation: evaluating a node
+        // with 10 000 virtual children must write O(k) operand slots into
+        // the arena, not O(k²). The seed accumulation would copy
+        // ~k²/2 ≈ 5·10⁷ operands per sub-query and time out here.
+        let fanout = 10_000u32;
+        let tree = wide_fanout_tree(fanout);
+        let compiled = compile(&parse_query("[//b]").unwrap());
+        let before = Formula::arena_stats();
+        let run = bottom_up(&tree, &compiled);
+        let after = Formula::arena_stats();
+        assert!(!run.triplet.is_closed());
+        let slots = after.operand_slots - before.operand_slots;
+        // Linear bound: a handful of n-ary nodes per sub-query, each with
+        // ≤ fanout operands. 8·k is generous; k²/2 would be 5·10⁷.
+        assert!(
+            slots <= 8 * u64::from(fanout) * compiled.len() as u64,
+            "operand slots {slots} not linear in fan-out {fanout}"
+        );
+        // And the result is the expected wide disjunction: every child
+        // fragment is referenced.
+        let root = compiled.root() as usize;
+        let frags: std::collections::BTreeSet<FragmentId> = run.triplet.dv[root]
+            .vars()
+            .into_iter()
+            .map(|v| v.frag)
+            .collect();
+        assert_eq!(frags.len(), fanout as usize);
+    }
+
+    #[test]
+    fn wide_fanout_matches_reference_semantics() {
+        // The buffered accumulation must agree with the seed evaluator
+        // entry by entry (here: after closing both with the same
+        // assignment).
+        let tree = wide_fanout_tree(64);
+        let compiled = compile(&parse_query("[//b or */c]").unwrap());
+        let run = bottom_up(&tree, &compiled);
+        let ref_run = crate::eval::reference::bottom_up_reference(&tree, &compiled);
+        assert_eq!(run.work_units, ref_run.work_units);
+        let assign = |v: parbox_bool::Var| (v.frag.0 + v.sub).is_multiple_of(3);
+        let close = run
+            .triplet
+            .substitute(&|v| Some(Formula::constant(assign(v))));
+        let ref_close = ref_run
+            .triplet
+            .substitute(&|v| Some(parbox_bool::reference::RefFormula::Const(assign(v))));
+        assert_eq!(close.resolved(), ref_close.resolved());
     }
 }

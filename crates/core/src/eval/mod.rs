@@ -4,6 +4,8 @@
 pub(crate) mod bitset;
 pub mod bottom_up;
 pub mod centralized;
+pub mod reference;
 
 pub use bottom_up::{bottom_up, bottom_up_formula_only, FragmentRun};
 pub use centralized::{centralized_eval, centralized_eval_counted, CentralizedRun};
+pub use reference::{bottom_up_reference, RefFragmentRun};

@@ -1,0 +1,232 @@
+//! The **seed** `bottomUp` evaluator, preserved over
+//! [`parbox_bool::reference::RefFormula`] trees with the original
+//! pairwise child accumulation — the differential-testing oracle and the
+//! baseline the `expD` experiment measures the hash-consed arena against.
+//!
+//! This is a line-for-line port of the pre-arena implementation: the
+//! accumulation loop re-flattens the growing n-ary `Or` once per child
+//! (`O(k²)` over fan-out `k`), and every composition allocates a fresh
+//! `Vec` + `Arc<[..]>`. Production callers use
+//! [`crate::eval::bottom_up()`]; nothing outside tests and benchmarks
+//! should call into this module.
+
+use parbox_bool::reference::{RefFormula, RefTriplet};
+use parbox_query::{CompiledQuery, Op, ResolvedQuery};
+use parbox_xml::{FragmentId, NodeId, Tree};
+
+/// Result of partially evaluating one fragment in the seed
+/// representation.
+#[derive(Debug, Clone)]
+pub struct RefFragmentRun {
+    /// The computed `(V, CV, DV)` triplet for the fragment root.
+    pub triplet: RefTriplet,
+    /// Work units: `nodes visited × |QList|` (identical accounting to
+    /// [`crate::eval::bottom_up()`]).
+    pub work_units: u64,
+}
+
+/// Seed-representation `bottomUp` (same spine fast path, original
+/// formula kernel).
+pub fn bottom_up_reference(tree: &Tree, q: &CompiledQuery) -> RefFragmentRun {
+    let resolved = q.resolve(tree.labels());
+    let m = resolved.len();
+    let root = tree.root();
+    let spine = compute_spine(tree, root);
+    if !spine[root.index()] {
+        let (v, cv, dv, nodes) = crate::eval::centralized::eval_vectors_at(tree, &resolved, root);
+        let to_vec = |b: &crate::eval::bitset::BitSet| {
+            (0..m)
+                .map(|i| RefFormula::Const(b.get(i)))
+                .collect::<Vec<_>>()
+        };
+        return RefFragmentRun {
+            triplet: RefTriplet {
+                v: to_vec(&v),
+                cv: to_vec(&cv),
+                dv: to_vec(&dv),
+            },
+            work_units: nodes * m as u64,
+        };
+    }
+    let mut eval = RefEvaluator {
+        tree,
+        q: &resolved,
+        m,
+        nodes: 0,
+        spine: &spine,
+    };
+    let (v, cv, dv) = eval.run(root);
+    RefFragmentRun {
+        triplet: RefTriplet { v, cv, dv },
+        work_units: eval.nodes * m as u64,
+    }
+}
+
+fn compute_spine(tree: &Tree, root: NodeId) -> Vec<bool> {
+    let mut spine = vec![false; tree.arena_len()];
+    for n in tree.postorder(root) {
+        let node = tree.node(n);
+        spine[n.index()] =
+            node.kind.is_virtual() || node.child_ids().iter().any(|c| spine[c.index()]);
+    }
+    spine
+}
+
+struct RefEvaluator<'a> {
+    tree: &'a Tree,
+    q: &'a ResolvedQuery,
+    m: usize,
+    nodes: u64,
+    spine: &'a [bool],
+}
+
+struct Frame {
+    node: NodeId,
+    child_idx: usize,
+    cv: Vec<RefFormula>,
+    dv: Vec<RefFormula>,
+}
+
+type Vectors = (Vec<RefFormula>, Vec<RefFormula>, Vec<RefFormula>);
+
+impl<'a> RefEvaluator<'a> {
+    fn empty_frame(&self, node: NodeId) -> Frame {
+        Frame {
+            node,
+            child_idx: 0,
+            cv: vec![RefFormula::FALSE; self.m],
+            dv: vec![RefFormula::FALSE; self.m],
+        }
+    }
+
+    fn run(&mut self, start: NodeId) -> Vectors {
+        let mut stack = vec![self.empty_frame(start)];
+        let mut done: Option<(Vec<RefFormula>, Vec<RefFormula>)> = None;
+        loop {
+            let frame = stack.last_mut().expect("non-empty until return");
+            if let Some((v_w, dv_w)) = done.take() {
+                // The seed accumulation: one binary `or` per child, which
+                // re-flattens the accumulated n-ary node every time.
+                for i in 0..self.m {
+                    frame.cv[i] = RefFormula::or(take(&mut frame.cv[i]), v_w[i].clone());
+                    frame.dv[i] = RefFormula::or(take(&mut frame.dv[i]), dv_w[i].clone());
+                }
+            }
+            let kids = self.tree.node(frame.node).child_ids();
+            if frame.child_idx < kids.len() {
+                let child = kids[frame.child_idx];
+                frame.child_idx += 1;
+                if !self.spine[child.index()] {
+                    let (v, _cv, dv, nodes) =
+                        crate::eval::centralized::eval_vectors_at(self.tree, self.q, child);
+                    self.nodes += nodes;
+                    let to_vec = |b: &crate::eval::bitset::BitSet, m: usize| {
+                        (0..m)
+                            .map(|i| RefFormula::Const(b.get(i)))
+                            .collect::<Vec<_>>()
+                    };
+                    done = Some((to_vec(&v, self.m), to_vec(&dv, self.m)));
+                    continue;
+                }
+                let frame = self.empty_frame(child);
+                stack.push(frame);
+                continue;
+            }
+            let frame = stack.pop().expect("just peeked");
+            let (v, cv, dv) = self.compute_node(frame);
+            if stack.is_empty() {
+                return (v, cv, dv);
+            }
+            done = Some((v, dv));
+        }
+    }
+
+    fn compute_node(&mut self, frame: Frame) -> Vectors {
+        self.nodes += 1;
+        let Frame {
+            node, cv, mut dv, ..
+        } = frame;
+        let n = self.tree.node(node);
+        if let Some(frag) = n.kind.fragment() {
+            return self.virtual_vectors(frag);
+        }
+        let mut v: Vec<RefFormula> = Vec::with_capacity(self.m);
+        for (i, op) in self.q.ops.iter().enumerate() {
+            let value = match op {
+                Op::True => RefFormula::TRUE,
+                Op::LabelIs(l) => RefFormula::Const(Some(n.label) == *l),
+                Op::TextIs(s) => RefFormula::Const(n.text.as_deref() == Some(s.as_ref())),
+                Op::Child(j) => cv[*j as usize].clone(),
+                Op::Desc(j) => dv[*j as usize].clone(),
+                Op::Or(a, b) => RefFormula::or(v[*a as usize].clone(), v[*b as usize].clone()),
+                Op::And(a, b) => RefFormula::and(v[*a as usize].clone(), v[*b as usize].clone()),
+                Op::Not(a) => v[*a as usize].clone().not(),
+            };
+            dv[i] = RefFormula::or(value.clone(), take(&mut dv[i]));
+            v.push(value);
+        }
+        (v, cv, dv)
+    }
+
+    fn virtual_vectors(&self, frag: FragmentId) -> Vectors {
+        let t = RefTriplet::fresh_vars(frag, self.m);
+        (t.v, t.cv, t.dv)
+    }
+}
+
+#[inline]
+fn take(f: &mut RefFormula) -> RefFormula {
+    std::mem::replace(f, RefFormula::FALSE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_query::{compile, parse_query};
+
+    #[test]
+    fn reference_agrees_with_production_on_closed_trees() {
+        for (xml, q) in [
+            ("<a><b><c>x</c></b><d/></a>", "[//c = \"x\" and //d]"),
+            ("<a><b/><b><c/></b></a>", "[//b[c]]"),
+            ("<r><s><t/></s></r>", "[not //q or //t]"),
+        ] {
+            let tree = Tree::parse(xml).unwrap();
+            let compiled = compile(&parse_query(q).unwrap());
+            let prod = crate::eval::bottom_up(&tree, &compiled);
+            let seed = bottom_up_reference(&tree, &compiled);
+            assert_eq!(
+                prod.triplet.resolved().expect("closed"),
+                seed.triplet.resolved().expect("closed"),
+                "{xml} {q}"
+            );
+            assert_eq!(prod.work_units, seed.work_units);
+        }
+    }
+
+    #[test]
+    fn reference_agrees_on_open_fragments_under_all_small_assignments() {
+        let tree = Tree::parse(r#"<a><parbox:virtual ref="1"/><b/><parbox:virtual ref="2"/></a>"#)
+            .unwrap();
+        let compiled = compile(&parse_query("[//b and */c]").unwrap());
+        let prod = crate::eval::bottom_up(&tree, &compiled);
+        let seed = bottom_up_reference(&tree, &compiled);
+        for bits in 0..64u32 {
+            let assign = move |v: parbox_bool::Var| {
+                let h = v.frag.0 * 7 + v.sub * 3 + v.vec as u32;
+                bits & (1 << (h % 6)) != 0
+            };
+            let p = prod
+                .triplet
+                .substitute(&|v| Some(parbox_bool::Formula::constant(assign(v))))
+                .resolved()
+                .expect("closed");
+            let s = seed
+                .triplet
+                .substitute(&|v| Some(RefFormula::Const(assign(v))))
+                .resolved()
+                .expect("closed");
+            assert_eq!(p, s, "assignment {bits:b}");
+        }
+    }
+}

@@ -77,8 +77,8 @@ pub use algorithms::{
     run_batch, BatchOutcome, EvalOutcome,
 };
 pub use eval::{
-    bottom_up, bottom_up_formula_only, centralized_eval, centralized_eval_counted, CentralizedRun,
-    FragmentRun,
+    bottom_up, bottom_up_formula_only, bottom_up_reference, centralized_eval,
+    centralized_eval_counted, CentralizedRun, FragmentRun, RefFragmentRun,
 };
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
 pub use serve::{

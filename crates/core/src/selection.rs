@@ -23,7 +23,7 @@
 
 use crate::algorithms::{query_wire_size, resolved_triplet_wire_size};
 use crate::eval::bottom_up;
-use parbox_bool::{triplet_wire_size, EquationSystem, ResolvedTriplet};
+use parbox_bool::{triplet_dag_wire_size, EquationSystem, ResolvedTriplet};
 use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
 use parbox_query::{Op, SelStep, SelectionProgram};
 use parbox_xml::{FragmentId, NodeId, Tree};
@@ -82,7 +82,7 @@ pub fn select_distributed(cluster: &Cluster<'_>, sel: &SelectionProgram) -> Sele
                 report.record_message(
                     run.site,
                     coord,
-                    triplet_wire_size(&frun.triplet),
+                    triplet_dag_wire_size(&frun.triplet),
                     MessageKind::Triplet,
                 );
             }

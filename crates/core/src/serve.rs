@@ -32,7 +32,7 @@
 use crate::algorithms::batch_query_wire_size;
 use crate::eval::bottom_up;
 use crate::views::{apply_update_to_forest, Update, UpdateEffect, ViewError};
-use parbox_bool::{site_envelope_wire_size, EquationSystem, Formula, Triplet, Var};
+use parbox_bool::{site_envelope_dag_wire_size, EquationSystem, Formula, Triplet, Var};
 use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
 use parbox_net::engine::{FragmentEval, SiteCacheStats, SitePool};
 use parbox_net::{BatchRound, MessageKind, NetworkModel, RunReport};
@@ -488,7 +488,7 @@ impl Engine {
                 site_cache_hits += reply.triplets.iter().filter(|(_, _, hit)| *hit).count();
                 let entries: Vec<(FragmentId, &Triplet)> =
                     reply.triplets.iter().map(|(f, t, _)| (*f, &**t)).collect();
-                let bytes = site_envelope_wire_size(&entries);
+                let bytes = site_envelope_dag_wire_size(&entries);
                 round.reply(reply.site, bytes).expect("site was visited");
                 if reply.site != self.coordinator {
                     remote_envelopes.push(bytes);
@@ -502,6 +502,12 @@ impl Engine {
                 .model
                 .shared_link_time(remote_envelopes.iter().copied());
 
+            // Identical merged triplets (the common case: many leaf
+            // fragments resolving a member to the same constants) project
+            // identically — memoize per member, keyed on the
+            // `FormulaId`-stable triplet content, so the renumbering
+            // substitution runs once and the cache entries share one Arc.
+            let mut projection_memo: HashMap<(usize, Triplet), Arc<Triplet>> = HashMap::new();
             for (k, &mi) in active.iter().enumerate() {
                 let m = &members[mi];
                 let compiled = &pending[m.idx].1;
@@ -528,7 +534,11 @@ impl Engine {
                         let merged_t = merged_triplets
                             .get(&f)
                             .expect("fragment missing from cache was evaluated");
-                        Arc::new(project_triplet(merged_t, proj, &inv))
+                        Arc::clone(
+                            projection_memo
+                                .entry((k, (**merged_t).clone()))
+                                .or_insert_with(|| Arc::new(project_triplet(merged_t, proj, &inv))),
+                        )
                     });
                 }
                 let start = Instant::now();
@@ -682,7 +692,7 @@ fn project_triplet(merged: &Triplet, proj: &[SubId], inv: &HashMap<u32, u32>) ->
             let sub = *inv
                 .get(&var.sub)
                 .expect("variable stays within the member's sub-query closure");
-            Some(Formula::Var(Var::new(var.frag, var.vec, sub)))
+            Some(Formula::var(Var::new(var.frag, var.vec, sub)))
         })
     };
     let row = |xs: &[Formula]| proj.iter().map(|&i| renumber(&xs[i as usize])).collect();

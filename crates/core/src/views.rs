@@ -19,7 +19,7 @@
 
 use crate::algorithms::{parbox, query_wire_size, EvalOutcome};
 use crate::eval::bottom_up;
-use parbox_bool::{triplet_wire_size, EquationSystem, Triplet};
+use parbox_bool::{triplet_dag_wire_size, EquationSystem, Triplet};
 use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
 use parbox_net::{Cluster, MessageKind, NetworkModel, RunReport};
 use parbox_query::CompiledQuery;
@@ -284,7 +284,7 @@ impl MaterializedView {
         report.record_compute(site, start.elapsed());
         report.record_work(site, run.work_units);
         if site != self.home {
-            let bytes = triplet_wire_size(&run.triplet);
+            let bytes = triplet_dag_wire_size(&run.triplet);
             report.record_message(site, self.home, bytes, MessageKind::Triplet);
         }
         let old = self.triplets.insert(frag, run.triplet);
@@ -343,7 +343,7 @@ impl MaterializedView {
             let run = bottom_up(&forest.fragment(frag).tree, &self.query);
             report.record_compute(site, start.elapsed());
             report.record_work(site, run.work_units);
-            let bytes = triplet_wire_size(&run.triplet);
+            let bytes = triplet_dag_wire_size(&run.triplet);
             if site != self.home {
                 // The update notification and the fresh triplet travel
                 // between the fragment's site and the view's home site.

@@ -72,6 +72,11 @@ pub struct SiteCacheStats {
     pub evictions: u64,
     /// Entries dropped by explicit invalidation (updates).
     pub invalidated: u64,
+    /// Freshly computed triplets that matched an already-stored one and
+    /// were deduplicated into a shared allocation. Triplet contents are
+    /// arena `FormulaId`s, so the content comparison is `O(|QList|)` id
+    /// equality — cheap enough to run on every miss.
+    pub shared: u64,
 }
 
 enum Request {
@@ -107,6 +112,13 @@ struct SiteWorker {
     cache: HashMap<(FragmentId, QueryFingerprint), Arc<Triplet>>,
     /// FIFO eviction order of cache keys.
     order: VecDeque<(FragmentId, QueryFingerprint)>,
+    /// Content-addressed dedup: triplets keyed by their own
+    /// `FormulaId`-stable value, so equal results computed under
+    /// different fingerprints (or for different fragments) share one
+    /// allocation. Keys equal values, so a hit can never return a stale
+    /// *wrong* triplet; the map is only ever a memory optimization and
+    /// is simply cleared when it outgrows the cache capacity.
+    content: HashMap<Triplet, Arc<Triplet>>,
     capacity: usize,
     stats: SiteCacheStats,
 }
@@ -136,7 +148,7 @@ impl SiteWorker {
                             });
                             let run = (self.eval)(tree, &program);
                             work_units += run.work_units;
-                            let t = Arc::new(run.triplet);
+                            let t = self.share(run.triplet);
                             self.insert(f, fingerprint, Arc::clone(&t));
                             (f, t, false)
                         })
@@ -166,6 +178,24 @@ impl SiteWorker {
                 Request::Shutdown => break,
             }
         }
+    }
+
+    /// Returns a shared handle for `t`, reusing an existing allocation
+    /// when an identical triplet is already stored.
+    fn share(&mut self, t: Triplet) -> Arc<Triplet> {
+        if self.capacity == 0 {
+            return Arc::new(t);
+        }
+        if self.content.len() > self.capacity {
+            self.content.clear();
+        }
+        if let Some(existing) = self.content.get(&t) {
+            self.stats.shared += 1;
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(t);
+        self.content.insert((*arc).clone(), Arc::clone(&arc));
+        arc
     }
 
     fn insert(&mut self, frag: FragmentId, fp: QueryFingerprint, t: Arc<Triplet>) {
@@ -232,6 +262,7 @@ impl SitePool {
             fragments: frags.into_iter().collect(),
             cache: HashMap::new(),
             order: VecDeque::new(),
+            content: HashMap::new(),
             capacity: self.capacity,
             stats: SiteCacheStats::default(),
         };
@@ -342,7 +373,7 @@ mod tests {
     fn toy_eval(tree: &Tree, q: &CompiledQuery) -> FragmentEval {
         FragmentEval {
             triplet: Triplet {
-                v: vec![Formula::Const(tree.len().is_multiple_of(2)); q.len()],
+                v: vec![Formula::constant(tree.len().is_multiple_of(2)); q.len()],
                 cv: vec![Formula::FALSE; q.len()],
                 dv: vec![Formula::FALSE; q.len()],
             },
@@ -433,6 +464,27 @@ mod tests {
         let stats = pool.cache_stats();
         assert!(stats[&0].evictions >= 1);
         assert_eq!(stats[&0].entries, 1);
+    }
+
+    #[test]
+    fn identical_triplets_share_one_allocation() {
+        // toy_eval yields equal triplets for any two same-width programs,
+        // so the second program's miss dedups against the first's entry:
+        // same Arc, `shared` counter bumped.
+        let pool = pool_of(1, 16);
+        let a = Arc::new(compile(&parse_query("[//a]").unwrap()));
+        let b = Arc::new(compile(&parse_query("[//b]").unwrap()));
+        assert_eq!(a.len(), b.len());
+        let frags = vec![(SiteId(0), vec![FragmentId(0)])];
+        let r1 = pool.eval_round(&a, a.fingerprint(), frags.clone());
+        let r2 = pool.eval_round(&b, b.fingerprint(), frags);
+        assert!(!r2[0].triplets[0].2, "distinct fingerprint: a cache miss");
+        assert!(
+            Arc::ptr_eq(&r1[0].triplets[0].1, &r2[0].triplets[0].1),
+            "equal triplets must share one allocation"
+        );
+        let stats = pool.cache_stats();
+        assert_eq!(stats[&0].shared, 1);
     }
 
     #[test]

@@ -53,6 +53,47 @@ proptest! {
     }
 
     #[test]
+    fn arena_pipeline_matches_seed_representation(
+        tree in tree_strategy(),
+        query in query_strategy(),
+        cuts in proptest::collection::vec(0usize..1000, 0..6),
+    ) {
+        // The full formula pipeline — `bottomUp` partial evaluation plus
+        // the `evalST` solve — run over the hash-consed arena must
+        // produce byte-identical resolved triplets (hence answers) to the
+        // seed tree representation preserved in `parbox::boolean::reference`.
+        use parbox::boolean::reference::{ref_solve, RefTriplet};
+        use parbox::boolean::EquationSystem;
+        use parbox::core::{bottom_up, bottom_up_reference};
+        use std::collections::HashMap;
+        use parbox::xml::FragmentId;
+
+        let compiled = compile(&query);
+        let forest = fragment_randomly(tree, &cuts);
+        forest.validate().expect("valid forest");
+
+        let mut sys = EquationSystem::new();
+        let mut seed_triplets: HashMap<FragmentId, RefTriplet> = HashMap::new();
+        for f in forest.fragment_ids() {
+            let t = &forest.fragment(f).tree;
+            let arena_run = bottom_up(t, &compiled);
+            let seed_run = bottom_up_reference(t, &compiled);
+            prop_assert_eq!(arena_run.work_units, seed_run.work_units);
+            sys.insert(f, arena_run.triplet);
+            seed_triplets.insert(f, seed_run.triplet);
+        }
+        let order = forest.postorder();
+        let arena_solved = sys.solve(&order).expect("solvable");
+        let seed_solved = ref_solve(&seed_triplets, &order).expect("solvable");
+        for f in forest.fragment_ids() {
+            prop_assert_eq!(
+                &arena_solved[&f], &seed_solved[&f],
+                "resolved triplet of {} diverged", f
+            );
+        }
+    }
+
+    #[test]
     fn fragmentation_preserves_document(
         tree in tree_strategy(),
         cuts in proptest::collection::vec(0usize..1000, 0..6),
