@@ -3,17 +3,20 @@
 
 use crate::builders::{ft1, ft2_chain, ft3, single_site_split, Scale};
 use crate::table::Row;
+use parbox_core::plan::{
+    measure_resolution_depth, replay_modeled_s, PlanContext, Planner, TRAFFIC_ESTIMATE_FACTOR,
+};
 use parbox_core::{
-    apply_update_to_forest, full_dist_parbox, hybrid_parbox, lazy_parbox, naive_centralized,
-    naive_distributed, parbox, run_batch, Engine, EngineConfig, EvalOutcome, MaterializedView,
+    apply_update_to_forest, full_dist_parbox, lazy_parbox, naive_centralized, naive_distributed,
+    parbox, plan_run, run_batch, CostEstimate, Engine, EngineConfig, EvalOutcome, MaterializedView,
     Update,
 };
-use parbox_frag::{Forest, Placement};
+use parbox_frag::{Forest, ForestStats, Placement};
 use parbox_net::{Cluster, NetworkModel};
 use parbox_query::{compile, compile_batch, CompiledQuery};
 use parbox_xmark::{
-    batch_workload, drive_stream, marker_query, mixed_workload, query_with_qlist, resolve_update,
-    MixedConfig, MixedOp,
+    batch_workload, drive_stream, generate, marker_query, mixed_workload, query_with_qlist,
+    resolve_update, MixedConfig, MixedOp, XmarkConfig,
 };
 use parbox_xml::FragmentId;
 use std::time::{Duration, Instant};
@@ -22,15 +25,22 @@ fn compile_str(src: &str) -> CompiledQuery {
     parbox_query::compile(&parbox_query::parse_query(src).expect("valid query"))
 }
 
-/// Runs one algorithm by name over a cluster.
+/// Runs one algorithm by name over a cluster. `"Auto"` consults the
+/// cost-based planner; `"HybridParBoX"` remains routed through the
+/// deprecated expA-era shim (now itself planner-backed).
 pub fn run_algorithm(name: &str, cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
     match name {
         "ParBoX" => parbox(cluster, q),
         "NaiveCentralized" => naive_centralized(cluster, q),
         "NaiveDistributed" => naive_distributed(cluster, q),
-        "HybridParBoX" => hybrid_parbox(cluster, q),
+        "HybridParBoX" => {
+            #[allow(deprecated)] // the expA-era shim, kept callable by name
+            let out = parbox_core::hybrid_parbox(cluster, q);
+            out
+        }
         "FullDistParBoX" => full_dist_parbox(cluster, q),
         "LazyParBoX" => lazy_parbox(cluster, q),
+        "Auto" => plan_run(cluster, q),
         other => panic!("unknown algorithm {other}"),
     }
 }
@@ -678,6 +688,212 @@ fn last_fragment(forest: &Forest) -> FragmentId {
     forest.fragment_ids().last().expect("non-empty forest")
 }
 
+/// One cell of Experiment E: a (fragmentation × network × query-shape)
+/// point, every fixed strategy measured once under the deterministic
+/// replay metric ([`replay_modeled_s`]), and the adaptive planner's
+/// choice evaluated on the same runs.
+#[derive(Debug, Clone)]
+pub struct ExpERow {
+    /// Fragmentation shape (`star` / `chain` / `even`).
+    pub fragmentation: String,
+    /// Network model name (`lan` / `wan` / `infinite`).
+    pub network: String,
+    /// Query shape (`tiny-selective` / `mid` / `scan-heavy`).
+    pub query: String,
+    /// `|QList|` of the query.
+    pub qlist: usize,
+    /// Strategy the planner chose for this cell.
+    pub chosen: String,
+    /// The chosen strategy's estimate.
+    pub estimate: CostEstimate,
+    /// Deterministic modeled seconds per fixed strategy.
+    pub per_strategy_model_s: Vec<(String, f64)>,
+    /// The adaptive planner's modeled time (= the chosen strategy's).
+    pub adaptive_model_s: f64,
+    /// Best fixed strategy and its modeled time.
+    pub best: String,
+    /// Modeled seconds of the best fixed strategy.
+    pub best_model_s: f64,
+    /// Worst fixed strategy and its modeled time.
+    pub worst: String,
+    /// Modeled seconds of the worst fixed strategy.
+    pub worst_model_s: f64,
+    /// Measured total visits of the chosen strategy's run.
+    pub measured_visits: usize,
+    /// Measured total messages of the chosen strategy's run.
+    pub measured_messages: usize,
+    /// Measured total traffic bytes of the chosen strategy's run.
+    pub measured_bytes: usize,
+}
+
+/// **Experiment E**: the cost-based planner across query shapes ×
+/// fragmentations (FT1 star / FT2 chain / even split) × network models
+/// (lan / wan / infinite).
+///
+/// Per cell, all six fixed strategies run once and are scored with the
+/// deterministic replay metric (recorded bytes at the model's rates,
+/// estimated latency rounds, work units at the calibrated rate — no
+/// wall clock, so the sweep is reproducible). The adaptive planner
+/// plans with the cell's observed resolution-depth statistic (what a
+/// serving deployment accumulates; [`measure_resolution_depth`]) and
+/// its time is the chosen strategy's measured run. Along the way every
+/// deterministic strategy's estimate is asserted against its measured
+/// report: visit and message counts exactly, traffic within
+/// [`TRAFFIC_ESTIMATE_FACTOR`].
+pub fn expe_planner(scale: Scale, machines: usize) -> Vec<ExpERow> {
+    let even = {
+        let tree = generate(XmarkConfig {
+            target_bytes: scale.corpus_bytes,
+            seed: scale.seed,
+        });
+        let mut forest = Forest::from_tree(tree);
+        parbox_frag::strategies::fragment_evenly(&mut forest, machines)
+            .expect("corpus large enough");
+        plant_markers(&mut forest);
+        let placement = Placement::round_robin(&forest, (machines as u32 / 2).max(2));
+        (forest, placement)
+    };
+    let shapes: Vec<(&str, (Forest, Placement))> = vec![
+        ("star", ft1(scale, machines)),
+        ("chain", ft2_chain(scale, machines)),
+        ("even", even),
+    ];
+    let networks = [
+        ("lan", NetworkModel::lan()),
+        ("wan", NetworkModel::wan()),
+        ("infinite", NetworkModel::infinite()),
+    ];
+
+    let mut rows = Vec::new();
+    for (shape, (forest, placement)) in &shapes {
+        let stats = ForestStats::compute(forest, placement);
+        let queries: Vec<(&str, CompiledQuery)> = vec![
+            ("tiny-selective", compile_str(&marker_query("F0"))),
+            ("mid", query_with_qlist(8, scale.seed).1),
+            ("scan-heavy", query_with_qlist(23, scale.seed ^ 23).1),
+        ];
+        for (net_name, model) in networks {
+            let cluster = Cluster::new(forest, placement, model);
+            for (qname, q) in &queries {
+                // The workload statistic a serving deployment would have
+                // accumulated: at what depth this query resolves.
+                let depth = measure_resolution_depth(&cluster, q);
+                let mut cx = PlanContext::new(&cluster, q, &stats);
+                cx.resolve_depth_hint = Some(depth);
+                let planner = Planner::standard();
+                let choice = planner.choose(&cx);
+
+                let mut per_strategy: Vec<(String, f64)> = Vec::new();
+                let mut chosen_measured = (0usize, 0usize, 0usize);
+                let mut answers: Vec<bool> = Vec::new();
+                for exec in planner.executors() {
+                    let est = exec.estimate(&cx);
+                    let out = exec.execute(&cluster, q);
+                    answers.push(out.answer);
+                    let metric = replay_modeled_s(&out.report, &model, est.rounds);
+                    if matches!(
+                        exec.name(),
+                        "ParBoX" | "NaiveCentralized" | "NaiveDistributed" | "FullDistParBoX"
+                    ) {
+                        assert_eq!(
+                            est.visits,
+                            out.report.total_visits(),
+                            "{shape}/{net_name}/{qname}: {} visit estimate",
+                            exec.name()
+                        );
+                        assert_eq!(
+                            est.messages,
+                            out.report.total_messages(),
+                            "{shape}/{net_name}/{qname}: {} message estimate",
+                            exec.name()
+                        );
+                        let measured = out.report.total_bytes();
+                        assert!(
+                            est.traffic_bytes <= measured.max(1) * TRAFFIC_ESTIMATE_FACTOR
+                                && measured <= est.traffic_bytes.max(1) * TRAFFIC_ESTIMATE_FACTOR,
+                            "{shape}/{net_name}/{qname}: {} traffic estimate {} vs measured {measured}",
+                            exec.name(),
+                            est.traffic_bytes
+                        );
+                    }
+                    if exec.name() == choice.summary.strategy {
+                        chosen_measured = (
+                            out.report.total_visits(),
+                            out.report.total_messages(),
+                            out.report.total_bytes(),
+                        );
+                    }
+                    per_strategy.push((exec.name().to_string(), metric));
+                }
+                assert!(
+                    answers.windows(2).all(|w| w[0] == w[1]),
+                    "{shape}/{net_name}/{qname}: strategies disagree"
+                );
+
+                let adaptive = per_strategy
+                    .iter()
+                    .find(|(n, _)| *n == choice.summary.strategy)
+                    .expect("chosen strategy was measured")
+                    .1;
+                let (best, best_s) = per_strategy
+                    .iter()
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("strategies measured")
+                    .clone();
+                let (worst, worst_s) = per_strategy
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("strategies measured")
+                    .clone();
+                rows.push(ExpERow {
+                    fragmentation: shape.to_string(),
+                    network: net_name.to_string(),
+                    query: qname.to_string(),
+                    qlist: q.len(),
+                    chosen: choice.summary.strategy.clone(),
+                    estimate: choice.summary.estimate,
+                    per_strategy_model_s: per_strategy,
+                    adaptive_model_s: adaptive,
+                    best,
+                    best_model_s: best_s,
+                    worst,
+                    worst_model_s: worst_s,
+                    measured_visits: chosen_measured.0,
+                    measured_messages: chosen_measured.1,
+                    measured_bytes: chosen_measured.2,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Asserts the expE acceptance criteria over a sweep: per cell the
+/// adaptive planner is within 10% (plus `slack_s` seconds of
+/// model-granularity allowance) of the best fixed strategy, and on at
+/// least one cell it beats the worst fixed strategy by ≥ 2×.
+pub fn expe_check(rows: &[ExpERow], slack_s: f64) {
+    assert!(!rows.is_empty());
+    for r in rows {
+        assert!(
+            r.adaptive_model_s <= 1.1 * r.best_model_s + slack_s,
+            "{}/{}/{}: adaptive ({}) {:.6}s worse than 1.1x best ({}) {:.6}s",
+            r.fragmentation,
+            r.network,
+            r.query,
+            r.chosen,
+            r.adaptive_model_s,
+            r.best,
+            r.best_model_s
+        );
+    }
+    assert!(
+        rows.iter()
+            .any(|r| r.worst_model_s >= 2.0 * r.adaptive_model_s.max(1e-12)),
+        "no cell shows a 2x adaptive-vs-worst separation"
+    );
+}
+
 /// **Section 4 ablation**: the Hybrid tipping point — sweep `card(F)`
 /// across `|T| / |q|` with single-node-ish fragments and report which
 /// branch Hybrid picks and both branches' traffic.
@@ -693,7 +909,7 @@ pub fn sec4_hybrid_ablation(scale: Scale, steps: &[usize]) -> Vec<Row> {
         }
         let placement = Placement::one_per_fragment(&forest);
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        let hybrid = hybrid_parbox(&cluster, &q);
+        let hybrid = run_algorithm("HybridParBoX", &cluster, &q);
         rows.push(Row::from_outcome(n as f64, hybrid.algorithm, &hybrid));
         let pb = parbox(&cluster, &q);
         rows.push(Row::from_outcome(n as f64, "ParBoX(forced)", &pb));
@@ -902,6 +1118,27 @@ mod tests {
         for r in &rows {
             assert!(r.dag_bytes <= r.tree_bytes, "{}", r.workload);
         }
+    }
+
+    #[test]
+    fn expe_adaptive_planner_tracks_best_fixed_strategy() {
+        // The ISSUE acceptance criterion, at test scale: across query
+        // shapes × fragmentations × network models, the adaptive
+        // planner's deterministic modeled time stays within 1.1x of the
+        // best fixed strategy (small absolute allowance for the
+        // micro-scale cells where every strategy costs microseconds)
+        // and beats the worst fixed strategy by ≥2x somewhere. Answer
+        // agreement across all strategies and estimate-vs-measured
+        // agreement (visits/messages exact, traffic within the
+        // documented factor) are asserted inside the sweep.
+        let rows = expe_planner(tiny(), 6);
+        assert_eq!(rows.len(), 27, "3 shapes x 3 networks x 3 queries");
+        expe_check(&rows, 5e-4);
+        // The planner must not be a constant function: different cells
+        // pick different strategies.
+        let distinct: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.chosen.as_str()).collect();
+        assert!(distinct.len() >= 2, "planner always chose {distinct:?}");
     }
 
     #[test]

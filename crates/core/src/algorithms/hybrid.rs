@@ -1,48 +1,69 @@
-//! Algorithm **HybridParBoX** (paper, Section 4): pick ParBoX or the
-//! naive centralized algorithm depending on the decomposition.
+//! The **HybridParBoX** shim (paper, Section 4), superseded by the
+//! cost-based planner ([`crate::plan`]).
 //!
-//! In the pathological case where every node is its own fragment,
-//! `card(F) = |T|` and ParBoX's communication `O(|q| · card(F))` exceeds
-//! NaiveCentralized's `O(|T|)`. The tipping point compares `card(F)`
-//! with `|T| / |q|`: ParBoX wins while `card(F) < |T| / |q|`.
+//! The paper's hybrid compared `card(F)` against `|T| / |q|` by hand: in
+//! the pathological every-node-its-own-fragment decomposition, ParBoX's
+//! `O(|q| · card(F))` communication exceeds NaiveCentralized's
+//! `O(|T|)`, so the hybrid switched to shipping the document. The
+//! planner generalizes that tipping point to a full cost model (bytes,
+//! rounds, latency, parallel compute) over *all* strategies; these
+//! functions remain as thin deprecated wrappers over the two-way
+//! planner ([`Planner::hybrid`]) so expA-era callers and tests keep
+//! compiling. A regression test below pins that the planner agrees with
+//! the retired heuristic on its two documented cases.
 
-use crate::algorithms::{naive_centralized, parbox, EvalOutcome};
+use crate::algorithms::EvalOutcome;
+use crate::plan::{PlanContext, Planner};
+use parbox_frag::ForestStats;
 use parbox_net::Cluster;
 use parbox_query::CompiledQuery;
 
 /// True when the decomposition favours ParBoX (the common case).
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the cost-based planner: use plan::Planner::choose (or plan::plan_run)"
+)]
 pub fn hybrid_prefers_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> bool {
-    let total_nodes = cluster.forest.total_nodes();
-    let card = cluster.forest.card();
-    card * q.len() < total_nodes
+    let stats = ForestStats::compute(cluster.forest, cluster.placement);
+    let cx = PlanContext::new(cluster, q, &stats);
+    Planner::hybrid().choose(&cx).summary.strategy == "ParBoX"
 }
 
-/// Evaluates `q`, switching between ParBoX and NaiveCentralized at the
-/// tipping point `card(F) ≷ |T| / |q|`.
+/// Evaluates `q` with whichever of ParBoX / NaiveCentralized the two-way
+/// planner predicts cheaper — the planner-backed successor of the
+/// paper's `card(F) ≷ |T| / |q|` tipping point.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the cost-based planner: use plan::Planner::choose (or plan::plan_run)"
+)]
 pub fn hybrid_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
-    let mut out = if hybrid_prefers_parbox(cluster, q) {
-        let mut out = parbox(cluster, q);
-        out.algorithm = "HybridParBoX→ParBoX";
-        out
+    let stats = ForestStats::compute(cluster.forest, cluster.placement);
+    let cx = PlanContext::new(cluster, q, &stats);
+    let planner = Planner::hybrid();
+    let choice = planner.choose(&cx);
+    let mut out = choice.execute(cluster, q);
+    out.algorithm = if choice.summary.strategy == "ParBoX" {
+        "HybridParBoX→ParBoX"
     } else {
-        let mut out = naive_centralized(cluster, q);
-        out.algorithm = "HybridParBoX→NaiveCentralized";
-        out
+        "HybridParBoX→NaiveCentralized"
     };
-    // The decision itself is O(1); nothing to account.
-    out.report.elapsed_wall_s = out.report.elapsed_wall_s.max(0.0);
     out
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the expA-era shim is the point
 mod tests {
     use super::*;
+    use crate::algorithms::{naive_centralized, parbox};
     use parbox_frag::{strategies, Forest, Placement};
     use parbox_net::NetworkModel;
     use parbox_query::{compile, parse_query};
     use parbox_xml::Tree;
 
-    fn big_tree(n: usize) -> Tree {
+    /// A flat document of `n` tiny sections — a few dozen bytes each,
+    /// smaller than their own triplets: the regime where shipping the
+    /// document wins.
+    fn flat_tree(n: usize) -> Tree {
         let mut xml = String::from("<r>");
         for i in 0..n {
             xml.push_str(&format!("<s{i}><a>v</a><b/></s{i}>", i = i % 50));
@@ -51,46 +72,103 @@ mod tests {
         Tree::parse(&xml).unwrap()
     }
 
+    /// Documented case 1: a coarse decomposition — four heavy grouped
+    /// fragments carrying realistic text payloads (the paper's MB-scale
+    /// regime: shipping costs real bytes, triplets stay `O(|q|)`).
+    fn coarse_case() -> (Forest, Placement) {
+        let pad = "a realistic row of document text payload standing in \
+                   for the paper's megabyte-scale XMark content";
+        let mut xml = String::from("<r>");
+        for g in 0..4 {
+            xml.push_str(&format!("<g{g}>"));
+            for i in 0..25 {
+                xml.push_str(&format!("<s{i}><a>v {pad}</a><b/></s{i}>"));
+            }
+            xml.push_str(&format!("</g{g}>"));
+        }
+        xml.push_str("<goal/></r>");
+        let mut forest = Forest::from_tree(Tree::parse(&xml).unwrap());
+        let root = forest.root_fragment();
+        strategies::star(&mut forest, root).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        (forest, placement)
+    }
+
+    /// Documented case 2: the pathological decomposition — every few
+    /// nodes their own fragment, `card(F) · |q| ≥ |T|`.
+    fn pathological_case() -> (Forest, Placement) {
+        let mut forest = Forest::from_tree(flat_tree(12));
+        strategies::fragment_evenly(&mut forest, 12).unwrap();
+        let placement = Placement::one_per_fragment(&forest);
+        (forest, placement)
+    }
+
+    const COARSE_QUERY: &str = "[//goal]";
+    const PATHOLOGICAL_QUERY: &str = "[//goal and //b and //s0 and //s1 and //s2 and //s3]";
+
     #[test]
     fn coarse_decomposition_uses_parbox() {
-        let mut forest = Forest::from_tree(big_tree(100));
-        strategies::fragment_evenly(&mut forest, 4).unwrap();
-        let placement = Placement::one_per_fragment(&forest);
+        let (forest, placement) = coarse_case();
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        let q = compile(&parse_query("[//goal]").unwrap());
+        let q = compile(&parse_query(COARSE_QUERY).unwrap());
         assert!(hybrid_prefers_parbox(&cluster, &q));
         let out = hybrid_parbox(&cluster, &q);
         assert!(out.answer);
-        assert_eq!(out.algorithm, "HybridParBoX→ParBoX");
+        assert_eq!(out.algorithm, "HybridParBoX\u{2192}ParBoX");
+        assert_eq!(
+            out.report.planned.as_ref().unwrap().strategy,
+            "ParBoX",
+            "the shim records the planner's decision"
+        );
     }
 
     #[test]
     fn pathological_decomposition_switches_to_naive() {
-        // Tiny fragments everywhere: card(F) · |q| ≥ |T|.
-        let mut forest = Forest::from_tree(big_tree(12));
-        strategies::fragment_evenly(&mut forest, 12).unwrap();
-        let placement = Placement::one_per_fragment(&forest);
+        let (forest, placement) = pathological_case();
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        let q =
-            compile(&parse_query("[//goal and //a = \"v\" and //b and //s0 and //s1]").unwrap());
+        let q = compile(&parse_query(PATHOLOGICAL_QUERY).unwrap());
         assert!(!hybrid_prefers_parbox(&cluster, &q));
         let out = hybrid_parbox(&cluster, &q);
         assert!(out.answer);
-        assert_eq!(out.algorithm, "HybridParBoX→NaiveCentralized");
+        assert_eq!(out.algorithm, "HybridParBoX\u{2192}NaiveCentralized");
+    }
+
+    /// The satellite regression: the planner and the retired
+    /// `card(F) \u{2277} |T| / |q|` heuristic agree on the heuristic's two
+    /// documented cases.
+    #[test]
+    fn planner_agrees_with_retired_tipping_point_on_documented_cases() {
+        for (label, (forest, placement), src) in [
+            ("coarse", coarse_case(), COARSE_QUERY),
+            ("pathological", pathological_case(), PATHOLOGICAL_QUERY),
+        ] {
+            let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
+            let q = compile(&parse_query(src).unwrap());
+            let retired_rule = cluster.forest.card() * q.len() < cluster.forest.total_nodes();
+            assert_eq!(
+                hybrid_prefers_parbox(&cluster, &q),
+                retired_rule,
+                "planner vs retired heuristic on the {label} case"
+            );
+        }
     }
 
     #[test]
     fn both_branches_agree_with_each_other() {
-        let mut forest = Forest::from_tree(big_tree(40));
+        let mut forest = Forest::from_tree(flat_tree(40));
         strategies::fragment_evenly(&mut forest, 6).unwrap();
         let placement = Placement::round_robin(&forest, 3);
         let cluster = Cluster::new(&forest, &placement, NetworkModel::lan());
-        for src in ["[//goal]", "[//a = \"v\"]", "[//zzz]"] {
+        for src in ["[//goal]", "[//b]", "[//zzz]"] {
             let q = compile(&parse_query(src).unwrap());
             assert_eq!(
                 parbox(&cluster, &q).answer,
                 naive_centralized(&cluster, &q).answer,
                 "on {src}"
+            );
+            assert_eq!(
+                hybrid_parbox(&cluster, &q).answer,
+                parbox(&cluster, &q).answer
             );
         }
     }

@@ -112,9 +112,13 @@ pub fn lazy_parbox(cluster: &Cluster<'_>, q: &CompiledQuery) -> EvalOutcome {
 /// substituted with the (possibly still-open) triplets of evaluated
 /// children, while variables of unevaluated fragments stay free. The
 /// answer is known iff the root `V` entry folds to a constant.
-pub(crate) fn partial_solve(
+///
+/// Generic over the map's value type so callers holding shared
+/// `Arc<Triplet>` caches (the serving engine) can solve without cloning
+/// every triplet into an owned map first.
+pub(crate) fn partial_solve<T: std::borrow::Borrow<Triplet>>(
     st: &parbox_frag::SourceTree,
-    gathered: &HashMap<FragmentId, Triplet>,
+    gathered: &HashMap<FragmentId, T>,
     root_sub: usize,
 ) -> Option<bool> {
     let mut partial: HashMap<FragmentId, Triplet> = HashMap::new();
@@ -122,7 +126,7 @@ pub(crate) fn partial_solve(
         let Some(t) = gathered.get(&frag) else {
             continue;
         };
-        let sub = t.substitute(&|var: Var| {
+        let sub = t.borrow().substitute(&|var: Var| {
             partial
                 .get(&var.frag)
                 .map(|pt| pt.get(var.vec)[var.sub as usize])

@@ -11,8 +11,11 @@
 //! * [`naive_centralized`] / [`naive_distributed`] — the two naive
 //!   distributed baselines (Section 3);
 //! * [`parbox`] — the **ParBoX** partial-evaluation algorithm (Fig. 3);
-//! * [`hybrid_parbox`], [`full_dist_parbox`], [`lazy_parbox`] — its
-//!   variants (Section 4);
+//! * [`full_dist_parbox`], [`lazy_parbox`] — its variants (Section 4);
+//! * [`plan`] — the **cost-based planner**: all strategies behind the
+//!   [`Executor`] trait, with statistics-driven selection
+//!   ([`Planner::choose`], [`plan_run`]) replacing the hand-written
+//!   `HybridParBoX` tipping point;
 //! * [`MaterializedView`] — incremental maintenance of Boolean XPath
 //!   views under data and fragmentation updates (Section 5);
 //! * [`run_batch`] — the **batch engine**: a whole batch of concurrent
@@ -64,6 +67,7 @@
 pub mod aggregate;
 pub mod algorithms;
 pub mod eval;
+pub mod plan;
 pub mod selection;
 pub mod serve;
 pub mod views;
@@ -71,6 +75,7 @@ pub mod views;
 pub use aggregate::{
     count_centralized, count_distributed, sum_centralized, sum_distributed, AggregateOutcome,
 };
+#[allow(deprecated)] // the expA-era hybrid shim stays exported for old callers
 pub use algorithms::{
     batch_query_wire_size, full_dist_parbox, hybrid_parbox, hybrid_prefers_parbox, lazy_parbox,
     naive_centralized, naive_distributed, parbox, query_wire_size, resolved_triplet_wire_size,
@@ -80,10 +85,14 @@ pub use eval::{
     bottom_up, bottom_up_formula_only, bottom_up_reference, centralized_eval,
     centralized_eval_counted, CentralizedRun, FragmentRun, RefFragmentRun,
 };
+pub use plan::{
+    plan_run, Choice, CostEstimate, Executor, PlanContext, PlanExplain, PlanSummary, Planner,
+};
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
 pub use serve::{
     Engine, EngineConfig, EngineStats, QueryOutcome, RoundOutcome, Ticket, UpdateOutcome,
 };
 pub use views::{
-    apply_update_to_forest, MaterializedView, Update, UpdateEffect, UpdateReport, ViewError,
+    apply_update_to_forest, apply_update_tracked, MaterializedView, Update, UpdateEffect,
+    UpdateReport, ViewError,
 };

@@ -30,12 +30,15 @@
 //! different batches* still hits.
 
 use crate::algorithms::batch_query_wire_size;
+use crate::algorithms::partial_solve;
 use crate::eval::bottom_up;
-use crate::views::{apply_update_to_forest, Update, UpdateEffect, ViewError};
+use crate::plan::{estimated_envelope_bytes, estimated_triplet_bytes, SECONDS_PER_WORK_UNIT};
+use crate::views::{apply_update_tracked, Update, UpdateEffect, ViewError};
 use parbox_bool::{site_envelope_dag_wire_size, EquationSystem, Formula, Triplet, Var};
-use parbox_frag::{Forest, FragError, Placement, SiteId, SourceTree};
-use parbox_net::engine::{FragmentEval, SiteCacheStats, SitePool};
+use parbox_frag::{Forest, ForestStats, FragError, Placement, SiteId, SourceTree};
+use parbox_net::engine::{EvalReply, FragmentEval, SiteCacheStats, SitePool};
 use parbox_net::{BatchRound, MessageKind, NetworkModel, RunReport};
+use parbox_net::{CostEstimate, PlanSummary};
 use parbox_query::{compile, merge_programs, CompiledQuery, Query, QueryFingerprint, SubId};
 use parbox_xml::{FragmentId, Tree};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -62,6 +65,13 @@ pub struct EngineConfig {
     /// Coordinator-side solve cache capacity, in distinct query
     /// fingerprints (FIFO eviction; 0 disables coordinator caching).
     pub solve_cache_fingerprints: usize,
+    /// Consult the cost planner each admission round: the engine keeps
+    /// live [`ForestStats`] and an EWMA of the fragment-tree depth at
+    /// which recent answers resolved, and picks between the eager
+    /// one-visit batch round and depth-gated lazy wavefronts
+    /// accordingly. When false, every round runs the eager batch
+    /// protocol.
+    pub plan_rounds: bool,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +82,7 @@ impl Default for EngineConfig {
             batch_window: Duration::from_millis(1),
             site_cache_capacity: 4096,
             solve_cache_fingerprints: 512,
+            plan_rounds: true,
         }
     }
 }
@@ -168,6 +179,14 @@ pub struct Engine {
     coordinator: SiteId,
     config: EngineConfig,
     pool: SitePool,
+    /// Live aggregates of the deployed forest, maintained incrementally
+    /// through every update — what per-round planning reads.
+    forest_stats: ForestStats,
+    /// EWMA of the fragment-tree depth at which recent rounds' answers
+    /// resolved. Initialized pessimistically to the full depth, so a
+    /// fresh engine runs eager batch rounds until observations say
+    /// shallower wavefronts suffice.
+    depth_ewma: f64,
     solve_cache: HashMap<QueryFingerprint, SolveEntry>,
     /// FIFO eviction order of cached fingerprints.
     solve_order: VecDeque<QueryFingerprint>,
@@ -214,6 +233,8 @@ impl Engine {
             })
             .collect();
         let pool = SitePool::spawn(sites, config.site_cache_capacity, kernel);
+        let forest_stats = ForestStats::compute(&forest, &placement);
+        let depth_ewma = forest_stats.max_depth() as f64;
         Ok(Engine {
             forest,
             placement,
@@ -221,6 +242,8 @@ impl Engine {
             coordinator,
             config,
             pool,
+            forest_stats,
+            depth_ewma,
             solve_cache: HashMap::new(),
             solve_order: VecDeque::new(),
             pending: Vec::new(),
@@ -255,6 +278,18 @@ impl Engine {
     /// Lifetime counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Live forest statistics, incrementally maintained through every
+    /// update — the planner's input.
+    pub fn forest_stats(&self) -> &ForestStats {
+        &self.forest_stats
+    }
+
+    /// EWMA of the fragment-tree depth at which recent rounds' answers
+    /// resolved — the statistic gating lazy wavefront rounds.
+    pub fn resolve_depth_ewma(&self) -> f64 {
+        self.depth_ewma
     }
 
     /// Per-site triplet-cache counters (from the resident workers).
@@ -336,6 +371,185 @@ impl Engine {
         std::mem::take(&mut self.parked)
     }
 
+    /// Chooses this round's data-plane strategy — the eager one-visit
+    /// batch round versus depth-gated lazy wavefronts — by estimating
+    /// both from the live [`ForestStats`] and the resolution-depth EWMA,
+    /// in the same units the round's [`RunReport`] will measure. Returns
+    /// `(lazy?, summary)`; with a single active member the eager round
+    /// degenerates to plain ParBoX and is labelled so.
+    fn plan_round_strategy(
+        &self,
+        need: &[FragmentId],
+        active_members: usize,
+        merged_len: usize,
+        request_bytes: usize,
+    ) -> (bool, PlanSummary) {
+        let model = &self.config.model;
+        let coord = self.coordinator;
+        let m = merged_len.max(1);
+        let card = self.forest_stats.card().max(1);
+        let solve_work = (active_members * m * card) as u64;
+
+        #[derive(Default)]
+        struct SiteAgg {
+            frags: usize,
+            nodes: usize,
+            env_bytes: usize,
+        }
+        let mut eager_sites: BTreeMap<u32, SiteAgg> = BTreeMap::new();
+        let mut eval_work = 0u64;
+        for &f in need {
+            let s = self.forest_stats.fragment(f);
+            let agg = eager_sites.entry(s.site.0).or_default();
+            agg.frags += 1;
+            agg.nodes += s.nodes;
+            agg.env_bytes += estimated_triplet_bytes(m, s.fanout);
+            eval_work += (s.nodes * m) as u64;
+        }
+        let remote_sites = eager_sites.keys().filter(|&&s| s != coord.0).count();
+        let remote_env: usize = eager_sites
+            .iter()
+            .filter(|(&s, _)| s != coord.0)
+            .map(|(_, a)| estimated_envelope_bytes(a.env_bytes))
+            .sum();
+        let max_site_nodes = eager_sites.values().map(|a| a.nodes).max().unwrap_or(0);
+        let eager = CostEstimate {
+            visits: eager_sites.len(),
+            messages: 2 * remote_sites,
+            traffic_bytes: request_bytes * remote_sites + remote_env,
+            rounds: if remote_sites > 0 { 2 } else { 0 },
+            work_units: eval_work + solve_work,
+            modeled_s: if remote_sites > 0 {
+                model.transfer_time(request_bytes)
+            } else {
+                0.0
+            } + (max_site_nodes * m) as f64 * SECONDS_PER_WORK_UNIT
+                + model.estimate_round(remote_sites, remote_env)
+                + solve_work as f64 * SECONDS_PER_WORK_UNIT,
+        };
+
+        // Lazy wavefronts, optimistically stopping at the observed
+        // resolution depth (always including at least the shallowest
+        // needed wave — the round must ship *something*).
+        let hint = (self.depth_ewma.round() as usize).min(self.forest_stats.max_depth());
+        let mut waves: BTreeMap<usize, BTreeMap<u32, SiteAgg>> = BTreeMap::new();
+        for &f in need {
+            let s = self.forest_stats.fragment(f);
+            let agg = waves
+                .entry(s.depth)
+                .or_default()
+                .entry(s.site.0)
+                .or_default();
+            agg.frags += 1;
+            agg.nodes += s.nodes;
+            agg.env_bytes += estimated_triplet_bytes(m, s.fanout);
+        }
+        let mut lazy_est = CostEstimate::default();
+        let mut gathered = 0usize;
+        let mut first = true;
+        for (&depth, sites) in &waves {
+            if depth > hint && !first {
+                break;
+            }
+            first = false;
+            let wave_remote = sites.keys().filter(|&&s| s != coord.0).count();
+            let wave_env: usize = sites
+                .iter()
+                .filter(|(&s, _)| s != coord.0)
+                .map(|(_, a)| estimated_envelope_bytes(a.env_bytes))
+                .sum();
+            let wave_nodes_max = sites.values().map(|a| a.nodes).max().unwrap_or(0);
+            gathered += sites.values().map(|a| a.frags).sum::<usize>();
+            let wave_solve = (active_members * m * gathered) as u64;
+            lazy_est.visits += sites.len();
+            lazy_est.messages += 2 * wave_remote;
+            lazy_est.traffic_bytes += request_bytes * wave_remote + wave_env;
+            lazy_est.rounds += if wave_remote > 0 { 2 } else { 0 };
+            lazy_est.work_units +=
+                sites.values().map(|a| (a.nodes * m) as u64).sum::<u64>() + wave_solve;
+            lazy_est.modeled_s += if wave_remote > 0 {
+                model.transfer_time(request_bytes)
+            } else {
+                0.0
+            } + (wave_nodes_max * m) as f64 * SECONDS_PER_WORK_UNIT
+                + model.estimate_round(wave_remote, wave_env)
+                + wave_solve as f64 * SECONDS_PER_WORK_UNIT;
+        }
+
+        let lazy_wins = lazy_est.modeled_s < eager.modeled_s;
+        let strategy = if lazy_wins {
+            "LazyParBoX"
+        } else if active_members == 1 {
+            "ParBoX"
+        } else {
+            "BatchParBoX"
+        };
+        (
+            lazy_wins,
+            PlanSummary {
+                strategy: strategy.to_string(),
+                estimate: if lazy_wins { lazy_est } else { eager },
+                candidates: 2,
+            },
+        )
+    }
+
+    /// Ensures a coordinator cache entry exists for `fp`, registering it
+    /// in the FIFO eviction order on first insertion.
+    fn ensure_solve_entry(&mut self, fp: QueryFingerprint, root: SubId) {
+        if !self.solve_cache.contains_key(&fp) {
+            self.solve_order.push_back(fp);
+            self.solve_cache.insert(
+                fp,
+                SolveEntry {
+                    root,
+                    triplets: HashMap::new(),
+                    answer: None,
+                },
+            );
+        }
+    }
+
+    /// The shallowest fragment-tree depth whose wavefronts' triplets
+    /// already determine this member's answer — measured post hoc from a
+    /// solved cache entry, and fed into the EWMA that gates future lazy
+    /// rounds. Resolvability is monotone in the gathered set (adding
+    /// triplets can only close more variables), so the minimal depth is
+    /// found by binary search: `O(log max_depth)` partial solves over
+    /// shared handles, never cloning a triplet. This is control-plane
+    /// bookkeeping and deliberately unaccounted in the round's report.
+    fn observed_resolution_depth(&self, entry: &SolveEntry) -> usize {
+        let max_depth = self.forest_stats.max_depth();
+        let mut by_depth: BTreeMap<usize, Vec<(FragmentId, Arc<Triplet>)>> = BTreeMap::new();
+        for (&f, t) in &entry.triplets {
+            if let Some(s) = self.forest_stats.try_fragment(f) {
+                by_depth
+                    .entry(s.depth)
+                    .or_default()
+                    .push((f, Arc::clone(t)));
+            }
+        }
+        let resolves_at = |d: usize| {
+            let gathered: HashMap<FragmentId, &Triplet> = by_depth
+                .range(..=d)
+                .flat_map(|(_, wave)| wave.iter().map(|(f, t)| (*f, &**t)))
+                .collect();
+            partial_solve(&self.source_tree, &gathered, entry.root as usize).is_some()
+        };
+        // Invariant: the answer resolves somewhere in 0..=max_depth
+        // (solved entries cover enough triplets); find the smallest.
+        let (mut lo, mut hi) = (0usize, max_depth);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if resolves_at(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
     fn run_round(&mut self, pending: Vec<(Ticket, CompiledQuery)>) -> RoundOutcome {
         let wall = Instant::now();
         let live: Vec<FragmentId> = self.forest.fragment_ids().collect();
@@ -372,15 +586,15 @@ impl Engine {
         let mut site_cache_hits = 0usize;
         let mut fragments_evaluated = 0usize;
 
-        // Phase 1 — members whose triplets are fully cached at the
-        // coordinator: re-solve locally, zero data-plane messages.
+        // Phase 1 — members the coordinator can answer without any
+        // data-plane message: a memoized (and never-invalidated-since)
+        // answer, or full cached triplet coverage to re-solve from.
         let mut active: Vec<usize> = Vec::new();
         for (mi, m) in members.iter().enumerate() {
-            let fully_cached = self
-                .solve_cache
-                .get(&m.fp)
-                .is_some_and(|e| live.iter().all(|f| e.triplets.contains_key(f)));
-            if !fully_cached {
+            let cached = self.solve_cache.get(&m.fp).is_some_and(|e| {
+                e.answer.is_some() || live.iter().all(|f| e.triplets.contains_key(f))
+            });
+            if !cached {
                 active.push(mi);
                 continue;
             }
@@ -408,11 +622,16 @@ impl Engine {
             }
         }
 
-        // Phase 2 — the rest: one merged batch round over the resident
-        // workers, then per-member projection, caching and solving.
+        // Phase 2 — the rest: a data-plane round over the resident
+        // workers, then per-member projection, caching and solving. The
+        // round *strategy* — eager one-visit batch vs depth-gated lazy
+        // wavefronts — is chosen by the per-round planner from the live
+        // [`ForestStats`] and the observed resolution-depth EWMA.
         let mut broadcast = 0.0f64;
         let mut collect = 0.0f64;
         let mut max_compute = 0.0f64;
+        let mut planned: Option<PlanSummary> = None;
+        let mut lazy_model_time = 0.0f64;
         if !active.is_empty() {
             // Merge the members' already-compiled programs — submit()
             // compiled each query once; no re-parse/re-compile per round.
@@ -446,113 +665,271 @@ impl Engine {
                 })
                 .collect();
             fragments_evaluated = need.len();
-
-            let mut per_site: BTreeMap<u32, Vec<FragmentId>> = BTreeMap::new();
-            for &f in &need {
-                per_site
-                    .entry(self.source_tree.site_of(f).0)
-                    .or_default()
-                    .push(f);
-            }
             let request_bytes = batch_query_wire_size(&batch);
-            let mut any_remote = false;
-            for &s in per_site.keys() {
-                round
-                    .visit(SiteId(s), request_bytes)
-                    .expect("one visit per site per round");
-                any_remote |= SiteId(s) != self.coordinator;
-            }
-            if any_remote {
-                broadcast = self.config.model.transfer_time(request_bytes);
-            }
 
-            // The site caches key by *program* fingerprint: the merged
-            // program's root fingerprint is just its last member's, so
-            // two batches sharing a tail member would collide and serve
-            // triplets of the wrong width.
-            let replies = self.pool.eval_round(
-                &merged,
-                merged.program_fingerprint(),
-                per_site
-                    .into_iter()
-                    .map(|(s, fs)| (SiteId(s), fs))
-                    .collect(),
-            );
+            // Consult the per-round planner: eager batch vs lazy waves.
+            let lazy = if self.config.plan_rounds {
+                let (lazy, summary) =
+                    self.plan_round_strategy(&need, active.len(), merged.len(), request_bytes);
+                planned = Some(summary);
+                lazy
+            } else {
+                false
+            };
 
-            let mut merged_triplets: HashMap<FragmentId, Arc<Triplet>> = HashMap::new();
-            let mut remote_envelopes: Vec<usize> = Vec::new();
-            for reply in replies {
-                round.report_mut().record_compute(reply.site, reply.elapsed);
-                round.report_mut().record_work(reply.site, reply.work_units);
-                max_compute = max_compute.max(reply.elapsed.as_secs_f64());
-                site_cache_hits += reply.triplets.iter().filter(|(_, _, hit)| *hit).count();
-                let entries: Vec<(FragmentId, &Triplet)> =
-                    reply.triplets.iter().map(|(f, t, _)| (*f, &**t)).collect();
-                let bytes = site_envelope_dag_wire_size(&entries);
-                round.reply(reply.site, bytes).expect("site was visited");
-                if reply.site != self.coordinator {
-                    remote_envelopes.push(bytes);
+            if !lazy {
+                // ---- Eager batch round: one visit per needed site ----
+                let mut per_site: BTreeMap<u32, Vec<FragmentId>> = BTreeMap::new();
+                for &f in &need {
+                    per_site
+                        .entry(self.source_tree.site_of(f).0)
+                        .or_default()
+                        .push(f);
                 }
-                for (f, t, _) in reply.triplets {
-                    merged_triplets.insert(f, t);
+                let mut any_remote = false;
+                for &s in per_site.keys() {
+                    round
+                        .visit(SiteId(s), request_bytes)
+                        .expect("one visit per site per round");
+                    any_remote |= SiteId(s) != self.coordinator;
                 }
-            }
-            collect = self
-                .config
-                .model
-                .shared_link_time(remote_envelopes.iter().copied());
+                if any_remote {
+                    broadcast = self.config.model.transfer_time(request_bytes);
+                }
 
-            // Identical merged triplets (the common case: many leaf
-            // fragments resolving a member to the same constants) project
-            // identically — memoize per member, keyed on the
-            // `FormulaId`-stable triplet content, so the renumbering
-            // substitution runs once and the cache entries share one Arc.
-            let mut projection_memo: HashMap<(usize, Triplet), Arc<Triplet>> = HashMap::new();
-            for (k, &mi) in active.iter().enumerate() {
-                let m = &members[mi];
-                let compiled = &pending[m.idx].1;
-                let proj = &projections[k];
-                let inv: HashMap<u32, u32> = proj
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &h)| (h, i as u32))
-                    .collect();
-                if !self.solve_cache.contains_key(&m.fp) {
-                    self.solve_order.push_back(m.fp);
-                    self.solve_cache.insert(
-                        m.fp,
-                        SolveEntry {
-                            root: compiled.root(),
-                            triplets: HashMap::new(),
-                            answer: None,
-                        },
+                // The site caches key by *program* fingerprint: the merged
+                // program's root fingerprint is just its last member's, so
+                // two batches sharing a tail member would collide and serve
+                // triplets of the wrong width.
+                let replies = self.pool.eval_round(
+                    &merged,
+                    merged.program_fingerprint(),
+                    per_site
+                        .into_iter()
+                        .map(|(s, fs)| (SiteId(s), fs))
+                        .collect(),
+                );
+
+                let mut merged_triplets: HashMap<FragmentId, Arc<Triplet>> = HashMap::new();
+                let (mc, envelopes) = absorb_replies(
+                    round.report_mut(),
+                    replies,
+                    &mut merged_triplets,
+                    &mut site_cache_hits,
+                );
+                max_compute = mc;
+                let mut remote_envelopes: Vec<usize> = Vec::new();
+                for (site, bytes) in envelopes {
+                    round.reply(site, bytes).expect("site was visited");
+                    if site != self.coordinator {
+                        remote_envelopes.push(bytes);
+                    }
+                }
+                collect = self
+                    .config
+                    .model
+                    .shared_link_time(remote_envelopes.iter().copied());
+
+                // Identical merged triplets (the common case: many leaf
+                // fragments resolving a member to the same constants) project
+                // identically — memoize per member, keyed on the
+                // `FormulaId`-stable triplet content, so the renumbering
+                // substitution runs once and the cache entries share one Arc.
+                let mut projection_memo: HashMap<(usize, Triplet), Arc<Triplet>> = HashMap::new();
+                for (k, &mi) in active.iter().enumerate() {
+                    let m = &members[mi];
+                    let compiled = &pending[m.idx].1;
+                    let proj = &projections[k];
+                    let inv: HashMap<u32, u32> = proj
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &h)| (h, i as u32))
+                        .collect();
+                    self.ensure_solve_entry(m.fp, compiled.root());
+                    let entry = self.solve_cache.get_mut(&m.fp).expect("just inserted");
+                    for &f in &live {
+                        entry.triplets.entry(f).or_insert_with(|| {
+                            let merged_t = merged_triplets
+                                .get(&f)
+                                .expect("fragment missing from cache was evaluated");
+                            Arc::clone(
+                                projection_memo
+                                    .entry((k, (**merged_t).clone()))
+                                    .or_insert_with(|| {
+                                        Arc::new(project_triplet(merged_t, proj, &inv))
+                                    }),
+                            )
+                        });
+                    }
+                    let start = Instant::now();
+                    let answer = solve_entry(entry, &postorder, root_frag);
+                    solve_total += start.elapsed().as_secs_f64();
+                    round
+                        .report_mut()
+                        .record_compute(self.coordinator, start.elapsed());
+                    round
+                        .report_mut()
+                        .record_work(self.coordinator, (compiled.len() * live.len()) as u64);
+                    entry.answer = Some(answer);
+                    for &pi in &m.submissions {
+                        answers[pi] = Some(answer);
+                    }
+                }
+            } else {
+                // ---- Depth-gated lazy wavefronts --------------------
+                // `partial_solve` leaves unevaluated fragments' variables
+                // free, so an answer it determines holds under *any*
+                // content of the skipped fragments — shipping stops as
+                // soon as every member's answer is determined.
+                fragments_evaluated = 0;
+                let mut unanswered: Vec<usize> = Vec::new();
+                let mut invs: Vec<HashMap<u32, u32>> = Vec::new();
+                for (k, &mi) in active.iter().enumerate() {
+                    let m = &members[mi];
+                    let compiled = &pending[m.idx].1;
+                    invs.push(
+                        projections[k]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &h)| (h, i as u32))
+                            .collect(),
                     );
+                    self.ensure_solve_entry(m.fp, compiled.root());
+                    unanswered.push(k);
                 }
-                let entry = self.solve_cache.get_mut(&m.fp).expect("just inserted");
-                for &f in &live {
-                    entry.triplets.entry(f).or_insert_with(|| {
-                        let merged_t = merged_triplets
-                            .get(&f)
-                            .expect("fragment missing from cache was evaluated");
-                        Arc::clone(
-                            projection_memo
-                                .entry((k, (**merged_t).clone()))
-                                .or_insert_with(|| Arc::new(project_triplet(merged_t, proj, &inv))),
-                        )
+
+                let mut by_depth: BTreeMap<usize, Vec<FragmentId>> = BTreeMap::new();
+                for &f in &need {
+                    by_depth
+                        .entry(self.forest_stats.fragment(f).depth)
+                        .or_default()
+                        .push(f);
+                }
+                let mut waves = by_depth.into_iter();
+                let mut merged_triplets: HashMap<FragmentId, Arc<Triplet>> = HashMap::new();
+                let mut projection_memo: HashMap<(usize, Triplet), Arc<Triplet>> = HashMap::new();
+                loop {
+                    // Attempt resolution of every still-open member from
+                    // what it has (cached + projected so far). The first
+                    // pass costs zero messages: an answer determined by
+                    // surviving cache entries alone ships nothing.
+                    unanswered.retain(|&k| {
+                        let m = &members[active[k]];
+                        let compiled = &pending[m.idx].1;
+                        let entry = self.solve_cache.get_mut(&m.fp).expect("ensured above");
+                        for (&f, merged_t) in &merged_triplets {
+                            entry.triplets.entry(f).or_insert_with(|| {
+                                Arc::clone(
+                                    projection_memo
+                                        .entry((k, (**merged_t).clone()))
+                                        .or_insert_with(|| {
+                                            Arc::new(project_triplet(
+                                                merged_t,
+                                                &projections[k],
+                                                &invs[k],
+                                            ))
+                                        }),
+                                )
+                            });
+                        }
+                        let start = Instant::now();
+                        let maybe =
+                            partial_solve(&self.source_tree, &entry.triplets, entry.root as usize);
+                        let took = start.elapsed();
+                        solve_total += took.as_secs_f64();
+                        round.report_mut().record_compute(self.coordinator, took);
+                        round.report_mut().record_work(
+                            self.coordinator,
+                            (compiled.len() * entry.triplets.len().max(1)) as u64,
+                        );
+                        match maybe {
+                            Some(a) => {
+                                entry.answer = Some(a);
+                                for &pi in &m.submissions {
+                                    answers[pi] = Some(a);
+                                }
+                                false
+                            }
+                            None => true,
+                        }
                     });
-                }
-                let start = Instant::now();
-                let answer = solve_entry(entry, &postorder, root_frag);
-                solve_total += start.elapsed().as_secs_f64();
-                round
-                    .report_mut()
-                    .record_compute(self.coordinator, start.elapsed());
-                round
-                    .report_mut()
-                    .record_work(self.coordinator, (compiled.len() * live.len()) as u64);
-                entry.answer = Some(answer);
-                for &pi in &m.submissions {
-                    answers[pi] = Some(answer);
+                    if unanswered.is_empty() {
+                        break;
+                    }
+                    let Some((_, frags)) = waves.next() else {
+                        unreachable!("full coverage always determines every member's answer");
+                    };
+                    // Only fragments some open member still misses.
+                    let wanted: Vec<FragmentId> = frags
+                        .into_iter()
+                        .filter(|f| {
+                            unanswered.iter().any(|&k| {
+                                !self
+                                    .solve_cache
+                                    .get(&members[active[k]].fp)
+                                    .is_some_and(|e| e.triplets.contains_key(f))
+                            })
+                        })
+                        .collect();
+                    if wanted.is_empty() {
+                        continue;
+                    }
+                    fragments_evaluated += wanted.len();
+                    let mut per_site: BTreeMap<u32, Vec<FragmentId>> = BTreeMap::new();
+                    for &f in &wanted {
+                        per_site
+                            .entry(self.source_tree.site_of(f).0)
+                            .or_default()
+                            .push(f);
+                    }
+                    let mut wave_remote = false;
+                    for &s in per_site.keys() {
+                        let site = SiteId(s);
+                        round.report_mut().record_visit(site);
+                        if site != self.coordinator {
+                            round.report_mut().record_message(
+                                self.coordinator,
+                                site,
+                                request_bytes,
+                                MessageKind::BatchQuery,
+                            );
+                            wave_remote = true;
+                        }
+                    }
+                    if wave_remote {
+                        lazy_model_time += self.config.model.transfer_time(request_bytes);
+                    }
+                    let replies = self.pool.eval_round(
+                        &merged,
+                        merged.program_fingerprint(),
+                        per_site
+                            .into_iter()
+                            .map(|(s, fs)| (SiteId(s), fs))
+                            .collect(),
+                    );
+                    let (wave_compute, envelopes) = absorb_replies(
+                        round.report_mut(),
+                        replies,
+                        &mut merged_triplets,
+                        &mut site_cache_hits,
+                    );
+                    let mut wave_envelopes: Vec<usize> = Vec::new();
+                    for (site, bytes) in envelopes {
+                        if site != self.coordinator {
+                            round.report_mut().record_message(
+                                site,
+                                self.coordinator,
+                                bytes,
+                                MessageKind::Envelope,
+                            );
+                            wave_envelopes.push(bytes);
+                        }
+                    }
+                    lazy_model_time += wave_compute
+                        + self
+                            .config
+                            .model
+                            .shared_link_time(wave_envelopes.iter().copied());
                 }
             }
 
@@ -568,8 +945,27 @@ impl Engine {
         }
 
         let mut report = round.finish();
-        report.elapsed_model_s = broadcast + max_compute + collect + solve_total;
+        report.elapsed_model_s = broadcast + max_compute + collect + solve_total + lazy_model_time;
         report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+        report.planned = planned;
+
+        // Feed the observed resolution depth back into the EWMA that
+        // gates future lazy rounds, measured post hoc from the solved
+        // entries. The round's observation is the *deepest* depth any of
+        // its members needed: a shallow member coalesced with a deep
+        // scan must not teach the planner that rounds resolve shallow,
+        // and a lazy round answered from deep cached triplets does not
+        // masquerade as a shallow observation either.
+        if self.config.plan_rounds && !active.is_empty() {
+            let obs = active
+                .iter()
+                .filter_map(|&mi| self.solve_cache.get(&members[mi].fp))
+                .map(|e| self.observed_resolution_depth(e))
+                .max()
+                .unwrap_or_else(|| self.forest_stats.max_depth());
+            let cap = self.forest_stats.max_depth() as f64;
+            self.depth_ewma = (0.5 * self.depth_ewma + 0.5 * obs as f64).min(cap);
+        }
 
         self.stats.rounds += 1;
         self.stats.queries += pending.len() as u64;
@@ -594,14 +990,20 @@ impl Engine {
 
     /// Applies one Section-5 update to the live deployment: pending
     /// queries are flushed first (answered against the pre-update
-    /// document), the forest mutates through the shared maintenance path,
-    /// and only the touched fragments' cache entries are invalidated —
-    /// at the owning site *and* in the coordinator's solve cache.
+    /// document), the forest mutates through the shared maintenance path
+    /// (incrementally maintaining the planner's [`ForestStats`]), and
+    /// only the touched fragments' cache entries are invalidated — at
+    /// the owning site *and* in the coordinator's solve cache.
     pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, ViewError> {
         let flushed = self.flush();
         let mut report = RunReport::new();
         let wall = Instant::now();
-        let effect = apply_update_to_forest(&mut self.forest, &mut self.placement, update)?;
+        let effect = apply_update_tracked(
+            &mut self.forest,
+            &mut self.placement,
+            &mut self.forest_stats,
+            update,
+        )?;
         let mut invalidated = 0usize;
 
         for &gone in &effect.removed {
@@ -643,6 +1045,9 @@ impl Engine {
         if effect.restructured() {
             self.source_tree = SourceTree::new(&self.forest, &self.placement);
             self.coordinator = self.source_tree.site_of(self.forest.root_fragment());
+            // The fragment tree changed shape: keep the depth statistic
+            // within the new bounds.
+            self.depth_ewma = self.depth_ewma.min(self.forest_stats.max_depth() as f64);
         }
 
         report.elapsed_model_s = report.network_cost_s(&self.config.model);
@@ -669,6 +1074,36 @@ impl Engine {
         }
         n
     }
+}
+
+/// Absorbs one wave of site replies into a round report and the
+/// merged-triplet pool: records compute and work, counts site-cache
+/// hits, sizes each site's envelope in the DAG wire format, and hands
+/// back the slowest site's measured compute plus every replying site's
+/// envelope bytes. The caller records the envelope *messages* — the
+/// eager round through [`BatchRound::reply`]'s single-visit protocol
+/// enforcement, lazy waves directly (revisiting sites is their point).
+fn absorb_replies(
+    report: &mut RunReport,
+    replies: Vec<EvalReply>,
+    merged_triplets: &mut HashMap<FragmentId, Arc<Triplet>>,
+    site_cache_hits: &mut usize,
+) -> (f64, Vec<(SiteId, usize)>) {
+    let mut max_compute = 0.0f64;
+    let mut envelopes: Vec<(SiteId, usize)> = Vec::new();
+    for reply in replies {
+        report.record_compute(reply.site, reply.elapsed);
+        report.record_work(reply.site, reply.work_units);
+        max_compute = max_compute.max(reply.elapsed.as_secs_f64());
+        *site_cache_hits += reply.triplets.iter().filter(|(_, _, hit)| *hit).count();
+        let entries: Vec<(FragmentId, &Triplet)> =
+            reply.triplets.iter().map(|(f, t, _)| (*f, &**t)).collect();
+        envelopes.push((reply.site, site_envelope_dag_wire_size(&entries)));
+        for (f, t, _) in reply.triplets {
+            merged_triplets.insert(f, t);
+        }
+    }
+    (max_compute, envelopes)
 }
 
 /// Re-solves a member program from its cached per-fragment triplets.
@@ -980,6 +1415,62 @@ mod tests {
         assert_eq!(down.effect.removed, vec![new]);
         assert!(e.query(&q).answer);
         assert_eq!(e.query(&q).answer, oracle(&e, &q));
+    }
+
+    #[test]
+    fn engine_switches_to_lazy_waves_once_depth_statistic_warms() {
+        // A 5-link chain, one site per fragment, free network (so the
+        // planner compares pure computation): queries that resolve at
+        // the root fragment drive the resolution-depth EWMA down from
+        // its pessimistic start, after which fresh rounds must switch to
+        // lazy wavefronts and stop shipping the deep fragments.
+        let mut xml = String::new();
+        for i in 0..10 {
+            xml.push_str(&format!("<lvl{i}><mark{i}/><pad/>"));
+        }
+        xml.push_str("<bottom/>");
+        for i in (0..10).rev() {
+            xml.push_str(&format!("</lvl{i}>"));
+        }
+        let mut forest = Forest::from_tree(Tree::parse(&xml).unwrap());
+        parbox_frag::strategies::chain(&mut forest, 5).unwrap();
+        let card = forest.card();
+        let placement = Placement::one_per_fragment(&forest);
+        let config = EngineConfig {
+            model: NetworkModel::infinite(),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(forest, placement, config).unwrap();
+        assert_eq!(
+            e.resolve_depth_ewma(),
+            (card - 1) as f64,
+            "pessimistic start"
+        );
+
+        let mut saw_lazy = false;
+        for i in 0..6 {
+            // Distinct fingerprints, all resolvable at the root fragment
+            // (mark0 is in it, so the disjunction folds to true there).
+            let q = parse_query(&format!("[//mark0 or //nope{i}]")).unwrap();
+            let before = e.stats().fragments_evaluated;
+            let out = e.query(&q);
+            assert!(out.answer, "query {i}");
+            let planned = out.report.planned.expect("planned round");
+            if planned.strategy == "LazyParBoX" {
+                saw_lazy = true;
+                assert!(
+                    (e.stats().fragments_evaluated - before) < card as u64,
+                    "lazy round must not ship the whole chain"
+                );
+            }
+        }
+        assert!(saw_lazy, "EWMA never triggered a lazy round");
+        assert!(e.resolve_depth_ewma() < 1.0, "statistic converged shallow");
+
+        // A deep query still answers correctly (the wave loop walks all
+        // the way down when resolution demands it).
+        let deep = parse_query("[//bottom]").unwrap();
+        assert_eq!(e.query(&deep).answer, oracle(&e, &deep));
     }
 
     #[test]

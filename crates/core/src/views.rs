@@ -201,6 +201,32 @@ pub fn apply_update_to_forest(
     }
 }
 
+/// [`apply_update_to_forest`] with incremental
+/// [`ForestStats`](parbox_frag::ForestStats) maintenance: after the
+/// mutation, only the touched fragments are re-measured (`O(|F_j|)`),
+/// plus an `O(card(F) · depth)` structural refresh when the fragment
+/// tree changed shape. The maintained statistics stay equal to
+/// [`ForestStats::compute`](parbox_frag::ForestStats::compute) from
+/// scratch (asserted by the serve suite's proptests).
+pub fn apply_update_tracked(
+    forest: &mut Forest,
+    placement: &mut Placement,
+    stats: &mut parbox_frag::ForestStats,
+    update: Update,
+) -> Result<UpdateEffect, ViewError> {
+    let effect = apply_update_to_forest(forest, placement, update)?;
+    for &gone in &effect.removed {
+        stats.remove_fragment(gone);
+    }
+    for f in effect.stale() {
+        stats.refresh_fragment(forest, placement, f);
+    }
+    if effect.restructured() {
+        stats.refresh_structure(forest, placement);
+    }
+    Ok(effect)
+}
+
 /// Cost/result report of one maintenance step.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
@@ -671,6 +697,53 @@ mod tests {
             rep2.report.total_bytes(),
             "maintenance traffic must not depend on |T|"
         );
+    }
+
+    #[test]
+    fn tracked_updates_keep_stats_equal_to_recompute() {
+        use parbox_frag::ForestStats;
+        let (mut forest, mut placement, _) = setup("[//goal]");
+        let mut stats = ForestStats::compute(&forest, &placement);
+        let frag = FragmentId(2);
+        let parent = node_of(&forest, frag, "b");
+        apply_update_tracked(
+            &mut forest,
+            &mut placement,
+            &mut stats,
+            Update::InsNode {
+                frag,
+                parent,
+                label: "goal".into(),
+                text: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
+        let y = node_of(&forest, frag, "y");
+        apply_update_tracked(
+            &mut forest,
+            &mut placement,
+            &mut stats,
+            Update::SplitFragments {
+                frag,
+                node: y,
+                to_site: Some(SiteId(5)),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
+        let vnode = {
+            let t = &forest.fragment(frag).tree;
+            t.virtual_nodes(t.root())[0].0
+        };
+        apply_update_tracked(
+            &mut forest,
+            &mut placement,
+            &mut stats,
+            Update::MergeFragments { frag, node: vnode },
+        )
+        .unwrap();
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
     }
 
     #[test]

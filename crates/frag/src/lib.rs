@@ -7,8 +7,9 @@
 //! the [`Forest`] of disjoint fragments with `splitFragments` /
 //! `mergeFragments`, the placement `h : F → S` of fragments onto sites,
 //! the induced [`SourceTree`] `S_T` (the only structure the algorithms
-//! require), and decomposition strategies reproducing the experiment
-//! shapes FT1–FT3.
+//! require), decomposition strategies reproducing the experiment
+//! shapes FT1–FT3, and the incrementally maintained [`ForestStats`]
+//! aggregates the cost-based planner reads.
 //!
 //! ```
 //! use parbox_frag::{Forest, Placement, SourceTree, strategies};
@@ -27,6 +28,7 @@ mod error;
 mod forest;
 mod placement;
 mod source_tree;
+mod stats;
 
 pub mod strategies;
 
@@ -34,3 +36,4 @@ pub use error::FragError;
 pub use forest::{Forest, Fragment};
 pub use placement::{Placement, SiteId};
 pub use source_tree::{SourceEntry, SourceTree};
+pub use stats::{ForestStats, FragmentStats, SiteStats};

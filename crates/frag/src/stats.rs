@@ -1,0 +1,343 @@
+//! Cheap, incrementally maintained statistics over a fragmented
+//! document — the inputs a cost-based planner reads.
+//!
+//! Every distributed strategy's cost depends on the same handful of
+//! aggregates: how many fragments there are, how big each one is (nodes
+//! and serialized bytes), how deep it sits in the fragment tree, how
+//! many sub-fragments hang off it, and how the fragments spread over
+//! sites. Recomputing those from the trees is `O(|T|)` per query — far
+//! too slow to consult on every planning decision — so [`ForestStats`]
+//! caches them and is maintained *incrementally*: after an update only
+//! the touched fragments are re-measured (`O(|F_j|)`), plus an
+//! `O(card(F) · depth)` structural refresh when the fragment tree
+//! changed shape.
+//!
+//! The maintained figures are asserted equal to a recompute-from-scratch
+//! oracle under random insert/remove/split sequences (see the proptest
+//! in `crates/frag/tests` and `parbox-core`'s serve suite).
+
+use crate::{Forest, Placement, SiteId};
+use parbox_xml::FragmentId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-fragment statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentStats {
+    /// Live nodes in the fragment, virtual nodes included.
+    pub nodes: usize,
+    /// Approximate serialized size in bytes (what `NaiveCentralized`
+    /// ships).
+    pub bytes: usize,
+    /// Depth in the fragment tree (root fragment = 0).
+    pub depth: usize,
+    /// Virtual-node fan-out: number of direct sub-fragments.
+    pub fanout: usize,
+    /// Site storing the fragment.
+    pub site: SiteId,
+    /// Parent fragment in the fragment tree.
+    pub parent: Option<FragmentId>,
+}
+
+/// Per-site placement totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Fragments stored at the site (`card(F_Si)`).
+    pub fragments: usize,
+    /// Total nodes stored at the site (`|F_Si|`).
+    pub nodes: usize,
+    /// Total approximate bytes stored at the site.
+    pub bytes: usize,
+}
+
+/// Aggregate statistics of a fragmented, placed document, cached so
+/// planning reads them in `O(1)`–`O(card(F))` instead of walking trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestStats {
+    per_fragment: HashMap<FragmentId, FragmentStats>,
+    per_site: BTreeMap<u32, SiteStats>,
+    root: FragmentId,
+}
+
+impl ForestStats {
+    /// Measures the whole forest from scratch — the oracle the
+    /// incremental maintenance is tested against.
+    pub fn compute(forest: &Forest, placement: &Placement) -> ForestStats {
+        let mut stats = ForestStats {
+            per_fragment: HashMap::with_capacity(forest.card()),
+            per_site: BTreeMap::new(),
+            root: forest.root_fragment(),
+        };
+        for f in forest.fragment_ids() {
+            stats.insert_fragment(forest, placement, f);
+        }
+        stats
+    }
+
+    fn measure(forest: &Forest, placement: &Placement, f: FragmentId) -> FragmentStats {
+        let frag = forest.fragment(f);
+        FragmentStats {
+            nodes: frag.len(),
+            bytes: frag.byte_size(),
+            depth: forest.depth(f),
+            fanout: frag.sub_fragments().len(),
+            site: placement.site_of(f),
+            parent: frag.parent,
+        }
+    }
+
+    fn insert_fragment(&mut self, forest: &Forest, placement: &Placement, f: FragmentId) {
+        let entry = Self::measure(forest, placement, f);
+        let site = self.per_site.entry(entry.site.0).or_default();
+        site.fragments += 1;
+        site.nodes += entry.nodes;
+        site.bytes += entry.bytes;
+        if let Some(old) = self.per_fragment.insert(f, entry) {
+            self.debit_site(&old);
+        }
+    }
+
+    fn debit_site(&mut self, old: &FragmentStats) {
+        let site = self
+            .per_site
+            .get_mut(&old.site.0)
+            .expect("every tracked fragment has a site entry");
+        site.fragments -= 1;
+        site.nodes -= old.nodes;
+        site.bytes -= old.bytes;
+        if site.fragments == 0 {
+            self.per_site.remove(&old.site.0);
+        }
+    }
+
+    /// Re-measures one fragment after its tree changed (or it was just
+    /// created). `O(|F_j|)` — the cost of walking only the touched
+    /// fragment.
+    pub fn refresh_fragment(&mut self, forest: &Forest, placement: &Placement, f: FragmentId) {
+        self.insert_fragment(forest, placement, f);
+    }
+
+    /// Forgets a fragment that ceased to exist (`mergeFragments`).
+    pub fn remove_fragment(&mut self, f: FragmentId) {
+        if let Some(old) = self.per_fragment.remove(&f) {
+            self.debit_site(&old);
+        }
+    }
+
+    /// Refreshes the structural columns (depth, fan-out, parent, site) of
+    /// every tracked fragment after the fragment tree changed shape —
+    /// `O(card(F) · depth)`, without re-walking any fragment's nodes.
+    pub fn refresh_structure(&mut self, forest: &Forest, placement: &Placement) {
+        self.root = forest.root_fragment();
+        for (f, entry) in self.per_fragment.iter_mut() {
+            let frag = forest.fragment(*f);
+            entry.depth = forest.depth(*f);
+            entry.fanout = frag.sub_fragments().len();
+            entry.parent = frag.parent;
+            entry.site = placement.site_of(*f);
+        }
+        // Rebuild the (small) per-site table from the per-fragment rows;
+        // placement changes are rare and the table is O(sites).
+        let mut per_site: BTreeMap<u32, SiteStats> = BTreeMap::new();
+        for entry in self.per_fragment.values() {
+            let site = per_site.entry(entry.site.0).or_default();
+            site.fragments += 1;
+            site.nodes += entry.nodes;
+            site.bytes += entry.bytes;
+        }
+        self.per_site = per_site;
+    }
+
+    /// Statistics of one fragment.
+    ///
+    /// # Panics
+    /// Panics if the fragment is not tracked.
+    pub fn fragment(&self, f: FragmentId) -> &FragmentStats {
+        self.per_fragment
+            .get(&f)
+            .unwrap_or_else(|| panic!("fragment {f} is not tracked"))
+    }
+
+    /// Statistics of one fragment, if tracked.
+    pub fn try_fragment(&self, f: FragmentId) -> Option<&FragmentStats> {
+        self.per_fragment.get(&f)
+    }
+
+    /// Iterator over `(fragment, stats)` in unspecified order.
+    pub fn fragments(&self) -> impl Iterator<Item = (FragmentId, &FragmentStats)> {
+        self.per_fragment.iter().map(|(&f, s)| (f, s))
+    }
+
+    /// Iterator over `(site, totals)`, ascending by site.
+    pub fn sites(&self) -> impl Iterator<Item = (SiteId, &SiteStats)> {
+        self.per_site.iter().map(|(&s, t)| (SiteId(s), t))
+    }
+
+    /// Placement totals of one site (default-empty when the site stores
+    /// nothing).
+    pub fn site(&self, site: SiteId) -> SiteStats {
+        self.per_site.get(&site.0).copied().unwrap_or_default()
+    }
+
+    /// The root fragment.
+    pub fn root(&self) -> FragmentId {
+        self.root
+    }
+
+    /// `card(F)`.
+    pub fn card(&self) -> usize {
+        self.per_fragment.len()
+    }
+
+    /// Number of distinct sites in use.
+    pub fn site_count(&self) -> usize {
+        self.per_site.len()
+    }
+
+    /// Total live nodes over all fragments (`|T|` plus one virtual node
+    /// per non-root fragment).
+    pub fn total_nodes(&self) -> usize {
+        self.per_fragment.values().map(|e| e.nodes).sum()
+    }
+
+    /// Total approximate bytes over all fragments.
+    pub fn total_bytes(&self) -> usize {
+        self.per_fragment.values().map(|e| e.bytes).sum()
+    }
+
+    /// Maximum fragment-tree depth.
+    pub fn max_depth(&self) -> usize {
+        self.per_fragment
+            .values()
+            .map(|e| e.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest per-site node total `max_Si |F_Si|` — the parallel-
+    /// computation bound of the paper's Fig. 4.
+    pub fn max_site_nodes(&self) -> usize {
+        self.per_site.values().map(|t| t.nodes).max().unwrap_or(0)
+    }
+
+    /// Fragment-tree edges whose endpoints live on *different* sites —
+    /// the edges that cost a message in the distributed-resolution
+    /// strategies (`NaiveDistributed`, `FullDistParBoX`).
+    pub fn cross_site_edges(&self) -> usize {
+        self.per_fragment
+            .values()
+            .filter(|e| {
+                e.parent
+                    .and_then(|p| self.per_fragment.get(&p))
+                    .is_some_and(|p| p.site != e.site)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parbox_xml::Tree;
+
+    fn forest() -> (Forest, Placement) {
+        let tree = Tree::parse("<r><a><x>1</x><y/></a><b><z>22</z></b><c/></r>").unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let root = forest.root_fragment();
+        crate::strategies::star(&mut forest, root).unwrap();
+        let placement = Placement::round_robin(&forest, 2);
+        (forest, placement)
+    }
+
+    #[test]
+    fn compute_measures_every_fragment() {
+        let (forest, placement) = forest();
+        let stats = ForestStats::compute(&forest, &placement);
+        assert_eq!(stats.card(), forest.card());
+        assert_eq!(stats.total_nodes(), forest.total_nodes());
+        assert_eq!(stats.total_bytes(), forest.total_bytes());
+        assert_eq!(stats.site_count(), placement.sites().len());
+        for f in forest.fragment_ids() {
+            let s = stats.fragment(f);
+            assert_eq!(s.nodes, forest.fragment(f).len());
+            assert_eq!(s.bytes, forest.fragment(f).byte_size());
+            assert_eq!(s.depth, forest.depth(f));
+            assert_eq!(s.fanout, forest.children(f).len());
+            assert_eq!(s.site, placement.site_of(f));
+        }
+        // Root has fanout 3 (the star), depth 0.
+        let root = stats.fragment(forest.root_fragment());
+        assert_eq!((root.depth, root.fanout), (0, 3));
+        assert_eq!(stats.max_depth(), 1);
+    }
+
+    #[test]
+    fn per_site_totals_partition_the_forest() {
+        let (forest, placement) = forest();
+        let stats = ForestStats::compute(&forest, &placement);
+        let nodes: usize = stats.sites().map(|(_, t)| t.nodes).sum();
+        let frags: usize = stats.sites().map(|(_, t)| t.fragments).sum();
+        assert_eq!(nodes, forest.total_nodes());
+        assert_eq!(frags, forest.card());
+        assert!(stats.max_site_nodes() >= forest.total_nodes() / 2);
+        assert_eq!(stats.site(SiteId(99)), SiteStats::default());
+    }
+
+    #[test]
+    fn refresh_fragment_tracks_growth() {
+        let (mut forest, placement) = forest();
+        let mut stats = ForestStats::compute(&forest, &placement);
+        let f = FragmentId(1);
+        let root = forest.fragment(f).tree.root();
+        forest.tree_mut(f).add_child(root, "grown");
+        stats.refresh_fragment(&forest, &placement, f);
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
+    }
+
+    #[test]
+    fn split_then_structure_refresh_matches_oracle() {
+        let (mut forest, mut placement) = forest();
+        let mut stats = ForestStats::compute(&forest, &placement);
+        let f1 = FragmentId(1);
+        let cut = {
+            let t = &forest.fragment(f1).tree;
+            t.children(t.root()).next().unwrap()
+        };
+        let new = forest.split(f1, cut).unwrap();
+        placement.assign(new, SiteId(7));
+        stats.refresh_fragment(&forest, &placement, f1);
+        stats.refresh_fragment(&forest, &placement, new);
+        stats.refresh_structure(&forest, &placement);
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
+        assert_eq!(stats.fragment(new).depth, 2);
+    }
+
+    #[test]
+    fn remove_fragment_tracks_merges() {
+        let (mut forest, placement) = forest();
+        let mut stats = ForestStats::compute(&forest, &placement);
+        let root = forest.root_fragment();
+        let vnode = {
+            let t = &forest.fragment(root).tree;
+            t.virtual_nodes(t.root())[0].0
+        };
+        let gone = forest.merge(root, vnode).unwrap().unwrap();
+        stats.remove_fragment(gone);
+        stats.refresh_fragment(&forest, &placement, root);
+        stats.refresh_structure(&forest, &placement);
+        assert_eq!(stats, ForestStats::compute(&forest, &placement));
+    }
+
+    #[test]
+    fn cross_site_edges_counts_remote_parents() {
+        let (forest, _) = forest();
+        // All on one site: no cross edges.
+        let single = Placement::single_site(&forest);
+        assert_eq!(ForestStats::compute(&forest, &single).cross_site_edges(), 0);
+        // One site per fragment: every non-root fragment crosses.
+        let spread = Placement::one_per_fragment(&forest);
+        assert_eq!(
+            ForestStats::compute(&forest, &spread).cross_site_edges(),
+            forest.card() - 1
+        );
+    }
+}

@@ -187,6 +187,64 @@ mod tests {
     }
 
     #[test]
+    fn best_cut_on_single_node_fragment_is_none() {
+        // A fragment holding only its root has no non-root node to cut.
+        let f = Forest::from_tree(Tree::parse("<only/>").unwrap());
+        assert_eq!(best_cut_node(&f, f.root_fragment(), 1), None);
+        assert_eq!(best_cut_node(&f, f.root_fragment(), 1000), None);
+    }
+
+    #[test]
+    fn best_cut_skips_all_tombstone_subtrees() {
+        // Deleting every payload leaves only tombstones below the live
+        // candidates: each survivor has subtree size 1 and is skipped.
+        let mut f = Forest::from_tree(Tree::parse("<r><a><x/><y/></a><d/></r>").unwrap());
+        let root = f.root_fragment();
+        for label in ["x", "y"] {
+            let n = {
+                let t = &f.fragment(root).tree;
+                t.descendants(t.root())
+                    .find(|&n| t.label_str(n) == label)
+                    .unwrap()
+            };
+            f.tree_mut(root).remove_subtree(n).unwrap();
+        }
+        // <a> still exists but its subtree is all tombstones below it;
+        // <d> is a lone leaf. Nothing is worth cutting.
+        assert_eq!(best_cut_node(&f, root, 2), None);
+    }
+
+    #[test]
+    fn best_cut_with_oversized_target_returns_largest_subtree() {
+        // A target larger than the whole fragment clamps to the biggest
+        // available (non-root) subtree — the closest match by gap.
+        let f = bushy(); // root has 25 nodes; the largest subtrees are 6.
+        let cut = best_cut_node(&f, f.root_fragment(), 10_000).unwrap();
+        let tree = &f.fragment(f.root_fragment()).tree;
+        assert_eq!(tree.subtree_size(cut), 6);
+        // And never the fragment root itself.
+        assert_ne!(cut, tree.root());
+    }
+
+    #[test]
+    fn best_cut_never_picks_virtual_nodes() {
+        // After a split, the virtual stub must not be proposed again even
+        // when its referenced sub-fragment would match the target.
+        let mut f = bushy();
+        let root = f.root_fragment();
+        let cut = best_cut_node(&f, root, 6).unwrap();
+        f.split(root, cut).unwrap();
+        for _ in 0..10 {
+            let Some(next) = best_cut_node(&f, root, 6) else {
+                break;
+            };
+            assert!(!f.fragment(root).tree.node(next).kind.is_virtual());
+            f.split(root, next).unwrap();
+        }
+        f.validate().unwrap();
+    }
+
+    #[test]
     fn fragment_evenly_is_idempotent_at_target() {
         let mut f = bushy();
         fragment_evenly(&mut f, 3).unwrap();

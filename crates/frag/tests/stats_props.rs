@@ -1,0 +1,151 @@
+//! `ForestStats` incremental maintenance vs the recompute-from-scratch
+//! oracle, under random insert / remove / split / merge sequences.
+//!
+//! The maintenance contract mirrors `parbox-core`'s
+//! `apply_update_tracked`: after a mutation, re-measure the touched
+//! fragments, forget removed ones, and refresh the structural columns
+//! when the fragment tree changed shape. The property is that the
+//! maintained statistics are *equal* (field for field) to
+//! [`ForestStats::compute`] over the final forest at every step.
+
+use parbox_frag::{Forest, ForestStats, Placement, SiteId};
+use parbox_xml::{NodeId, Tree};
+use proptest::prelude::*;
+
+/// One random mutation, resolved against the live forest by index.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { frag: usize, node: usize },
+    Remove { frag: usize, node: usize },
+    Split { frag: usize, node: usize, site: u32 },
+    Merge { frag: usize, vnode: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..1000, 0usize..1000).prop_map(|(frag, node)| Op::Insert { frag, node }),
+        (0usize..1000, 0usize..1000).prop_map(|(frag, node)| Op::Remove { frag, node }),
+        (0usize..1000, 0usize..1000, 0u32..6).prop_map(|(frag, node, site)| Op::Split {
+            frag,
+            node,
+            site
+        }),
+        (0usize..1000, 0usize..1000).prop_map(|(frag, vnode)| Op::Merge { frag, vnode }),
+    ]
+}
+
+fn seed_forest() -> (Forest, Placement) {
+    let tree =
+        Tree::parse("<r><a><x>1</x><y/><z>deep</z></a><b><p/><q>2</q></b><c><u/><v/><w/></c></r>")
+            .unwrap();
+    let mut forest = Forest::from_tree(tree);
+    let root = forest.root_fragment();
+    let cut = {
+        let t = &forest.fragment(root).tree;
+        t.children(t.root()).next().unwrap()
+    };
+    forest.split(root, cut).unwrap();
+    let placement = Placement::round_robin(&forest, 2);
+    (forest, placement)
+}
+
+/// Applies one op, incrementally maintaining `stats` exactly the way
+/// `apply_update_tracked` does. Unresolvable picks are skipped.
+fn apply(op: Op, forest: &mut Forest, placement: &mut Placement, stats: &mut ForestStats) {
+    let frags: Vec<_> = forest.fragment_ids().collect();
+    let (frag, node_idx) = match op {
+        Op::Insert { frag, node }
+        | Op::Remove { frag, node }
+        | Op::Split { frag, node, .. }
+        | Op::Merge { frag, vnode: node } => (frags[frag % frags.len()], node),
+    };
+    let nodes: Vec<NodeId> = {
+        let t = &forest.fragment(frag).tree;
+        t.descendants(t.root()).collect()
+    };
+    match op {
+        Op::Insert { .. } => {
+            let parent = {
+                let t = &forest.fragment(frag).tree;
+                *nodes
+                    .iter()
+                    .find(|&&n| !t.node(n).kind.is_virtual())
+                    .expect("a fragment always has a live root")
+            };
+            forest.tree_mut(frag).add_child(parent, "grown");
+            stats.refresh_fragment(forest, placement, frag);
+        }
+        Op::Remove { .. } => {
+            let target = {
+                let t = &forest.fragment(frag).tree;
+                nodes
+                    .iter()
+                    .copied()
+                    .cycle()
+                    .skip(node_idx % nodes.len())
+                    .take(nodes.len())
+                    .find(|&n| n != t.root() && t.virtual_nodes(n).is_empty())
+            };
+            let Some(target) = target else { return };
+            forest.tree_mut(frag).remove_subtree(target).unwrap();
+            stats.refresh_fragment(forest, placement, frag);
+        }
+        Op::Split { site, .. } => {
+            let target = {
+                let t = &forest.fragment(frag).tree;
+                nodes
+                    .iter()
+                    .copied()
+                    .cycle()
+                    .skip(node_idx % nodes.len())
+                    .take(nodes.len())
+                    .find(|&n| {
+                        n != t.root() && !t.node(n).kind.is_virtual() && t.subtree_size(n) >= 2
+                    })
+            };
+            let Some(target) = target else { return };
+            let new = forest.split(frag, target).unwrap();
+            placement.assign(new, SiteId(site));
+            stats.refresh_fragment(forest, placement, frag);
+            stats.refresh_fragment(forest, placement, new);
+            stats.refresh_structure(forest, placement);
+        }
+        Op::Merge { .. } => {
+            let vnodes = {
+                let t = &forest.fragment(frag).tree;
+                t.virtual_nodes(t.root())
+            };
+            if vnodes.is_empty() {
+                return;
+            }
+            let (vnode, _) = vnodes[node_idx % vnodes.len()];
+            let gone = forest.merge(frag, vnode).unwrap().expect("virtual node");
+            stats.remove_fragment(gone);
+            stats.refresh_fragment(forest, placement, frag);
+            stats.refresh_structure(forest, placement);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The satellite acceptance property: incrementally maintained
+    /// statistics equal the from-scratch oracle after every mutation.
+    #[test]
+    fn incremental_stats_equal_recompute_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+    ) {
+        let (mut forest, mut placement) = seed_forest();
+        let mut stats = ForestStats::compute(&forest, &placement);
+        for (i, op) in ops.into_iter().enumerate() {
+            apply(op, &mut forest, &mut placement, &mut stats);
+            forest.validate().unwrap();
+            prop_assert_eq!(
+                &stats,
+                &ForestStats::compute(&forest, &placement),
+                "diverged after op {}", i
+            );
+        }
+    }
+}

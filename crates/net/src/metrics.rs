@@ -61,6 +61,47 @@ pub struct SiteReport {
     pub compute_s: f64,
 }
 
+/// A strategy's *predicted* cost, in the same units the [`RunReport`]
+/// accounting later measures: an executor's `estimate` fills one of
+/// these from `ForestStats`-style aggregates before any site is
+/// contacted, and tests assert estimate-vs-actual agreement (visit and
+/// message counts exactly; traffic within the bound documented on the
+/// estimator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Predicted total site visits (the sum over sites of per-site
+    /// visits — compare with [`RunReport::total_visits`]).
+    pub visits: usize,
+    /// Predicted total messages (compare with
+    /// [`RunReport::total_messages`]).
+    pub messages: usize,
+    /// Predicted total traffic in bytes (compare with
+    /// [`RunReport::total_bytes`]).
+    pub traffic_bytes: usize,
+    /// Predicted sequential communication rounds (latency-bearing
+    /// phases that cannot overlap).
+    pub rounds: usize,
+    /// Predicted computation in work units (node × sub-query
+    /// evaluations — compare with [`RunReport::total_work`]).
+    pub work_units: u64,
+    /// Predicted modeled elapsed seconds (compare with
+    /// [`RunReport::elapsed_model_s`]).
+    pub modeled_s: f64,
+}
+
+/// What the planner decided for a run: the chosen strategy and its
+/// [`CostEstimate`], recorded in [`RunReport::planned`] so every
+/// experiment artifact shows prediction next to measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSummary {
+    /// Name of the chosen strategy.
+    pub strategy: String,
+    /// The estimate that won the comparison.
+    pub estimate: CostEstimate,
+    /// How many candidate strategies were compared.
+    pub candidates: usize,
+}
+
 /// Full accounting of one algorithm run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -72,6 +113,10 @@ pub struct RunReport {
     pub elapsed_model_s: f64,
     /// Measured wall-clock time of the whole run, seconds.
     pub elapsed_wall_s: f64,
+    /// When a cost-based planner chose the strategy that produced this
+    /// report, what it chose and what it predicted (`None` for runs of a
+    /// fixed, caller-chosen strategy).
+    pub planned: Option<PlanSummary>,
 }
 
 impl RunReport {
@@ -178,6 +223,12 @@ impl RunReport {
         self.per_site.values().map(|r| r.visits).max().unwrap_or(0)
     }
 
+    /// Total visits over all sites — the figure a [`CostEstimate`]
+    /// predicts in its `visits` field.
+    pub fn total_visits(&self) -> usize {
+        self.per_site.values().map(|r| r.visits).sum()
+    }
+
     /// Total simulated network cost in seconds: the sum over all recorded
     /// messages of their modeled transfer time (per-message latency plus
     /// payload over bandwidth). Unlike `elapsed_model_s` this counts
@@ -242,6 +293,29 @@ mod tests {
         let expected = m.transfer_time(1_000) + m.transfer_time(500);
         assert!((r.network_cost_s(&m) - expected).abs() < 1e-12);
         assert_eq!(RunReport::new().network_cost_s(&m), 0.0);
+    }
+
+    #[test]
+    fn total_visits_sums_over_sites_and_planned_defaults_to_none() {
+        let mut r = RunReport::new();
+        assert_eq!(r.total_visits(), 0);
+        assert!(r.planned.is_none());
+        r.record_visit(SiteId(1));
+        r.record_visit(SiteId(1));
+        r.record_visit(SiteId(2));
+        assert_eq!(r.total_visits(), 3);
+        r.planned = Some(PlanSummary {
+            strategy: "ParBoX".into(),
+            estimate: CostEstimate {
+                visits: 3,
+                ..CostEstimate::default()
+            },
+            candidates: 6,
+        });
+        assert_eq!(
+            r.planned.as_ref().unwrap().estimate.visits,
+            r.total_visits()
+        );
     }
 
     #[test]

@@ -64,6 +64,20 @@ impl NetworkModel {
         }
         self.latency_s + total as f64 / self.bandwidth_bytes_per_s
     }
+
+    /// Predicted modeled time of one *communication round*: `msgs`
+    /// messages totalling `bytes` payload that overlap in latency and
+    /// share link bandwidth. This is the planning-time counterpart of
+    /// [`NetworkModel::shared_link_time`] — a cost estimator that knows
+    /// only aggregate message/byte counts (e.g. from
+    /// `parbox_frag::ForestStats`) predicts exactly what the measured
+    /// [`crate::RunReport`] accounting will charge for the same round.
+    pub fn estimate_round(&self, msgs: usize, bytes: usize) -> f64 {
+        if msgs == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +108,19 @@ mod tests {
         let b = m.transfer_time(2_000_000);
         assert!((a - b).abs() < 1e-9);
         assert_eq!(m.shared_link_time(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn estimate_round_matches_shared_link_accounting() {
+        let m = NetworkModel::lan();
+        // An estimated round of n messages totalling B bytes predicts the
+        // same figure shared_link_time charges when the round happens.
+        assert_eq!(
+            m.estimate_round(3, 3_000),
+            m.shared_link_time([1_000, 1_000, 1_000])
+        );
+        assert_eq!(m.estimate_round(0, 0), 0.0);
+        assert_eq!(NetworkModel::infinite().estimate_round(5, 1 << 30), 0.0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ mod workload;
 
 pub use gen::{generate, marker_query, plant_marker, XmarkConfig};
 pub use portfolio::{add_stock, portfolio, PortfolioConfig, BROKERS, CODES, MARKETS};
-pub use queries::{batch_workload, query_with_qlist, standard_sweep, XMARK_VOCAB};
+pub use queries::{
+    batch_workload, heterogeneous_workload, query_with_qlist, standard_sweep, XMARK_VOCAB,
+};
 pub use workload::{
     drive_stream, mixed_workload, resolve_update, MixedConfig, MixedOp, StreamReport,
 };

@@ -7,7 +7,7 @@
 
 use parbox_query::{compile, CompiledQuery, Path, Query};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Default label vocabulary: XMark element names that occur in any
 /// generated document, so structural conjuncts are satisfiable.
@@ -126,6 +126,45 @@ pub fn batch_workload(n: usize, seed: u64) -> Vec<Query> {
         .collect()
 }
 
+/// A *heterogeneous* serving workload: a mix of tiny selective queries
+/// (2–4 sub-queries probing one label or text value — the kind a hot
+/// dashboard repeats) and large scan-heavy queries (15–23 sub-queries
+/// conjoining structure across the whole document). Roughly 70% tiny /
+/// 30% scan-heavy, deterministic under `seed`.
+///
+/// This is the workload whose *per-query* best strategy varies — tiny
+/// selective queries often resolve from shallow fragments while
+/// scan-heavy conjunctions need everything — which is what the
+/// `expE_planner` experiment and the serve suite's planner proptests
+/// drive through the adaptive engine (over skewed fragment sizes, e.g.
+/// the FT3 shape).
+pub fn heterogeneous_workload(n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = 2 * XMARK_VOCAB.len();
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.7) {
+                // Tiny and selective: one or two pooled predicates,
+                // sometimes sharpened by a text probe.
+                let mut q = pool_conjunct(rng.random_range(0..pool));
+                if rng.random_bool(0.4) {
+                    let label = XMARK_VOCAB[rng.random_range(0..XMARK_VOCAB.len())];
+                    q = q.and(Query::TextEq(
+                        Path::empty().desc().child(label),
+                        format!("v{}", rng.random_range(0..50u32)),
+                    ));
+                }
+                q
+            } else {
+                // Scan-heavy: a full-size conjunction from the paper's
+                // upper sweep sizes.
+                let size = [15usize, 23][rng.random_range(0..2usize)];
+                query_with_qlist(size, rng.next_u64()).0
+            }
+        })
+        .collect()
+}
+
 /// A batch of queries for the paper's standard sweep sizes.
 pub fn standard_sweep(seed: u64) -> Vec<(usize, Query, CompiledQuery)> {
     [2usize, 8, 15, 23]
@@ -188,6 +227,20 @@ mod tests {
             "merged {} vs summed {summed}",
             batch.merged_len()
         );
+    }
+
+    #[test]
+    fn heterogeneous_workload_mixes_tiny_and_scan_heavy() {
+        let queries = heterogeneous_workload(200, 5);
+        assert_eq!(queries.len(), 200);
+        let sizes: Vec<usize> = queries.iter().map(|q| compile(q).len()).collect();
+        let tiny = sizes.iter().filter(|&&s| s <= 8).count();
+        let heavy = sizes.iter().filter(|&&s| s >= 15).count();
+        assert!(tiny > 100, "tiny queries dominate: {tiny}");
+        assert!(heavy > 30, "scan-heavy queries present: {heavy}");
+        // Deterministic under seed, distinct across seeds.
+        assert_eq!(heterogeneous_workload(200, 5), queries);
+        assert_ne!(heterogeneous_workload(200, 6), queries);
     }
 
     #[test]

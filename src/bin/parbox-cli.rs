@@ -15,11 +15,11 @@
 //! ```
 
 use parbox::core::{
-    centralized_eval, count_centralized, full_dist_parbox, hybrid_parbox, lazy_parbox,
-    naive_centralized, naive_distributed, parbox, run_batch, select_centralized, sum_centralized,
+    centralized_eval, count_centralized, full_dist_parbox, lazy_parbox, naive_centralized,
+    naive_distributed, parbox, run_batch, select_centralized, sum_centralized,
 };
-use parbox::core::{Engine, EngineConfig};
-use parbox::frag::{strategies, Forest, Placement};
+use parbox::core::{Engine, EngineConfig, PlanContext, Planner};
+use parbox::frag::{strategies, Forest, ForestStats, Placement};
 use parbox::net::{Cluster, NetworkModel};
 use parbox::query::{compile, compile_batch, compile_selection, normalize, parse_query};
 use parbox::xmark::{drive_stream, generate, mixed_workload, MixedConfig, XmarkConfig};
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         Some("count") => cmd_aggregate(&args[1..], true),
         Some("sum") => cmd_aggregate(&args[1..], false),
         Some("run") => cmd_run(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -62,13 +63,18 @@ USAGE:
   parbox-cli select   <file.xml> '<path query>'
   parbox-cli count    <file.xml> '<predicate>'
   parbox-cli sum      <file.xml> '<predicate>'
-  parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]
+  parbox-cli run      <file.xml> '<query>' [--fragments N] [--sites K]
+                      [--strategy NAME|all|auto] [--network lan|wan|infinite]
+  parbox-cli explain  <file.xml> '<query>' [--fragments N] [--sites K]
+                      [--network lan|wan|infinite]
   parbox-cli batch    <file.xml> '<q1>' '<q2>' ... [--fragments N] [--sites K]
   parbox-cli serve    <file.xml> [--fragments N] [--sites K] [--ops N] [--seed S] [--batch N]
   parbox-cli generate --bytes N [--seed S]
 
 Query syntax (XBL): [//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]
-Algorithms: ParBoX NaiveCentralized NaiveDistributed HybridParBoX FullDistParBoX LazyParBoX
+Strategies: ParBoX BatchParBoX NaiveCentralized NaiveDistributed FullDistParBoX LazyParBoX
+            auto — the cost-based planner picks per query (see `explain`)
+(--algo remains an alias of --strategy.)
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -168,28 +174,52 @@ fn cmd_aggregate(args: &[String], count: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let [file, src] = pos[..] else {
-        return Err("usage: parbox-cli run <file.xml> '<query>' [--fragments N] [--sites K] [--algo NAME|all]".into());
-    };
+/// Parses `--network lan|wan|infinite` (default: lan).
+fn network_flag(args: &[String]) -> Result<NetworkModel, String> {
+    match flag(args, "--network").as_deref() {
+        None | Some("lan") => Ok(NetworkModel::lan()),
+        Some("wan") => Ok(NetworkModel::wan()),
+        Some("infinite") => Ok(NetworkModel::infinite()),
+        Some(other) => Err(format!(
+            "unknown network model {other:?} (lan|wan|infinite)"
+        )),
+    }
+}
+
+/// Fragments `file` and deploys it for `run` / `explain`.
+fn deploy(file: &str, args: &[String]) -> Result<(Forest, Placement, NetworkModel, usize), String> {
     let fragments: usize = flag(args, "--fragments")
         .map(|v| v.parse().unwrap_or(4))
         .unwrap_or(4);
     let sites: u32 = flag(args, "--sites")
         .map(|v| v.parse().unwrap_or(fragments as u32))
         .unwrap_or(fragments as u32);
-    let algo = flag(args, "--algo").unwrap_or_else(|| "all".into());
-
+    let model = network_flag(args)?;
     let tree = load_tree(file)?;
-    let q = compile(&parse_arg_query(src)?);
-    let expected = centralized_eval(&tree, &q);
-
     let mut forest = Forest::from_tree(tree);
     strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
     let placement = Placement::round_robin(&forest, sites.max(1));
-    let cluster = Cluster::try_new(&forest, &placement, NetworkModel::lan())
-        .map_err(|e| format!("deploying: {e}"))?;
+    Ok((forest, placement, model, fragments))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file, src] = pos[..] else {
+        return Err(
+            "usage: parbox-cli run <file.xml> '<query>' [--fragments N] [--sites K] \
+                    [--strategy NAME|all|auto] [--network lan|wan|infinite]"
+                .into(),
+        );
+    };
+    let strategy = flag(args, "--strategy")
+        .or_else(|| flag(args, "--algo"))
+        .unwrap_or_else(|| "all".into());
+
+    let (forest, placement, model, _) = deploy(file, args)?;
+    let q = compile(&parse_arg_query(src)?);
+    let expected = centralized_eval(&forest.reassemble(), &q);
+    let cluster =
+        Cluster::try_new(&forest, &placement, model).map_err(|e| format!("deploying: {e}"))?;
     println!(
         "document fragmented into {} fragments over {} site(s); centralized answer: {expected}",
         forest.card(),
@@ -197,43 +227,102 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     println!(
         "{:<22} {:>7} {:>11} {:>12} {:>12} {:>12}",
-        "algorithm", "answer", "max visits", "traffic (B)", "work units", "modeled (s)"
+        "strategy", "answer", "max visits", "traffic (B)", "work units", "modeled (s)"
     );
-    let algos: Vec<&str> = if algo == "all" {
+    let names: Vec<&str> = if strategy == "all" {
         vec![
             "ParBoX",
             "NaiveCentralized",
             "NaiveDistributed",
-            "HybridParBoX",
+            "auto",
             "FullDistParBoX",
             "LazyParBoX",
         ]
     } else {
-        vec![algo.as_str()]
+        vec![strategy.as_str()]
     };
-    for name in algos {
+    for name in names {
         let out = match name {
             "ParBoX" => parbox(&cluster, &q),
             "NaiveCentralized" => naive_centralized(&cluster, &q),
             "NaiveDistributed" => naive_distributed(&cluster, &q),
-            "HybridParBoX" => hybrid_parbox(&cluster, &q),
             "FullDistParBoX" => full_dist_parbox(&cluster, &q),
             "LazyParBoX" => lazy_parbox(&cluster, &q),
-            other => return Err(format!("unknown algorithm {other:?}")),
+            "BatchParBoX" => {
+                use parbox::core::plan::{BatchExec, Executor as _};
+                BatchExec.execute(&cluster, &q)
+            }
+            "auto" | "Auto" => parbox::core::plan_run(&cluster, &q),
+            "HybridParBoX" => {
+                // expA-era alias, kept working through the shim.
+                #[allow(deprecated)]
+                let out = parbox::core::hybrid_parbox(&cluster, &q);
+                out
+            }
+            other => return Err(format!("unknown strategy {other:?}")),
+        };
+        let label = match &out.report.planned {
+            Some(p) if name == "auto" || name == "Auto" => format!("auto→{}", p.strategy),
+            _ => out.algorithm.to_string(),
         };
         println!(
             "{:<22} {:>7} {:>11} {:>12} {:>12} {:>12.6}",
-            out.algorithm,
+            label,
             out.answer,
             out.report.max_visits(),
             out.report.total_bytes(),
             out.report.total_work(),
             out.report.elapsed_model_s
         );
+        if let Some(p) = &out.report.planned {
+            if name == "auto" || name == "Auto" {
+                println!(
+                    "  planner: chose {} of {} candidates (predicted {} visits, {} msgs, {} B, {:.6}s)",
+                    p.strategy,
+                    p.candidates,
+                    p.estimate.visits,
+                    p.estimate.messages,
+                    p.estimate.traffic_bytes,
+                    p.estimate.modeled_s
+                );
+            }
+        }
         if out.answer != expected {
             return Err(format!("{name} disagreed with the centralized answer!"));
         }
     }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [file, src] = pos[..] else {
+        return Err(
+            "usage: parbox-cli explain <file.xml> '<query>' [--fragments N] [--sites K] \
+                    [--network lan|wan|infinite]"
+                .into(),
+        );
+    };
+    let (forest, placement, model, _) = deploy(file, args)?;
+    let q = compile(&parse_arg_query(src)?);
+    let cluster =
+        Cluster::try_new(&forest, &placement, model).map_err(|e| format!("deploying: {e}"))?;
+    let stats = ForestStats::compute(&forest, &placement);
+    let cx = PlanContext::new(&cluster, &q, &stats);
+    let planner = Planner::standard();
+    let choice = planner.choose(&cx);
+    println!(
+        "{} fragments over {} site(s), |QList| = {}, network {}: candidate estimates",
+        stats.card(),
+        stats.site_count(),
+        q.len(),
+        flag(args, "--network").unwrap_or_else(|| "lan".into()),
+    );
+    print!("{}", choice.explain);
+    println!(
+        "planner chooses {} (predicted {:.6}s modeled time)",
+        choice.summary.strategy, choice.summary.estimate.modeled_s
+    );
     Ok(())
 }
 

@@ -20,8 +20,9 @@
 //! * [`net`] — the simulated distributed substrate: sites, messages,
 //!   network cost model, parallel per-site execution.
 //! * [`core`] — the algorithms: centralized baseline, `NaiveCentralized`,
-//!   `NaiveDistributed`, **ParBoX** and its variants, and incremental view
-//!   maintenance.
+//!   `NaiveDistributed`, **ParBoX** and its variants, the cost-based
+//!   planner ([`core::plan`]) that picks among them per query, and
+//!   incremental view maintenance.
 //! * [`xmark`] — XMark-style synthetic workload and query generators.
 //!
 //! ## Quickstart
@@ -71,11 +72,13 @@ pub use parbox_xml as xml;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
+    #[allow(deprecated)] // the expA-era hybrid shim stays in the prelude
+    pub use parbox_core::hybrid_parbox;
     pub use parbox_core::{
-        centralized_eval, count_distributed, full_dist_parbox, hybrid_parbox, lazy_parbox,
-        naive_centralized, naive_distributed, parbox, run_batch, select_distributed,
-        sum_distributed, BatchOutcome, Engine, EngineConfig, EvalOutcome, MaterializedView,
-        QueryOutcome, RoundOutcome, Update,
+        centralized_eval, count_distributed, full_dist_parbox, lazy_parbox, naive_centralized,
+        naive_distributed, parbox, plan_run, run_batch, select_distributed, sum_distributed,
+        BatchOutcome, CostEstimate, Engine, EngineConfig, EvalOutcome, MaterializedView,
+        PlanContext, Planner, QueryOutcome, RoundOutcome, Update,
     };
     pub use parbox_frag::{Forest, Placement, SourceTree};
     pub use parbox_net::{Cluster, NetworkModel, SiteId};

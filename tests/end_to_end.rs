@@ -3,6 +3,10 @@
 //! and triplets as their binary encoding, and the harness experiment
 //! functions produce sound series.
 
+// This file is an expA-era caller the deprecated HybridParBoX shim
+// explicitly keeps compiling.
+#![allow(deprecated)]
+
 use parbox::boolean::{decode_triplet, encode_triplet};
 use parbox::core::{
     centralized_eval, full_dist_parbox, hybrid_parbox, lazy_parbox, naive_centralized,

@@ -62,8 +62,13 @@ proptest! {
         }
     }
 
-    /// A whole admission round coalesces into at most one visit per site
-    /// — the batch-engine guarantee survives the resident substrate.
+    /// A whole *eager* admission round coalesces into at most one visit
+    /// per site — the batch-engine guarantee survives the resident
+    /// substrate. (A fresh engine's resolution-depth EWMA starts
+    /// pessimistic, so the first flush always runs the eager round;
+    /// planner-gated lazy wavefront rounds deliberately trade site
+    /// revisits for skipped deep waves and are exercised by the engine's
+    /// own lazy-switch unit test.)
     #[test]
     fn admission_round_visits_each_site_at_most_once(
         tree in tree_strategy(),
@@ -175,4 +180,68 @@ fn engine_equivalent_to_oneshot_after_every_update_step() {
             assert!(cached.from_cache, "step {step}: repeat must hit");
         }
     }
+}
+
+/// The planner-in-the-engine acceptance: a heterogeneous workload (tiny
+/// selective + large scan-heavy queries over skewed fragment sizes,
+/// interleaved with updates) driven through the adaptive engine — which
+/// consults the per-round planner and may switch to lazy wavefront
+/// rounds as the depth statistic warms — answers exactly like one-shot
+/// ParBoX at every step.
+#[test]
+fn adaptive_engine_serves_heterogeneous_workload_exactly() {
+    use parbox::xmark::{heterogeneous_workload, resolve_update};
+
+    // A skewed deployment: a deep-ish fragmentation of an XMark-like
+    // document with very unequal fragment sizes.
+    let tree = parbox::xmark::generate(parbox::xmark::XmarkConfig {
+        target_bytes: 24 * 1024,
+        seed: 41,
+    });
+    let mut forest = parbox::frag::Forest::from_tree(tree);
+    parbox::frag::strategies::fragment_evenly(&mut forest, 7).unwrap();
+    let placement = Placement::round_robin(&forest, 3);
+    let mut engine = Engine::new(forest, placement, EngineConfig::default()).unwrap();
+
+    let queries = heterogeneous_workload(60, 17);
+    let mut update_seed = 900u64;
+    for (i, q) in queries.iter().enumerate() {
+        // Interleave an occasional update so cache invalidation, stats
+        // maintenance and re-planning all stay in the loop.
+        if i % 9 == 8 {
+            update_seed += 1;
+            if let Some(update) = resolve_update(engine.forest(), update_seed) {
+                engine.apply(update).unwrap();
+                engine.forest().validate().unwrap();
+            }
+        }
+        let expected = oracle(&engine, q);
+        let out = engine.query(q);
+        assert_eq!(out.answer, expected, "query {i}: {q}");
+        // The round records what the planner decided.
+        if !out.from_cache {
+            let planned = out.report.planned.as_ref().expect("planned round");
+            assert!(
+                matches!(
+                    planned.strategy.as_str(),
+                    "ParBoX" | "BatchParBoX" | "LazyParBoX"
+                ),
+                "unexpected round strategy {}",
+                planned.strategy
+            );
+        }
+        let again = engine.query(q);
+        assert_eq!(again.answer, expected, "cached {i}: {q}");
+        assert!(again.from_cache);
+        assert_eq!(again.report.data_plane_bytes(), 0);
+    }
+    // The engine's live statistics stayed equal to a recompute.
+    assert_eq!(
+        engine.forest_stats(),
+        &parbox::frag::ForestStats::compute(engine.forest(), engine.placement())
+    );
+    // The depth statistic moved off its pessimistic initial value at
+    // some point (or the forest is flat) — i.e. the planner is really
+    // consuming observations.
+    assert!(engine.resolve_depth_ewma() <= engine.forest_stats().max_depth() as f64);
 }
