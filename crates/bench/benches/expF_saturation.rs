@@ -1,0 +1,48 @@
+//! Criterion bench for Experiment F: one closed-loop serving pass over
+//! a warm resident engine (the service-time kernel the saturation sweep
+//! calibrates against), plus the sharded-arena intern workload.
+
+// The experiment is named expF in the issue tracker; keep the bench name.
+#![allow(non_snake_case)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parbox_bench::{ft1, Scale};
+use parbox_bool::contention::intern_contention_probe;
+use parbox_core::{Engine, EngineConfig};
+use parbox_xmark::batch_workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale {
+        corpus_bytes: 64 * 1024,
+        seed: 2006,
+    };
+    let (forest, placement) = ft1(scale, 8);
+    let queries = batch_workload(64, scale.seed ^ 0xF0F0);
+    let mut engine = Engine::new(forest, placement, EngineConfig::default()).unwrap();
+    for q in &queries {
+        engine.query(q); // warm the caches
+    }
+
+    let mut group = c.benchmark_group("expF");
+    group.sample_size(10);
+
+    group.bench_function("resident_closed_loop_64q", |b| {
+        b.iter(|| {
+            let mut answered = 0usize;
+            for q in &queries {
+                answered += usize::from(engine.query(black_box(q)).answer);
+            }
+            black_box(answered)
+        })
+    });
+
+    group.bench_function("intern_probe_4t", |b| {
+        b.iter(|| black_box(intern_contention_probe(4, 10_000).modeled_scaling()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

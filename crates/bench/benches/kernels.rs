@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use parbox_bool::EquationSystem;
-use parbox_core::{bottom_up, bottom_up_formula_only, centralized_eval};
+use parbox_core::{bottom_up, bottom_up_formula_only, centralized_eval, BitSet};
 use parbox_frag::{Forest, Placement};
 use parbox_query::{compile, parse_query};
 use parbox_xmark::{generate, query_with_qlist, XmarkConfig};
@@ -84,6 +84,40 @@ fn bench(c: &mut Criterion) {
     };
     group.bench_function("eval_st_solve", |b| {
         b.iter(|| black_box(sys.0.solve(&sys.1).unwrap().len()))
+    });
+
+    // Word-parallel bitset kernels at a serving-realistic width
+    // (|QList| of a large batch) — the chunk-unrolled loops LLVM
+    // autovectorizes.
+    let width = 1024;
+    let (mut x, mut y) = (BitSet::zeros(width), BitSet::zeros(width));
+    for i in (0..width).step_by(3) {
+        x.set(i, true);
+    }
+    for i in (0..width).step_by(7) {
+        y.set(i, true);
+    }
+    group.bench_function("bitset_or_assign_1024", |b| {
+        b.iter(|| {
+            x.or_assign(black_box(&y));
+            black_box(x.get(0))
+        })
+    });
+    group.bench_function("bitset_and_assign_1024", |b| {
+        b.iter(|| {
+            let mut z = x.clone();
+            z.and_assign(black_box(&y));
+            black_box(z.is_empty())
+        })
+    });
+    group.bench_function("bitset_count_ones_1024", |b| {
+        b.iter(|| black_box(x.count_ones()))
+    });
+    group.bench_function("bitset_any_intersect_1024", |b| {
+        b.iter(|| black_box(x.any_intersect(&y)))
+    });
+    group.bench_function("bitset_iter_ones_1024", |b| {
+        b.iter(|| black_box(x.iter_ones().sum::<usize>()))
     });
 
     group.finish();

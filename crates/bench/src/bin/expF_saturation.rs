@@ -1,0 +1,142 @@
+//! **Experiment F**: sustained-load saturation of the resident serving
+//! engine, plus the sharded-arena intern contention probe — by default
+//! a 16-site FT1 deployment, a 16-thread probe, and a 400-query
+//! open-loop sweep at 0.5x / 1.0x / 2.0x of calibrated capacity.
+//!
+//! Usage:
+//! `cargo run --release -p parbox-bench --bin expF_saturation \
+//!    [--scale BYTES] [--sites N] [--threads N] [--queries N] \
+//!    [--rate MULT] [--json PATH]`
+//!
+//! `--rate MULT` replaces the default sweep with a single offered-rate
+//! multiplier. `--json PATH` writes the row as `BENCH_saturation.json`
+//! (the CI workflow uploads it next to the expC/expD/expE artifacts).
+//! The binary asserts the ISSUE acceptance criteria: modeled intern
+//! scaling ≥2x at the probe's thread count (the byte-identical
+//! resolved-triplet differential against the reference oracle is
+//! asserted inside the experiment).
+
+// The experiment is named expF in the issue tracker; keep the binary name.
+#![allow(non_snake_case)]
+
+use parbox_bench::experiments::{expf_saturation, ExpFRow};
+use parbox_bench::Scale;
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn to_json(r: &ExpFRow) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"expF_saturation\",\n");
+    out.push_str(&format!("  \"sites\": {},\n", r.sites));
+    out.push_str(&format!("  \"threads\": {},\n", r.threads));
+    out.push_str(&format!("  \"queries\": {},\n", r.queries));
+    out.push_str(&format!("  \"capacity_qps\": {:.1},\n", r.capacity_qps));
+    out.push_str(&format!("  \"qps\": {:.1},\n", r.saturated_qps));
+    out.push_str(&format!("  \"p50_ms\": {:.4},\n", r.p50_ms));
+    out.push_str(&format!("  \"p99_ms\": {:.4},\n", r.p99_ms));
+    out.push_str(&format!("  \"p999_ms\": {:.4},\n", r.p999_ms));
+    out.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", r.cache_hit_rate));
+    out.push_str("  \"rates\": [\n");
+    for (i, p) in r.rates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}}}{}\n",
+            p.offered_qps,
+            p.achieved_qps,
+            p.p50_ms,
+            p.p99_ms,
+            p.p999_ms,
+            if i + 1 < r.rates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"intern_probe\": {\n");
+    out.push_str(&format!(
+        "    \"modeled_scaling\": {:.2},\n",
+        r.probe.modeled_scaling()
+    ));
+    out.push_str(&format!(
+        "    \"wall_scaling\": {:.2},\n",
+        r.probe.wall_scaling()
+    ));
+    out.push_str(&format!(
+        "    \"sharded_modeled_ops_per_sec\": {:.0},\n",
+        r.probe.sharded.modeled_ops_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"single_lock_modeled_ops_per_sec\": {:.0},\n",
+        r.probe.single_lock.modeled_ops_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"sharded_ns_per_op\": {:.1},\n",
+        r.probe.sharded.ns_per_op
+    ));
+    out.push_str(&format!(
+        "    \"single_lock_ns_per_op\": {:.1}\n",
+        r.probe.single_lock.ns_per_op
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sites: usize = flag("--sites").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let threads: usize = flag("--threads").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let queries: usize = flag("--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let rates: Vec<f64> = match flag("--rate").and_then(|v| v.parse().ok()) {
+        Some(m) => vec![m],
+        None => vec![0.5, 1.0, 2.0],
+    };
+
+    let row = expf_saturation(scale, sites, threads, queries, &rates);
+    println!(
+        "Experiment F — sustained-load saturation ({} sites, {} probe threads, {} queries/run)",
+        row.sites, row.threads, row.queries
+    );
+    println!(
+        "  calibrated capacity: {:.0} qps (closed loop)",
+        row.capacity_qps
+    );
+    for p in &row.rates {
+        println!(
+            "  offered {:>8.0} qps -> achieved {:>8.0} qps   p50 {:>8.3} ms  p99 {:>8.3} ms  p999 {:>8.3} ms",
+            p.offered_qps, p.achieved_qps, p.p50_ms, p.p99_ms, p.p999_ms
+        );
+    }
+    println!(
+        "  saturation: {:.0} qps, p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms, cache hit rate {:.1}%",
+        row.saturated_qps,
+        row.p50_ms,
+        row.p99_ms,
+        row.p999_ms,
+        100.0 * row.cache_hit_rate
+    );
+    println!(
+        "  intern probe @ {} threads: modeled {:.1}x (wall {:.2}x on this host; \
+         sharded {:.0} ns/op single-thread vs single-lock {:.0} ns/op)",
+        row.probe.threads,
+        row.probe.modeled_scaling(),
+        row.probe.wall_scaling(),
+        row.probe.sharded.ns_per_op,
+        row.probe.single_lock.ns_per_op
+    );
+
+    assert!(
+        row.probe.modeled_scaling() >= 2.0,
+        "acceptance: sharded intern path must scale ≥2x over the single mutex \
+         at {} threads, got {:.2}x",
+        row.probe.threads,
+        row.probe.modeled_scaling()
+    );
+
+    if let Some(path) = flag("--json") {
+        std::fs::write(&path, to_json(&row)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  json row written to {path}");
+    }
+}

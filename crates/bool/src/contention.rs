@@ -1,0 +1,496 @@
+//! Intern-path contention probes: sharded arena vs. the single-mutex
+//! baseline.
+//!
+//! The seed arena serialized every constructor call through one
+//! process-wide `Mutex<Inner>`; with ≥16 site actors the hot path is a
+//! lock queue, not a cluster. This module keeps a faithful replica of
+//! that baseline (same canonicalization, same Fx-hashed intern map, same
+//! per-node metadata) behind its own mutex, and drives both it and the
+//! real sharded arena with an identical deterministic workload so the
+//! `expF_saturation` benchmark and the contention regression test can
+//! report an apples-to-apples throughput comparison.
+//!
+//! The workload models steady-state serving: a majority of interns
+//! re-request a bounded working set of triplet variables (the part the
+//! sharded arena answers from thread-local caches without any lock),
+//! the rest build `¬`/`∧`/`∨` structure over recently produced ids (the
+//! part that spreads across shard locks instead of queueing on one).
+//!
+//! # Wall-clock vs. modeled throughput
+//!
+//! Each probe reports two numbers per arena, mirroring the
+//! `elapsed_wall_s` / `elapsed_model_s` split the experiment reports
+//! already use for site parallelism:
+//!
+//! * **wall** — measured aggregate ops/sec of `threads` OS threads.
+//!   Faithful only when the host actually has that many cores; on the
+//!   single-core CI runner a mutex is almost never contended (the
+//!   holder keeps re-acquiring within its timeslice), so wall numbers
+//!   there say nothing about lock queueing.
+//! * **modeled** — the Amdahl saturation bound computed from *measured*
+//!   single-threaded costs: `min(threads / t_op, 1 / t_serial)`, where
+//!   `t_serial` is the per-op time that must serialize through a shared
+//!   lock. For the single-mutex baseline the whole intern body runs
+//!   under the one lock, so its saturation is capped at `1 / t_cs`
+//!   regardless of thread count; for the sharded arena only the
+//!   busiest shard's lock time serializes, and thread-local cache hits
+//!   serialize nothing.
+//!
+//! The regression gate asserts on the modeled ratio: it is the number
+//! that predicts cluster behaviour, and it is measurable anywhere.
+
+use crate::arena::{FxBuild, Node};
+use crate::var::{Var, VecKind};
+use crate::{Formula, FormulaId};
+use parbox_xml::FragmentId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Single-mutex baseline (seed-arena replica)
+// ---------------------------------------------------------------------------
+
+/// The pre-sharding arena: one growable node table plus intern map, all
+/// behind one lock. Ids are local to the instance.
+struct SeedInner {
+    nodes: Vec<Node>,
+    size: Vec<u64>,
+    has_vars: Vec<bool>,
+    intern: HashMap<Node, u32, FxBuild>,
+}
+
+impl SeedInner {
+    fn new() -> SeedInner {
+        let mut inner = SeedInner {
+            nodes: Vec::new(),
+            size: Vec::new(),
+            has_vars: Vec::new(),
+            intern: HashMap::default(),
+        };
+        // Constants at ids 0/1, like the seed arena.
+        inner.intern(Node::Const(false), 1, false);
+        inner.intern(Node::Const(true), 1, false);
+        inner
+    }
+
+    fn intern(&mut self, node: Node, size: u64, has_vars: bool) -> u32 {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("baseline arena overflow");
+        self.nodes.push(node.clone());
+        self.size.push(size);
+        self.has_vars.push(has_vars);
+        self.intern.insert(node, id);
+        id
+    }
+
+    fn mk_var(&mut self, v: Var) -> u32 {
+        self.intern(Node::Var(v), 1, true)
+    }
+
+    fn mk_not(&mut self, a: u32) -> u32 {
+        match self.nodes[a as usize].clone() {
+            Node::Const(b) => u32::from(!b),
+            Node::Not(inner) => inner.0,
+            _ => {
+                let size = self.size[a as usize].saturating_add(1);
+                let hv = self.has_vars[a as usize];
+                self.intern(Node::Not(FormulaId(a)), size, hv)
+            }
+        }
+    }
+
+    fn mk_nary(&mut self, conj: bool, ops: &[u32]) -> u32 {
+        let (absorbing, neutral) = if conj { (0u32, 1u32) } else { (1u32, 0u32) };
+        let mut out: Vec<u32> = Vec::new();
+        for &id in ops {
+            if id == absorbing {
+                return absorbing;
+            }
+            if id == neutral {
+                continue;
+            }
+            match &self.nodes[id as usize] {
+                Node::And(xs) if conj => out.extend(xs.iter().map(|x| x.0)),
+                Node::Or(xs) if !conj => out.extend(xs.iter().map(|x| x.0)),
+                _ => out.push(id),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        match out.len() {
+            0 => neutral,
+            1 => out[0],
+            _ => {
+                let size = out
+                    .iter()
+                    .fold(1u64, |acc, &i| acc.saturating_add(self.size[i as usize]));
+                let hv = out.iter().any(|&i| self.has_vars[i as usize]);
+                let xs: Arc<[FormulaId]> = out.into_iter().map(FormulaId).collect();
+                let node = if conj { Node::And(xs) } else { Node::Or(xs) };
+                self.intern(node, size, hv)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interning backends
+// ---------------------------------------------------------------------------
+
+/// An interning backend the workload can drive. Ids are opaque `u32`s;
+/// for the sharded arena they are raw [`FormulaId`]s, for the baseline
+/// they are instance-local indices — the driver only feeds them back.
+trait Intern {
+    fn var(&self, v: Var) -> u32;
+    fn not(&self, f: u32) -> u32;
+    fn nary(&self, conj: bool, ops: &[u32]) -> u32;
+}
+
+/// The production arena behind the ordinary [`Formula`] constructors.
+struct Sharded;
+
+impl Intern for Sharded {
+    fn var(&self, v: Var) -> u32 {
+        Formula::var(v).id().0
+    }
+
+    fn not(&self, f: u32) -> u32 {
+        // Safe: the driver only feeds back ids this impl produced.
+        crate::arena::mk_not(FormulaId(f)).0
+    }
+
+    fn nary(&self, conj: bool, ops: &[u32]) -> u32 {
+        crate::arena::mk_nary(conj, ops.iter().map(|&x| FormulaId(x))).0
+    }
+}
+
+/// The seed replica: every operation takes the one mutex for its whole
+/// body — exactly the pre-sharding arena's locking discipline.
+struct SingleLock(Mutex<SeedInner>);
+
+impl Intern for SingleLock {
+    fn var(&self, v: Var) -> u32 {
+        self.0.lock().unwrap().mk_var(v)
+    }
+
+    fn not(&self, f: u32) -> u32 {
+        self.0.lock().unwrap().mk_not(f)
+    }
+
+    fn nary(&self, conj: bool, ops: &[u32]) -> u32 {
+        self.0.lock().unwrap().mk_nary(conj, ops)
+    }
+}
+
+/// The baseline's intern body *without* the mutex: timing it isolates
+/// the work done while the single lock would be held (its critical
+/// section), which is what bounds the baseline's saturation.
+struct Unlocked(RefCell<SeedInner>);
+
+impl Intern for Unlocked {
+    fn var(&self, v: Var) -> u32 {
+        self.0.borrow_mut().mk_var(v)
+    }
+
+    fn not(&self, f: u32) -> u32 {
+        self.0.borrow_mut().mk_not(f)
+    }
+
+    fn nary(&self, conj: bool, ops: &[u32]) -> u32 {
+        self.0.borrow_mut().mk_nary(conj, ops)
+    }
+}
+
+/// Does no interning at all — timing it isolates the driver loop's own
+/// cost (RNG, ring bookkeeping), subtracted from the critical-section
+/// estimate.
+struct Null;
+
+impl Intern for Null {
+    fn var(&self, v: Var) -> u32 {
+        v.frag.0 ^ v.sub.rotate_left(7)
+    }
+
+    fn not(&self, f: u32) -> u32 {
+        f.wrapping_mul(0x9e37_79b1)
+    }
+
+    fn nary(&self, _conj: bool, ops: &[u32]) -> u32 {
+        ops.iter().fold(0u32, |a, &x| a ^ x)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic workload
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn xorshift(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+/// Distinct fragments in the hot variable working set. Small enough
+/// that a serving thread re-interns the same variables constantly (as a
+/// site actor re-answering a query mix does), large enough to spread
+/// over every shard.
+const HOT_FRAGS: u64 = 48;
+/// Fragment-id offset so probe variables cannot collide with any real
+/// experiment's fragments in the process-wide arena.
+const FRAG_BASE: u32 = 0x00C0_0000;
+
+/// Runs `ops` intern operations against `arena`; returns an id checksum
+/// (fed to [`std::hint::black_box`] by the caller so the loop cannot be
+/// optimized away). Deterministic per `(thread id, ops)`.
+fn drive<A: Intern>(arena: &A, tid: u64, ops: u64) -> u64 {
+    let mut state = tid.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    // Ring of recently produced ids, seeded with working-set variables.
+    let mut ring: [u32; 16] = std::array::from_fn(|i| {
+        arena.var(Var::new(FragmentId(FRAG_BASE + i as u32), VecKind::V, 0))
+    });
+    let mut sink = 0u64;
+    let mut scratch: Vec<u32> = Vec::with_capacity(8);
+    for _ in 0..ops {
+        state = xorshift(state);
+        let roll = state % 100;
+        let id = if roll < 60 {
+            // Hot path: re-intern a working-set variable (thread-local
+            // cache hit on the sharded arena; full lock on the baseline).
+            let frag = FRAG_BASE + ((state >> 8) % HOT_FRAGS) as u32;
+            let kind = match (state >> 16) % 3 {
+                0 => VecKind::V,
+                1 => VecKind::CV,
+                _ => VecKind::DV,
+            };
+            let idx = ((state >> 24) % 4) as u32;
+            arena.var(Var::new(FragmentId(frag), kind, idx))
+        } else if roll < 75 {
+            arena.not(ring[((state >> 32) % 16) as usize])
+        } else {
+            // N-ary structure over recent ids — mostly repeats after the
+            // first round (steady-state serving), occasionally fresh.
+            let k = 2 + ((state >> 40) % 6) as usize;
+            let start = ((state >> 48) % 16) as usize;
+            scratch.clear();
+            scratch.extend((0..k).map(|j| ring[(start + j) % 16]));
+            arena.nary(roll < 90, &scratch)
+        };
+        ring[(state % 16) as usize] = id;
+        sink ^= u64::from(id).rotate_left((state % 63) as u32);
+    }
+    sink
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Wall-clock aggregate ops/sec of `threads` workers hammering `arena`
+/// (start barrier to last join).
+fn measure_wall<A: Intern + Sync>(arena: &A, threads: usize, ops_per_thread: u64) -> f64 {
+    let gate = Barrier::new(threads + 1);
+    let mut elapsed = 0.0f64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gate = &gate;
+                scope.spawn(move || {
+                    gate.wait();
+                    std::hint::black_box(drive(arena, t as u64 + 1, ops_per_thread))
+                })
+            })
+            .collect();
+        gate.wait();
+        let start = Instant::now();
+        for h in handles {
+            let _ = h.join().expect("probe thread panicked");
+        }
+        elapsed = start.elapsed().as_secs_f64();
+    });
+    (threads as u64 * ops_per_thread) as f64 / elapsed.max(1e-9)
+}
+
+/// Mean ns/op of one warm pass over the workload (a first pass runs
+/// unmeasured, so both arenas are measured in steady state — intern
+/// maps and thread-local caches populated, as in a resident server).
+fn measure_single<A: Intern>(arena: &A, ops: u64) -> f64 {
+    std::hint::black_box(drive(arena, 1, ops));
+    let start = Instant::now();
+    std::hint::black_box(drive(arena, 1, ops));
+    start.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+/// Measured profile of one arena under the probe workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaProfile {
+    /// Measured aggregate ops/sec of the `threads`-thread wall-clock
+    /// run. Meaningful only when the host has that many cores.
+    pub wall_ops_per_sec: f64,
+    /// Measured single-threaded steady-state cost, ns per intern op.
+    pub ns_per_op: f64,
+    /// Measured per-op time that must serialize through a shared lock
+    /// (the whole intern body for the single mutex; the busiest shard's
+    /// lock share for the sharded arena).
+    pub serial_ns_per_op: f64,
+    /// Amdahl saturation bound at the probe's thread count:
+    /// `min(threads / ns_per_op, 1 / serial_ns_per_op)`.
+    pub modeled_ops_per_sec: f64,
+}
+
+/// Result of one sharded-vs-single-lock contention measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionProbe {
+    /// Worker threads used by the wall runs and the model.
+    pub threads: usize,
+    /// Intern operations issued per thread.
+    pub ops_per_thread: u64,
+    /// Profile of the sharded production arena.
+    pub sharded: ArenaProfile,
+    /// Profile of the single-mutex seed replica.
+    pub single_lock: ArenaProfile,
+}
+
+impl ContentionProbe {
+    /// Modeled saturation ratio (sharded / single-lock) — the number
+    /// the `expF` acceptance gate requires to be ≥ 2 at 16 threads.
+    pub fn modeled_scaling(&self) -> f64 {
+        self.sharded.modeled_ops_per_sec / self.single_lock.modeled_ops_per_sec.max(1e-9)
+    }
+
+    /// Wall-clock throughput ratio (sharded / single-lock); read it
+    /// together with the host's core count.
+    pub fn wall_scaling(&self) -> f64 {
+        self.sharded.wall_ops_per_sec / self.single_lock.wall_ops_per_sec.max(1e-9)
+    }
+}
+
+fn modeled(threads: usize, ns_per_op: f64, serial_ns_per_op: f64) -> f64 {
+    let cpu_bound = threads as f64 / (ns_per_op.max(1e-3) / 1e9);
+    let serial_bound = 1e9 / serial_ns_per_op.max(1e-3);
+    cpu_bound.min(serial_bound)
+}
+
+/// Runs both probes with the identical workload and returns the pair.
+///
+/// Measurement plan (all inputs measured, nothing assumed):
+///
+/// 1. `ns_per_op` per arena — warm single-threaded pass.
+/// 2. Driver-loop overhead — the same pass against a no-op backend.
+/// 3. Baseline critical section `t_cs` — the same pass against the
+///    seed replica *without* its mutex, minus driver overhead: the work
+///    the single lock serializes. Its `serial_ns_per_op` is all of it.
+/// 4. Sharded serialized time — shard-lock acquisitions are counted by
+///    the arena itself ([`Formula::arena_stats`]); the busiest shard's
+///    share of acquisitions times `t_cs` (a conservative overestimate:
+///    a shard's critical section is a map probe, with canonicalization
+///    already done outside the lock) is what same-shard ops queue on.
+///    Thread-local cache hits contribute zero.
+/// 5. Wall runs at `threads` for both arenas.
+pub fn intern_contention_probe(threads: usize, ops_per_thread: u64) -> ContentionProbe {
+    let single_ops = ops_per_thread.max(10_000);
+
+    // (1) steady-state per-op cost.
+    let baseline = SingleLock(Mutex::new(SeedInner::new()));
+    let single_ns = measure_single(&baseline, single_ops);
+    let stats_before = Formula::arena_stats();
+    let sharded_ns = measure_single(&Sharded, single_ops);
+    let stats_after = Formula::arena_stats();
+
+    // (2) + (3) critical-section cost of the baseline.
+    let driver_ns = measure_single(&Null, single_ops);
+    let unlocked = Unlocked(RefCell::new(SeedInner::new()));
+    let t_cs = (measure_single(&unlocked, single_ops) - driver_ns).max(1.0);
+
+    // (4) sharded serialized share from the arena's own lock counters.
+    // Concurrent arena users (other tests in the same process) can only
+    // inflate these deltas — the estimate is conservative.
+    let lock_delta: Vec<u64> = stats_after
+        .shards
+        .iter()
+        .zip(stats_before.shards.iter())
+        .map(|(a, b)| a.locks.saturating_sub(b.locks))
+        .collect();
+    let busiest = lock_delta.iter().copied().max().unwrap_or(0);
+    let sharded_serial_ns = busiest as f64 / single_ops as f64 * t_cs;
+
+    // (5) wall-clock runs.
+    let single_wall = measure_wall(&baseline, threads, ops_per_thread);
+    let sharded_wall = measure_wall(&Sharded, threads, ops_per_thread);
+
+    ContentionProbe {
+        threads,
+        ops_per_thread,
+        sharded: ArenaProfile {
+            wall_ops_per_sec: sharded_wall,
+            ns_per_op: sharded_ns,
+            serial_ns_per_op: sharded_serial_ns,
+            modeled_ops_per_sec: modeled(threads, sharded_ns, sharded_serial_ns),
+        },
+        single_lock: ArenaProfile {
+            wall_ops_per_sec: single_wall,
+            ns_per_op: single_ns,
+            serial_ns_per_op: t_cs,
+            modeled_ops_per_sec: modeled(threads, single_ns, t_cs),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_replica_canonicalizes_like_the_arena() {
+        // The baseline must implement the same canonical form, otherwise
+        // the throughput comparison is not apples-to-apples.
+        let base = SingleLock(Mutex::new(SeedInner::new()));
+        let v1 = base.var(Var::new(FragmentId(1), VecKind::V, 0));
+        let v2 = base.var(Var::new(FragmentId(2), VecKind::V, 0));
+        assert_eq!(v1, base.var(Var::new(FragmentId(1), VecKind::V, 0)));
+        // Flatten + sort + dedup.
+        let a = base.nary(true, &[v1, v2]);
+        let b = base.nary(true, &[v2, v1, v2]);
+        assert_eq!(a, b);
+        let nested = base.nary(true, &[a, v1]);
+        assert_eq!(nested, a, "one-level flatten + dedup");
+        // Constant folding and double negation.
+        assert_eq!(base.nary(true, &[v1, 0]), 0);
+        assert_eq!(base.nary(false, &[v1, 0]), v1);
+        assert_eq!(base.not(base.not(v1)), v1);
+    }
+
+    #[test]
+    fn drive_is_deterministic_per_backend() {
+        let base = SingleLock(Mutex::new(SeedInner::new()));
+        let a = drive(&base, 7, 2_000);
+        let again = SingleLock(Mutex::new(SeedInner::new()));
+        let b = drive(&again, 7, 2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_reports_positive_throughput() {
+        let p = intern_contention_probe(2, 2_000);
+        assert!(p.sharded.wall_ops_per_sec > 0.0);
+        assert!(p.single_lock.wall_ops_per_sec > 0.0);
+        assert!(p.sharded.modeled_ops_per_sec > 0.0);
+        assert!(p.single_lock.modeled_ops_per_sec > 0.0);
+        assert!(p.modeled_scaling() > 0.0);
+        assert!(p.wall_scaling() > 0.0);
+    }
+
+    #[test]
+    fn single_lock_model_is_serial_bound() {
+        // The baseline's saturation bound must not exceed 1/t_cs — the
+        // whole point of the comparison.
+        let p = intern_contention_probe(16, 4_000);
+        let serial_bound = 1e9 / p.single_lock.serial_ns_per_op;
+        assert!(p.single_lock.modeled_ops_per_sec <= serial_bound * 1.0001);
+    }
+}

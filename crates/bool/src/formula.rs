@@ -17,6 +17,12 @@
 //! formula size linear in the number of referenced virtual nodes — the
 //! paper's `O(card(F_j))` bound on entry size.
 //!
+//! The arena itself is sharded (see [`crate::arena`]): constructors
+//! intern through a thread-local cache and a hash-selected shard lock,
+//! so concurrent site actors building unrelated formulas do not
+//! serialize on a single mutex, while snapshots and metadata reads are
+//! entirely lock-free.
+//!
 //! The previous tree representation is preserved verbatim in
 //! [`crate::reference`] as a differential-testing oracle and the baseline
 //! of the `expD` benchmark.
@@ -26,7 +32,7 @@ use crate::var::Var;
 use std::collections::BTreeSet;
 use std::fmt;
 
-pub use crate::arena::{ArenaStats, FormulaId};
+pub use crate::arena::{ArenaStats, FormulaId, ShardCounters, SHARD_COUNT};
 
 /// A Boolean formula over sub-fragment variables — a cheap `Copy` handle
 /// into the hash-consing arena. Two handles are equal iff the formulas
@@ -98,25 +104,24 @@ impl Formula {
     /// A variable formula.
     #[inline]
     pub fn var(v: Var) -> Formula {
-        Formula(arena::lock().mk_var(v))
+        Formula(arena::mk_var(v))
     }
 
-    /// Interns a batch of variable formulas under one arena lock —
-    /// `bottomUp` mints `3·|QList|` fresh variables per virtual node, and
-    /// a single locked pass keeps that off the contended path.
+    /// Interns a batch of variable formulas — `bottomUp` mints
+    /// `3·|QList|` fresh variables per virtual node. Repeats hit the
+    /// thread-local intern cache, so the batch touches each variable's
+    /// shard lock at most once per thread lifetime.
     pub fn var_many<I: IntoIterator<Item = Var>>(vars: I) -> Vec<Formula> {
-        let vars: Vec<Var> = vars.into_iter().collect();
-        let mut inner = arena::lock();
-        vars.into_iter().map(|v| Formula(inner.mk_var(v))).collect()
+        vars.into_iter().map(Formula::var).collect()
     }
 
     /// Smart conjunction with constant folding and flattening.
     pub fn and(a: Formula, b: Formula) -> Formula {
-        // Constant cases fold without touching the arena lock.
+        // Constant cases fold without touching the arena at all.
         match (a, b) {
             (Formula::FALSE, _) | (_, Formula::FALSE) => Formula::FALSE,
             (Formula::TRUE, f) | (f, Formula::TRUE) => f,
-            (a, b) => Formula(arena::lock().mk_nary(true, [a.0, b.0])),
+            (a, b) => Formula(arena::mk_nary(true, [a.0, b.0])),
         }
     }
 
@@ -125,7 +130,7 @@ impl Formula {
         match (a, b) {
             (Formula::TRUE, _) | (_, Formula::TRUE) => Formula::TRUE,
             (Formula::FALSE, f) | (f, Formula::FALSE) => f,
-            (a, b) => Formula(arena::lock().mk_nary(false, [a.0, b.0])),
+            (a, b) => Formula(arena::mk_nary(false, [a.0, b.0])),
         }
     }
 
@@ -137,26 +142,23 @@ impl Formula {
         match self {
             Formula::TRUE => Formula::FALSE,
             Formula::FALSE => Formula::TRUE,
-            f => Formula(arena::lock().mk_not(f.0)),
+            f => Formula(arena::mk_not(f.0)),
         }
     }
 
     /// N-ary disjunction of an iterator (absorbs constants). One arena
     /// interning for the whole operand list — `O(k log k)` for fan-out
     /// `k`, unlike a fold of binary [`Formula::or`]s which re-flattens
-    /// the accumulator per operand (`O(k²)`).
+    /// the accumulator per operand (`O(k²)`). No lock is held while the
+    /// iterator runs, so items may themselves build formulas.
     pub fn any<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
-        // Drain the iterator *before* locking: item production may itself
-        // build formulas (and take the arena lock).
-        let ids: Vec<FormulaId> = items.into_iter().map(|f| f.0).collect();
-        Formula(arena::lock().mk_nary(false, ids))
+        Formula(arena::mk_nary(false, items.into_iter().map(|f| f.0)))
     }
 
     /// N-ary conjunction of an iterator (absorbs constants); single
     /// interning, like [`Formula::any`].
     pub fn all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
-        let ids: Vec<FormulaId> = items.into_iter().map(|f| f.0).collect();
-        Formula(arena::lock().mk_nary(true, ids))
+        Formula(arena::mk_nary(true, items.into_iter().map(|f| f.0)))
     }
 
     /// True when the formula is a constant. The paper's `isFormula(f)`
@@ -181,12 +183,12 @@ impl Formula {
     /// the size a tree representation would occupy. Cached at interning —
     /// `O(1)` per call.
     pub fn size(&self) -> usize {
-        usize::try_from(arena::lock().size_of(self.0)).unwrap_or(usize::MAX)
+        usize::try_from(arena::size_of(self.0)).unwrap_or(usize::MAX)
     }
 
     /// The set of variables occurring in the formula.
     pub fn vars(&self) -> BTreeSet<Var> {
-        let dag = arena::lock().snapshot(&[self.0]);
+        let dag = arena::snapshot(&[self.0]);
         let mut out = BTreeSet::new();
         for node in &dag.nodes {
             if let DagNode::Var(v) = node {
@@ -203,7 +205,7 @@ impl Formula {
         if self.is_const() {
             return false;
         }
-        arena::lock().has_vars(self.0)
+        arena::has_vars(self.0)
     }
 
     /// True when the formula references no variables. By canonical
@@ -219,8 +221,7 @@ impl Formula {
 
     /// A structural view of the top node, for pattern matching.
     pub fn node(&self) -> FormulaNode {
-        let inner = arena::lock();
-        match inner.node(self.0) {
+        match arena::node(self.0) {
             Node::Const(b) => FormulaNode::Const(*b),
             Node::Var(v) => FormulaNode::Var(*v),
             Node::Not(x) => FormulaNode::Not(Formula(*x)),
@@ -255,9 +256,9 @@ impl Formula {
             return fs.to_vec();
         }
         let roots: Vec<FormulaId> = fs.iter().map(|f| f.0).collect();
-        let dag = arena::lock().snapshot(&roots);
-        // Consult the lookup outside the arena lock (it may itself build
-        // formulas): one entry per *distinct* variable node.
+        let dag = arena::snapshot(&roots);
+        // One lookup per *distinct* variable node, regardless of how
+        // often it occurs in the tree expansion.
         let replacements: Vec<Option<Formula>> = dag
             .nodes
             .iter()
@@ -266,23 +267,23 @@ impl Formula {
                 _ => None,
             })
             .collect();
-        // Rebuild bottom-up under one lock; `memo[i]` is the substituted
-        // formula of local node `i`.
-        let mut inner = arena::lock();
+        // Rebuild bottom-up; `memo[i]` is the substituted formula of
+        // local node `i`. Re-interning unchanged subformulas mostly hits
+        // the thread-local intern cache.
         let mut memo: Vec<FormulaId> = Vec::with_capacity(dag.nodes.len());
         for (i, node) in dag.nodes.iter().enumerate() {
             let id = match node {
-                DagNode::Const(b) => arena::Inner::mk_const(*b),
+                DagNode::Const(b) => arena::mk_const(*b),
                 DagNode::Var(v) => match replacements[i] {
                     Some(repl) => repl.0,
-                    None => inner.mk_var(*v),
+                    None => arena::mk_var(*v),
                 },
-                DagNode::Not(x) => inner.mk_not(memo[*x as usize]),
+                DagNode::Not(x) => arena::mk_not(memo[*x as usize]),
                 DagNode::And(r) => {
-                    inner.mk_nary(true, dag.ops(r).iter().map(|&x| memo[x as usize]))
+                    arena::mk_nary(true, dag.ops(r).iter().map(|&x| memo[x as usize]))
                 }
                 DagNode::Or(r) => {
-                    inner.mk_nary(false, dag.ops(r).iter().map(|&x| memo[x as usize]))
+                    arena::mk_nary(false, dag.ops(r).iter().map(|&x| memo[x as usize]))
                 }
             };
             memo.push(id);
@@ -294,7 +295,8 @@ impl Formula {
     }
 
     /// Evaluates the formula under a total assignment. One memoized pass
-    /// over the shared DAG; `assign` runs outside the arena lock.
+    /// over the shared DAG; the snapshot is lock-free and `assign` runs
+    /// against local data only.
     pub fn eval<F>(&self, assign: &F) -> bool
     where
         F: Fn(Var) -> bool,
@@ -302,7 +304,7 @@ impl Formula {
         if let Some(b) = self.as_const() {
             return b;
         }
-        let dag = arena::lock().snapshot(&[self.0]);
+        let dag = arena::snapshot(&[self.0]);
         let mut memo: Vec<bool> = Vec::with_capacity(dag.nodes.len());
         for node in &dag.nodes {
             let v = match node {
@@ -317,17 +319,18 @@ impl Formula {
         memo[dag.roots[0] as usize]
     }
 
-    /// Arena occupancy counters — used by regression tests to assert
-    /// construction-cost bounds and by `expD` reporting.
+    /// Arena occupancy and intern-path counters (per shard, plus
+    /// thread-local cache hits) — used by regression tests to assert
+    /// construction-cost bounds and by `expD`/`expF` reporting.
     pub fn arena_stats() -> ArenaStats {
-        arena::lock().stats()
+        arena::stats()
     }
 
     /// Snapshot of the DAG reachable from `roots` (crate-internal; the
     /// wire encoder and renderer traverse snapshots, never the arena).
     pub(crate) fn snapshot_many(roots: &[Formula]) -> crate::arena::Dag {
         let ids: Vec<FormulaId> = roots.iter().map(|f| f.0).collect();
-        arena::lock().snapshot(&ids)
+        arena::snapshot(&ids)
     }
 }
 

@@ -47,6 +47,7 @@
 //! ```
 
 mod arena;
+pub mod contention;
 mod encode;
 mod formula;
 pub mod reference;
@@ -59,6 +60,8 @@ pub use encode::{
     encode_site_envelope_dag, encode_triplet, encode_triplet_dag, site_envelope_dag_wire_size,
     site_envelope_wire_size, triplet_dag_wire_size, triplet_wire_size, DecodeError,
 };
-pub use formula::{comp_fm, ArenaStats, BoolOp, Formula, FormulaId, FormulaNode};
+pub use formula::{
+    comp_fm, ArenaStats, BoolOp, Formula, FormulaId, FormulaNode, ShardCounters, SHARD_COUNT,
+};
 pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet};
 pub use var::{Var, VecKind};

@@ -231,6 +231,26 @@ proptest! {
     }
 
     #[test]
+    fn sharded_interning_is_deterministic_and_matches_seed(rf in ref_strategy(), seed: u8) {
+        // Sharded interning must canonicalize identically no matter
+        // which thread (and therefore which thread-local cache) builds
+        // the formula: the id is a pure function of the structure.
+        let here = rf.to_arena();
+        let again = rf.to_arena();
+        prop_assert_eq!(here.id(), again.id(), "rebuild on the same thread");
+        let rf2 = rf.clone();
+        let there = std::thread::spawn(move || rf2.to_arena().id())
+            .join()
+            .expect("builder thread");
+        prop_assert_eq!(here.id(), there, "rebuild on a fresh thread");
+        // And the interned formula stays structurally equivalent to the
+        // seed oracle: same truth table over the variable pool.
+        let assign = assignment(seed);
+        prop_assert_eq!(here.eval(&assign), rf.eval(&assign));
+        prop_assert_eq!(here.vars(), rf.vars());
+    }
+
+    #[test]
     fn dag_triplet_round_trips(
         a in ref_strategy(), b in ref_strategy(), c in ref_strategy()
     ) {

@@ -22,6 +22,7 @@
 //! phase 1 plus once per depth wave containing one of its fragments.
 
 use crate::algorithms::{query_wire_size, resolved_triplet_wire_size};
+use crate::eval::bitset::BitSet;
 use crate::eval::bottom_up;
 use parbox_bool::{triplet_dag_wire_size, EquationSystem, ResolvedTriplet};
 use parbox_net::{run_sites_parallel, Cluster, MessageKind, RunReport};
@@ -171,27 +172,27 @@ fn fragment_select_pass(
     let mut work: u64 = 0;
 
     // Bottom-up: compute V/CV/DV vectors per node, keep only qual bits.
-    // (Vectors live on an explicit stack; O(depth) memory.)
+    // (Vectors live on an explicit stack; O(depth) memory. Packed into
+    // `u64` words so child accumulation runs through the word-parallel
+    // kernels.)
     struct Frame {
         node: NodeId,
         child_idx: usize,
-        cv: Vec<bool>,
-        dv: Vec<bool>,
+        cv: BitSet,
+        dv: BitSet,
     }
     let mut stack = vec![Frame {
         node: tree.root(),
         child_idx: 0,
-        cv: vec![false; m],
-        dv: vec![false; m],
+        cv: BitSet::zeros(m),
+        dv: BitSet::zeros(m),
     }];
-    let mut done: Option<(Vec<bool>, Vec<bool>)> = None;
+    let mut done: Option<(BitSet, BitSet)> = None;
     loop {
         let frame = stack.last_mut().expect("non-empty until break");
         if let Some((v_w, dv_w)) = done.take() {
-            for i in 0..m {
-                frame.cv[i] |= v_w[i];
-                frame.dv[i] |= dv_w[i];
-            }
+            frame.cv.or_assign(&v_w);
+            frame.dv.or_assign(&dv_w);
         }
         let kids = tree.node(frame.node).child_ids();
         if frame.child_idx < kids.len() {
@@ -200,8 +201,8 @@ fn fragment_select_pass(
             stack.push(Frame {
                 node: child,
                 child_idx: 0,
-                cv: vec![false; m],
-                dv: vec![false; m],
+                cv: BitSet::zeros(m),
+                dv: BitSet::zeros(m),
             });
             continue;
         }
@@ -210,34 +211,40 @@ fn fragment_select_pass(
         } = stack.pop().expect("peeked");
         work += m as u64;
         let n = tree.node(node);
-        let v: Vec<bool> = if let Some(frag) = n.kind.fragment() {
+        let v: BitSet = if let Some(frag) = n.kind.fragment() {
             // Virtual node: values are the sub-fragment's resolved vectors.
             let r = children
                 .get(&frag)
                 .unwrap_or_else(|| panic!("missing resolved triplet for {frag}"));
-            dv.copy_from_slice(&r.dv);
-            r.v.clone()
+            dv = BitSet::from_bools(&r.dv);
+            BitSet::from_bools(&r.v)
         } else {
-            let mut v = vec![false; m];
+            let mut v = BitSet::zeros(m);
+            // Stays per-bit: `Op::Desc(j)` reads `dv[j]` updated earlier
+            // in this very loop (topological sub-query order), so the DV
+            // fold cannot be deferred to a word-parallel pass.
             for (i, op) in resolved.ops.iter().enumerate() {
-                v[i] = match op {
+                let value = match op {
                     Op::True => true,
                     Op::LabelIs(l) => Some(n.label) == *l,
                     Op::TextIs(s) => n.text.as_deref() == Some(s.as_ref()),
-                    Op::Child(j) => cv[*j as usize],
-                    Op::Desc(j) => dv[*j as usize],
-                    Op::Or(a, b) => v[*a as usize] || v[*b as usize],
-                    Op::And(a, b) => v[*a as usize] && v[*b as usize],
-                    Op::Not(a) => !v[*a as usize],
+                    Op::Child(j) => cv.get(*j as usize),
+                    Op::Desc(j) => dv.get(*j as usize),
+                    Op::Or(a, b) => v.get(*a as usize) || v.get(*b as usize),
+                    Op::And(a, b) => v.get(*a as usize) && v.get(*b as usize),
+                    Op::Not(a) => !v.get(*a as usize),
                 };
-                dv[i] |= v[i];
+                v.set(i, value);
+                if value {
+                    dv.set(i, true);
+                }
             }
             v
         };
         // Record the qualifier bits this node exposes to the automaton.
         let mut bits = 0u64;
         for (pos, &qid) in qual_ids.iter().enumerate() {
-            if v[qid as usize] {
+            if v.get(qid as usize) {
                 bits |= 1 << pos;
             }
         }

@@ -948,6 +948,12 @@ impl Engine {
         report.elapsed_model_s = broadcast + max_compute + collect + solve_total + lazy_model_time;
         report.elapsed_wall_s = wall.elapsed().as_secs_f64();
         report.planned = planned;
+        report.cache = Some(parbox_net::CacheEfficacy {
+            queries_from_cache: members_from_cache as u64,
+            queries_total: members.len() as u64,
+            site_cache_hits: site_cache_hits as u64,
+            fragments_evaluated: fragments_evaluated as u64,
+        });
 
         // Feed the observed resolution depth back into the EWMA that
         // gates future lazy rounds, measured post hoc from the solved

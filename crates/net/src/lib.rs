@@ -53,7 +53,9 @@ pub use batch::{BatchProtocolError, BatchRound};
 pub use cluster::Cluster;
 pub use engine::{EvalFn, EvalReply, FragmentEval, SiteCacheStats, SiteDeployment, SitePool};
 pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
-pub use metrics::{CostEstimate, Message, MessageKind, PlanSummary, RunReport, SiteReport};
+pub use metrics::{
+    CacheEfficacy, CostEstimate, Message, MessageKind, PlanSummary, RunReport, SiteReport,
+};
 pub use model::NetworkModel;
 
 // Re-exported so downstream users need not depend on parbox-frag for the

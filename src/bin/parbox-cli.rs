@@ -452,6 +452,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "rounds {}  coordinator cache hits {}  site cache hits {}  traffic {} bytes",
         stats.rounds, stats.members_from_cache, stats.site_cache_hits, served.bytes
     );
+    let coord_rate = stats.members_from_cache as f64 / (stats.queries as f64).max(1.0);
+    let site_rate = stats.site_cache_hits as f64
+        / ((stats.site_cache_hits + stats.fragments_evaluated) as f64).max(1.0);
+    let arena = parbox::boolean::Formula::arena_stats();
+    println!(
+        "cache efficacy: coordinator {:.1}%  site {:.1}%  |  formula arena: {} nodes, \
+         {} thread-local hits, busiest shard {} interns",
+        100.0 * coord_rate,
+        100.0 * site_rate,
+        arena.nodes,
+        arena.local_hits,
+        arena.shards.iter().map(|s| s.interns).max().unwrap_or(0)
+    );
     Ok(())
 }
 
