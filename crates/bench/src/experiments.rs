@@ -1117,6 +1117,236 @@ pub fn expf_saturation(
     }
 }
 
+/// Result of one chaos cell: a fault kind injected at one rate under
+/// one network model, driven through a resident engine and checked
+/// query-by-query against the centralized oracle.
+#[derive(Debug, Clone)]
+pub struct ExpGCell {
+    /// Fault kind name (`panic`/`wedge`/`delay`/`drop`/`crash`/`mixed`),
+    /// or `none` for the fault-free baseline.
+    pub kind: String,
+    /// Per-request injection probability.
+    pub rate: f64,
+    /// Network model name (`lan`/`wan`).
+    pub network: String,
+    /// Queries answered during the chaos phase.
+    pub queries: usize,
+    /// Updates applied during the chaos phase (exercises crash-apply).
+    pub updates: usize,
+    /// Faults the plan actually injected in this cell.
+    pub injected: u64,
+    /// Supervised deadline expiries.
+    pub timeouts: u64,
+    /// Supervised retry attempts beyond each round's first.
+    pub retries: u64,
+    /// Site actors restarted in place (no process restart).
+    pub restarts: u64,
+    /// Answers marked `Complete` (exact — full coverage or certain).
+    pub complete_answers: usize,
+    /// Answers that went out degraded (`Partial`).
+    pub partial_answers: usize,
+    /// `Complete` answers disagreeing with the oracle. **Must be 0**:
+    /// a complete answer is never wrong.
+    pub wrong_complete: usize,
+    /// `Partial` answers disagreeing with the oracle (allowed — that is
+    /// what the marking is for — but tracked).
+    pub wrong_partial: usize,
+    /// 99th-percentile actor outage (first failure sign → recovering
+    /// reply), milliseconds.
+    pub recovery_p99_ms: f64,
+    /// Worst actor outage, milliseconds.
+    pub recovery_max_ms: f64,
+    /// Post-chaos verification: with the plan disarmed (hooks still in
+    /// place), every re-asked query came back `Complete` and correct —
+    /// the engine recovered fully without a process restart.
+    pub recovered_after_disarm: bool,
+}
+
+/// **Experiment G**: chaos-hardened serving. For each network model,
+/// each fault `kind`, and each injection `rate`, a fresh FT1 deployment
+/// is driven through a query/update stream with deterministic fault
+/// injection at the site actors, under a tight supervision policy
+/// (short deadlines, bounded retries with backoff, restart-on-wedge).
+/// Every answer is checked against the centralized oracle evaluated on
+/// the engine's authoritative forest:
+///
+/// * `Complete` answers must match the oracle **always** — full
+///   coverage, or certainty established by `partial_solve` (the answer
+///   holds under any content of the missing fragments).
+/// * `Partial` answers may disagree; they are explicitly marked and
+///   name the sites that stayed down.
+///
+/// After the stream, the plan is disarmed (injection stops; wedged or
+/// dead actors stay as the faults left them) and the stream is re-asked:
+/// the supervisor must restart/re-seed its way back to all-`Complete`,
+/// all-correct answers — recovery without a process restart.
+pub fn expg_chaos(
+    scale: Scale,
+    machines: usize,
+    queries: usize,
+    rates: &[f64],
+    kinds: &[&str],
+) -> Vec<ExpGCell> {
+    let networks = [("lan", NetworkModel::lan()), ("wan", NetworkModel::wan())];
+    let mut cells = Vec::new();
+    for (net_name, model) in networks {
+        let mut runs: Vec<(String, f64)> = vec![("none".to_string(), 0.0)];
+        for &kind in kinds {
+            for &rate in rates {
+                runs.push((kind.to_string(), rate));
+            }
+        }
+        for (kind, rate) in runs {
+            cells.push(expg_cell(
+                scale, machines, queries, &kind, rate, net_name, model,
+            ));
+        }
+    }
+    cells
+}
+
+fn expg_cell(
+    scale: Scale,
+    machines: usize,
+    queries: usize,
+    kind: &str,
+    rate: f64,
+    net_name: &str,
+    model: NetworkModel,
+) -> ExpGCell {
+    use parbox_core::Completeness;
+    use parbox_net::{FaultKind, FaultPlan, FaultRates, SupervisorConfig};
+
+    // Deadlines are wall-clock (the workers are real threads; only the
+    // network is modeled), so one tight policy serves both models: long
+    // enough for a healthy site to reply under CI load, short enough
+    // that a wedge costs tens of milliseconds, not seconds.
+    let supervisor = SupervisorConfig {
+        deadline: Duration::from_millis(30),
+        max_attempts: 4,
+        restart_after_timeouts: 1,
+        backoff_base: Duration::from_millis(2),
+        jitter_seed: scale.seed ^ 0x9E37,
+    };
+    // Delayed replies overshoot the deadline by design.
+    let delay = Duration::from_millis(75);
+    let plan = match kind {
+        "none" => FaultPlan::none(),
+        "mixed" => FaultPlan::random(scale.seed ^ 0xC4A0, FaultRates::mixed(rate), delay),
+        k => {
+            let fk = match k {
+                "panic" => FaultKind::Panic,
+                "wedge" => FaultKind::Wedge,
+                "delay" => FaultKind::DelayReply,
+                "drop" => FaultKind::DropEnvelope,
+                "crash" => FaultKind::CrashApply,
+                other => panic!("unknown fault kind {other}"),
+            };
+            FaultPlan::random(scale.seed ^ 0xC4A0, FaultRates::only(fk, rate), delay)
+        }
+    };
+
+    let (forest, placement) = ft1(scale, machines);
+    let config = EngineConfig {
+        model,
+        fault_plan: plan.clone(),
+        supervisor: Some(supervisor),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(forest, placement, config).expect("valid deployment");
+
+    let stream: Vec<(parbox_query::Query, CompiledQuery)> =
+        batch_workload(queries, scale.seed ^ 0xE6_0001)
+            .into_iter()
+            .map(|q| {
+                let c = compile(&q);
+                (q, c)
+            })
+            .collect();
+    // The oracle: plain ParBoX over the engine's authoritative forest,
+    // fresh scoped threads, no pool, no faults.
+    let oracle = |engine: &Engine, c: &CompiledQuery| {
+        let cluster = Cluster::new(engine.forest(), engine.placement(), model);
+        parbox(&cluster, c).answer
+    };
+
+    let mut complete_answers = 0usize;
+    let mut partial_answers = 0usize;
+    let mut wrong_complete = 0usize;
+    let mut wrong_partial = 0usize;
+    let mut updates = 0usize;
+    let mut answered = 0usize;
+    let mut recovery_s: Vec<f64> = Vec::new();
+    let mut absorb_recovery = |report: &parbox_net::RunReport| {
+        if let Some(f) = &report.faults {
+            recovery_s.extend(f.recovery_s.iter().copied());
+        }
+    };
+    for (i, (q, c)) in stream.iter().enumerate() {
+        // Every fifth op is an update — the only path that can trigger
+        // crash-during-apply — resolved against the live forest.
+        if i % 5 == 4 {
+            if let Some(update) = resolve_update(engine.forest(), scale.seed ^ (0xD0 + i as u64)) {
+                let up = engine.apply(update).expect("resolved update applies");
+                absorb_recovery(&up.report);
+                updates += 1;
+                continue;
+            }
+        }
+        let expected = oracle(&engine, c);
+        let out = engine.query(q);
+        absorb_recovery(&out.report);
+        answered += 1;
+        match out.completeness {
+            Completeness::Complete => {
+                complete_answers += 1;
+                if out.answer != expected {
+                    wrong_complete += 1;
+                }
+            }
+            Completeness::Partial { .. } => {
+                partial_answers += 1;
+                if out.answer != expected {
+                    wrong_partial += 1;
+                }
+            }
+        }
+    }
+
+    // Injection stops; the damage it already did does not. The engine
+    // must supervise its way back: every re-asked query Complete and
+    // correct, without a process restart.
+    plan.disarm();
+    let mut recovered = true;
+    for (q, c) in &stream {
+        let expected = oracle(&engine, c);
+        let out = engine.query(q);
+        absorb_recovery(&out.report);
+        recovered &= out.completeness.is_complete() && out.answer == expected;
+    }
+
+    recovery_s.sort_by(|a, b| a.total_cmp(b));
+    let stats = engine.stats();
+    ExpGCell {
+        kind: kind.to_string(),
+        rate,
+        network: net_name.to_string(),
+        queries: answered,
+        updates,
+        injected: plan.total_injected(),
+        timeouts: stats.timeouts,
+        retries: stats.retries,
+        restarts: stats.restarts,
+        complete_answers,
+        partial_answers,
+        wrong_complete,
+        wrong_partial,
+        recovery_p99_ms: percentile(&recovery_s, 0.99),
+        recovery_max_ms: recovery_s.last().copied().unwrap_or(0.0) * 1e3,
+        recovered_after_disarm: recovered,
+    }
+}
+
 // Re-export used by binaries.
 pub use crate::builders::plant_markers;
 
@@ -1362,5 +1592,35 @@ mod tests {
         let min = rts.iter().cloned().fold(f64::INFINITY, f64::min);
         // "Almost constant": generous 4x guard for debug-build noise.
         assert!(max < min * 4.0 + 0.01, "not flat: {rts:?}");
+    }
+
+    #[test]
+    fn expg_chaos_never_lies_and_recovers() {
+        let cells = expg_chaos(tiny(), 3, 15, &[0.3], &["panic", "wedge"]);
+        assert_eq!(cells.len(), 2 * 3, "baseline + 2 kinds, per network");
+        let mut injected_total = 0u64;
+        for c in &cells {
+            assert_eq!(
+                c.wrong_complete, 0,
+                "{}/{}: Complete answer lied",
+                c.network, c.kind
+            );
+            assert!(
+                c.recovered_after_disarm,
+                "{}/{}: did not recover",
+                c.network, c.kind
+            );
+            if c.kind == "none" {
+                assert_eq!(c.injected, 0);
+                assert_eq!(c.partial_answers, 0);
+                assert_eq!(
+                    c.restarts + c.timeouts + c.retries,
+                    0,
+                    "inert plan cost nothing"
+                );
+            }
+            injected_total += c.injected;
+        }
+        assert!(injected_total > 0, "chaos cells injected nothing");
     }
 }

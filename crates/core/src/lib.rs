@@ -90,7 +90,8 @@ pub use plan::{
 };
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
 pub use serve::{
-    Engine, EngineConfig, EngineStats, QueryOutcome, RoundOutcome, Ticket, UpdateOutcome,
+    Completeness, Engine, EngineConfig, EngineStats, QueryOutcome, RoundOutcome, ShutdownReport,
+    Ticket, UpdateOutcome,
 };
 pub use views::{
     apply_update_to_forest, apply_update_tracked, MaterializedView, Update, UpdateEffect,

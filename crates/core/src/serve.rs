@@ -38,7 +38,7 @@ use parbox_bool::{site_envelope_dag_wire_size, EquationSystem, Formula, Triplet,
 use parbox_frag::{Forest, ForestStats, FragError, Placement, SiteId, SourceTree};
 use parbox_net::engine::{EvalReply, FragmentEval, SiteCacheStats, SitePool};
 use parbox_net::{BatchRound, MessageKind, NetworkModel, RunReport};
-use parbox_net::{CostEstimate, PlanSummary};
+use parbox_net::{CostEstimate, FaultPlan, FaultSummary, PlanSummary, SupervisorConfig};
 use parbox_query::{compile, merge_programs, CompiledQuery, Query, QueryFingerprint, SubId};
 use parbox_xml::{FragmentId, Tree};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 const UPDATE_CONTROL_BYTES: usize = 16;
 
 /// Configuration of a resident [`Engine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Network cost model for the report accounting.
     pub model: NetworkModel,
@@ -72,6 +72,14 @@ pub struct EngineConfig {
     /// accordingly. When false, every round runs the eager batch
     /// protocol.
     pub plan_rounds: bool,
+    /// Deterministic fault injection threaded into the site workers.
+    /// The default plan is inert: zero faults and zero overhead on the
+    /// worker hot path.
+    pub fault_plan: FaultPlan,
+    /// Supervision policy (deadline, retries, backoff) for data-plane
+    /// rounds. `None` derives one from the network model via
+    /// [`SupervisorConfig::from_model`].
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for EngineConfig {
@@ -83,7 +91,39 @@ impl Default for EngineConfig {
             site_cache_capacity: 4096,
             solve_cache_fingerprints: 512,
             plan_rounds: true,
+            fault_plan: FaultPlan::none(),
+            supervisor: None,
         }
+    }
+}
+
+/// Whether an answer is exact or a degraded partial answer.
+///
+/// Under fault injection, sites can stay down past every supervised
+/// retry. The engine then answers from what it has: if the partial
+/// triplet coverage already *determines* the answer (it holds under any
+/// content of the missing fragments — `partial_solve` leaves their
+/// variables free), the answer is certain and reported `Complete`. Only
+/// when the missing fragments could change the answer does the engine
+/// fall back to a pessimistic evaluation and mark the answer
+/// [`Completeness::Partial`], naming the sites whose fragments were
+/// unavailable. A `Complete` answer is never wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// The answer is exact — full coverage, or certain despite gaps.
+    Complete,
+    /// Degraded: missing fragments were assumed empty; the answer may
+    /// differ from the true one.
+    Partial {
+        /// Sites whose fragments were unavailable, ascending, deduped.
+        missing_sites: Vec<SiteId>,
+    },
+}
+
+impl Completeness {
+    /// True for [`Completeness::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
     }
 }
 
@@ -109,6 +149,22 @@ pub struct RoundOutcome {
     /// Requested triplets the sites served from their own caches
     /// (shipping the cached triplet instead of re-running `bottomUp`).
     pub site_cache_hits: usize,
+    /// Tickets whose answers are degraded partial answers, with the
+    /// sites that stayed down. Empty in a healthy round — and for every
+    /// ticket *not* listed here, the answer is exact.
+    pub partial: Vec<(Ticket, Vec<SiteId>)>,
+}
+
+impl RoundOutcome {
+    /// Completeness of one ticket's answer in this round.
+    pub fn completeness(&self, ticket: Ticket) -> Completeness {
+        match self.partial.iter().find(|(t, _)| *t == ticket) {
+            Some((_, missing)) => Completeness::Partial {
+                missing_sites: missing.clone(),
+            },
+            None => Completeness::Complete,
+        }
+    }
 }
 
 /// Result of [`Engine::query`], the single-query convenience path.
@@ -120,6 +176,8 @@ pub struct QueryOutcome {
     pub report: RunReport,
     /// True when the answer came entirely from the coordinator cache.
     pub from_cache: bool,
+    /// Whether the answer is exact or a degraded partial answer.
+    pub completeness: Completeness,
 }
 
 /// Result of [`Engine::apply`].
@@ -154,6 +212,25 @@ pub struct EngineStats {
     pub site_cache_hits: u64,
     /// Updates applied.
     pub updates: u64,
+    /// Supervised request timeouts (deadline expiries) observed.
+    pub timeouts: u64,
+    /// Supervised retry attempts beyond each round's first.
+    pub retries: u64,
+    /// Site actors restarted (after a panic, wedge, or dead inbox).
+    pub restarts: u64,
+    /// Answers that went out degraded ([`Completeness::Partial`]).
+    pub partial_answers: u64,
+}
+
+/// Result of [`Engine::shutdown`]: what the deterministic teardown
+/// found on its way out.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Rounds flushed or parked at shutdown whose answers had not been
+    /// taken yet (the final admission flush plus any parked rounds).
+    pub drained: Vec<RoundOutcome>,
+    /// Site workers that had panicked (their joins returned an error).
+    pub panicked_workers: usize,
 }
 
 /// Coordinator-side cache of one member program's solve inputs.
@@ -178,6 +255,9 @@ pub struct Engine {
     source_tree: SourceTree,
     coordinator: SiteId,
     config: EngineConfig,
+    /// Resolved supervision policy (from `config.supervisor`, or
+    /// derived from the network model).
+    supervisor: SupervisorConfig,
     pool: SitePool,
     /// Live aggregates of the deployed forest, maintained incrementally
     /// through every update — what per-round planning reads.
@@ -232,7 +312,16 @@ impl Engine {
                 (s, frags)
             })
             .collect();
-        let pool = SitePool::spawn(sites, config.site_cache_capacity, kernel);
+        let pool = SitePool::spawn_with_faults(
+            sites,
+            config.site_cache_capacity,
+            kernel,
+            config.fault_plan.clone(),
+        );
+        let supervisor = config
+            .supervisor
+            .clone()
+            .unwrap_or_else(|| SupervisorConfig::from_model(&config.model));
         let forest_stats = ForestStats::compute(&forest, &placement);
         let depth_ewma = forest_stats.max_depth() as f64;
         Ok(Engine {
@@ -241,6 +330,7 @@ impl Engine {
             source_tree,
             coordinator,
             config,
+            supervisor,
             pool,
             forest_stats,
             depth_ewma,
@@ -357,10 +447,27 @@ impl Engine {
         }
         self.submit(query);
         let outcome = self.flush().expect("one query is pending");
+        let (ticket, answer) = outcome.answers[0];
         QueryOutcome {
-            answer: outcome.answers[0].1,
+            answer,
             from_cache: outcome.members_from_cache == 1,
+            completeness: outcome.completeness(ticket),
             report: outcome.report,
+        }
+    }
+
+    /// Deterministic teardown: flushes the admission queue, drains every
+    /// parked round (no answer is ever lost), and joins all site actor
+    /// threads — reporting how many had panicked rather than
+    /// double-panicking on them. The engine stays usable for cached
+    /// answers afterwards, but its data plane is gone; drop it.
+    pub fn shutdown(&mut self) -> ShutdownReport {
+        if let Some(last) = self.flush() {
+            self.parked.push(last);
+        }
+        ShutdownReport {
+            drained: std::mem::take(&mut self.parked),
+            panicked_workers: self.pool.shutdown(),
         }
     }
 
@@ -581,6 +688,8 @@ impl Engine {
 
         let mut round = BatchRound::new(self.coordinator);
         let mut answers: Vec<Option<bool>> = vec![None; pending.len()];
+        let mut partial: Vec<(Ticket, Vec<SiteId>)> = Vec::new();
+        let mut fault_summary = FaultSummary::default();
         let mut solve_total = 0.0f64;
         let mut members_from_cache = 0usize;
         let mut site_cache_hits = 0usize;
@@ -701,14 +810,48 @@ impl Engine {
                 // program's root fingerprint is just its last member's, so
                 // two batches sharing a tail member would collide and serve
                 // triplets of the wrong width.
-                let replies = self.pool.eval_round(
-                    &merged,
-                    merged.program_fingerprint(),
-                    per_site
-                        .into_iter()
-                        .map(|(s, fs)| (SiteId(s), fs))
-                        .collect(),
-                );
+                let replies = {
+                    let pool = &mut self.pool;
+                    let source_tree = &self.source_tree;
+                    let forest = &self.forest;
+                    let mut reseed_log: Vec<(SiteId, usize)> = Vec::new();
+                    let out = pool.eval_round_supervised(
+                        &merged,
+                        merged.program_fingerprint(),
+                        per_site
+                            .into_iter()
+                            .map(|(s, fs)| (SiteId(s), fs))
+                            .collect(),
+                        &self.supervisor,
+                        &mut |site| {
+                            let frags: Vec<(FragmentId, Arc<Tree>)> = source_tree
+                                .fragments_at(site)
+                                .into_iter()
+                                .map(|f| (f, forest.tree_handle(f)))
+                                .collect();
+                            reseed_log.push((
+                                site,
+                                frags
+                                    .iter()
+                                    .map(|(f, _)| forest.fragment(*f).byte_size())
+                                    .sum(),
+                            ));
+                            frags
+                        },
+                    );
+                    record_supervision(
+                        round.report_mut(),
+                        self.coordinator,
+                        &self.config.model,
+                        &out.stats,
+                        &out.retry_visits,
+                        &reseed_log,
+                        request_bytes,
+                        &mut fault_summary,
+                        &mut broadcast,
+                    );
+                    out.replies
+                };
 
                 let mut merged_triplets: HashMap<FragmentId, Arc<Triplet>> = HashMap::new();
                 let (mc, envelopes) = absorb_replies(
@@ -748,21 +891,46 @@ impl Engine {
                     self.ensure_solve_entry(m.fp, compiled.root());
                     let entry = self.solve_cache.get_mut(&m.fp).expect("just inserted");
                     for &f in &live {
-                        entry.triplets.entry(f).or_insert_with(|| {
-                            let merged_t = merged_triplets
-                                .get(&f)
-                                .expect("fragment missing from cache was evaluated");
-                            Arc::clone(
-                                projection_memo
-                                    .entry((k, (**merged_t).clone()))
-                                    .or_insert_with(|| {
-                                        Arc::new(project_triplet(merged_t, proj, &inv))
-                                    }),
-                            )
-                        });
+                        if entry.triplets.contains_key(&f) {
+                            continue;
+                        }
+                        // A fragment whose site stayed down past every
+                        // supervised attempt has no merged triplet; leave
+                        // the entry uncovered and degrade below.
+                        let Some(merged_t) = merged_triplets.get(&f) else {
+                            continue;
+                        };
+                        let t = Arc::clone(
+                            projection_memo
+                                .entry((k, (**merged_t).clone()))
+                                .or_insert_with(|| Arc::new(project_triplet(merged_t, proj, &inv))),
+                        );
+                        entry.triplets.insert(f, t);
                     }
                     let start = Instant::now();
-                    let answer = solve_entry(entry, &postorder, root_frag);
+                    let covered = live.iter().all(|f| entry.triplets.contains_key(f));
+                    let answer = if covered {
+                        let a = solve_entry(entry, &postorder, root_frag);
+                        entry.answer = Some(a);
+                        a
+                    } else if let Some(a) =
+                        partial_solve(&self.source_tree, &entry.triplets, entry.root as usize)
+                    {
+                        // Certain despite the gaps: the answer holds under
+                        // *any* content of the missing fragments, so it is
+                        // exact and safe to memoize.
+                        entry.answer = Some(a);
+                        a
+                    } else {
+                        // Degraded: solve with the missing fragments
+                        // assumed empty. Never memoized — the next round
+                        // re-requests exactly the missing fragments.
+                        let missing = missing_sites(&self.source_tree, &live, &entry.triplets);
+                        for &pi in &m.submissions {
+                            partial.push((pending[pi].0, missing.clone()));
+                        }
+                        degraded_solve(entry, &postorder, &live, compiled.len(), root_frag)
+                    };
                     solve_total += start.elapsed().as_secs_f64();
                     round
                         .report_mut()
@@ -770,7 +938,6 @@ impl Engine {
                     round
                         .report_mut()
                         .record_work(self.coordinator, (compiled.len() * live.len()) as u64);
-                    entry.answer = Some(answer);
                     for &pi in &m.submissions {
                         answers[pi] = Some(answer);
                     }
@@ -857,7 +1024,25 @@ impl Engine {
                         break;
                     }
                     let Some((_, frags)) = waves.next() else {
-                        unreachable!("full coverage always determines every member's answer");
+                        // Waves exhausted with members still open: some
+                        // site stayed down past every supervised attempt
+                        // and its fragments never arrived. Degrade the
+                        // open members to pessimistic partial answers
+                        // (the certain cases were already closed by
+                        // `partial_solve` in the retain pass above).
+                        for &k in &unanswered {
+                            let m = &members[active[k]];
+                            let compiled = &pending[m.idx].1;
+                            let entry = self.solve_cache.get_mut(&m.fp).expect("ensured above");
+                            let answer =
+                                degraded_solve(entry, &postorder, &live, compiled.len(), root_frag);
+                            let missing = missing_sites(&self.source_tree, &live, &entry.triplets);
+                            for &pi in &m.submissions {
+                                answers[pi] = Some(answer);
+                                partial.push((pending[pi].0, missing.clone()));
+                            }
+                        }
+                        break;
                     };
                     // Only fragments some open member still misses.
                     let wanted: Vec<FragmentId> = frags
@@ -899,14 +1084,48 @@ impl Engine {
                     if wave_remote {
                         lazy_model_time += self.config.model.transfer_time(request_bytes);
                     }
-                    let replies = self.pool.eval_round(
-                        &merged,
-                        merged.program_fingerprint(),
-                        per_site
-                            .into_iter()
-                            .map(|(s, fs)| (SiteId(s), fs))
-                            .collect(),
-                    );
+                    let replies = {
+                        let pool = &mut self.pool;
+                        let source_tree = &self.source_tree;
+                        let forest = &self.forest;
+                        let mut reseed_log: Vec<(SiteId, usize)> = Vec::new();
+                        let out = pool.eval_round_supervised(
+                            &merged,
+                            merged.program_fingerprint(),
+                            per_site
+                                .into_iter()
+                                .map(|(s, fs)| (SiteId(s), fs))
+                                .collect(),
+                            &self.supervisor,
+                            &mut |site| {
+                                let frags: Vec<(FragmentId, Arc<Tree>)> = source_tree
+                                    .fragments_at(site)
+                                    .into_iter()
+                                    .map(|f| (f, forest.tree_handle(f)))
+                                    .collect();
+                                reseed_log.push((
+                                    site,
+                                    frags
+                                        .iter()
+                                        .map(|(f, _)| forest.fragment(*f).byte_size())
+                                        .sum(),
+                                ));
+                                frags
+                            },
+                        );
+                        record_supervision(
+                            round.report_mut(),
+                            self.coordinator,
+                            &self.config.model,
+                            &out.stats,
+                            &out.retry_visits,
+                            &reseed_log,
+                            request_bytes,
+                            &mut fault_summary,
+                            &mut lazy_model_time,
+                        );
+                        out.replies
+                    };
                     let (wave_compute, envelopes) = absorb_replies(
                         round.report_mut(),
                         replies,
@@ -954,6 +1173,9 @@ impl Engine {
             site_cache_hits: site_cache_hits as u64,
             fragments_evaluated: fragments_evaluated as u64,
         });
+        if fault_summary.any() {
+            report.faults = Some(fault_summary.clone());
+        }
 
         // Feed the observed resolution depth back into the EWMA that
         // gates future lazy rounds, measured post hoc from the solved
@@ -979,7 +1201,12 @@ impl Engine {
         self.stats.members_from_cache += members_from_cache as u64;
         self.stats.fragments_evaluated += fragments_evaluated as u64;
         self.stats.site_cache_hits += site_cache_hits as u64;
+        self.stats.timeouts += fault_summary.timeouts;
+        self.stats.retries += fault_summary.retries;
+        self.stats.restarts += fault_summary.restarts;
+        self.stats.partial_answers += partial.len() as u64;
 
+        partial.sort_by_key(|(t, _)| *t);
         RoundOutcome {
             answers: pending
                 .iter()
@@ -991,6 +1218,7 @@ impl Engine {
             members_from_cache,
             fragments_evaluated,
             site_cache_hits,
+            partial,
         }
     }
 
@@ -1011,18 +1239,26 @@ impl Engine {
             update,
         )?;
         let mut invalidated = 0usize;
+        let mut faults = FaultSummary::default();
 
         for &gone in &effect.removed {
             // The placement keeps the stale mapping of a merged-away
             // fragment, which is exactly the site its worker lives on.
             let site = self.placement.site_of(gone);
-            self.pool.unload(site, gone);
+            if !self.pool.unload(site, gone) {
+                // Dead actor (e.g. crashed mid-apply): restart it with
+                // the authoritative post-update fragment set, which no
+                // longer contains `gone`.
+                self.reseed_site(site, &mut faults);
+            }
             invalidated += self.purge_fragment(gone);
         }
         for f in effect.stale() {
             let site = self.placement.site_of(f);
             self.pool.ensure_site(site);
-            self.pool.load(site, f, self.forest.tree_handle(f));
+            if !self.pool.load(site, f, self.forest.tree_handle(f)) {
+                self.reseed_site(site, &mut faults);
+            }
             invalidated += self.purge_fragment(f);
             report.record_visit(site);
             if site != self.coordinator {
@@ -1058,6 +1294,10 @@ impl Engine {
 
         report.elapsed_model_s = report.network_cost_s(&self.config.model);
         report.elapsed_wall_s = wall.elapsed().as_secs_f64();
+        if faults.any() {
+            self.stats.restarts += faults.restarts;
+            report.faults = Some(faults);
+        }
         self.stats.updates += 1;
         Ok(UpdateOutcome {
             flushed,
@@ -1065,6 +1305,22 @@ impl Engine {
             report,
             invalidated,
         })
+    }
+
+    /// Restarts `site`'s actor thread and re-seeds it with every
+    /// fragment the placement maps there, from the coordinator's
+    /// authoritative forest handles. Used when a maintenance message
+    /// finds the actor's inbox dead.
+    fn reseed_site(&mut self, site: SiteId, faults: &mut FaultSummary) {
+        let frags: Vec<(FragmentId, Arc<Tree>)> = self
+            .forest
+            .fragment_ids()
+            .filter(|&f| self.placement.site_of(f) == site)
+            .map(|f| (f, self.forest.tree_handle(f)))
+            .collect();
+        faults.restarts += 1;
+        faults.reseeded_fragments += frags.len() as u64;
+        self.pool.restart_site(site, frags);
     }
 
     /// Drops `frag`'s triplet from every coordinator cache entry and
@@ -1112,6 +1368,86 @@ fn absorb_replies(
     (max_compute, envelopes)
 }
 
+/// Accounts one supervised round's recovery actions into the report:
+/// each retry is an extra visit plus a re-sent request (supervision is
+/// exactly the sanctioned exception to the one-visit discipline), each
+/// restart's re-seeded fragments are data-plane traffic, and the fault
+/// counters accumulate into the round's summary.
+#[allow(clippy::too_many_arguments)]
+fn record_supervision(
+    report: &mut RunReport,
+    coordinator: SiteId,
+    model: &NetworkModel,
+    stats: &FaultSummary,
+    retry_visits: &[SiteId],
+    reseeds: &[(SiteId, usize)],
+    request_bytes: usize,
+    summary: &mut FaultSummary,
+    model_time: &mut f64,
+) {
+    for &site in retry_visits {
+        report.record_visit(site);
+        if site != coordinator {
+            report.record_message(coordinator, site, request_bytes, MessageKind::BatchQuery);
+            *model_time += model.transfer_time(request_bytes);
+        }
+    }
+    for &(site, bytes) in reseeds {
+        if site != coordinator && bytes > 0 {
+            report.record_message(coordinator, site, bytes, MessageKind::Data);
+            *model_time += model.transfer_time(bytes);
+        }
+    }
+    summary.absorb(stats);
+}
+
+/// The sites owning live fragments the entry has no triplet for —
+/// ascending, deduped: the `missing_sites` of a degraded answer.
+fn missing_sites(
+    source_tree: &SourceTree,
+    live: &[FragmentId],
+    triplets: &HashMap<FragmentId, Arc<Triplet>>,
+) -> Vec<SiteId> {
+    let sites: std::collections::BTreeSet<u32> = live
+        .iter()
+        .filter(|f| !triplets.contains_key(f))
+        .map(|&f| source_tree.site_of(f).0)
+        .collect();
+    sites.into_iter().map(SiteId).collect()
+}
+
+/// Pessimistic fallback solve for a degraded answer: every missing live
+/// fragment is stood in by an all-FALSE triplet of the member's width
+/// (as if its subtree were absent), which closes the equation system so
+/// it solves. The result is a best-effort answer, marked
+/// [`Completeness::Partial`] by the caller and never memoized.
+fn degraded_solve(
+    entry: &SolveEntry,
+    postorder: &[FragmentId],
+    live: &[FragmentId],
+    width: usize,
+    root_frag: FragmentId,
+) -> bool {
+    let mut sys = EquationSystem::new();
+    for (&f, t) in &entry.triplets {
+        sys.insert(f, (**t).clone());
+    }
+    let absent = Triplet {
+        v: vec![Formula::FALSE; width],
+        cv: vec![Formula::FALSE; width],
+        dv: vec![Formula::FALSE; width],
+    };
+    for &f in live {
+        if !entry.triplets.contains_key(&f) {
+            sys.insert(f, absent.clone());
+        }
+    }
+    let resolved = sys
+        .solve(postorder)
+        .expect("all-FALSE stand-ins close every live fragment");
+    resolved[&root_frag].v[entry.root as usize]
+}
+
 /// Re-solves a member program from its cached per-fragment triplets.
 fn solve_entry(entry: &SolveEntry, postorder: &[FragmentId], root_frag: FragmentId) -> bool {
     let mut sys = EquationSystem::new();
@@ -1148,7 +1484,7 @@ fn project_triplet(merged: &Triplet, proj: &[SubId], inv: &HashMap<u32, u32>) ->
 mod tests {
     use super::*;
     use crate::algorithms::parbox;
-    use parbox_net::Cluster;
+    use parbox_net::{Cluster, FaultKind};
     use parbox_query::parse_query;
     use parbox_xml::NodeId;
 
@@ -1501,5 +1837,113 @@ mod tests {
             (compile(&q).len() * card) as u64,
             "only the coordinator's solve pass did any work"
         );
+    }
+
+    // ---- chaos: supervision and degraded answers --------------------
+
+    fn chaos_cfg(attempts: u32, restart_after: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: Duration::from_millis(40),
+            max_attempts: attempts,
+            restart_after_timeouts: restart_after,
+            backoff_base: Duration::from_millis(2),
+            jitter_seed: 11,
+        }
+    }
+
+    fn chaos_engine(plan: FaultPlan, supervisor: SupervisorConfig) -> Engine {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let config = EngineConfig {
+            fault_plan: plan,
+            supervisor: Some(supervisor),
+            ..EngineConfig::default()
+        };
+        Engine::new(forest, placement, config).unwrap()
+    }
+
+    #[test]
+    fn injected_panic_recovers_to_a_complete_answer() {
+        // Site 3's actor panics on its first request; the supervisor
+        // restarts it, re-seeds its fragment, and the round completes.
+        let plan = FaultPlan::scripted(vec![(3, 0, FaultKind::Panic)], Duration::ZERO);
+        let mut e = chaos_engine(plan, chaos_cfg(4, 2));
+        let q = parse_query("[//A and //B]").unwrap();
+        let out = e.query(&q);
+        assert_eq!(out.answer, oracle(&e, &q));
+        assert_eq!(out.completeness, Completeness::Complete);
+        assert_eq!(e.stats().restarts, 1);
+        assert!(e.stats().retries >= 1);
+        let faults = out.report.faults.expect("faulty round reports its summary");
+        assert_eq!(faults.restarts, 1);
+        assert!(faults.max_recovery_s() > 0.0);
+    }
+
+    #[test]
+    fn site_down_past_retries_degrades_without_lying() {
+        // Site 3 wedges forever and the supervisor never restarts it
+        // (one attempt, no restart threshold): every round that needs
+        // its fragment must degrade rather than hang or crash.
+        let plan = FaultPlan::scripted(vec![(3, 0, FaultKind::Wedge)], Duration::ZERO);
+        let mut e = chaos_engine(plan, chaos_cfg(1, u32::MAX));
+        // B lives only on the wedged site: the answer is undetermined
+        // without it, so it degrades to a pessimistic Partial.
+        let and = parse_query("[//A and //B]").unwrap();
+        let out = e.query(&and);
+        assert!(!out.answer, "missing subtree is assumed empty");
+        assert_eq!(
+            out.completeness,
+            Completeness::Partial {
+                missing_sites: vec![SiteId(3)]
+            }
+        );
+        assert!(e.stats().timeouts >= 1);
+        assert!(e.stats().partial_answers >= 1);
+        // A lives elsewhere: the surviving coverage already determines
+        // the answer, so it is certain — Complete, and never wrong.
+        let a = parse_query("[//A]").unwrap();
+        let out = e.query(&a);
+        assert!(out.answer);
+        assert_eq!(out.completeness, Completeness::Complete);
+        assert_eq!(out.answer, oracle(&e, &a));
+    }
+
+    #[test]
+    fn crash_during_apply_is_detected_and_reseeded_next_round() {
+        // Op 0 at site 3 is the first query's eval; op 1 is the update's
+        // fragment load, which crashes the actor mid-apply. The next
+        // round finds the dead inbox, restarts the actor with the
+        // post-update fragment, and answers exactly.
+        let plan = FaultPlan::scripted(vec![(3, 1, FaultKind::CrashApply)], Duration::ZERO);
+        let mut e = chaos_engine(plan, chaos_cfg(4, 2));
+        let q = parse_query("[//goal]").unwrap();
+        assert!(!e.query(&q).answer);
+        let frag = FragmentId(3);
+        let parent = e.forest().fragment(frag).tree.root();
+        e.apply(Update::InsNode {
+            frag,
+            parent,
+            label: "goal".into(),
+            text: None,
+        })
+        .unwrap();
+        let out = e.query(&q);
+        assert!(out.answer, "post-update answer");
+        assert_eq!(out.answer, oracle(&e, &q));
+        assert_eq!(out.completeness, Completeness::Complete);
+        assert_eq!(e.stats().restarts, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_answers_and_joins_workers() {
+        let mut e = engine();
+        let q = parse_query("[//A]").unwrap();
+        let expected = oracle(&e, &q);
+        let t = e.submit(&q);
+        let report = e.shutdown();
+        assert_eq!(report.panicked_workers, 0);
+        assert_eq!(report.drained.len(), 1);
+        assert_eq!(report.drained[0].answers, vec![(t, expected)]);
+        assert!(report.drained[0].partial.is_empty());
     }
 }

@@ -12,17 +12,29 @@
 //! deployment instead of once per query, and a fragment evaluated twice
 //! under the same program fingerprint skips `bottomUp` entirely.
 //!
+//! Residency brings failure with it: a long-lived actor can panic,
+//! wedge, or stall. [`SitePool::eval_round_supervised`] is the
+//! fault-tolerant visit path — per-request deadlines, bounded retries
+//! with deterministic backoff (see [`SupervisorConfig`]), and actor
+//! restart + authoritative fragment re-seeding when a site is declared
+//! dead or wedged. Fault *injection* for chaos testing is threaded
+//! through the worker loop behind an inert-by-default [`FaultPlan`].
+//!
 //! Layering: this module provides the *mechanics* (threads, channels,
-//! fragment ownership, caching); the evaluation kernel is injected by the
-//! algorithm layer as an [`EvalFn`] (`parbox-core` passes its `bottomUp`)
-//! and the protocol accounting (visits, messages, cost models) stays with
-//! the coordinator in `parbox-core::serve`.
+//! fragment ownership, caching, supervision); the evaluation kernel is
+//! injected by the algorithm layer as an [`EvalFn`] (`parbox-core`
+//! passes its `bottomUp`) and the protocol accounting (visits, messages,
+//! cost models) stays with the coordinator in `parbox-core::serve`.
 
+use crate::fault::{
+    install_quiet_panic_hook, FaultContext, FaultKind, FaultPlan, InjectedFault, SupervisorConfig,
+};
+use crate::metrics::FaultSummary;
 use crate::SiteId;
 use parbox_bool::Triplet;
 use parbox_query::{CompiledQuery, QueryFingerprint};
 use parbox_xml::{FragmentId, Tree};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +65,11 @@ pub struct EvalReply {
     /// Per requested fragment: its triplet and whether it was served from
     /// the site's cache (no `bottomUp` run).
     pub triplets: Vec<(FragmentId, Arc<Triplet>, bool)>,
+    /// Requested fragments that were **not resident** at the worker —
+    /// the typed replacement for the old "fragment not resident" panic.
+    /// The supervisor re-seeds these from the coordinator's
+    /// authoritative handles and retries.
+    pub missing: Vec<FragmentId>,
     /// Work units actually spent (cache hits contribute none).
     pub work_units: u64,
     /// Measured wall-clock time of the site's local work.
@@ -102,24 +119,26 @@ enum Request {
     },
     /// Install (or replace) a fragment's tree handle, dropping every
     /// cache entry of that fragment — the update-invalidation path.
-    Load {
-        frag: FragmentId,
-        tree: Arc<Tree>,
-    },
+    Load { frag: FragmentId, tree: Arc<Tree> },
     /// Remove a fragment (merged away or migrated) and its cache entries.
-    Unload {
-        frag: FragmentId,
-    },
+    Unload { frag: FragmentId },
     /// Report cache counters.
-    Stats {
-        reply: mpsc::Sender<SiteCacheStats>,
-    },
-    Shutdown,
+    Stats { reply: mpsc::Sender<SiteCacheStats> },
 }
 
 struct SiteWorker {
     site: SiteId,
     eval: EvalFn,
+    plan: FaultPlan,
+    /// Set by an injected [`FaultKind::Wedge`]: the worker stays alive
+    /// but answers nothing, holding every subsequent request (and its
+    /// reply sender) so the coordinator must detect it by deadline.
+    wedged: bool,
+    held: Vec<Request>,
+    /// Reply senders kept alive by [`FaultKind::DropEnvelope`]: the
+    /// envelope is "lost in flight", so the coordinator waits out the
+    /// deadline instead of seeing an instant disconnect.
+    dropped_replies: Vec<mpsc::Sender<EvalReply>>,
     fragments: HashMap<FragmentId, Arc<Tree>>,
     cache: HashMap<(FragmentId, QueryFingerprint), Arc<Triplet>>,
     /// FIFO eviction order of cache keys.
@@ -137,7 +156,34 @@ struct SiteWorker {
 
 impl SiteWorker {
     fn run(mut self, inbox: mpsc::Receiver<Request>) {
+        // The loop exits when every sender is dropped — both at orderly
+        // shutdown and when the supervisor restarts this actor. A wedged
+        // worker keeps receiving (into `held`) so it, too, exits cleanly
+        // once replaced.
         while let Ok(req) = inbox.recv() {
+            if self.wedged {
+                self.held.push(req);
+                continue;
+            }
+            let fault = match &req {
+                Request::Eval { .. } => self.plan.decide(self.site.0, FaultContext::Eval),
+                Request::Load { .. } => self.plan.decide(self.site.0, FaultContext::Apply),
+                _ => None,
+            };
+            match fault {
+                Some(k @ (FaultKind::Panic | FaultKind::CrashApply)) => {
+                    std::panic::panic_any(InjectedFault {
+                        site: self.site.0,
+                        kind: k,
+                    });
+                }
+                Some(FaultKind::Wedge) => {
+                    self.wedged = true;
+                    self.held.push(req);
+                    continue;
+                }
+                _ => {}
+            }
             match req {
                 Request::Eval {
                     program,
@@ -147,32 +193,48 @@ impl SiteWorker {
                 } => {
                     let start = Instant::now();
                     let mut work_units = 0u64;
-                    let triplets: Vec<(FragmentId, Arc<Triplet>, bool)> = frags
-                        .into_iter()
-                        .map(|f| {
-                            if let Some(t) = self.cache.get(&(f, fingerprint)) {
-                                self.stats.hits += 1;
-                                return (f, Arc::clone(t), true);
-                            }
-                            self.stats.misses += 1;
-                            let tree = self.fragments.get(&f).unwrap_or_else(|| {
-                                panic!("site {}: fragment {f} not resident", self.site)
-                            });
-                            let run = (self.eval)(tree, &program);
-                            work_units += run.work_units;
-                            let t = self.share(run.triplet);
-                            self.insert(f, fingerprint, Arc::clone(&t));
-                            (f, t, false)
-                        })
-                        .collect();
-                    // The round may have been abandoned; a dead reply
-                    // channel is not the worker's problem.
-                    let _ = reply.send(EvalReply {
+                    let mut missing = Vec::new();
+                    let mut triplets: Vec<(FragmentId, Arc<Triplet>, bool)> = Vec::new();
+                    for f in frags {
+                        if let Some(t) = self.cache.get(&(f, fingerprint)) {
+                            self.stats.hits += 1;
+                            triplets.push((f, Arc::clone(t), true));
+                            continue;
+                        }
+                        let Some(tree) = self.fragments.get(&f) else {
+                            // Typed error instead of crashing the actor:
+                            // the supervisor re-seeds and retries.
+                            missing.push(f);
+                            continue;
+                        };
+                        self.stats.misses += 1;
+                        let run = (self.eval)(tree, &program);
+                        work_units += run.work_units;
+                        let t = self.share(run.triplet);
+                        self.insert(f, fingerprint, Arc::clone(&t));
+                        triplets.push((f, t, false));
+                    }
+                    let envelope = EvalReply {
                         site: self.site,
                         triplets,
+                        missing,
                         work_units,
                         elapsed: start.elapsed(),
-                    });
+                    };
+                    match fault {
+                        Some(FaultKind::DelayReply) => {
+                            std::thread::sleep(self.plan.reply_delay());
+                            // The round may have given up; a dead reply
+                            // channel is not the worker's problem.
+                            let _ = reply.send(envelope);
+                        }
+                        Some(FaultKind::DropEnvelope) => {
+                            self.dropped_replies.push(reply);
+                        }
+                        _ => {
+                            let _ = reply.send(envelope);
+                        }
+                    }
                 }
                 Request::Load { frag, tree } => {
                     self.fragments.insert(frag, tree);
@@ -187,7 +249,6 @@ impl SiteWorker {
                     s.entries = self.cache.len();
                     let _ = reply.send(s);
                 }
-                Request::Shutdown => break,
             }
         }
     }
@@ -238,15 +299,41 @@ impl SiteWorker {
     }
 }
 
+/// The outcome of one supervised evaluation round.
+#[derive(Debug)]
+pub struct SupervisedRound {
+    /// Collected replies, ascending by site. A site that needed a
+    /// missing-fragment re-seed may contribute two partial replies.
+    pub replies: Vec<EvalReply>,
+    /// Sites (with their unanswered fragments) that stayed down past
+    /// every attempt. Empty on a healthy round.
+    pub failed: Vec<(SiteId, Vec<FragmentId>)>,
+    /// Timeout / retry / restart / recovery counters for the round.
+    pub stats: FaultSummary,
+    /// One entry per re-sent request (for the coordinator's message
+    /// accounting: each retry is another visit on the wire).
+    pub retry_visits: Vec<SiteId>,
+}
+
 /// A pool of resident site workers — one long-lived thread per site,
 /// spawned once per deployment and reused across every query, batch and
-/// update until the pool is dropped.
+/// update until the pool is shut down or dropped.
 #[derive(Debug)]
 pub struct SitePool {
     eval: EvalFn,
     capacity: usize,
+    plan: FaultPlan,
     senders: BTreeMap<u32, mpsc::Sender<Request>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: BTreeMap<u32, JoinHandle<()>>,
+    /// Join handles of replaced (restarted) workers. Joined at
+    /// shutdown — not at restart time, where a worker sleeping in an
+    /// injected delay would stall the coordinator.
+    graveyard: Vec<JoinHandle<()>>,
+    /// Sites whose last supervised round ended in failure. The stats
+    /// path skips them so a wedged actor cannot stall diagnostics; any
+    /// successful reply or restart lifts the quarantine.
+    quarantined: HashSet<u32>,
+    restarts: u64,
 }
 
 impl SitePool {
@@ -254,11 +341,29 @@ impl SitePool {
     /// trees and an empty triplet cache bounded to `cache_capacity`
     /// entries (FIFO eviction; 0 disables caching).
     pub fn spawn(sites: SiteDeployment, cache_capacity: usize, eval: EvalFn) -> SitePool {
+        SitePool::spawn_with_faults(sites, cache_capacity, eval, FaultPlan::none())
+    }
+
+    /// [`SitePool::spawn`] with a fault-injection plan threaded into
+    /// every worker loop. The default [`FaultPlan::none`] is inert.
+    pub fn spawn_with_faults(
+        sites: SiteDeployment,
+        cache_capacity: usize,
+        eval: EvalFn,
+        plan: FaultPlan,
+    ) -> SitePool {
+        if !plan.is_inert() {
+            install_quiet_panic_hook();
+        }
         let mut pool = SitePool {
             eval,
             capacity: cache_capacity,
+            plan,
             senders: BTreeMap::new(),
-            handles: Vec::new(),
+            handles: BTreeMap::new(),
+            graveyard: Vec::new(),
+            quarantined: HashSet::new(),
+            restarts: 0,
         };
         for (site, frags) in sites {
             pool.spawn_worker(site, frags);
@@ -271,6 +376,10 @@ impl SitePool {
         let worker = SiteWorker {
             site,
             eval: self.eval,
+            plan: self.plan.clone(),
+            wedged: false,
+            held: Vec::new(),
+            dropped_replies: Vec::new(),
             fragments: frags.into_iter().collect(),
             cache: HashMap::new(),
             order: VecDeque::new(),
@@ -283,7 +392,9 @@ impl SitePool {
             .spawn(move || worker.run(rx))
             .expect("spawn site worker");
         self.senders.insert(site.0, tx);
-        self.handles.push(handle);
+        if let Some(old) = self.handles.insert(site.0, handle) {
+            self.graveyard.push(old);
+        }
     }
 
     /// Ensures a worker exists for `site` (updates can migrate fragments
@@ -292,6 +403,24 @@ impl SitePool {
         if !self.senders.contains_key(&site.0) {
             self.spawn_worker(site, Vec::new());
         }
+    }
+
+    /// Tears down the actor for `site` (dead or presumed wedged) and
+    /// spawns a replacement seeded with the coordinator's authoritative
+    /// fragment handles. The fresh worker starts with empty caches, so
+    /// every invalidation the old actor may have missed is trivially
+    /// replayed. The old thread exits once its inbox disconnects; its
+    /// handle is joined at shutdown.
+    pub fn restart_site(&mut self, site: SiteId, frags: Vec<(FragmentId, Arc<Tree>)>) {
+        self.senders.remove(&site.0);
+        self.quarantined.remove(&site.0);
+        self.restarts += 1;
+        self.spawn_worker(site, frags);
+    }
+
+    /// Lifetime count of worker restarts.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Sites with a resident worker, ascending.
@@ -305,73 +434,251 @@ impl SitePool {
             .unwrap_or_else(|| panic!("no resident worker for site {site}"))
     }
 
+    /// Sends one evaluation request to `site` on a fresh per-attempt
+    /// reply channel. A send error means the actor is dead (its inbox
+    /// hung up), which only a panic can cause.
+    fn send_eval(
+        &self,
+        site: SiteId,
+        program: &Arc<CompiledQuery>,
+        fingerprint: QueryFingerprint,
+        frags: &[FragmentId],
+    ) -> Option<mpsc::Receiver<EvalReply>> {
+        let (tx, rx) = mpsc::channel();
+        self.sender(site)
+            .send(Request::Eval {
+                program: Arc::clone(program),
+                fingerprint,
+                frags: frags.to_vec(),
+                reply: tx,
+            })
+            .ok()
+            .map(|()| rx)
+    }
+
     /// Fans one evaluation round out to the listed sites **in parallel**
     /// (each worker runs concurrently on its own thread) and collects all
-    /// replies. Replies are returned in ascending site order.
+    /// replies, in ascending site order. This is the pre-supervision
+    /// contract — any site failure is a hard error; serving traffic goes
+    /// through [`SitePool::eval_round_supervised`] instead.
     pub fn eval_round(
-        &self,
+        &mut self,
         program: &Arc<CompiledQuery>,
         fingerprint: QueryFingerprint,
         per_site: Vec<(SiteId, Vec<FragmentId>)>,
     ) -> Vec<EvalReply> {
-        let (tx, rx) = mpsc::channel();
-        let n = per_site.len();
-        for (site, frags) in per_site {
-            self.sender(site)
-                .send(Request::Eval {
-                    program: Arc::clone(program),
-                    fingerprint,
-                    frags,
-                    reply: tx.clone(),
-                })
-                .expect("site worker alive");
+        let out = self.eval_round_supervised(
+            program,
+            fingerprint,
+            per_site,
+            &SupervisorConfig::strict(),
+            &mut |_| Vec::new(),
+        );
+        assert!(
+            out.failed.is_empty(),
+            "site worker failed without supervision: {:?}",
+            out.failed
+        );
+        out.replies
+    }
+
+    /// The fault-tolerant visit path: fans the round out in parallel,
+    /// enforces `cfg.deadline` per request, retries with exponential
+    /// backoff + deterministic jitter up to `cfg.max_attempts`, restarts
+    /// actors that are dead (send/recv disconnect) or presumed wedged
+    /// (`cfg.restart_after_timeouts` consecutive deadlines), and
+    /// re-seeds restarted or missing fragments from `reseed` — the
+    /// coordinator's authoritative `Arc<Tree>` handles for a site.
+    /// Sites still silent after the last attempt are returned in
+    /// [`SupervisedRound::failed`] for the caller to degrade around.
+    pub fn eval_round_supervised(
+        &mut self,
+        program: &Arc<CompiledQuery>,
+        fingerprint: QueryFingerprint,
+        per_site: Vec<(SiteId, Vec<FragmentId>)>,
+        cfg: &SupervisorConfig,
+        reseed: &mut dyn FnMut(SiteId) -> Vec<(FragmentId, Arc<Tree>)>,
+    ) -> SupervisedRound {
+        let mut stats = FaultSummary::default();
+        let mut retry_visits = Vec::new();
+        let mut replies: Vec<EvalReply> = Vec::new();
+        let mut pending = per_site;
+        let mut consecutive_timeouts: HashMap<u32, u32> = HashMap::new();
+        let mut down_since: HashMap<u32, Instant> = HashMap::new();
+
+        for attempt in 1..=cfg.max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 1 {
+                std::thread::sleep(cfg.backoff(attempt - 1));
+                stats.retries += pending.len() as u64;
+                retry_visits.extend(pending.iter().map(|(s, _)| *s));
+            }
+            // Send phase: everything in flight before anything is awaited,
+            // so workers run concurrently. A failed send means the actor
+            // already died (e.g. crash-during-apply, detected here).
+            let mut waiting = Vec::new();
+            let mut next_pending: Vec<(SiteId, Vec<FragmentId>)> = Vec::new();
+            for (site, frags) in pending.drain(..) {
+                let rx = match self.send_eval(site, program, fingerprint, &frags) {
+                    Some(rx) => Some(rx),
+                    None => {
+                        down_since.entry(site.0).or_insert_with(Instant::now);
+                        let seed = reseed(site);
+                        stats.reseeded_fragments += seed.len() as u64;
+                        self.restart_site(site, seed);
+                        stats.restarts += 1;
+                        self.send_eval(site, program, fingerprint, &frags)
+                    }
+                };
+                match rx {
+                    Some(rx) => waiting.push((site, frags, rx, Instant::now())),
+                    None => next_pending.push((site, frags)),
+                }
+            }
+            // Collect phase: one shared deadline per request, measured
+            // from its send.
+            for (site, frags, rx, sent) in waiting {
+                let left = (sent + cfg.deadline).saturating_duration_since(Instant::now());
+                match rx.recv_timeout(left) {
+                    Ok(mut reply) => {
+                        if let Some(since) = down_since.remove(&site.0) {
+                            stats.recovery_s.push(since.elapsed().as_secs_f64());
+                        }
+                        consecutive_timeouts.remove(&site.0);
+                        self.quarantined.remove(&site.0);
+                        if reply.missing.is_empty() {
+                            replies.push(reply);
+                            continue;
+                        }
+                        // Partial reply: keep what arrived, re-seed the
+                        // missing fragments, and retry just those.
+                        let missing = std::mem::take(&mut reply.missing);
+                        if !reply.triplets.is_empty() {
+                            replies.push(reply);
+                        }
+                        let authoritative: HashMap<FragmentId, Arc<Tree>> =
+                            reseed(site).into_iter().collect();
+                        let mut still = Vec::new();
+                        for f in missing {
+                            if let Some(tree) = authoritative.get(&f) {
+                                stats.reseeded_fragments += 1;
+                                self.load(site, f, Arc::clone(tree));
+                                still.push(f);
+                            }
+                            // A fragment the coordinator no longer places
+                            // at this site is dropped from the round.
+                        }
+                        if !still.is_empty() {
+                            next_pending.push((site, still));
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        stats.timeouts += 1;
+                        down_since.entry(site.0).or_insert(sent);
+                        let c = consecutive_timeouts.entry(site.0).or_insert(0);
+                        *c += 1;
+                        if *c >= cfg.restart_after_timeouts {
+                            *c = 0;
+                            let seed = reseed(site);
+                            stats.reseeded_fragments += seed.len() as u64;
+                            self.restart_site(site, seed);
+                            stats.restarts += 1;
+                        }
+                        next_pending.push((site, frags));
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // The actor dropped the reply sender without
+                        // replying: it panicked mid-request.
+                        down_since.entry(site.0).or_insert(sent);
+                        let seed = reseed(site);
+                        stats.reseeded_fragments += seed.len() as u64;
+                        self.restart_site(site, seed);
+                        stats.restarts += 1;
+                        next_pending.push((site, frags));
+                    }
+                }
+            }
+            pending = next_pending;
         }
-        drop(tx);
-        let mut replies: Vec<EvalReply> = (0..n)
-            .map(|_| rx.recv().expect("site worker replied"))
-            .collect();
+        stats.failed_sites = pending.len() as u64;
+        for (site, _) in &pending {
+            self.quarantined.insert(site.0);
+        }
         replies.sort_by_key(|r| r.site);
-        replies
+        SupervisedRound {
+            replies,
+            failed: pending,
+            stats,
+            retry_visits,
+        }
     }
 
     /// Installs (or refreshes) a fragment's tree handle at `site`,
-    /// invalidating that fragment's cache entries there.
-    pub fn load(&self, site: SiteId, frag: FragmentId, tree: Arc<Tree>) {
-        self.sender(site)
-            .send(Request::Load { frag, tree })
-            .expect("site worker alive");
+    /// invalidating that fragment's cache entries there. Returns whether
+    /// the request was delivered — `false` means the actor is dead and
+    /// the caller should [`SitePool::restart_site`] it (the restart
+    /// re-seeds from authoritative handles, which subsumes the load).
+    pub fn load(&self, site: SiteId, frag: FragmentId, tree: Arc<Tree>) -> bool {
+        self.sender(site).send(Request::Load { frag, tree }).is_ok()
     }
 
-    /// Removes a fragment (and its cache entries) from `site`.
-    pub fn unload(&self, site: SiteId, frag: FragmentId) {
-        self.sender(site)
-            .send(Request::Unload { frag })
-            .expect("site worker alive");
+    /// Removes a fragment (and its cache entries) from `site`. Returns
+    /// whether the request was delivered, as for [`SitePool::load`].
+    pub fn unload(&self, site: SiteId, frag: FragmentId) -> bool {
+        self.sender(site).send(Request::Unload { frag }).is_ok()
     }
 
-    /// Snapshot of every site's cache counters (sequential per site; the
-    /// stats path is diagnostic, not hot).
+    /// Snapshot of every site's cache counters. Sites whose last
+    /// supervised round failed are skipped (a wedged actor would stall
+    /// the stats path); dead actors simply drop out of the snapshot.
     pub fn cache_stats(&self) -> BTreeMap<u32, SiteCacheStats> {
-        let mut out = BTreeMap::new();
+        let mut waiting = Vec::new();
         for (&site, sender) in &self.senders {
+            if self.quarantined.contains(&site) {
+                continue;
+            }
             let (tx, rx) = mpsc::channel();
-            sender
-                .send(Request::Stats { reply: tx })
-                .expect("site worker alive");
-            out.insert(site, rx.recv().expect("site worker replied"));
+            if sender.send(Request::Stats { reply: tx }).is_ok() {
+                waiting.push((site, rx));
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (site, rx) in waiting {
+            if let Ok(stats) = rx.recv_timeout(Duration::from_secs(5)) {
+                out.insert(site, stats);
+            }
         }
         out
+    }
+
+    /// Deterministic teardown: closes every inbox (workers drain their
+    /// queues and exit) and joins all actor threads, including restarted
+    /// workers' predecessors. Returns how many workers had panicked.
+    /// Tolerates already-dead actors; never panics. Idempotent.
+    pub fn shutdown(&mut self) -> usize {
+        self.senders.clear();
+        let mut panicked = 0;
+        for (_, handle) in std::mem::take(&mut self.handles) {
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        for handle in self.graveyard.drain(..) {
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        panicked
     }
 }
 
 impl Drop for SitePool {
     fn drop(&mut self) {
-        for sender in self.senders.values() {
-            let _ = sender.send(Request::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        // Joining a panicked worker yields an `Err` we discard — no
+        // second panic during unwind, however the workers died.
+        let _ = self.shutdown();
     }
 }
 
@@ -393,23 +700,41 @@ mod tests {
         }
     }
 
+    fn site_tree(s: u32) -> Arc<Tree> {
+        Arc::new(Tree::parse(&format!("<s{s}><a/></s{s}>")).unwrap())
+    }
+
+    fn deployment(n_sites: u32) -> SiteDeployment {
+        (0..n_sites)
+            .map(|s| (SiteId(s), vec![(FragmentId(s), site_tree(s))]))
+            .collect()
+    }
+
     fn pool_of(n_sites: u32, capacity: usize) -> SitePool {
-        let sites = (0..n_sites)
-            .map(|s| {
-                let tree = Arc::new(Tree::parse(&format!("<s{s}><a/></s{s}>")).unwrap());
-                (SiteId(s), vec![(FragmentId(s), tree)])
-            })
-            .collect();
-        SitePool::spawn(sites, capacity, toy_eval)
+        SitePool::spawn(deployment(n_sites), capacity, toy_eval)
+    }
+
+    fn chaos_pool(n_sites: u32, plan: FaultPlan) -> SitePool {
+        SitePool::spawn_with_faults(deployment(n_sites), 16, toy_eval, plan)
     }
 
     fn q() -> Arc<CompiledQuery> {
         Arc::new(compile(&parse_query("[//a]").unwrap()))
     }
 
+    fn test_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: Duration::from_millis(40),
+            max_attempts: 4,
+            restart_after_timeouts: 2,
+            backoff_base: Duration::from_millis(2),
+            jitter_seed: 7,
+        }
+    }
+
     #[test]
     fn round_reaches_all_sites_in_parallel() {
-        let pool = pool_of(4, 16);
+        let mut pool = pool_of(4, 16);
         let program = q();
         let per_site = (0..4).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
         let replies = pool.eval_round(&program, program.fingerprint(), per_site);
@@ -424,7 +749,7 @@ mod tests {
 
     #[test]
     fn repeat_fingerprint_hits_cache_and_skips_work() {
-        let pool = pool_of(2, 16);
+        let mut pool = pool_of(2, 16);
         let program = q();
         let per_site: Vec<_> = (0..2).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
         pool.eval_round(&program, program.fingerprint(), per_site.clone());
@@ -445,7 +770,7 @@ mod tests {
             SiteId(0),
             vec![(FragmentId(0), Arc::clone(&tree)), (FragmentId(1), tree)],
         )];
-        let pool = SitePool::spawn(sites, 16, toy_eval);
+        let mut pool = SitePool::spawn(sites, 16, toy_eval);
         let program = q();
         let frags = vec![(SiteId(0), vec![FragmentId(0), FragmentId(1)])];
         pool.eval_round(&program, program.fingerprint(), frags.clone());
@@ -464,7 +789,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_evicts_fifo() {
-        let pool = pool_of(1, 1);
+        let mut pool = pool_of(1, 1);
         let a = Arc::new(compile(&parse_query("[//a]").unwrap()));
         let b = Arc::new(compile(&parse_query("[//b]").unwrap()));
         let frags = vec![(SiteId(0), vec![FragmentId(0)])];
@@ -483,7 +808,7 @@ mod tests {
         // toy_eval yields equal triplets for any two same-width programs,
         // so the second program's miss dedups against the first's entry:
         // same Arc, `shared` counter bumped.
-        let pool = pool_of(1, 16);
+        let mut pool = pool_of(1, 16);
         let a = Arc::new(compile(&parse_query("[//a]").unwrap()));
         let b = Arc::new(compile(&parse_query("[//b]").unwrap()));
         assert_eq!(a.len(), b.len());
@@ -518,5 +843,166 @@ mod tests {
             vec![(SiteId(7), vec![FragmentId(3)])],
         );
         assert_eq!(replies[0].site, SiteId(7));
+    }
+
+    #[test]
+    fn supervised_round_with_inert_plan_matches_legacy() {
+        let mut pool = pool_of(3, 16);
+        let program = q();
+        let per_site: Vec<_> = (0..3).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            per_site,
+            &test_cfg(),
+            &mut |_| Vec::new(),
+        );
+        assert_eq!(out.replies.len(), 3);
+        assert!(out.failed.is_empty());
+        assert!(!out.stats.any(), "healthy round records no fault activity");
+        assert!(out.retry_visits.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_restarts_the_actor_and_the_round_recovers() {
+        let plan = FaultPlan::scripted(vec![(0, 0, FaultKind::Panic)], Duration::ZERO);
+        let mut pool = chaos_pool(2, plan);
+        let program = q();
+        let per_site: Vec<_> = (0..2).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            per_site,
+            &test_cfg(),
+            &mut |s| vec![(FragmentId(s.0), site_tree(s.0))],
+        );
+        assert_eq!(out.replies.len(), 2, "round completes despite the panic");
+        assert!(out.failed.is_empty());
+        assert_eq!(out.stats.restarts, 1);
+        assert_eq!(out.stats.recovery_s.len(), 1, "recovery time was measured");
+        assert_eq!(pool.restarts(), 1);
+        // The replacement actor answers the next round directly.
+        let again = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            vec![(SiteId(0), vec![FragmentId(0)])],
+            &test_cfg(),
+            &mut |_| Vec::new(),
+        );
+        assert!(again.failed.is_empty() && !again.stats.any());
+        assert_eq!(pool.shutdown(), 1, "exactly the killed worker panicked");
+    }
+
+    #[test]
+    fn wedged_actor_times_out_twice_then_restarts() {
+        let plan = FaultPlan::scripted(vec![(1, 0, FaultKind::Wedge)], Duration::ZERO);
+        let mut pool = chaos_pool(2, plan);
+        let program = q();
+        let per_site: Vec<_> = (0..2).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            per_site,
+            &test_cfg(),
+            &mut |s| vec![(FragmentId(s.0), site_tree(s.0))],
+        );
+        assert!(out.failed.is_empty(), "wedge is recovered within the round");
+        assert!(out.stats.timeouts >= 2, "deadline expired before restart");
+        assert_eq!(out.stats.restarts, 1);
+        assert!(out.stats.retries >= 1);
+        assert!(out.retry_visits.contains(&SiteId(1)));
+        assert_eq!(pool.shutdown(), 0, "a wedged worker exits cleanly");
+    }
+
+    #[test]
+    fn dropped_envelope_costs_one_timeout_but_no_restart() {
+        let plan = FaultPlan::scripted(vec![(0, 0, FaultKind::DropEnvelope)], Duration::ZERO);
+        let mut pool = chaos_pool(1, plan);
+        let program = q();
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            vec![(SiteId(0), vec![FragmentId(0)])],
+            &test_cfg(),
+            &mut |_| Vec::new(),
+        );
+        assert!(out.failed.is_empty());
+        assert_eq!(out.stats.timeouts, 1);
+        assert_eq!(out.stats.restarts, 0, "one lost envelope is just a retry");
+        assert_eq!(out.stats.retries, 1);
+    }
+
+    #[test]
+    fn missing_fragment_is_reseeded_instead_of_crashing_the_actor() {
+        // Site 0 starts *empty*; the round asks it for fragment 5.
+        let mut pool = SitePool::spawn(vec![(SiteId(0), Vec::new())], 16, toy_eval);
+        let program = q();
+        let tree = Arc::new(Tree::parse("<m><a/></m>").unwrap());
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            vec![(SiteId(0), vec![FragmentId(5)])],
+            &test_cfg(),
+            &mut |_| vec![(FragmentId(5), Arc::clone(&tree))],
+        );
+        assert!(out.failed.is_empty());
+        assert_eq!(out.stats.reseeded_fragments, 1);
+        let served: Vec<_> = out
+            .replies
+            .iter()
+            .flat_map(|r| r.triplets.iter().map(|(f, _, _)| *f))
+            .collect();
+        assert_eq!(served, vec![FragmentId(5)]);
+        assert_eq!(pool.shutdown(), 0, "the actor never panicked");
+    }
+
+    #[test]
+    fn site_down_past_every_attempt_fails_the_round_not_the_process() {
+        let plan = FaultPlan::scripted(vec![(0, 0, FaultKind::Wedge)], Duration::ZERO);
+        let mut pool = chaos_pool(2, plan);
+        let program = q();
+        let cfg = SupervisorConfig {
+            deadline: Duration::from_millis(15),
+            max_attempts: 2,
+            restart_after_timeouts: u32::MAX, // never restart: stays wedged
+            backoff_base: Duration::from_millis(1),
+            jitter_seed: 7,
+        };
+        let per_site: Vec<_> = (0..2).map(|s| (SiteId(s), vec![FragmentId(s)])).collect();
+        let out = pool.eval_round_supervised(
+            &program,
+            program.fingerprint(),
+            per_site,
+            &cfg,
+            &mut |_| Vec::new(),
+        );
+        assert_eq!(out.replies.len(), 1, "the healthy site still answered");
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!(out.failed[0].0, SiteId(0));
+        assert_eq!(out.stats.failed_sites, 1);
+        // The quarantined wedged site is skipped by the stats path —
+        // this returns promptly instead of stalling on the dead actor.
+        let stats = pool.cache_stats();
+        assert!(stats.contains_key(&1) && !stats.contains_key(&0));
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn shutdown_after_panics_is_quiet_and_idempotent() {
+        let plan = FaultPlan::scripted(
+            vec![(0, 0, FaultKind::Panic), (1, 0, FaultKind::Panic)],
+            Duration::ZERO,
+        );
+        let mut pool = chaos_pool(2, plan);
+        let program = q();
+        // Kill both workers; no supervision, so collect nothing.
+        for s in 0..2 {
+            let _ = pool.send_eval(SiteId(s), &program, program.fingerprint(), &[FragmentId(s)]);
+        }
+        // Give the panics a moment to land before joining.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.shutdown(), 2);
+        assert_eq!(pool.shutdown(), 0, "second shutdown is a no-op");
+        drop(pool); // Drop after shutdown must not double-panic.
     }
 }

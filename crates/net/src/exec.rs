@@ -23,7 +23,10 @@ pub struct SiteRun<R> {
 /// Runs `work` for every site concurrently (one thread per site) and
 /// collects outputs with per-site timings, in the input order of `sites`.
 ///
-/// Panics in a worker propagate to the caller.
+/// Panics in a worker propagate to the caller with their original
+/// payload (via [`std::panic::resume_unwind`]), so an injected-fault
+/// payload or assertion message survives the thread boundary intact
+/// instead of being wrapped in a generic "site worker panicked" expect.
 pub fn run_sites_parallel<R, F>(sites: &[SiteId], work: F) -> Vec<SiteRun<R>>
 where
     R: Send,
@@ -47,7 +50,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("site worker panicked"))
+            .map(|h| match h.join() {
+                Ok(run) => run,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

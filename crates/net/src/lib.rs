@@ -20,7 +20,11 @@
 //! queries the batch holds. For *serving* traffic, the [`engine`] module
 //! replaces per-query scoped threads with a [`SitePool`] of persistent
 //! site workers — one resident actor per site, owning its fragments and
-//! a fingerprint-keyed triplet cache.
+//! a fingerprint-keyed triplet cache. Residency brings failure with it:
+//! the [`fault`] module supplies deterministic fault injection
+//! ([`FaultPlan`]) and the supervision policy ([`SupervisorConfig`])
+//! behind [`SitePool::eval_round_supervised`] — deadlines, retries with
+//! backoff, actor restart, and authoritative fragment re-seeding.
 //!
 //! ```
 //! use parbox_net::{BatchRound, MessageKind, NetworkModel, SiteId};
@@ -46,15 +50,20 @@ mod batch;
 mod cluster;
 pub mod engine;
 mod exec;
+pub mod fault;
 mod metrics;
 mod model;
 
 pub use batch::{BatchProtocolError, BatchRound};
 pub use cluster::Cluster;
-pub use engine::{EvalFn, EvalReply, FragmentEval, SiteCacheStats, SiteDeployment, SitePool};
+pub use engine::{
+    EvalFn, EvalReply, FragmentEval, SiteCacheStats, SiteDeployment, SitePool, SupervisedRound,
+};
 pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
+pub use fault::{FaultContext, FaultKind, FaultPlan, FaultRates, InjectedFault, SupervisorConfig};
 pub use metrics::{
-    CacheEfficacy, CostEstimate, Message, MessageKind, PlanSummary, RunReport, SiteReport,
+    CacheEfficacy, CostEstimate, FaultSummary, Message, MessageKind, PlanSummary, RunReport,
+    SiteReport,
 };
 pub use model::NetworkModel;
 

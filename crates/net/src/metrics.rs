@@ -132,6 +132,56 @@ impl CacheEfficacy {
     }
 }
 
+/// Fault-tolerance counters of one run, recorded in
+/// [`RunReport::faults`] by the serving engine's supervisor so every
+/// chaos artifact shows how much retrying, restarting, and re-seeding
+/// the answers cost. All-zero on a healthy run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Site requests that blew their deadline.
+    pub timeouts: u64,
+    /// Requests re-sent after a timeout or actor death.
+    pub retries: u64,
+    /// Site actors torn down and restarted (dead or presumed wedged).
+    pub restarts: u64,
+    /// Fragments re-seeded from the coordinator's authoritative handles
+    /// (restart seeds plus missing-fragment reloads).
+    pub reseeded_fragments: u64,
+    /// Sites still down when every attempt was exhausted — each one
+    /// degrades the answers it was needed for to `Partial`.
+    pub failed_sites: u64,
+    /// Per recovered site: seconds from first failure sign to the reply
+    /// that ended the outage.
+    pub recovery_s: Vec<f64>,
+}
+
+impl FaultSummary {
+    /// Folds another summary's counters into this one.
+    pub fn absorb(&mut self, other: &FaultSummary) {
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.restarts += other.restarts;
+        self.reseeded_fragments += other.reseeded_fragments;
+        self.failed_sites += other.failed_sites;
+        self.recovery_s.extend_from_slice(&other.recovery_s);
+    }
+
+    /// Whether any fault activity was recorded at all.
+    pub fn any(&self) -> bool {
+        self.timeouts != 0
+            || self.retries != 0
+            || self.restarts != 0
+            || self.reseeded_fragments != 0
+            || self.failed_sites != 0
+            || !self.recovery_s.is_empty()
+    }
+
+    /// Longest observed site recovery, seconds (0 when none happened).
+    pub fn max_recovery_s(&self) -> f64 {
+        self.recovery_s.iter().copied().fold(0.0, f64::max)
+    }
+}
+
 /// Full accounting of one algorithm run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
@@ -150,6 +200,9 @@ pub struct RunReport {
     /// Cache efficacy of the round, for serving-engine runs (`None` for
     /// one-shot algorithm runs, which have no caches).
     pub cache: Option<CacheEfficacy>,
+    /// Fault-tolerance counters, for supervised serving-engine runs
+    /// (`None` for one-shot algorithm runs, which have no supervisor).
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -362,6 +415,29 @@ mod tests {
         assert!((c.site_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheEfficacy::default().site_hit_rate(), 0.0);
         assert!(RunReport::new().cache.is_none());
+    }
+
+    #[test]
+    fn fault_summary_absorbs_and_tracks_recovery() {
+        assert!(RunReport::new().faults.is_none());
+        let mut a = FaultSummary {
+            timeouts: 2,
+            retries: 1,
+            recovery_s: vec![0.1],
+            ..FaultSummary::default()
+        };
+        assert!(a.any());
+        a.absorb(&FaultSummary {
+            restarts: 1,
+            recovery_s: vec![0.3, 0.2],
+            ..FaultSummary::default()
+        });
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.recovery_s.len(), 3);
+        assert!((a.max_recovery_s() - 0.3).abs() < 1e-12);
+        assert!(!FaultSummary::default().any());
+        assert_eq!(FaultSummary::default().max_recovery_s(), 0.0);
     }
 
     #[test]

@@ -154,6 +154,9 @@ pub struct StreamReport {
     pub updates_applied: usize,
     /// Total simulated traffic: every flushed round plus update routing.
     pub bytes: usize,
+    /// Answers that went out degraded (`Completeness::Partial`) —
+    /// always zero without fault injection.
+    pub partial_answers: usize,
 }
 
 /// Drives a [`mixed_workload`] stream through a resident engine — the
@@ -168,6 +171,7 @@ pub fn drive_stream(engine: &mut Engine, stream: &[MixedOp]) -> StreamReport {
         if let Some(out) = out {
             report.answers.extend(out.answers.iter().map(|&(_, a)| a));
             report.bytes += out.report.total_bytes();
+            report.partial_answers += out.partial.len();
         }
     };
     for op in stream {

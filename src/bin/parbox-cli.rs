@@ -20,7 +20,7 @@ use parbox::core::{
 };
 use parbox::core::{Engine, EngineConfig, PlanContext, Planner};
 use parbox::frag::{strategies, Forest, ForestStats, Placement};
-use parbox::net::{Cluster, NetworkModel};
+use parbox::net::{Cluster, FaultPlan, NetworkModel, SupervisorConfig};
 use parbox::query::{compile, compile_batch, compile_selection, normalize, parse_query};
 use parbox::xmark::{drive_stream, generate, mixed_workload, MixedConfig, XmarkConfig};
 use parbox::xml::Tree;
@@ -69,8 +69,11 @@ USAGE:
                       [--network lan|wan|infinite]
   parbox-cli batch    <file.xml> '<q1>' '<q2>' ... [--fragments N] [--sites K]
   parbox-cli serve    <file.xml> [--fragments N] [--sites K] [--ops N] [--seed S] [--batch N]
+                      [--fault-plan SPEC] [--deadline-ms N]
   parbox-cli generate --bytes N [--seed S]
 
+Fault spec: comma-separated kind:rate pairs, e.g. --fault-plan panic:0.01,wedge:0.02
+            (kinds: panic wedge delay drop crash; chaos runs print restart/retry counters)
 Query syntax (XBL): [//stock[code/text() = \"GOOG\" and sell/text() = \"376\"]]
 Strategies: ParBoX BatchParBoX NaiveCentralized NaiveDistributed FullDistParBoX LazyParBoX
             auto — the cost-based planner picks per query (see `explain`)
@@ -397,7 +400,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let [file] = positional(args)[..] else {
         return Err(
             "usage: parbox-cli serve <file.xml> [--fragments N] [--sites K] [--ops N] \
-             [--seed S] [--batch N]"
+             [--seed S] [--batch N] [--fault-plan SPEC] [--deadline-ms N]"
                 .into(),
         );
     };
@@ -416,13 +419,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let max_batch: usize = flag(args, "--batch")
         .map(|v| v.parse().unwrap_or(32))
         .unwrap_or(32);
+    let fault_plan = match flag(args, "--fault-plan") {
+        Some(spec) => FaultPlan::parse(&spec, seed, std::time::Duration::from_millis(75))
+            .map_err(|e| format!("--fault-plan: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let supervisor = flag(args, "--deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms: bad value {v:?}"))
+        })
+        .transpose()?
+        .map(|ms| SupervisorConfig {
+            deadline: std::time::Duration::from_millis(ms),
+            max_attempts: 4,
+            restart_after_timeouts: 1,
+            backoff_base: std::time::Duration::from_millis((ms / 4).max(1)),
+            jitter_seed: seed,
+        });
 
     let tree = load_tree(file)?;
     let mut forest = Forest::from_tree(tree);
     strategies::fragment_evenly(&mut forest, fragments).map_err(|e| format!("fragmenting: {e}"))?;
     let placement = Placement::round_robin(&forest, sites.max(1));
+    let chaotic = !fault_plan.is_inert();
     let config = EngineConfig {
         max_batch,
+        fault_plan,
+        supervisor,
         ..EngineConfig::default()
     };
     let mut engine =
@@ -465,6 +489,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         arena.local_hits,
         arena.shards.iter().map(|s| s.interns).max().unwrap_or(0)
     );
+    if chaotic {
+        println!(
+            "supervision: timeouts {}  retries {}  actor restarts {}  partial answers {}",
+            stats.timeouts, stats.retries, stats.restarts, served.partial_answers
+        );
+    }
     Ok(())
 }
 

@@ -77,11 +77,12 @@ pub mod prelude {
     pub use parbox_core::{
         centralized_eval, count_distributed, full_dist_parbox, lazy_parbox, naive_centralized,
         naive_distributed, parbox, plan_run, run_batch, select_distributed, sum_distributed,
-        BatchOutcome, CostEstimate, Engine, EngineConfig, EvalOutcome, MaterializedView,
-        PlanContext, Planner, QueryOutcome, RoundOutcome, Update,
+        BatchOutcome, Completeness, CostEstimate, Engine, EngineConfig, EvalOutcome,
+        MaterializedView, PlanContext, Planner, QueryOutcome, RoundOutcome, Update,
     };
     pub use parbox_frag::{Forest, Placement, SourceTree};
     pub use parbox_net::{Cluster, NetworkModel, SiteId};
+    pub use parbox_net::{FaultKind, FaultPlan, FaultRates, SupervisorConfig};
     pub use parbox_query::compile_selection;
     pub use parbox_query::{compile, compile_batch, parse_query, CompiledQuery, Query, QueryBatch};
     pub use parbox_xml::{FragmentId, NodeId, Tree};

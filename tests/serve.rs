@@ -9,10 +9,11 @@
 
 use parbox::core::{parbox, Engine, EngineConfig, Update};
 use parbox::frag::Placement;
-use parbox::net::{Cluster, MessageKind, NetworkModel};
+use parbox::net::{Cluster, FaultPlan, FaultRates, MessageKind, NetworkModel, SupervisorConfig};
 use parbox::query::{compile, Query};
 use parbox::xml::{FragmentId, NodeId};
 use proptest::prelude::*;
+use std::time::Duration;
 
 mod common;
 use common::{fragment_randomly, network_models, query_strategy, tree_strategy};
@@ -85,6 +86,102 @@ proptest! {
         prop_assert!(out.report.max_visits() <= 1, "visits: {}", out.report.max_visits());
         for (i, &(_, answer)) in out.answers.iter().enumerate() {
             prop_assert_eq!(answer, expected[i], "member {}: {}", i, &queries[i]);
+        }
+    }
+
+    /// Chaos satellite, inert direction: an engine built with an
+    /// *explicit* zero-fault `FaultPlan` and supervisor answers exactly
+    /// like the plain engine and the centralized oracle — every answer
+    /// `Complete`, zero timeouts/retries/restarts/partials.
+    #[test]
+    fn zero_fault_plan_is_observationally_inert(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..4),
+        cuts in proptest::collection::vec(0usize..1000, 0..4),
+    ) {
+        let model = NetworkModel::lan();
+        let mut plain = engine_of(fragment_randomly(tree.clone(), &cuts), model);
+        let forest = fragment_randomly(tree, &cuts);
+        let placement = Placement::round_robin(&forest, 3);
+        let config = EngineConfig {
+            model,
+            fault_plan: FaultPlan::none(),
+            supervisor: Some(SupervisorConfig::from_model(&model)),
+            ..EngineConfig::default()
+        };
+        let mut armed = Engine::new(forest, placement, config).unwrap();
+        for q in &queries {
+            let expected = oracle(&plain, q);
+            prop_assert_eq!(plain.query(q).answer, expected, "plain: {}", q);
+            let out = armed.query(q);
+            prop_assert_eq!(out.answer, expected, "zero-fault: {}", q);
+            prop_assert!(out.completeness.is_complete(), "{} must be Complete", q);
+            prop_assert!(out.report.faults.is_none(), "{} reported faults", q);
+        }
+        let stats = armed.stats();
+        prop_assert_eq!(
+            stats.timeouts + stats.retries + stats.restarts + stats.partial_answers,
+            0,
+            "zero-fault engine counted supervision events"
+        );
+    }
+}
+
+proptest! {
+    // Each case can burn several supervision deadlines, so fewer cases
+    // than the equivalence suite above.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chaos satellite, armed direction: under a *random* fault
+    /// schedule (seed and rate both generated), an answer marked
+    /// `Complete` never disagrees with the oracle — degraded answers
+    /// must say so. Once the plan disarms, the same engine (no process
+    /// restart) recovers to all-`Complete`, all-correct answers.
+    #[test]
+    fn complete_answers_never_lie_under_random_faults(
+        tree in tree_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..4),
+        cuts in proptest::collection::vec(0usize..1000, 0..4),
+        fault_seed in any::<u64>(),
+        rate_pct in 1u32..35,
+    ) {
+        let forest = fragment_randomly(tree, &cuts);
+        let model = NetworkModel::lan();
+        let placement = Placement::round_robin(&forest, 3);
+        let plan = FaultPlan::random(
+            fault_seed,
+            FaultRates::mixed(f64::from(rate_pct) / 100.0),
+            Duration::from_millis(50),
+        );
+        let config = EngineConfig {
+            model,
+            fault_plan: plan.clone(),
+            supervisor: Some(SupervisorConfig {
+                deadline: Duration::from_millis(20),
+                max_attempts: 4,
+                restart_after_timeouts: 1,
+                backoff_base: Duration::from_millis(1),
+                jitter_seed: fault_seed,
+            }),
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(forest, placement, config).unwrap();
+        for q in &queries {
+            let expected = oracle(&engine, q);
+            let out = engine.query(q);
+            if out.completeness.is_complete() {
+                prop_assert_eq!(out.answer, expected, "Complete answer lied: {}", q);
+            }
+        }
+        plan.disarm();
+        for q in &queries {
+            let expected = oracle(&engine, q);
+            let out = engine.query(q);
+            prop_assert!(
+                out.completeness.is_complete(),
+                "did not recover after disarm: {}", q
+            );
+            prop_assert_eq!(out.answer, expected, "post-disarm answer: {}", q);
         }
     }
 }
