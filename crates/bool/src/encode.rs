@@ -21,7 +21,7 @@
 
 use crate::arena::DagNode;
 use crate::formula::Formula;
-use crate::triplet::Triplet;
+use crate::triplet::{Triplet, TripletDelta};
 use crate::var::{Var, VecKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parbox_xml::FragmentId;
@@ -476,6 +476,69 @@ pub fn triplet_dag_wire_size(t: &Triplet) -> usize {
     buf.len()
 }
 
+/// Encodes a [`TripletDelta`] in the DAG format: varint width and record
+/// count, one node table shared by every changed formula, then per
+/// record the vector tag, entry index, and root table index. An update
+/// that perturbs `k` of the `3·|QList|` entries costs `O(k)` on the
+/// wire instead of a full triplet re-ship.
+pub fn encode_triplet_delta_dag(d: &TripletDelta, buf: &mut BytesMut) {
+    let roots: Vec<Formula> = d.changed.iter().map(|&(_, _, f)| f).collect();
+    let dag = Formula::snapshot_many(&roots);
+    put_varint(buf, u64::from(d.width));
+    put_varint(buf, d.changed.len() as u64);
+    encode_dag_nodes(&dag, buf);
+    for (rec, &(kind, ix, _)) in d.changed.iter().enumerate() {
+        buf.put_u8(match kind {
+            VecKind::V => 0,
+            VecKind::CV => 1,
+            VecKind::DV => 2,
+        });
+        put_varint(buf, u64::from(ix));
+        put_varint(buf, u64::from(dag.roots[rec]));
+    }
+}
+
+/// Decodes a DAG-format triplet delta. Entry indices are validated
+/// against the declared width so [`TripletDelta::apply`] cannot panic on
+/// decoded input.
+pub fn decode_triplet_delta_dag(buf: &mut Bytes) -> Result<TripletDelta, DecodeError> {
+    let width = u32::try_from(get_varint(buf)?).map_err(|_| DecodeError::Truncated)?;
+    let n = get_varint(buf)? as usize;
+    let table = decode_dag_nodes(buf)?;
+    let mut changed = Vec::with_capacity(n.min(MAX_PREALLOC));
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let kind = match buf.get_u8() {
+            0 => VecKind::V,
+            1 => VecKind::CV,
+            2 => VecKind::DV,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let ix = get_varint(buf)?;
+        if ix >= u64::from(width) {
+            return Err(DecodeError::BadIndex(ix));
+        }
+        let root = get_varint(buf)?;
+        let f = table
+            .get(root as usize)
+            .copied()
+            .ok_or(DecodeError::BadIndex(root))?;
+        changed.push((kind, ix as u32, f));
+    }
+    Ok(TripletDelta { width, changed })
+}
+
+/// Exact wire size in bytes of a DAG-format triplet delta — what the
+/// serving engine accounts for a repaired cache entry instead of
+/// [`triplet_dag_wire_size`].
+pub fn triplet_delta_dag_wire_size(d: &TripletDelta) -> usize {
+    let mut buf = BytesMut::new();
+    encode_triplet_delta_dag(d, &mut buf);
+    buf.len()
+}
+
 /// Encodes a site envelope in the DAG format: **one node table for the
 /// whole envelope**, shared across every fragment's triplet, then per
 /// entry the fragment id and its three root-index vectors.
@@ -764,6 +827,77 @@ mod tests {
         assert_eq!(
             decode_formula_dag(&mut bytes),
             Err(DecodeError::BadIndex(7))
+        );
+    }
+
+    #[test]
+    fn triplet_delta_diff_apply_round_trips() {
+        let old = Triplet::fresh_vars(FragmentId(3), 6);
+        let mut new = old.clone();
+        new.v[1] = Formula::TRUE;
+        new.dv[4] = Formula::or(var(1, VecKind::DV, 4), var(2, VecKind::DV, 4));
+        let d = TripletDelta::diff(&old, &new);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.apply(&old), new);
+
+        let empty = TripletDelta::diff(&old, &old);
+        assert!(empty.is_empty());
+        assert_eq!(empty.apply(&old), old);
+    }
+
+    #[test]
+    fn triplet_delta_dag_round_trips() {
+        let old = Triplet::fresh_vars(FragmentId(3), 6);
+        let mut new = old.clone();
+        let shared = Formula::any((0..8).map(|i| var(i, VecKind::DV, 0)));
+        new.v[0] = shared;
+        new.cv[2] = Formula::or(shared, var(9, VecKind::V, 2));
+        new.dv[5] = shared.not();
+        let d = TripletDelta::diff(&old, &new);
+        let mut buf = BytesMut::new();
+        encode_triplet_delta_dag(&d, &mut buf);
+        assert_eq!(buf.len(), triplet_delta_dag_wire_size(&d));
+        let mut bytes = buf.freeze();
+        let back = decode_triplet_delta_dag(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0);
+        assert_eq!(back, d);
+        assert_eq!(back.apply(&old), new);
+    }
+
+    #[test]
+    fn sparse_delta_beats_full_triplet_on_the_wire() {
+        // One changed entry out of 3·32: the delta ships a single
+        // formula, the full triplet ships 96 roots plus fresh variables.
+        let old = Triplet::fresh_vars(FragmentId(3), 32);
+        let mut new = old.clone();
+        new.dv[17] = Formula::TRUE;
+        let d = TripletDelta::diff(&old, &new);
+        assert_eq!(d.len(), 1);
+        let delta = triplet_delta_dag_wire_size(&d);
+        let full = triplet_dag_wire_size(&new);
+        assert!(delta * 4 < full, "delta {delta} vs full {full}");
+    }
+
+    #[test]
+    fn triplet_delta_decode_rejects_out_of_range_index() {
+        // Width 2 but a record targeting entry 5.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2); // width
+        put_varint(&mut buf, 1); // one record
+        put_varint(&mut buf, 1); // table: one node
+        buf.put_u8(TAG_TRUE);
+        buf.put_u8(0); // VecKind::V
+        put_varint(&mut buf, 5); // entry index out of range
+        put_varint(&mut buf, 0); // root
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_triplet_delta_dag(&mut bytes),
+            Err(DecodeError::BadIndex(5))
+        );
+        let mut empty = Bytes::new();
+        assert_eq!(
+            decode_triplet_delta_dag(&mut empty),
+            Err(DecodeError::Truncated)
         );
     }
 

@@ -56,12 +56,14 @@ mod var;
 
 pub use encode::{
     decode_formula, decode_formula_dag, decode_site_envelope, decode_site_envelope_dag,
-    decode_triplet, decode_triplet_dag, encode_formula, encode_formula_dag, encode_site_envelope,
-    encode_site_envelope_dag, encode_triplet, encode_triplet_dag, site_envelope_dag_wire_size,
-    site_envelope_wire_size, triplet_dag_wire_size, triplet_wire_size, DecodeError,
+    decode_triplet, decode_triplet_dag, decode_triplet_delta_dag, encode_formula,
+    encode_formula_dag, encode_site_envelope, encode_site_envelope_dag, encode_triplet,
+    encode_triplet_dag, encode_triplet_delta_dag, site_envelope_dag_wire_size,
+    site_envelope_wire_size, triplet_dag_wire_size, triplet_delta_dag_wire_size, triplet_wire_size,
+    DecodeError,
 };
 pub use formula::{
     comp_fm, ArenaStats, BoolOp, Formula, FormulaId, FormulaNode, ShardCounters, SHARD_COUNT,
 };
-pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet};
+pub use triplet::{EquationSystem, ResolvedTriplet, SolveError, Triplet, TripletDelta};
 pub use var::{Var, VecKind};

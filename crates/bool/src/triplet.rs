@@ -154,6 +154,69 @@ impl fmt::Display for Triplet {
     }
 }
 
+/// The difference between two triplets of the same width: the entries
+/// whose formula changed, as `(vector, index, new formula)` records.
+///
+/// This is what a site ships to the coordinator after repairing a cached
+/// triplet in place — an update that touches one root-to-change path
+/// perturbs only the entries whose sub-query saw the change, so the
+/// delta is usually far smaller than the full triplet
+/// ([`crate::encode::triplet_delta_dag_wire_size`] accounts the bytes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TripletDelta {
+    /// Width of the triplets being diffed (`|QList(q)|`).
+    pub width: u32,
+    /// Changed entries: which vector, which sub-query index, new value.
+    pub changed: Vec<(VecKind, u32, Formula)>,
+}
+
+impl TripletDelta {
+    /// Records the entries of `new` that differ from `old`. Both triplets
+    /// must have the same width (the query did not change, only the data).
+    pub fn diff(old: &Triplet, new: &Triplet) -> TripletDelta {
+        assert_eq!(old.len(), new.len(), "triplet widths must match");
+        let mut changed = Vec::new();
+        for kind in VecKind::ALL {
+            let (o, n) = (old.get(kind), new.get(kind));
+            for (i, (a, b)) in o.iter().zip(n).enumerate() {
+                if a != b {
+                    changed.push((kind, i as u32, *b));
+                }
+            }
+        }
+        TripletDelta {
+            width: new.len() as u32,
+            changed,
+        }
+    }
+
+    /// Rebuilds the new triplet by patching `base` (the old triplet) with
+    /// the changed entries. Inverse of [`TripletDelta::diff`].
+    pub fn apply(&self, base: &Triplet) -> Triplet {
+        assert_eq!(base.len(), self.width as usize, "triplet widths must match");
+        let mut out = base.clone();
+        for &(kind, ix, f) in &self.changed {
+            let vec = match kind {
+                VecKind::V => &mut out.v,
+                VecKind::CV => &mut out.cv,
+                VecKind::DV => &mut out.dv,
+            };
+            vec[ix as usize] = f;
+        }
+        out
+    }
+
+    /// Number of changed entries.
+    pub fn len(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// True when the two triplets were identical.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
 /// A fully resolved triplet of truth values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResolvedTriplet {

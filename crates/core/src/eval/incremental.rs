@@ -1,0 +1,319 @@
+//! Memoized `bottomUp` with O(depth) repair — the evaluation half of
+//! delta-repair view maintenance.
+//!
+//! [`bottom_up`](fn@crate::eval::bottom_up) keeps only two live vector
+//! triplets at a time, so after an update the whole fragment must be
+//! re-evaluated. [`IncrementalBottomUp`] instead memoizes the `(V, DV)`
+//! vectors of *every* node (indexed by arena slot). An in-place data
+//! update (`insNode`/`delNode`) changes the child list of exactly one
+//! surviving node — the *anchor* — so only the anchor, any newly
+//! inserted subtree, and the root-to-anchor path have stale vectors:
+//! [`IncrementalBottomUp::repair`] recomputes exactly those nodes
+//! against the memoized off-path children, in `O(depth · fanout · |q|)`
+//! formula interns instead of `O(|F|)`.
+//!
+//! Because the formula arena is hash-consed and the per-node math here
+//! mirrors the [`FormulaEvaluator`](mod@crate::eval::bottom_up) operand
+//! stream exactly, a repaired triplet is **id-identical** to what a
+//! fresh [`bottom_up`](fn@crate::eval::bottom_up) over the updated
+//! fragment would produce (asserted by the equivalence proptests) — so
+//! delta repair can never drift from invalidate-and-recompute.
+
+use parbox_bool::{Formula, Triplet};
+use parbox_query::{CompiledQuery, Op, ResolvedQuery};
+use parbox_xml::{NodeId, Tree};
+
+/// Per-node memoized vectors. `CV` is not stored: it is only read at the
+/// node itself (`Op::Child`), never by the parent, and is rebuilt from
+/// the children's `V` whenever the node is recomputed.
+#[derive(Debug, Clone)]
+struct NodeVectors {
+    v: Vec<Formula>,
+    dv: Vec<Formula>,
+}
+
+/// Result of one O(depth) repair pass.
+#[derive(Debug, Clone)]
+pub struct RepairRun {
+    /// The fragment-root triplet after the repair.
+    pub triplet: Triplet,
+    /// Nodes whose vectors were recomputed (path + inserted subtree).
+    pub nodes_recomputed: u64,
+    /// Work units on the same scale as
+    /// [`FragmentRun`](crate::eval::FragmentRun): `nodes × |QList|`.
+    pub work_units: u64,
+}
+
+/// The cached `bottomUp` evaluation of one `(fragment, query)` pair,
+/// repairable in place after data updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalBottomUp {
+    q: CompiledQuery,
+    m: usize,
+    /// One entry per arena slot; `None` for slots never evaluated (new
+    /// nodes before repair) — tombstoned slots keep their last value but
+    /// are unreachable from live child lists.
+    memo: Vec<Option<NodeVectors>>,
+    root: Triplet,
+}
+
+impl IncrementalBottomUp {
+    /// Evaluates `q` over the fragment, memoizing every node. Returns the
+    /// state and the work spent (`live nodes × |QList|`).
+    ///
+    /// The initial build runs the formula path at every node (the spine
+    /// fast path cannot be used — it leaves no per-node state), so it
+    /// costs a small constant factor over
+    /// [`bottom_up`](fn@crate::eval::bottom_up); the price is paid once per
+    /// cache fill and buys O(depth) updates thereafter.
+    pub fn build(tree: &Tree, q: &CompiledQuery) -> (IncrementalBottomUp, u64) {
+        let resolved = q.resolve(tree.labels());
+        let m = resolved.len();
+        let mut memo: Vec<Option<NodeVectors>> = vec![None; tree.arena_len()];
+        let mut nodes = 0u64;
+        let root_id = tree.root();
+        let mut root_vectors = None;
+        for n in tree.postorder(root_id) {
+            let (v, cv, dv) = compute_node(tree, &resolved, m, &memo, n);
+            nodes += 1;
+            if n == root_id {
+                root_vectors = Some((v.clone(), cv, dv.clone()));
+            }
+            memo[n.index()] = Some(NodeVectors { v, dv });
+        }
+        let (v, cv, dv) = root_vectors.expect("postorder visits the root");
+        let state = IncrementalBottomUp {
+            q: q.clone(),
+            m,
+            memo,
+            root: Triplet { v, cv, dv },
+        };
+        (state, nodes * m as u64)
+    }
+
+    /// The current fragment-root triplet.
+    pub fn triplet(&self) -> &Triplet {
+        &self.root
+    }
+
+    /// The query this state was built for.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.q
+    }
+
+    /// Repairs the cached evaluation after an in-place data update whose
+    /// deepest surviving changed node is `anchor` (the parent of an
+    /// inserted or deleted subtree). Children of path nodes that have no
+    /// memo entry — freshly inserted subtrees — are evaluated bottom-up
+    /// first; everything off the root-to-anchor path is reused as is.
+    pub fn repair(&mut self, tree: &Tree, anchor: NodeId) -> RepairRun {
+        // Re-resolve: an insert may have interned a label the query
+        // mentions but the fragment had never seen. Off-path memo entries
+        // stay valid — their nodes' labels are unchanged and distinct
+        // from any newly interned label, so their `LabelIs` constants are
+        // unaffected by the table growth.
+        let resolved = self.q.resolve(tree.labels());
+        let m = self.m;
+        if self.memo.len() < tree.arena_len() {
+            self.memo.resize(tree.arena_len(), None);
+        }
+        let mut nodes = 0u64;
+        let mut path: Vec<NodeId> = vec![anchor];
+        path.extend(tree.ancestors(anchor));
+        let root_id = tree.root();
+        debug_assert_eq!(*path.last().expect("non-empty"), root_id);
+        let mut root_vectors = None;
+        for &p in &path {
+            // Evaluate any never-seen children (inserted subtrees) first.
+            let kids: Vec<NodeId> = tree.node(p).child_ids().to_vec();
+            for c in kids {
+                if self.memo[c.index()].is_none() {
+                    for n in tree.postorder(c) {
+                        let (v, _cv, dv) = compute_node(tree, &resolved, m, &self.memo, n);
+                        nodes += 1;
+                        self.memo[n.index()] = Some(NodeVectors { v, dv });
+                    }
+                }
+            }
+            let (v, cv, dv) = compute_node(tree, &resolved, m, &self.memo, p);
+            nodes += 1;
+            if p == root_id {
+                root_vectors = Some((v.clone(), cv, dv.clone()));
+            }
+            self.memo[p.index()] = Some(NodeVectors { v, dv });
+        }
+        let (v, cv, dv) = root_vectors.expect("path ends at the root");
+        self.root = Triplet { v, cv, dv };
+        RepairRun {
+            triplet: self.root.clone(),
+            nodes_recomputed: nodes,
+            work_units: nodes * m as u64,
+        }
+    }
+}
+
+/// One node of the paper's Fig. 3(b) case analysis, fed from memoized
+/// children. The operand streams (child order, `false` operands skipped)
+/// match [`FormulaEvaluator`](mod@crate::eval::bottom_up) exactly, so the
+/// interned formulas — and with them the triplets — come out identical.
+fn compute_node(
+    tree: &Tree,
+    q: &ResolvedQuery,
+    m: usize,
+    memo: &[Option<NodeVectors>],
+    n: NodeId,
+) -> (Vec<Formula>, Vec<Formula>, Vec<Formula>) {
+    let node = tree.node(n);
+    if let Some(frag) = node.kind.fragment() {
+        let t = Triplet::fresh_vars(frag, m);
+        return (t.v, t.cv, t.dv);
+    }
+    let mut cv_ops: Vec<Vec<Formula>> = vec![Vec::new(); m];
+    let mut dv_ops: Vec<Vec<Formula>> = vec![Vec::new(); m];
+    for &c in node.child_ids() {
+        let cm = memo[c.index()]
+            .as_ref()
+            .expect("children evaluated before parents");
+        for i in 0..m {
+            if cm.v[i] != Formula::FALSE {
+                cv_ops[i].push(cm.v[i]);
+            }
+            if cm.dv[i] != Formula::FALSE {
+                dv_ops[i].push(cm.dv[i]);
+            }
+        }
+    }
+    let cv: Vec<Formula> = cv_ops.into_iter().map(Formula::any).collect();
+    let mut dv: Vec<Formula> = Vec::with_capacity(m);
+    let mut v: Vec<Formula> = Vec::with_capacity(m);
+    for (i, op) in q.ops.iter().enumerate() {
+        let value = match op {
+            Op::True => Formula::TRUE,
+            Op::LabelIs(l) => Formula::constant(Some(node.label) == *l),
+            Op::TextIs(s) => Formula::constant(node.text.as_deref() == Some(s.as_ref())),
+            Op::Child(j) => cv[*j as usize],
+            Op::Desc(j) => dv[*j as usize],
+            Op::Or(a, b) => Formula::or(v[*a as usize], v[*b as usize]),
+            Op::And(a, b) => Formula::and(v[*a as usize], v[*b as usize]),
+            Op::Not(a) => v[*a as usize].not(),
+        };
+        dv.push(Formula::any(
+            dv_ops[i].iter().copied().chain(std::iter::once(value)),
+        ));
+        v.push(value);
+    }
+    (v, cv, dv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::bottom_up;
+    use parbox_query::{compile, parse_query};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn compiled(q: &str) -> CompiledQuery {
+        compile(&parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn build_matches_bottom_up_exactly() {
+        for (xml, q) in [
+            ("<a><b><c>x</c></b><d/></a>", "[//c = \"x\" and //d]"),
+            (r#"<a><b/><parbox:virtual ref="2"/></a>"#, "[//b[c]]"),
+            ("<r><s><t/></s></r>", "[not //q or //t]"),
+        ] {
+            let tree = Tree::parse(xml).unwrap();
+            let cq = compiled(q);
+            let (state, work) = IncrementalBottomUp::build(&tree, &cq);
+            let run = bottom_up(&tree, &cq);
+            assert_eq!(state.triplet(), &run.triplet, "on {xml} {q}");
+            assert_eq!(work, run.work_units);
+        }
+    }
+
+    #[test]
+    fn insert_repair_matches_recompute() {
+        let mut tree = Tree::parse("<r><a><x>1</x></a><b/></r>").unwrap();
+        let cq = compiled("[//goal or //x = \"1\"]");
+        let (mut state, _) = IncrementalBottomUp::build(&tree, &cq);
+        let a = tree
+            .descendants(tree.root())
+            .find(|&n| tree.label_str(n) == "a")
+            .unwrap();
+        tree.add_child(a, "goal");
+        let run = state.repair(&tree, a);
+        assert_eq!(run.triplet, bottom_up(&tree, &cq).triplet);
+        // Path (a, r) + the inserted leaf: three nodes, not the tree.
+        assert_eq!(run.nodes_recomputed, 3);
+    }
+
+    #[test]
+    fn delete_repair_matches_recompute() {
+        let mut tree = Tree::parse("<r><a><x>1</x><pad/></a><b/></r>").unwrap();
+        let cq = compiled("[//x = \"1\"]");
+        let (mut state, _) = IncrementalBottomUp::build(&tree, &cq);
+        let x = tree
+            .descendants(tree.root())
+            .find(|&n| tree.label_str(n) == "x")
+            .unwrap();
+        let anchor = tree.ancestors(x).next().unwrap();
+        tree.remove_subtree(x).unwrap();
+        let run = state.repair(&tree, anchor);
+        assert_eq!(run.triplet, bottom_up(&tree, &cq).triplet);
+        assert!(!run.triplet.resolved().unwrap().v[cq.root() as usize]);
+    }
+
+    #[test]
+    fn repair_handles_new_query_labels() {
+        // The inserted label is mentioned by the query but absent from
+        // the document at build time: repair must re-resolve.
+        let mut tree = Tree::parse("<r><a/></r>").unwrap();
+        let cq = compiled("[//unseen]");
+        let (mut state, _) = IncrementalBottomUp::build(&tree, &cq);
+        assert!(!state.triplet().resolved().unwrap().v[cq.root() as usize]);
+        let a = tree
+            .descendants(tree.root())
+            .find(|&n| tree.label_str(n) == "a")
+            .unwrap();
+        tree.add_child(a, "unseen");
+        let run = state.repair(&tree, a);
+        assert_eq!(run.triplet, bottom_up(&tree, &cq).triplet);
+        assert!(run.triplet.resolved().unwrap().v[cq.root() as usize]);
+    }
+
+    #[test]
+    fn random_update_schedule_never_drifts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tree =
+            Tree::parse(r#"<r><a><x>1</x><pad/></a><b><parbox:virtual ref="3"/></b></r>"#).unwrap();
+        let cq = compiled("[//x = \"1\" or //goal and not //pad]");
+        let (mut state, _) = IncrementalBottomUp::build(&tree, &cq);
+        for step in 0..60 {
+            let nodes: Vec<NodeId> = tree
+                .descendants(tree.root())
+                .filter(|&n| !tree.node(n).kind.is_virtual())
+                .collect();
+            let node = nodes[rng.random_range(0..nodes.len())];
+            let anchor = if rng.random_bool(0.7) || node == tree.root() {
+                let label = ["goal", "pad", "x"][rng.random_range(0..3usize)];
+                tree.add_child(node, label);
+                node
+            } else {
+                let parent = tree.ancestors(node).next().unwrap();
+                if !tree.virtual_nodes(node).is_empty() {
+                    continue;
+                }
+                tree.remove_subtree(node).unwrap();
+                parent
+            };
+            let run = state.repair(&tree, anchor);
+            assert_eq!(
+                run.triplet,
+                bottom_up(&tree, &cq).triplet,
+                "drift at step {step}"
+            );
+        }
+    }
+}

@@ -4,9 +4,11 @@
 pub mod bitset;
 pub mod bottom_up;
 pub mod centralized;
+pub mod incremental;
 pub mod reference;
 
 pub use bitset::BitSet;
 pub use bottom_up::{bottom_up, bottom_up_formula_only, FragmentRun};
 pub use centralized::{centralized_eval, centralized_eval_counted, CentralizedRun};
+pub use incremental::{IncrementalBottomUp, RepairRun};
 pub use reference::{bottom_up_reference, RefFragmentRun};

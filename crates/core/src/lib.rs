@@ -83,17 +83,18 @@ pub use algorithms::{
 };
 pub use eval::{
     bottom_up, bottom_up_formula_only, bottom_up_reference, centralized_eval,
-    centralized_eval_counted, BitSet, CentralizedRun, FragmentRun, RefFragmentRun,
+    centralized_eval_counted, BitSet, CentralizedRun, FragmentRun, IncrementalBottomUp,
+    RefFragmentRun, RepairRun,
 };
 pub use plan::{
     plan_run, Choice, CostEstimate, Executor, PlanContext, PlanExplain, PlanSummary, Planner,
 };
 pub use selection::{select_centralized, select_distributed, SelectionOutcome};
 pub use serve::{
-    Completeness, Engine, EngineConfig, EngineStats, QueryOutcome, RoundOutcome, ShutdownReport,
-    Ticket, UpdateOutcome,
+    Completeness, Engine, EngineConfig, EngineStats, Notification, QueryOutcome, RoundOutcome,
+    ShutdownReport, SubscriptionId, Ticket, UpdateOutcome,
 };
 pub use views::{
-    apply_update_to_forest, apply_update_tracked, MaterializedView, Update, UpdateEffect,
-    UpdateReport, ViewError,
+    apply_update_to_forest, apply_update_tracked, FragmentDelta, MaterializedView, Update,
+    UpdateEffect, UpdateReport, ViewError,
 };

@@ -31,17 +31,20 @@
 
 use crate::algorithms::batch_query_wire_size;
 use crate::algorithms::partial_solve;
-use crate::eval::bottom_up;
+use crate::eval::{bottom_up, IncrementalBottomUp};
 use crate::plan::{estimated_envelope_bytes, estimated_triplet_bytes, SECONDS_PER_WORK_UNIT};
 use crate::views::{apply_update_tracked, Update, UpdateEffect, ViewError};
 use parbox_bool::{site_envelope_dag_wire_size, EquationSystem, Formula, Triplet, Var};
 use parbox_frag::{Forest, ForestStats, FragError, Placement, SiteId, SourceTree};
-use parbox_net::engine::{EvalReply, FragmentEval, SiteCacheStats, SitePool};
-use parbox_net::{BatchRound, MessageKind, NetworkModel, RunReport};
+use parbox_net::engine::{
+    DeltaKernel, DeltaState, EvalReply, FragmentEval, PatchFn, RepairOutcome, RepairedEval,
+    SiteCacheStats, SitePool,
+};
+use parbox_net::{BatchRound, MessageKind, NetworkModel, RepairEfficacy, RunReport};
 use parbox_net::{CostEstimate, FaultPlan, FaultSummary, PlanSummary, SupervisorConfig};
 use parbox_query::{compile, merge_programs, CompiledQuery, Query, QueryFingerprint, SubId};
-use parbox_xml::{FragmentId, Tree};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use parbox_xml::{FragmentId, NodeId, Tree};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +83,13 @@ pub struct EngineConfig {
     /// rounds. `None` derives one from the network model via
     /// [`SupervisorConfig::from_model`].
     pub supervisor: Option<SupervisorConfig>,
+    /// Maintain cached triplets *in place* under pure data updates:
+    /// site workers keep a per-node memo behind each cached triplet and
+    /// repair only the root-to-change path (O(depth) per entry), while
+    /// the coordinator re-projects the shipped triplet deltas instead
+    /// of invalidating. When false, every update falls back to
+    /// invalidate-and-recompute.
+    pub delta_maintenance: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +103,7 @@ impl Default for EngineConfig {
             plan_rounds: true,
             fault_plan: FaultPlan::none(),
             supervisor: None,
+            delta_maintenance: true,
         }
     }
 }
@@ -130,6 +141,31 @@ impl Completeness {
 /// Handle identifying one submitted query within its engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ticket(pub u64);
+
+/// Handle identifying one standing query ([`Engine::subscribe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+/// An answer flip pushed to a standing query: delivered with the
+/// [`UpdateOutcome`] of the update that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// Which subscription flipped.
+    pub subscription: SubscriptionId,
+    /// The new answer.
+    pub answer: bool,
+}
+
+/// One standing query: its compiled program and the last answer pushed
+/// to the subscriber. The subscription pins its solve-cache entry
+/// against FIFO eviction, so refreshing after an update is a local
+/// re-solve (or free, when delta repair certified the entry unchanged).
+#[derive(Debug)]
+struct Subscription {
+    query: CompiledQuery,
+    fp: QueryFingerprint,
+    last: bool,
+}
 
 /// Result of one admission round.
 #[derive(Debug, Clone)]
@@ -191,8 +227,17 @@ pub struct UpdateOutcome {
     /// Cost accounting of the maintenance step (control traffic plus any
     /// shipped subtree on a cross-site split).
     pub report: RunReport,
-    /// Coordinator cache entries invalidated by the update.
+    /// Cache entries invalidated by the update and left for
+    /// recomputation (site + coordinator levels on the delta path;
+    /// coordinator entries on the legacy path).
     pub invalidated: usize,
+    /// Cache entries repaired in place — or certified unchanged — by
+    /// delta maintenance, across both cache levels. 0 on the
+    /// invalidation path.
+    pub repaired: usize,
+    /// Standing queries whose answers flipped under this update, in
+    /// subscription order.
+    pub notifications: Vec<Notification>,
 }
 
 /// Running counters of an engine's lifetime.
@@ -220,6 +265,18 @@ pub struct EngineStats {
     pub restarts: u64,
     /// Answers that went out degraded ([`Completeness::Partial`]).
     pub partial_answers: u64,
+    /// Cache entries repaired in place by delta maintenance (both
+    /// levels), lifetime total.
+    pub entries_repaired: u64,
+    /// Cache entries invalidated by updates, lifetime total.
+    pub entries_invalidated: u64,
+    /// Tree nodes re-interned across all delta repairs — the O(depth)
+    /// update cost actually paid.
+    pub repair_nodes_recomputed: u64,
+    /// Wire bytes of shipped triplet deltas, lifetime total.
+    pub repair_delta_bytes: u64,
+    /// Answer-flip notifications pushed to standing queries.
+    pub notifications: u64,
 }
 
 /// Result of [`Engine::shutdown`]: what the deterministic teardown
@@ -240,6 +297,10 @@ struct SolveEntry {
     root: SubId,
     /// Per-fragment triplets, each as wide as the member program.
     triplets: HashMap<FragmentId, Arc<Triplet>>,
+    /// Provenance of each fragment's triplet: the merged program
+    /// (site-cache key) it was projected out of and the projection used
+    /// — what delta repair re-projects a repaired site triplet with.
+    sources: HashMap<FragmentId, (QueryFingerprint, Arc<Vec<SubId>>)>,
     /// Memoized answer; dropped whenever any triplet is invalidated.
     answer: Option<bool>,
 }
@@ -274,8 +335,12 @@ pub struct Engine {
     /// Rounds flushed implicitly by [`Engine::query`], kept so their
     /// answers stay retrievable ([`Engine::take_parked_rounds`]).
     parked: Vec<RoundOutcome>,
+    /// Standing queries, refreshed after every update; ordered so
+    /// notifications come out deterministically.
+    subscriptions: BTreeMap<u64, Subscription>,
     opened_at: Option<Instant>,
     next_ticket: u64,
+    next_subscription: u64,
     stats: EngineStats,
 }
 
@@ -285,6 +350,77 @@ fn kernel(tree: &Tree, q: &CompiledQuery) -> FragmentEval {
     FragmentEval {
         triplet: run.triplet,
         work_units: run.work_units,
+    }
+}
+
+/// The delta build kernel: `bottomUp` evaluated through
+/// [`IncrementalBottomUp`], which keeps a per-node formula memo behind
+/// the triplet so later updates repair it along the root-to-change path
+/// only. Produces id-identical triplets and identical work accounting
+/// to [`kernel`].
+fn delta_build(tree: &Tree, q: &CompiledQuery) -> (FragmentEval, DeltaState) {
+    let (inc, work_units) = IncrementalBottomUp::build(tree, q);
+    let eval = FragmentEval {
+        triplet: inc.triplet().clone(),
+        work_units,
+    };
+    (eval, Box::new(inc))
+}
+
+/// The delta repair kernel: re-interns the updated node's subtree
+/// frontier and the path up to the fragment root — O(depth), not
+/// O(|fragment|).
+fn delta_repair(state: &mut DeltaState, tree: &Tree, anchor: NodeId) -> RepairedEval {
+    let inc = state
+        .downcast_mut::<IncrementalBottomUp>()
+        .expect("state was built by delta_build");
+    let run = inc.repair(tree, anchor);
+    RepairedEval {
+        triplet: run.triplet,
+        nodes_recomputed: run.nodes_recomputed,
+        work_units: run.work_units,
+    }
+}
+
+/// Kernel pair handed to the site pool when delta maintenance is on.
+const DELTA_KERNEL: DeltaKernel = DeltaKernel {
+    build: delta_build,
+    repair: delta_repair,
+};
+
+/// Builds the site-side patch replaying a pure data update on the
+/// site's *own* copy of the fragment tree — the [`Update`] expressed as
+/// a shippable mutation. Site and coordinator trees evolve through the
+/// identical mutation sequence from the identical seed state, so they
+/// stay equal without ever sharing (and therefore without the `O(|F|)`
+/// copy-on-write clone a shared handle would force on every update).
+/// Restructuring updates return `None` and take the legacy path.
+fn data_patch(update: &Update) -> Option<PatchFn> {
+    match update {
+        Update::InsNode {
+            parent,
+            label,
+            text,
+            ..
+        } => {
+            let (parent, label, text) = (*parent, label.clone(), text.clone());
+            Some(Box::new(move |t: &mut Tree| {
+                match text {
+                    Some(tx) => t.add_text_child(parent, &label, &tx),
+                    None => t.add_child(parent, &label),
+                };
+            }))
+        }
+        Update::DelNode { node, .. } => {
+            let node = *node;
+            Some(Box::new(move |t: &mut Tree| {
+                // The coordinator already validated and applied this
+                // removal; replaying it on the identical copy cannot
+                // fail.
+                let _ = t.remove_subtree(node);
+            }))
+        }
+        Update::SplitFragments { .. } | Update::MergeFragments { .. } => None,
     }
 }
 
@@ -312,11 +448,12 @@ impl Engine {
                 (s, frags)
             })
             .collect();
-        let pool = SitePool::spawn_with_faults(
+        let pool = SitePool::spawn_full(
             sites,
             config.site_cache_capacity,
             kernel,
             config.fault_plan.clone(),
+            config.delta_maintenance.then_some(DELTA_KERNEL),
         );
         let supervisor = config
             .supervisor
@@ -338,8 +475,10 @@ impl Engine {
             solve_order: VecDeque::new(),
             pending: Vec::new(),
             parked: Vec::new(),
+            subscriptions: BTreeMap::new(),
             opened_at: None,
             next_ticket: 0,
+            next_subscription: 0,
             stats: EngineStats::default(),
         })
     }
@@ -478,6 +617,94 @@ impl Engine {
         std::mem::take(&mut self.parked)
     }
 
+    /// Registers `query` as a *standing query*: it is answered now (the
+    /// baseline), its solve-cache entry is pinned against eviction, and
+    /// every subsequent [`Engine::apply`] re-checks it — pushing a
+    /// [`Notification`] with the [`UpdateOutcome`] whenever the answer
+    /// flips. With delta maintenance on, the re-check is free when the
+    /// update left the entry's triplets unchanged, and a local re-solve
+    /// of the repaired triplets otherwise — no data-plane round either
+    /// way. Anything pending is flushed (and parked) first, as for
+    /// [`Engine::query`].
+    pub fn subscribe(&mut self, query: &Query) -> SubscriptionId {
+        if let Some(prior) = self.flush() {
+            self.parked.push(prior);
+        }
+        let compiled = compile(query);
+        let fp = compiled.fingerprint();
+        let last = self.answer_now(compiled.clone());
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.subscriptions.insert(
+            id.0,
+            Subscription {
+                query: compiled,
+                fp,
+                last,
+            },
+        );
+        id
+    }
+
+    /// Cancels a standing query. Returns false when the id is unknown
+    /// (or already cancelled).
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subscriptions.remove(&id.0).is_some()
+    }
+
+    /// The last answer pushed (or established at subscription time) for
+    /// a standing query; `None` for an unknown id.
+    pub fn subscription_answer(&self, id: SubscriptionId) -> Option<bool> {
+        self.subscriptions.get(&id.0).map(|s| s.last)
+    }
+
+    /// Number of active standing queries.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Answers one already-compiled program in a round of its own,
+    /// minting a throwaway ticket. Serves from the solve cache when the
+    /// entry has coverage (the standing-query refresh path).
+    fn answer_now(&mut self, compiled: CompiledQuery) -> bool {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let out = self.run_round(vec![(ticket, compiled)]);
+        out.answers[0].1
+    }
+
+    /// Re-checks every standing query after an update, pushing an
+    /// answer-flip notification per subscription whose answer changed.
+    /// Cheap by construction: a memoized answer (kept alive by an
+    /// unchanged delta repair) costs nothing; a voided one re-solves
+    /// locally from the repaired triplets; only an invalidated entry
+    /// goes back to the data plane — for the one touched fragment.
+    fn refresh_subscriptions(&mut self) -> Vec<Notification> {
+        if self.subscriptions.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<u64> = self.subscriptions.keys().copied().collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let (fp, compiled, last) = {
+                let s = &self.subscriptions[&id];
+                (s.fp, s.query.clone(), s.last)
+            };
+            let answer = match self.solve_cache.get(&fp).and_then(|e| e.answer) {
+                Some(a) => a,
+                None => self.answer_now(compiled),
+            };
+            if answer != last {
+                self.subscriptions.get_mut(&id).expect("iterated ids").last = answer;
+                out.push(Notification {
+                    subscription: SubscriptionId(id),
+                    answer,
+                });
+            }
+        }
+        out
+    }
+
     /// Chooses this round's data-plane strategy — the eager one-visit
     /// batch round versus depth-gated lazy wavefronts — by estimating
     /// both from the live [`ForestStats`] and the resolution-depth EWMA,
@@ -611,6 +838,7 @@ impl Engine {
                 SolveEntry {
                     root,
                     triplets: HashMap::new(),
+                    sources: HashMap::new(),
                     answer: None,
                 },
             );
@@ -750,11 +978,14 @@ impl Engine {
                 .collect();
             let batch = merge_programs(&programs);
             let merged = Arc::new(batch.merged().clone());
-            let projections: Vec<Vec<SubId>> = programs
+            let program_fp = merged.program_fingerprint();
+            let projections: Vec<Arc<Vec<SubId>>> = programs
                 .iter()
                 .map(|p| {
-                    p.embedding_into(&merged)
-                        .expect("member embeds into merged batch program")
+                    Arc::new(
+                        p.embedding_into(&merged)
+                            .expect("member embeds into merged batch program"),
+                    )
                 })
                 .collect();
 
@@ -906,6 +1137,7 @@ impl Engine {
                                 .or_insert_with(|| Arc::new(project_triplet(merged_t, proj, &inv))),
                         );
                         entry.triplets.insert(f, t);
+                        entry.sources.insert(f, (program_fp, Arc::clone(proj)));
                     }
                     let start = Instant::now();
                     let covered = live.iter().all(|f| entry.triplets.contains_key(f));
@@ -985,19 +1217,24 @@ impl Engine {
                         let compiled = &pending[m.idx].1;
                         let entry = self.solve_cache.get_mut(&m.fp).expect("ensured above");
                         for (&f, merged_t) in &merged_triplets {
-                            entry.triplets.entry(f).or_insert_with(|| {
-                                Arc::clone(
-                                    projection_memo
-                                        .entry((k, (**merged_t).clone()))
-                                        .or_insert_with(|| {
-                                            Arc::new(project_triplet(
-                                                merged_t,
-                                                &projections[k],
-                                                &invs[k],
-                                            ))
-                                        }),
-                                )
-                            });
+                            if entry.triplets.contains_key(&f) {
+                                continue;
+                            }
+                            let t = Arc::clone(
+                                projection_memo
+                                    .entry((k, (**merged_t).clone()))
+                                    .or_insert_with(|| {
+                                        Arc::new(project_triplet(
+                                            merged_t,
+                                            &projections[k],
+                                            &invs[k],
+                                        ))
+                                    }),
+                            );
+                            entry.triplets.insert(f, t);
+                            entry
+                                .sources
+                                .insert(f, (program_fp, Arc::clone(&projections[k])));
                         }
                         let start = Instant::now();
                         let maybe =
@@ -1153,13 +1390,26 @@ impl Engine {
             }
 
             // Bound the coordinator cache (FIFO over fingerprints).
+            // Standing queries pin their entries: a pinned fingerprint
+            // rotates to the back instead of evicting, and the rotation
+            // budget bounds the scan when everything left is pinned (the
+            // cache then runs oversized — pinning wins over the bound).
+            let pinned: HashSet<QueryFingerprint> =
+                self.subscriptions.values().map(|s| s.fp).collect();
+            let mut rotations = self.solve_order.len();
             while self.solve_cache.len() > self.config.solve_cache_fingerprints {
-                match self.solve_order.pop_front() {
-                    Some(fp) => {
-                        self.solve_cache.remove(&fp);
+                let Some(fp) = self.solve_order.pop_front() else {
+                    break;
+                };
+                if pinned.contains(&fp) {
+                    self.solve_order.push_back(fp);
+                    if rotations == 0 {
+                        break;
                     }
-                    None => break,
+                    rotations -= 1;
+                    continue;
                 }
+                self.solve_cache.remove(&fp);
             }
         }
 
@@ -1226,40 +1476,47 @@ impl Engine {
     /// queries are flushed first (answered against the pre-update
     /// document), the forest mutates through the shared maintenance path
     /// (incrementally maintaining the planner's [`ForestStats`]), and
-    /// only the touched fragments' cache entries are invalidated — at
-    /// the owning site *and* in the coordinator's solve cache.
+    /// the cached state is then brought back in sync.
+    ///
+    /// For a pure data update under delta maintenance, sync is **repair
+    /// in place**: the owning site re-interns only the root-to-change
+    /// path of each cached triplet (O(depth) per entry, not
+    /// O(|fragment|)) and ships back a varint-DAG triplet delta of the
+    /// changed entries; the coordinator re-projects those through each
+    /// solve entry's recorded provenance — keeping memoized answers
+    /// alive whenever the triplet did not actually change. Structural
+    /// updates, a disabled [`EngineConfig::delta_maintenance`], or any
+    /// failure mid-repair (crash, wedge, dropped reply) fall back to the
+    /// legacy invalidate-and-recompute path — a half-repaired cache is
+    /// never trusted. Standing queries are re-checked at the end and
+    /// their answer flips delivered in [`UpdateOutcome::notifications`].
     pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, ViewError> {
         let flushed = self.flush();
         let mut report = RunReport::new();
         let wall = Instant::now();
+        let patch = if self.config.delta_maintenance {
+            data_patch(&update)
+        } else {
+            None
+        };
         let effect = apply_update_tracked(
             &mut self.forest,
             &mut self.placement,
             &mut self.forest_stats,
             update,
         )?;
-        let mut invalidated = 0usize;
+        let invalidated;
+        let mut repaired = 0usize;
+        let mut efficacy = RepairEfficacy::default();
         let mut faults = FaultSummary::default();
 
-        for &gone in &effect.removed {
-            // The placement keeps the stale mapping of a merged-away
-            // fragment, which is exactly the site its worker lives on.
-            let site = self.placement.site_of(gone);
-            if !self.pool.unload(site, gone) {
-                // Dead actor (e.g. crashed mid-apply): restart it with
-                // the authoritative post-update fragment set, which no
-                // longer contains `gone`.
-                self.reseed_site(site, &mut faults);
-            }
-            invalidated += self.purge_fragment(gone);
-        }
-        for f in effect.stale() {
-            let site = self.placement.site_of(f);
+        let delta = effect
+            .delta
+            .filter(|_| self.config.delta_maintenance && !effect.restructured());
+        if let (Some(d), Some(patch)) = (delta, patch) {
+            // ---- Delta path: repair both cache levels in place ----
+            let site = self.placement.site_of(d.frag);
             self.pool.ensure_site(site);
-            if !self.pool.load(site, f, self.forest.tree_handle(f)) {
-                self.reseed_site(site, &mut faults);
-            }
-            invalidated += self.purge_fragment(f);
             report.record_visit(site);
             if site != self.coordinator {
                 report.record_message(
@@ -1269,7 +1526,50 @@ impl Engine {
                     MessageKind::Control,
                 );
             }
+            match self
+                .pool
+                .repair(site, d.frag, patch, d.anchor, self.supervisor.deadline)
+            {
+                Some(reply) if reply.patched => {
+                    report.record_compute(site, reply.elapsed);
+                    report.record_work(site, reply.work_units);
+                    let delta_bytes: usize = reply.outcomes.iter().map(|o| o.delta_bytes).sum();
+                    if site != self.coordinator && delta_bytes > 0 {
+                        report.record_message(
+                            site,
+                            self.coordinator,
+                            delta_bytes,
+                            MessageKind::Envelope,
+                        );
+                    }
+                    let (kept, dropped) = self.repair_coordinator_entries(d.frag, &reply.outcomes);
+                    repaired = reply.outcomes.len() + kept;
+                    invalidated = reply.dropped as usize + dropped;
+                    efficacy = RepairEfficacy {
+                        repaired: repaired as u64,
+                        invalidated: invalidated as u64,
+                        nodes_recomputed: reply.nodes_recomputed,
+                        delta_bytes: delta_bytes as u64,
+                    };
+                }
+                _ => {
+                    // The actor died, wedged past the deadline, dropped
+                    // the reply mid-apply, or never owned the fragment
+                    // (`!patched`). A half-repaired cache must never
+                    // serve: restart the actor with the authoritative
+                    // post-update handles (wiping its caches) and
+                    // invalidate the coordinator's entries.
+                    self.reseed_site(site, &mut faults);
+                    invalidated = self.purge_fragment(d.frag);
+                    efficacy.invalidated = invalidated as u64;
+                }
+            }
+        } else {
+            // ---- Legacy path: invalidate-and-recompute ----
+            invalidated = self.invalidate_for(&effect, &mut report, &mut faults);
+            efficacy.invalidated = invalidated as u64;
         }
+        report.repair = Some(efficacy);
         // A split that lands the new fragment on a different site ships
         // the subtree there — the one data-plane cost an update can have.
         if let (Some(&host), Some(&new)) = (effect.touched.first(), effect.added.first()) {
@@ -1299,12 +1599,115 @@ impl Engine {
             report.faults = Some(faults);
         }
         self.stats.updates += 1;
+        self.stats.entries_repaired += repaired as u64;
+        self.stats.entries_invalidated += invalidated as u64;
+        self.stats.repair_nodes_recomputed += efficacy.nodes_recomputed;
+        self.stats.repair_delta_bytes += efficacy.delta_bytes;
+
+        // Standing queries: re-check and push any answer flips.
+        let notifications = self.refresh_subscriptions();
+        self.stats.notifications += notifications.len() as u64;
         Ok(UpdateOutcome {
             flushed,
             effect,
             report,
             invalidated,
+            repaired,
+            notifications,
         })
+    }
+
+    /// The legacy maintenance path: reload touched fragments at their
+    /// sites (dropping the site cache entries) and purge the
+    /// coordinator's. Returns the coordinator entries dropped.
+    fn invalidate_for(
+        &mut self,
+        effect: &UpdateEffect,
+        report: &mut RunReport,
+        faults: &mut FaultSummary,
+    ) -> usize {
+        let mut invalidated = 0usize;
+        for &gone in &effect.removed {
+            // The placement keeps the stale mapping of a merged-away
+            // fragment, which is exactly the site its worker lives on.
+            let site = self.placement.site_of(gone);
+            if !self.pool.unload(site, gone) {
+                // Dead actor (e.g. crashed mid-apply): restart it with
+                // the authoritative post-update fragment set, which no
+                // longer contains `gone`.
+                self.reseed_site(site, faults);
+            }
+            invalidated += self.purge_fragment(gone);
+        }
+        for f in effect.stale() {
+            let site = self.placement.site_of(f);
+            self.pool.ensure_site(site);
+            if !self.pool.load(site, f, self.forest.tree_handle(f)) {
+                self.reseed_site(site, faults);
+            }
+            invalidated += self.purge_fragment(f);
+            report.record_visit(site);
+            if site != self.coordinator {
+                report.record_message(
+                    self.coordinator,
+                    site,
+                    UPDATE_CONTROL_BYTES,
+                    MessageKind::Control,
+                );
+            }
+        }
+        invalidated
+    }
+
+    /// Repairs the coordinator's solve-cache entries for `frag` from
+    /// the owning site's repair outcomes. Per entry holding a triplet
+    /// for `frag`: an *unchanged* source triplet keeps the memoized
+    /// answer alive; a changed one is re-projected through the entry's
+    /// recorded provenance (voiding the answer); an entry whose source
+    /// program the site no longer caches is invalidated. Entries
+    /// *without* a triplet for `frag` keep their memoized answers —
+    /// those were certain under any content of the uncovered fragments,
+    /// which a pure data update cannot change. Returns
+    /// `(repaired, invalidated)`.
+    fn repair_coordinator_entries(
+        &mut self,
+        frag: FragmentId,
+        outcomes: &[RepairOutcome],
+    ) -> (usize, usize) {
+        let by_fp: HashMap<QueryFingerprint, &RepairOutcome> =
+            outcomes.iter().map(|o| (o.fingerprint, o)).collect();
+        let (mut repaired, mut invalidated) = (0usize, 0usize);
+        for entry in self.solve_cache.values_mut() {
+            if !entry.triplets.contains_key(&frag) {
+                continue;
+            }
+            let source = entry
+                .sources
+                .get(&frag)
+                .and_then(|(fp, proj)| by_fp.get(fp).map(|o| (*o, Arc::clone(proj))));
+            match source {
+                Some((o, _)) if !o.changed => repaired += 1,
+                Some((o, proj)) => {
+                    let inv: HashMap<u32, u32> = proj
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &h)| (h, i as u32))
+                        .collect();
+                    entry
+                        .triplets
+                        .insert(frag, Arc::new(project_triplet(&o.triplet, &proj, &inv)));
+                    entry.answer = None;
+                    repaired += 1;
+                }
+                None => {
+                    entry.triplets.remove(&frag);
+                    entry.sources.remove(&frag);
+                    entry.answer = None;
+                    invalidated += 1;
+                }
+            }
+        }
+        (repaired, invalidated)
     }
 
     /// Restarts `site`'s actor thread and re-seeds it with every
@@ -1332,6 +1735,7 @@ impl Engine {
             if entry.triplets.remove(&frag).is_some() {
                 n += 1;
             }
+            entry.sources.remove(&frag);
             entry.answer = None;
         }
         n
@@ -1513,6 +1917,18 @@ mod tests {
         Engine::new(forest, placement, EngineConfig::default()).unwrap()
     }
 
+    /// An engine with delta maintenance off: every update invalidates
+    /// and recomputes, as before delta repair existed.
+    fn legacy_engine() -> Engine {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let config = EngineConfig {
+            delta_maintenance: false,
+            ..EngineConfig::default()
+        };
+        Engine::new(forest, placement, config).unwrap()
+    }
+
     fn oracle(engine: &Engine, q: &Query) -> bool {
         let cluster = Cluster::new(engine.forest(), engine.placement(), NetworkModel::lan());
         parbox(&cluster, &compile(q)).answer
@@ -1557,8 +1973,10 @@ mod tests {
         // Regression: two merged batch programs ending in the same member
         // share a *root* fingerprint. If the site caches keyed by it,
         // round 2 would be served round 1's (differently shaped) triplets
-        // and the projection would read the wrong entries.
-        let mut e = engine();
+        // and the projection would read the wrong entries. (Legacy
+        // engine: delta repair would keep B's answer memoized and round
+        // 2 would never merge [C, B].)
+        let mut e = legacy_engine();
         let a = parse_query("[//A]").unwrap();
         let b = parse_query("[//B]").unwrap();
         let c = parse_query("[//pad]").unwrap();
@@ -1658,11 +2076,12 @@ mod tests {
     }
 
     #[test]
-    fn update_invalidates_only_touched_fragment() {
+    fn update_repairs_caches_in_place_and_flips_the_answer() {
         let mut e = engine();
         let q = parse_query("[//goal]").unwrap();
         assert!(!e.query(&q).answer);
-        // Insert `goal` into fragment 3 (the y-subtree).
+        // Insert `goal` into fragment 3 (the y-subtree): a pure data
+        // update, maintained by delta repair instead of invalidation.
         let frag = FragmentId(3);
         let parent = {
             let t = &e.forest().fragment(frag).tree;
@@ -1677,19 +2096,26 @@ mod tests {
             })
             .unwrap();
         assert_eq!(up.effect.touched, vec![frag]);
-        assert!(up.invalidated >= 1);
+        assert!(up.repaired >= 2, "site entry and solve entry repaired");
+        assert_eq!(up.invalidated, 0, "nothing thrown away");
+        let repair = up.report.repair.expect("delta update reports efficacy");
+        assert!(repair.nodes_recomputed >= 1, "O(depth) path re-interned");
+        assert!(repair.delta_bytes >= 1, "changed triplet shipped as delta");
 
+        // The repaired caches answer the flipped query with zero
+        // data-plane messages — the triplets are already current.
         let after = e.query(&q);
         assert!(after.answer, "update flipped the answer");
         assert_eq!(after.answer, oracle(&e, &q));
-        assert!(!after.from_cache);
-        // Only the touched fragment was re-evaluated.
-        let out_frags = e.stats();
-        assert!(out_frags.fragments_evaluated >= 1);
+        assert!(after.from_cache, "repaired solve entry re-solves locally");
+        assert_eq!(after.report.total_messages(), 0);
     }
 
     #[test]
-    fn partial_invalidation_reevaluates_one_fragment() {
+    fn irrelevant_update_keeps_answers_memoized() {
+        // Inserting a node no cached query can see leaves every triplet
+        // id-identical: delta repair certifies the entries unchanged and
+        // the memoized answers stay hot — the update is nearly free.
         let mut e = engine();
         let q = parse_query("[//A and //B]").unwrap();
         e.query(&q);
@@ -1698,21 +2124,191 @@ mod tests {
             let t = &e.forest().fragment(frag).tree;
             t.root()
         };
-        e.apply(Update::InsNode {
-            frag,
-            parent,
-            label: "noise".into(),
-            text: None,
-        })
-        .unwrap();
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(up.repaired >= 2);
+        assert_eq!(up.invalidated, 0);
+        let repair = up.report.repair.unwrap();
+        assert_eq!(
+            repair.delta_bytes,
+            up.report.bytes_of_kind(MessageKind::Envelope) as u64,
+            "unchanged entries ship 1-byte acks, not triplets"
+        );
         let before = e.stats().fragments_evaluated;
         let again = e.query(&q);
         assert_eq!(again.answer, oracle(&e, &q));
+        assert!(again.from_cache, "memoized answer survived the update");
+        assert_eq!(
+            e.stats().fragments_evaluated,
+            before,
+            "no fragment went back to its site"
+        );
+    }
+
+    #[test]
+    fn legacy_invalidation_reevaluates_one_fragment() {
+        // With delta maintenance off, the pre-existing contract holds:
+        // the touched fragment is invalidated and exactly it re-runs
+        // `bottomUp` on the next query.
+        let mut e = legacy_engine();
+        let q = parse_query("[//A and //B]").unwrap();
+        e.query(&q);
+        let frag = FragmentId(3);
+        let parent = {
+            let t = &e.forest().fragment(frag).tree;
+            t.root()
+        };
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(up.invalidated >= 1);
+        assert_eq!(up.repaired, 0);
+        let before = e.stats().fragments_evaluated;
+        let again = e.query(&q);
+        assert_eq!(again.answer, oracle(&e, &q));
+        assert!(!again.from_cache);
         assert_eq!(
             e.stats().fragments_evaluated - before,
             1,
             "only the invalidated fragment goes back to its site"
         );
+    }
+
+    #[test]
+    fn delta_and_legacy_engines_agree_on_update_streams() {
+        // Per-step oracle equivalence of the two maintenance paths: the
+        // repaired caches must serve byte-identical answers to the
+        // invalidate-and-recompute baseline on every step.
+        let mut delta = engine();
+        let mut legacy = legacy_engine();
+        let queries: Vec<Query> = SRCS.iter().map(|s| parse_query(s).unwrap()).collect();
+        let updates = [
+            ("goal", FragmentId(3)),
+            ("pad", FragmentId(1)),
+            ("A", FragmentId(2)),
+            ("B", FragmentId(0)),
+        ];
+        for (label, frag) in updates {
+            let parent = delta.forest().fragment(frag).tree.root();
+            let up = Update::InsNode {
+                frag,
+                parent,
+                label: label.into(),
+                text: None,
+            };
+            delta.apply(up.clone()).unwrap();
+            legacy.apply(up).unwrap();
+            for q in &queries {
+                assert_eq!(
+                    delta.query(q).answer,
+                    legacy.query(q).answer,
+                    "{label} -> {frag:?}"
+                );
+                assert_eq!(delta.query(q).answer, oracle(&delta, q));
+            }
+        }
+        assert!(delta.stats().entries_repaired > 0);
+        assert_eq!(legacy.stats().entries_repaired, 0);
+    }
+
+    #[test]
+    fn standing_query_pushes_answer_flips() {
+        let mut e = engine();
+        let q = parse_query("[//goal]").unwrap();
+        let sub = e.subscribe(&q);
+        assert_eq!(e.subscription_answer(sub), Some(false));
+        assert_eq!(e.subscription_count(), 1);
+        let frag = FragmentId(3);
+        let parent = e.forest().fragment(frag).tree.root();
+        // An irrelevant update pushes nothing.
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(up.notifications.is_empty());
+        // A relevant one pushes the flip with the outcome.
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "goal".into(),
+                text: None,
+            })
+            .unwrap();
+        assert_eq!(
+            up.notifications,
+            vec![Notification {
+                subscription: sub,
+                answer: true
+            }]
+        );
+        assert_eq!(e.subscription_answer(sub), Some(true));
+        // Deleting the node flips it back.
+        let goal = {
+            let t = &e.forest().fragment(frag).tree;
+            t.descendants(t.root())
+                .find(|&n| t.label_str(n) == "goal")
+                .unwrap()
+        };
+        let up = e.apply(Update::DelNode { frag, node: goal }).unwrap();
+        assert_eq!(
+            up.notifications,
+            vec![Notification {
+                subscription: sub,
+                answer: false
+            }]
+        );
+        assert_eq!(e.stats().notifications, 2);
+        assert!(e.unsubscribe(sub));
+        assert!(!e.unsubscribe(sub), "double-cancel reports unknown");
+    }
+
+    #[test]
+    fn subscription_pins_its_solve_entry_against_eviction() {
+        let forest = fig1_forest();
+        let placement = Placement::one_per_fragment(&forest);
+        let config = EngineConfig {
+            solve_cache_fingerprints: 1,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(forest, placement, config).unwrap();
+        let sub = e.subscribe(&parse_query("[//A]").unwrap());
+        // Churn distinct fingerprints through the 1-entry cache.
+        for i in 0..3 {
+            e.query(&parse_query(&format!("[//x{i}]")).unwrap());
+        }
+        // The pinned entry survived: refreshing it after an irrelevant
+        // update needs no round at all (the memoized answer was kept by
+        // an unchanged repair), where an evicted entry would force one.
+        let frag = FragmentId(3);
+        let parent = e.forest().fragment(frag).tree.root();
+        let rounds = e.stats().rounds;
+        let up = e
+            .apply(Update::InsNode {
+                frag,
+                parent,
+                label: "noise".into(),
+                text: None,
+            })
+            .unwrap();
+        assert!(up.notifications.is_empty());
+        assert_eq!(e.stats().rounds, rounds, "refresh cost zero rounds");
+        assert_eq!(e.subscription_answer(sub), Some(true));
     }
 
     #[test]

@@ -97,6 +97,35 @@ impl std::fmt::Display for ViewError {
 
 impl std::error::Error for ViewError {}
 
+/// An in-place data update expressed *against the fragment tree*: which
+/// fragment changed, and the deepest surviving node whose subtree the
+/// change lives under (the parent of an inserted or deleted subtree).
+///
+/// This is the unit the delta-repair maintenance path pushes through the
+/// cached `bottomUp` evaluation
+/// ([`IncrementalBottomUp::repair`](crate::eval::IncrementalBottomUp::repair)):
+/// everything off the root-to-`anchor` path keeps its memoized vectors.
+/// Only `insNode`/`delNode` produce a delta — `splitFragments` and
+/// `mergeFragments` restructure the fragment tree itself and take the
+/// legacy invalidate path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentDelta {
+    /// The fragment whose tree changed in place.
+    pub frag: FragmentId,
+    /// Parent of the inserted/deleted subtree; the root-to-`anchor` path
+    /// is the only part of the fragment whose triplet contribution can
+    /// have changed.
+    pub anchor: NodeId,
+    /// Exact node-count change of the fragment (+1 for `insNode`, minus
+    /// the removed subtree for `delNode`) — lets
+    /// [`ForestStats`](parbox_frag::ForestStats) be maintained in `O(1)`
+    /// instead of re-walking the fragment.
+    pub nodes_delta: isize,
+    /// Exact serialized-byte change of the fragment, measured at
+    /// mutation time.
+    pub bytes_delta: isize,
+}
+
 /// The structural effect of applying one [`Update`] to a forest.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateEffect {
@@ -107,6 +136,9 @@ pub struct UpdateEffect {
     pub added: Vec<FragmentId>,
     /// Fragments that ceased to exist (`mergeFragments`).
     pub removed: Vec<FragmentId>,
+    /// For pure data updates: the change as a [`FragmentDelta`], enabling
+    /// O(depth) repair of cached triplets instead of invalidation.
+    pub delta: Option<FragmentDelta>,
 }
 
 impl UpdateEffect {
@@ -143,12 +175,19 @@ pub fn apply_update_to_forest(
             text,
         } => {
             let tree = forest.tree_mut(frag);
-            match text {
+            let new = match text {
                 Some(t) => tree.add_text_child(parent, &label, &t),
                 None => tree.add_child(parent, &label),
             };
+            let bytes_delta = tree.node_byte_size(new) as isize;
             Ok(UpdateEffect {
                 touched: vec![frag],
+                delta: Some(FragmentDelta {
+                    frag,
+                    anchor: parent,
+                    nodes_delta: 1,
+                    bytes_delta,
+                }),
                 ..Default::default()
             })
         }
@@ -162,12 +201,21 @@ pub fn apply_update_to_forest(
             if !orphans.is_empty() {
                 return Err(ViewError::WouldOrphanFragments(orphans));
             }
+            let anchor = tree.ancestors(node).next();
+            let nodes_delta = -(tree.subtree_size(node) as isize);
+            let bytes_delta = -(tree.byte_size(node) as isize);
             forest
                 .tree_mut(frag)
                 .remove_subtree(node)
                 .map_err(ViewError::Xml)?;
             Ok(UpdateEffect {
                 touched: vec![frag],
+                delta: anchor.map(|anchor| FragmentDelta {
+                    frag,
+                    anchor,
+                    nodes_delta,
+                    bytes_delta,
+                }),
                 ..Default::default()
             })
         }
@@ -202,10 +250,11 @@ pub fn apply_update_to_forest(
 }
 
 /// [`apply_update_to_forest`] with incremental
-/// [`ForestStats`](parbox_frag::ForestStats) maintenance: after the
-/// mutation, only the touched fragments are re-measured (`O(|F_j|)`),
-/// plus an `O(card(F) · depth)` structural refresh when the fragment
-/// tree changed shape. The maintained statistics stay equal to
+/// [`ForestStats`](parbox_frag::ForestStats) maintenance: a pure data
+/// update adjusts the touched fragment's figures in `O(1)` from the
+/// exact deltas the mutation measured; restructuring updates re-measure
+/// the touched fragments (`O(|F_j|)`) plus an `O(card(F) · depth)`
+/// structural refresh. The maintained statistics stay equal to
 /// [`ForestStats::compute`](parbox_frag::ForestStats::compute) from
 /// scratch (asserted by the serve suite's proptests).
 pub fn apply_update_tracked(
@@ -218,8 +267,14 @@ pub fn apply_update_tracked(
     for &gone in &effect.removed {
         stats.remove_fragment(gone);
     }
-    for f in effect.stale() {
-        stats.refresh_fragment(forest, placement, f);
+    if let (Some(d), false) = (effect.delta, effect.restructured()) {
+        // Pure data update: the mutation already measured its exact
+        // node/byte deltas — adjust in O(1) instead of re-walking.
+        stats.adjust_fragment(d.frag, d.nodes_delta, d.bytes_delta);
+    } else {
+        for f in effect.stale() {
+            stats.refresh_fragment(forest, placement, f);
+        }
     }
     if effect.restructured() {
         stats.refresh_structure(forest, placement);

@@ -116,6 +116,24 @@ impl ForestStats {
         self.insert_fragment(forest, placement, f);
     }
 
+    /// Adjusts one fragment's node/byte figures by a known pure-data
+    /// delta (`insNode`/`delNode`) without re-walking the fragment —
+    /// `O(1)`, against `refresh_fragment`'s `O(|F_j|)`. The deltas must
+    /// be exact (callers measure the inserted/removed nodes at mutation
+    /// time) so the maintained figures stay equal to the
+    /// recompute-from-scratch oracle. Untracked fragments are ignored.
+    pub fn adjust_fragment(&mut self, f: FragmentId, nodes_delta: isize, bytes_delta: isize) {
+        let Some(entry) = self.per_fragment.get_mut(&f) else {
+            return;
+        };
+        entry.nodes = entry.nodes.saturating_add_signed(nodes_delta);
+        entry.bytes = entry.bytes.saturating_add_signed(bytes_delta);
+        if let Some(site) = self.per_site.get_mut(&entry.site.0) {
+            site.nodes = site.nodes.saturating_add_signed(nodes_delta);
+            site.bytes = site.bytes.saturating_add_signed(bytes_delta);
+        }
+    }
+
     /// Forgets a fragment that ceased to exist (`mergeFragments`).
     pub fn remove_fragment(&mut self, f: FragmentId) {
         if let Some(old) = self.per_fragment.remove(&f) {

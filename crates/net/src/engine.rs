@@ -31,9 +31,9 @@ use crate::fault::{
 };
 use crate::metrics::FaultSummary;
 use crate::SiteId;
-use parbox_bool::Triplet;
+use parbox_bool::{triplet_delta_dag_wire_size, Triplet, TripletDelta};
 use parbox_query::{CompiledQuery, QueryFingerprint};
-use parbox_xml::{FragmentId, Tree};
+use parbox_xml::{FragmentId, NodeId, Tree};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -52,6 +52,50 @@ pub struct FragmentEval {
 /// algorithm layer (`parbox-core` passes procedure `bottomUp`), keeping
 /// this crate below the algorithms in the dependency DAG.
 pub type EvalFn = fn(&Tree, &CompiledQuery) -> FragmentEval;
+
+/// Opaque per-`(fragment, program)` evaluation state owned by a site
+/// worker on behalf of the algorithm layer (the memoized per-node
+/// vectors of `parbox-core`'s incremental `bottomUp`). This crate only
+/// stores and routes it; the delta kernel's functions downcast it.
+pub type DeltaState = Box<dyn std::any::Any + Send>;
+
+/// Result of repairing one cached evaluation in place.
+#[derive(Debug, Clone)]
+pub struct RepairedEval {
+    /// The fragment's triplet after the repair.
+    pub triplet: Triplet,
+    /// Nodes recomputed (the root-to-change path, not the fragment).
+    pub nodes_recomputed: u64,
+    /// Work units spent (`nodes recomputed × |QList|`).
+    pub work_units: u64,
+}
+
+/// Memo-building evaluation: like [`EvalFn`], but additionally returns
+/// the repairable state the worker keeps alongside the cached triplet.
+pub type BuildFn = fn(&Tree, &CompiledQuery) -> (FragmentEval, DeltaState);
+
+/// In-place repair of a previously built [`DeltaState`] after a data
+/// update whose deepest surviving changed node is the given anchor.
+pub type RepairFn = fn(&mut DeltaState, &Tree, NodeId) -> RepairedEval;
+
+/// A one-shot patch shipped with [`SitePool::repair`]: applies one pure
+/// data update to the site's *locally owned* copy of the fragment tree.
+/// Shipping the patch instead of a fresh tree handle keeps coordinator
+/// and site trees uniquely owned, so neither side pays an `O(|F|)`
+/// copy-on-write clone per update — the wire cost of an update is the
+/// patch itself, `O(|delta|)`.
+pub type PatchFn = Box<dyn FnOnce(&mut Tree) + Send>;
+
+/// The delta-maintenance kernel pair injected by the algorithm layer.
+/// When present, cache misses build repairable state and updates repair
+/// cached entries in place instead of dropping them.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaKernel {
+    /// Memo-building evaluation used on cache misses.
+    pub build: BuildFn,
+    /// O(depth) repair used on [`SitePool::repair`].
+    pub repair: RepairFn,
+}
 
 /// The initial deployment passed to [`SitePool::spawn`]: each site with
 /// the fragments (ids + shared tree handles) it will own.
@@ -89,6 +133,11 @@ pub struct SiteCacheStats {
     pub evictions: u64,
     /// Entries dropped by explicit invalidation (updates).
     pub invalidated: u64,
+    /// Entries **repaired in place** by delta maintenance — the update
+    /// path that replaces invalidation when a [`DeltaKernel`] is
+    /// installed. A repaired entry keeps serving hits without a
+    /// re-evaluation.
+    pub repaired: u64,
     /// Freshly computed triplets that matched an already-stored one and
     /// were deduplicated into a shared allocation. Triplet contents are
     /// arena `FormulaId`s, so the content comparison is `O(|QList|)` id
@@ -120,15 +169,67 @@ enum Request {
     /// Install (or replace) a fragment's tree handle, dropping every
     /// cache entry of that fragment — the update-invalidation path.
     Load { frag: FragmentId, tree: Arc<Tree> },
+    /// Apply a data-update patch to the site's own copy of the fragment
+    /// and **repair** its cache entries in place through the delta
+    /// kernel — the delta-maintenance replacement for
+    /// [`Request::Load`]'s invalidation.
+    Repair {
+        frag: FragmentId,
+        patch: PatchFn,
+        anchor: NodeId,
+        reply: mpsc::Sender<RepairReply>,
+    },
     /// Remove a fragment (merged away or migrated) and its cache entries.
     Unload { frag: FragmentId },
     /// Report cache counters.
     Stats { reply: mpsc::Sender<SiteCacheStats> },
 }
 
+/// One repaired cache entry, as reported back to the coordinator.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Program fingerprint of the repaired `(fragment, program)` entry.
+    pub fingerprint: QueryFingerprint,
+    /// The entry's triplet after the repair.
+    pub triplet: Arc<Triplet>,
+    /// Whether the triplet differs from the cached one. Unchanged
+    /// entries let the coordinator keep memoized answers untouched.
+    pub changed: bool,
+    /// Bytes the repair costs on the wire: the varint-DAG
+    /// [`TripletDelta`] for changed entries, a 1-byte ack otherwise —
+    /// never a full triplet re-ship.
+    pub delta_bytes: usize,
+}
+
+/// A site's reply to a repair request ([`SitePool::repair`]).
+#[derive(Debug)]
+pub struct RepairReply {
+    /// The replying site.
+    pub site: SiteId,
+    /// Whether the site owned the fragment and applied the patch. When
+    /// false the site never had the tree (e.g. a restart raced the
+    /// update) — the caller must fall back to reseed + invalidate.
+    pub patched: bool,
+    /// Per cached `(fragment, program)` entry: the repair outcome.
+    pub outcomes: Vec<RepairOutcome>,
+    /// Cache entries for the fragment that had no repairable state and
+    /// were dropped (legacy invalidation for just those entries).
+    pub dropped: u64,
+    /// Total nodes recomputed across all repaired entries.
+    pub nodes_recomputed: u64,
+    /// Total work units spent.
+    pub work_units: u64,
+    /// Measured wall-clock time of the site's local work.
+    pub elapsed: Duration,
+}
+
 struct SiteWorker {
     site: SiteId,
     eval: EvalFn,
+    /// When present, cache misses run `delta.build` (memoizing state for
+    /// later repair) instead of `eval`, and [`Request::Repair`] repairs
+    /// entries in place.
+    delta: Option<DeltaKernel>,
     plan: FaultPlan,
     /// Set by an injected [`FaultKind::Wedge`]: the worker stays alive
     /// but answers nothing, holding every subsequent request (and its
@@ -141,6 +242,10 @@ struct SiteWorker {
     dropped_replies: Vec<mpsc::Sender<EvalReply>>,
     fragments: HashMap<FragmentId, Arc<Tree>>,
     cache: HashMap<(FragmentId, QueryFingerprint), Arc<Triplet>>,
+    /// Repairable evaluation state, one per cache entry built through the
+    /// delta kernel. Kept strictly in step with `cache`: eviction,
+    /// invalidation and unload drop the memo with the entry.
+    memos: HashMap<(FragmentId, QueryFingerprint), DeltaState>,
     /// FIFO eviction order of cache keys.
     order: VecDeque<(FragmentId, QueryFingerprint)>,
     /// Content-addressed dedup: triplets keyed by their own
@@ -167,7 +272,9 @@ impl SiteWorker {
             }
             let fault = match &req {
                 Request::Eval { .. } => self.plan.decide(self.site.0, FaultContext::Eval),
-                Request::Load { .. } => self.plan.decide(self.site.0, FaultContext::Apply),
+                Request::Load { .. } | Request::Repair { .. } => {
+                    self.plan.decide(self.site.0, FaultContext::Apply)
+                }
                 _ => None,
             };
             match fault {
@@ -208,7 +315,16 @@ impl SiteWorker {
                             continue;
                         };
                         self.stats.misses += 1;
-                        let run = (self.eval)(tree, &program);
+                        // With a delta kernel, a miss builds repairable
+                        // state so later updates cost O(depth) here.
+                        let run = match self.delta {
+                            Some(k) if self.capacity > 0 => {
+                                let (run, state) = (k.build)(tree, &program);
+                                self.memos.insert((f, fingerprint), state);
+                                run
+                            }
+                            _ => (self.eval)(tree, &program),
+                        };
                         work_units += run.work_units;
                         let t = self.share(run.triplet);
                         self.insert(f, fingerprint, Arc::clone(&t));
@@ -240,6 +356,27 @@ impl SiteWorker {
                     self.fragments.insert(frag, tree);
                     self.drop_entries_of(frag);
                 }
+                Request::Repair {
+                    frag,
+                    patch,
+                    anchor,
+                    reply,
+                } => {
+                    let envelope = self.repair_fragment(frag, patch, anchor);
+                    match fault {
+                        Some(FaultKind::DelayReply) => {
+                            std::thread::sleep(self.plan.reply_delay());
+                            let _ = reply.send(envelope);
+                        }
+                        // A dropped repair ack looks like a crash to the
+                        // coordinator, which falls back to reseed +
+                        // recompute — always sound, never stale.
+                        Some(FaultKind::DropEnvelope) => {}
+                        _ => {
+                            let _ = reply.send(envelope);
+                        }
+                    }
+                }
                 Request::Unload { frag } => {
                     self.fragments.remove(&frag);
                     self.drop_entries_of(frag);
@@ -250,6 +387,81 @@ impl SiteWorker {
                     let _ = reply.send(s);
                 }
             }
+        }
+    }
+
+    /// Applies the update patch to the site's own copy of the fragment
+    /// tree and repairs every cached entry of `frag` in place through
+    /// the delta kernel. Entries without repairable state (kernel
+    /// absent, or built before the kernel was installed) are dropped —
+    /// invalidation for just those entries.
+    fn repair_fragment(&mut self, frag: FragmentId, patch: PatchFn, anchor: NodeId) -> RepairReply {
+        let start = Instant::now();
+        let Some(handle) = self.fragments.get_mut(&frag) else {
+            return RepairReply {
+                site: self.site,
+                patched: false,
+                outcomes: Vec::new(),
+                dropped: 0,
+                nodes_recomputed: 0,
+                work_units: 0,
+                elapsed: start.elapsed(),
+            };
+        };
+        // The handle is uniquely owned in steady state (the coordinator
+        // keeps its own copy), so this mutates in place; a shared handle
+        // (fresh seed) pays one clone and is unique thereafter.
+        patch(Arc::make_mut(handle));
+        let tree = Arc::clone(handle);
+        let keys: Vec<(FragmentId, QueryFingerprint)> = self
+            .cache
+            .keys()
+            .filter(|(f, _)| *f == frag)
+            .copied()
+            .collect();
+        let mut outcomes = Vec::new();
+        let mut dropped = 0u64;
+        let mut nodes_recomputed = 0u64;
+        let mut work_units = 0u64;
+        for key in keys {
+            let state = self.delta.and_then(|_| self.memos.get_mut(&key));
+            let Some(state) = state else {
+                self.cache.remove(&key);
+                self.memos.remove(&key);
+                self.stats.invalidated += 1;
+                dropped += 1;
+                continue;
+            };
+            let kernel = self.delta.expect("state implies kernel");
+            let run = (kernel.repair)(state, &tree, anchor);
+            nodes_recomputed += run.nodes_recomputed;
+            work_units += run.work_units;
+            let old = Arc::clone(self.cache.get(&key).expect("key from cache"));
+            let changed = *old != run.triplet;
+            let delta_bytes = if changed {
+                triplet_delta_dag_wire_size(&TripletDelta::diff(&old, &run.triplet))
+            } else {
+                1 // bare "unchanged" ack
+            };
+            let t = self.share(run.triplet);
+            // Replace in place: the key keeps its slot in the FIFO order.
+            self.cache.insert(key, Arc::clone(&t));
+            self.stats.repaired += 1;
+            outcomes.push(RepairOutcome {
+                fingerprint: key.1,
+                triplet: t,
+                changed,
+                delta_bytes,
+            });
+        }
+        RepairReply {
+            site: self.site,
+            patched: true,
+            outcomes,
+            dropped,
+            nodes_recomputed,
+            work_units,
+            elapsed: start.elapsed(),
         }
     }
 
@@ -284,6 +496,7 @@ impl SiteWorker {
             match self.order.pop_front() {
                 Some(key) => {
                     if self.cache.remove(&key).is_some() {
+                        self.memos.remove(&key);
                         self.stats.evictions += 1;
                     }
                 }
@@ -295,6 +508,7 @@ impl SiteWorker {
     fn drop_entries_of(&mut self, frag: FragmentId) {
         let before = self.cache.len();
         self.cache.retain(|(f, _), _| *f != frag);
+        self.memos.retain(|(f, _), _| *f != frag);
         self.stats.invalidated += (before - self.cache.len()) as u64;
     }
 }
@@ -321,6 +535,7 @@ pub struct SupervisedRound {
 #[derive(Debug)]
 pub struct SitePool {
     eval: EvalFn,
+    delta: Option<DeltaKernel>,
     capacity: usize,
     plan: FaultPlan,
     senders: BTreeMap<u32, mpsc::Sender<Request>>,
@@ -352,11 +567,25 @@ impl SitePool {
         eval: EvalFn,
         plan: FaultPlan,
     ) -> SitePool {
+        SitePool::spawn_full(sites, cache_capacity, eval, plan, None)
+    }
+
+    /// [`SitePool::spawn_with_faults`] plus an optional [`DeltaKernel`]:
+    /// with one installed, cache misses build repairable per-entry state
+    /// and [`SitePool::repair`] maintains cached triplets in place.
+    pub fn spawn_full(
+        sites: SiteDeployment,
+        cache_capacity: usize,
+        eval: EvalFn,
+        plan: FaultPlan,
+        delta: Option<DeltaKernel>,
+    ) -> SitePool {
         if !plan.is_inert() {
             install_quiet_panic_hook();
         }
         let mut pool = SitePool {
             eval,
+            delta,
             capacity: cache_capacity,
             plan,
             senders: BTreeMap::new(),
@@ -376,12 +605,14 @@ impl SitePool {
         let worker = SiteWorker {
             site,
             eval: self.eval,
+            delta: self.delta,
             plan: self.plan.clone(),
             wedged: false,
             held: Vec::new(),
             dropped_replies: Vec::new(),
             fragments: frags.into_iter().collect(),
             cache: HashMap::new(),
+            memos: HashMap::new(),
             order: VecDeque::new(),
             content: HashMap::new(),
             capacity: self.capacity,
@@ -624,6 +855,33 @@ impl SitePool {
         self.sender(site).send(Request::Load { frag, tree }).is_ok()
     }
 
+    /// Ships an in-place update to `site` and waits (bounded by
+    /// `deadline`) for its cached entries of `frag` to be repaired
+    /// through the delta kernel. Returns `None` when the actor is dead,
+    /// the reply channel disconnects (a crash mid-apply), or the
+    /// deadline expires — the caller must then fall back to restart +
+    /// invalidate, never trusting a possibly half-repaired cache.
+    pub fn repair(
+        &self,
+        site: SiteId,
+        frag: FragmentId,
+        patch: PatchFn,
+        anchor: NodeId,
+        deadline: Duration,
+    ) -> Option<RepairReply> {
+        let (tx, rx) = mpsc::channel();
+        self.senders
+            .get(&site.0)?
+            .send(Request::Repair {
+                frag,
+                patch,
+                anchor,
+                reply: tx,
+            })
+            .ok()?;
+        rx.recv_timeout(deadline).ok()
+    }
+
     /// Removes a fragment (and its cache entries) from `site`. Returns
     /// whether the request was delivered, as for [`SitePool::load`].
     pub fn unload(&self, site: SiteId, frag: FragmentId) -> bool {
@@ -784,6 +1042,151 @@ mod tests {
         assert!(!replies[0].triplets[0].2, "refreshed fragment re-evaluates");
         assert!(replies[0].triplets[1].2, "untouched fragment stays cached");
         let stats = pool.cache_stats();
+        assert_eq!(stats[&0].invalidated, 1);
+    }
+
+    /// Toy delta kernel over [`toy_eval`]: the "state" is just the
+    /// program width; repair recomputes the constant triplet from the
+    /// freshly installed tree and reports one node touched.
+    fn toy_build(tree: &Tree, q: &CompiledQuery) -> (FragmentEval, DeltaState) {
+        (toy_eval(tree, q), Box::new(q.len()))
+    }
+
+    fn toy_repair(state: &mut DeltaState, tree: &Tree, _anchor: NodeId) -> RepairedEval {
+        let m = *state.downcast_ref::<usize>().expect("toy state");
+        RepairedEval {
+            triplet: Triplet {
+                v: vec![Formula::constant(tree.len().is_multiple_of(2)); m],
+                cv: vec![Formula::FALSE; m],
+                dv: vec![Formula::FALSE; m],
+            },
+            nodes_recomputed: 1,
+            work_units: 1,
+        }
+    }
+
+    const TOY_KERNEL: DeltaKernel = DeltaKernel {
+        build: toy_build,
+        repair: toy_repair,
+    };
+
+    fn delta_pool(n_sites: u32) -> SitePool {
+        SitePool::spawn_full(
+            deployment(n_sites),
+            16,
+            toy_eval,
+            FaultPlan::none(),
+            Some(TOY_KERNEL),
+        )
+    }
+
+    #[test]
+    fn repair_patches_cached_triplet_in_place() {
+        let mut pool = delta_pool(1);
+        let program = q();
+        let frags = vec![(SiteId(0), vec![FragmentId(0)])];
+        pool.eval_round(&program, program.fingerprint(), frags.clone());
+
+        // <s0><a/></s0> has 2 nodes (even); the patch makes it 3 (odd).
+        let anchor = Tree::parse("<s0><a/></s0>").unwrap().root();
+        let reply = pool
+            .repair(
+                SiteId(0),
+                FragmentId(0),
+                Box::new(|t: &mut Tree| {
+                    let root = t.root();
+                    t.add_child(root, "b");
+                }),
+                anchor,
+                Duration::from_secs(2),
+            )
+            .expect("repair reply");
+        assert!(reply.patched);
+        assert_eq!(reply.dropped, 0);
+        assert_eq!(reply.outcomes.len(), 1);
+        assert!(reply.outcomes[0].changed);
+        assert!(reply.outcomes[0].delta_bytes >= 1);
+        assert_eq!(reply.nodes_recomputed, 1);
+
+        // The repaired entry serves the next round as a *hit* with the
+        // new triplet — no invalidation, no re-evaluation.
+        let replies = pool.eval_round(&program, program.fingerprint(), frags);
+        assert!(replies[0].triplets[0].2, "repaired entry stays cached");
+        assert_eq!(replies[0].triplets[0].1.v[0], Formula::constant(false));
+        let stats = pool.cache_stats();
+        assert_eq!(stats[&0].repaired, 1);
+        assert_eq!(stats[&0].invalidated, 0);
+    }
+
+    #[test]
+    fn unchanged_repair_reports_no_delta() {
+        let mut pool = delta_pool(1);
+        let program = q();
+        let frags = vec![(SiteId(0), vec![FragmentId(0)])];
+        pool.eval_round(&program, program.fingerprint(), frags.clone());
+
+        // Two inserts keep the node parity even: the triplet is identical.
+        let anchor = Tree::parse("<s0><a/></s0>").unwrap().root();
+        let reply = pool
+            .repair(
+                SiteId(0),
+                FragmentId(0),
+                Box::new(|t: &mut Tree| {
+                    let root = t.root();
+                    t.add_child(root, "c");
+                    t.add_child(root, "d");
+                }),
+                anchor,
+                Duration::from_secs(2),
+            )
+            .expect("repair reply");
+        assert!(!reply.outcomes[0].changed);
+        assert_eq!(reply.outcomes[0].delta_bytes, 1, "unchanged = 1-byte ack");
+        let replies = pool.eval_round(&program, program.fingerprint(), frags);
+        assert!(replies[0].triplets[0].2);
+    }
+
+    #[test]
+    fn repair_without_kernel_falls_back_to_invalidation() {
+        let mut pool = pool_of(1, 16);
+        let program = q();
+        let frags = vec![(SiteId(0), vec![FragmentId(0)])];
+        pool.eval_round(&program, program.fingerprint(), frags.clone());
+
+        let anchor = Tree::parse("<s0><a/></s0>").unwrap().root();
+        let reply = pool
+            .repair(
+                SiteId(0),
+                FragmentId(0),
+                Box::new(|t: &mut Tree| {
+                    let root = t.root();
+                    t.add_child(root, "b");
+                }),
+                anchor,
+                Duration::from_secs(2),
+            )
+            .expect("repair reply");
+        assert!(reply.patched);
+        assert!(reply.outcomes.is_empty());
+        assert_eq!(reply.dropped, 1, "no memo: entry must be invalidated");
+
+        let missing = pool
+            .repair(
+                SiteId(0),
+                FragmentId(9),
+                Box::new(|_t: &mut Tree| {}),
+                anchor,
+                Duration::from_secs(2),
+            )
+            .expect("repair reply");
+        assert!(!missing.patched, "unknown fragment cannot be patched");
+        assert!(missing.outcomes.is_empty());
+
+        let replies = pool.eval_round(&program, program.fingerprint(), frags);
+        assert!(!replies[0].triplets[0].2, "entry was dropped, so re-eval");
+        assert_eq!(replies[0].triplets[0].1.v[0], Formula::constant(false));
+        let stats = pool.cache_stats();
+        assert_eq!(stats[&0].repaired, 0);
         assert_eq!(stats[&0].invalidated, 1);
     }
 

@@ -57,13 +57,15 @@ mod model;
 pub use batch::{BatchProtocolError, BatchRound};
 pub use cluster::Cluster;
 pub use engine::{
-    EvalFn, EvalReply, FragmentEval, SiteCacheStats, SiteDeployment, SitePool, SupervisedRound,
+    BuildFn, DeltaKernel, DeltaState, EvalFn, EvalReply, FragmentEval, PatchFn, RepairFn,
+    RepairOutcome, RepairReply, RepairedEval, SiteCacheStats, SiteDeployment, SitePool,
+    SupervisedRound,
 };
 pub use exec::{run_sites_parallel, run_sites_sequential, SiteRun};
 pub use fault::{FaultContext, FaultKind, FaultPlan, FaultRates, InjectedFault, SupervisorConfig};
 pub use metrics::{
-    CacheEfficacy, CostEstimate, FaultSummary, Message, MessageKind, PlanSummary, RunReport,
-    SiteReport,
+    CacheEfficacy, CostEstimate, FaultSummary, Message, MessageKind, PlanSummary, RepairEfficacy,
+    RunReport, SiteReport,
 };
 pub use model::NetworkModel;
 

@@ -132,6 +132,47 @@ impl CacheEfficacy {
     }
 }
 
+/// Delta-repair maintenance counters of one update (or an aggregate of
+/// updates), recorded in [`RunReport::repair`] so serving artifacts
+/// show how much of the cached state survived each update in place
+/// versus being thrown away for recomputation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairEfficacy {
+    /// Cache entries (site triplets + coordinator solve entries)
+    /// repaired in place — or certified unchanged — by delta
+    /// maintenance.
+    pub repaired: u64,
+    /// Cache entries invalidated and left for full recomputation.
+    pub invalidated: u64,
+    /// Tree nodes re-interned by the repairs: the O(depth) update cost,
+    /// versus O(|fragment|) for a recomputation.
+    pub nodes_recomputed: u64,
+    /// Wire bytes of the shipped triplet deltas (changed entries only,
+    /// varint-DAG encoded; 1-byte ack per unchanged entry).
+    pub delta_bytes: u64,
+}
+
+impl RepairEfficacy {
+    /// Fraction of touched cache entries kept alive in place
+    /// (0 when the update touched no cached state).
+    pub fn repair_rate(&self) -> f64 {
+        let total = self.repaired + self.invalidated;
+        if total == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / total as f64
+        }
+    }
+
+    /// Folds another update's counters into this one.
+    pub fn absorb(&mut self, other: &RepairEfficacy) {
+        self.repaired += other.repaired;
+        self.invalidated += other.invalidated;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.delta_bytes += other.delta_bytes;
+    }
+}
+
 /// Fault-tolerance counters of one run, recorded in
 /// [`RunReport::faults`] by the serving engine's supervisor so every
 /// chaos artifact shows how much retrying, restarting, and re-seeding
@@ -200,6 +241,9 @@ pub struct RunReport {
     /// Cache efficacy of the round, for serving-engine runs (`None` for
     /// one-shot algorithm runs, which have no caches).
     pub cache: Option<CacheEfficacy>,
+    /// Delta-repair efficacy of a maintenance step (`None` outside
+    /// update handling, or when delta maintenance is disabled).
+    pub repair: Option<RepairEfficacy>,
     /// Fault-tolerance counters, for supervised serving-engine runs
     /// (`None` for one-shot algorithm runs, which have no supervisor).
     pub faults: Option<FaultSummary>,

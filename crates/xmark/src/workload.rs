@@ -145,6 +145,72 @@ pub fn resolve_update(forest: &Forest, seed: u64) -> Option<Update> {
     }
 }
 
+/// Resolves an update seed into a *pure data* update: inserts (with
+/// XMark vocabulary labels) and small-subtree deletions only — never
+/// `splitFragments`. Every update this resolver produces keeps the
+/// fragmentation intact, so a delta-maintaining engine can take the
+/// O(depth) repair path on all of them (restructuring updates fall back
+/// to invalidate-and-recompute by design). Returns `None` when the drawn
+/// target is not deletable; callers skip the operation.
+pub fn resolve_data_update(forest: &Forest, seed: u64) -> Option<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let frags: Vec<FragmentId> = forest.fragment_ids().collect();
+    let frag = frags[rng.random_range(0..frags.len())];
+    let tree = &forest.fragment(frag).tree;
+    let nodes: Vec<NodeId> = tree
+        .descendants(tree.root())
+        .filter(|&n| !tree.node(n).kind.is_virtual())
+        .collect();
+    if nodes.is_empty() {
+        return None;
+    }
+    let node = nodes[rng.random_range(0..nodes.len())];
+    if rng.random_range(0..10u32) <= 6 {
+        let label = XMARK_VOCAB[rng.random_range(0..XMARK_VOCAB.len())];
+        let text = rng
+            .random_bool(0.5)
+            .then(|| format!("v{}", rng.random_range(0..100u32)));
+        Some(Update::InsNode {
+            frag,
+            parent: node,
+            label: label.to_string(),
+            text,
+        })
+    } else {
+        // Deletions stay small so a long update stream keeps the document
+        // near its generated size instead of eroding it.
+        if node == tree.root()
+            || !tree.virtual_nodes(node).is_empty()
+            || tree.subtree_size(node) > 4
+        {
+            return None;
+        }
+        Some(Update::DelNode { frag, node })
+    }
+}
+
+/// Generates a deterministic *update-heavy* stream: ≥50% of operations
+/// are updates (resolve them with [`resolve_data_update`]), and every
+/// query is drawn uniformly from a small fixed pool of `pool` queries —
+/// the standing queries of an incremental-view-maintenance workload.
+pub fn update_heavy_workload(ops: usize, pool: usize, seed: u64) -> Vec<MixedOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = batch_workload(pool.max(1), seed ^ 0x1e77);
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        if rng.random_bool(0.55) {
+            out.push(MixedOp::Update {
+                seed: rng.next_u64(),
+            });
+        } else {
+            out.push(MixedOp::Query(
+                queries[rng.random_range(0..queries.len())].clone(),
+            ));
+        }
+    }
+    out
+}
+
 /// Aggregate result of driving one mixed stream through an engine.
 #[derive(Debug, Clone, Default)]
 pub struct StreamReport {
@@ -166,6 +232,16 @@ pub struct StreamReport {
 /// forest and flush whatever is pending first, and a final flush drains
 /// the tail.
 pub fn drive_stream(engine: &mut Engine, stream: &[MixedOp]) -> StreamReport {
+    drive_stream_with(engine, stream, resolve_update)
+}
+
+/// [`drive_stream`] with an explicit update resolver — pass
+/// [`resolve_update`] for the full Section-5 mix or
+/// [`resolve_data_update`] for pure data-update streams.
+pub fn drive_stream_with<F>(engine: &mut Engine, stream: &[MixedOp], mut resolve: F) -> StreamReport
+where
+    F: FnMut(&Forest, u64) -> Option<Update>,
+{
     let mut report = StreamReport::default();
     let absorb = |report: &mut StreamReport, out: Option<parbox_core::RoundOutcome>| {
         if let Some(out) = out {
@@ -182,7 +258,7 @@ pub fn drive_stream(engine: &mut Engine, stream: &[MixedOp]) -> StreamReport {
                 absorb(&mut report, out);
             }
             MixedOp::Update { seed } => {
-                if let Some(update) = resolve_update(engine.forest(), *seed) {
+                if let Some(update) = resolve(engine.forest(), *seed) {
                     let up = engine.apply(update).expect("resolved update applies");
                     report.updates_applied += 1;
                     report.bytes += up.report.total_bytes();
@@ -277,5 +353,67 @@ mod tests {
             }
         }
         assert!(applied > 100, "most seeds resolve: {applied}");
+    }
+
+    #[test]
+    fn data_updates_never_restructure() {
+        let tree = Tree::parse(
+            "<site><item><name>a</name></item><person><name>b</name></person><extra/></site>",
+        )
+        .unwrap();
+        let mut forest = Forest::from_tree(tree);
+        let root = forest.root_fragment();
+        let cut = {
+            let t = &forest.fragment(root).tree;
+            t.children(t.root()).next().unwrap()
+        };
+        forest.split(root, cut).unwrap();
+        let fragments_before = forest.fragment_ids().count();
+        let mut placement = parbox_frag::Placement::one_per_fragment(&forest);
+
+        let mut applied = 0usize;
+        for seed in 0..200u64 {
+            if let Some(update) = resolve_data_update(&forest, seed) {
+                assert!(
+                    matches!(update, Update::InsNode { .. } | Update::DelNode { .. }),
+                    "data resolver produced {update:?}"
+                );
+                parbox_core::apply_update_to_forest(&mut forest, &mut placement, update)
+                    .expect("resolved updates are valid");
+                applied += 1;
+            }
+        }
+        assert!(applied > 100, "most seeds resolve: {applied}");
+        assert_eq!(
+            forest.fragment_ids().count(),
+            fragments_before,
+            "pure data updates must not change the fragmentation"
+        );
+    }
+
+    #[test]
+    fn update_heavy_stream_is_mostly_updates_from_a_small_pool() {
+        let stream = update_heavy_workload(2000, 4, 7);
+        let (queries, updates) = ops_of(&stream);
+        assert_eq!(queries + updates, 2000);
+        assert!(
+            updates * 100 / 2000 >= 50,
+            "update-heavy stream must be ≥50% updates: {updates}"
+        );
+        let distinct: std::collections::HashSet<String> = stream
+            .iter()
+            .filter_map(|op| match op {
+                MixedOp::Query(q) => Some(format!("{q}")),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            distinct.len() <= 4,
+            "queries come from the fixed pool: {}",
+            distinct.len()
+        );
+        // Determinism: same arguments, same stream.
+        let again = update_heavy_workload(2000, 4, 7);
+        assert_eq!(stream.len(), again.len());
     }
 }

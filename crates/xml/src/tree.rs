@@ -372,15 +372,19 @@ impl Tree {
     /// Used by the network simulator to cost data shipping (the
     /// `NaiveCentralized` baseline ships fragments wholesale).
     pub fn byte_size(&self, id: NodeId) -> usize {
-        self.descendants(id)
-            .map(|n| {
-                let node = self.node(n);
-                // "<tag>" + "</tag>" + text + attributes.
-                let tag = self.labels.resolve(node.label).len();
-                let attrs: usize = node.attrs.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
-                2 * tag + 5 + attrs + node.text.as_deref().map_or(0, str::len)
-            })
-            .sum()
+        self.descendants(id).map(|n| self.node_byte_size(n)).sum()
+    }
+
+    /// Approximate serialized size of a single node (its own tags, text
+    /// and attributes, children excluded) — the per-node summand of
+    /// [`Tree::byte_size`], exposed so statistics can be maintained in
+    /// `O(1)` under single-node data updates.
+    pub fn node_byte_size(&self, id: NodeId) -> usize {
+        let node = self.node(id);
+        // "<tag>" + "</tag>" + text + attributes.
+        let tag = self.labels.resolve(node.label).len();
+        let attrs: usize = node.attrs.iter().map(|(k, v)| k.len() + v.len() + 4).sum();
+        2 * tag + 5 + attrs + node.text.as_deref().map_or(0, str::len)
     }
 
     /// Verifies arena invariants (parent/child symmetry, liveness, single

@@ -1,22 +1,15 @@
 //! Publish–subscribe filtering: the paper's motivating use case for
-//! Boolean XPath (Section 1). Several subscriptions are materialized as
-//! views over one distributed document; after each published update only
-//! the changed fragment is re-evaluated, and subscribers whose predicate
-//! flipped are notified.
+//! Boolean XPath (Section 1). Subscriptions are standing queries on the
+//! resident serving engine: each published update repairs the cached
+//! triplets in place (O(depth), not O(|fragment|)) and pushes a
+//! notification to every subscriber whose predicate flipped.
 //!
 //! Run with: `cargo run --example pubsub_filter`
 
-use parbox::core::{MaterializedView, Update};
+use parbox::core::{Engine, EngineConfig, Update};
 use parbox::frag::{Forest, Placement};
-use parbox::net::NetworkModel;
-use parbox::query::{compile, parse_query, CompiledQuery};
+use parbox::query::{parse_query, Query};
 use parbox::xmark::{generate, XmarkConfig};
-
-/// One subscription: a name and a Boolean XPath predicate.
-struct Subscription {
-    name: &'static str,
-    query: CompiledQuery,
-}
 
 fn main() {
     // The "publisher": an auction site whose top-level sections live on
@@ -36,7 +29,7 @@ fn main() {
             .split(f0, s)
             .expect("top-level sections split cleanly");
     }
-    let mut placement = Placement::one_per_fragment(&forest);
+    let placement = Placement::one_per_fragment(&forest);
     println!(
         "publisher: {} fragments over {} sites",
         forest.card(),
@@ -44,7 +37,7 @@ fn main() {
     );
 
     // Subscriptions, from plain structural to negated compound.
-    let subs: Vec<Subscription> = [
+    let subs: Vec<(&str, Query)> = [
         ("cash-items", "[//item[payment/text() = \"Cash\"]]"),
         (
             "recall-watch",
@@ -54,93 +47,97 @@ fn main() {
         ("combo", "[//person and //item[payment/text() = \"Cash\"]]"),
     ]
     .into_iter()
-    .map(|(name, src)| Subscription {
-        name,
-        query: compile(&parse_query(src).expect("valid subscription")),
-    })
+    .map(|(name, src)| (name, parse_query(src).expect("valid subscription")))
     .collect();
 
-    // Materialize one view per subscription.
-    let mut views: Vec<MaterializedView> = subs
+    // One resident engine serves every subscription: standing queries
+    // share the two-level triplet cache and are refreshed by the same
+    // delta repair that maintains it.
+    let mut engine =
+        Engine::new(forest, placement, EngineConfig::default()).expect("valid deployment");
+    let ids: Vec<_> = subs
         .iter()
-        .map(|s| {
-            MaterializedView::materialize(&forest, &placement, NetworkModel::lan(), &s.query).0
+        .map(|(name, q)| {
+            let id = engine.subscribe(q);
+            println!(
+                "subscribe {:<14} initially {}",
+                name,
+                engine.subscription_answer(id).expect("just subscribed")
+            );
+            (id, *name)
         })
         .collect();
-    for (s, v) in subs.iter().zip(&views) {
-        println!("subscribe {:<14} initially {}", s.name, v.answer());
-    }
 
-    // A batch of published updates: a recalled item appears in a region.
-    let regions_frag = forest
+    // A published update: a recalled item appears in a region.
+    let regions_frag = engine
+        .forest()
         .fragment_ids()
         .find(|&f| {
-            let t = &forest.fragment(f).tree;
+            let t = &engine.forest().fragment(f).tree;
             t.label_str(t.root()) == "regions"
         })
         .expect("regions fragment");
     let region_node = {
-        let t = &forest.fragment(regions_frag).tree;
+        let t = &engine.forest().fragment(regions_frag).tree;
         t.children(t.root()).next().expect("a region")
     };
     println!("\npublish: recalled-widget listed under {regions_frag}");
 
-    // Apply the mutation once, through the first view…
-    views[0]
-        .apply(
-            &mut forest,
-            &mut placement,
-            Update::InsNode {
-                frag: regions_frag,
-                parent: region_node,
-                label: "item".into(),
-                text: None,
-            },
-        )
-        .unwrap();
+    let out = engine
+        .apply(Update::InsNode {
+            frag: regions_frag,
+            parent: region_node,
+            label: "item".into(),
+            text: None,
+        })
+        .expect("insert applies");
+    assert!(out.notifications.is_empty(), "bare <item/> flips nothing");
     let item_node = {
-        let t = &forest.fragment(regions_frag).tree;
+        let t = &engine.forest().fragment(regions_frag).tree;
         t.children(region_node).last().expect("just inserted")
     };
-    views[0]
-        .apply(
-            &mut forest,
-            &mut placement,
-            Update::InsNode {
-                frag: regions_frag,
-                parent: item_node,
-                label: "name".into(),
-                text: Some("recalled-widget".into()),
-            },
-        )
-        .unwrap();
+    let out = engine
+        .apply(Update::InsNode {
+            frag: regions_frag,
+            parent: item_node,
+            label: "name".into(),
+            text: Some("recalled-widget".into()),
+        })
+        .expect("insert applies");
 
-    // …then notify the rest: each re-evaluates only the changed fragment.
-    let mut fired: Vec<(&str, bool)> = Vec::new();
-    for (i, (s, v)) in subs.iter().zip(views.iter_mut()).enumerate() {
-        if i > 0 {
-            let rep = v.refresh(&forest, &placement, regions_frag);
-            if rep.answer_changed {
-                fired.push((s.name, rep.answer));
-            }
-            println!(
-                "refresh {:<14} work={} units, traffic={}B",
-                s.name,
-                rep.report.total_work(),
-                rep.report.total_bytes()
-            );
-        }
-    }
-    for (name, now) in &fired {
-        println!("notify {:<14} predicate is now {}", name, now);
+    // The engine pushed the flips — no polling, no per-view refresh.
+    for n in &out.notifications {
+        let (_, name) = ids
+            .iter()
+            .find(|(id, _)| *id == n.subscription)
+            .expect("notified subscription is registered");
+        println!("notify {:<14} predicate is now {}", name, n.answer);
     }
     assert!(
-        fired.iter().any(|(n, now)| *n == "recall-watch" && *now),
+        out.notifications.iter().any(|n| {
+            let (_, name) = ids.iter().find(|(id, _)| *id == n.subscription).unwrap();
+            *name == "recall-watch" && n.answer
+        }),
         "the recall subscription must fire"
     );
 
+    let stats = engine.stats();
+    println!(
+        "\nmaintenance: {} entries repaired in place, {} invalidated, \
+         {} nodes re-interned, {} delta bytes shipped",
+        stats.entries_repaired,
+        stats.entries_invalidated,
+        stats.repair_nodes_recomputed,
+        stats.repair_delta_bytes
+    );
+
     println!("\nfinal state:");
-    for (s, v) in subs.iter().zip(&views) {
-        println!("  {:<14} {}", s.name, v.answer());
+    for (id, name) in &ids {
+        println!(
+            "  {:<14} {}",
+            name,
+            engine.subscription_answer(*id).expect("still subscribed")
+        );
     }
+    engine.shutdown();
 }

@@ -2,12 +2,13 @@
 //! long random update sequences against a from-scratch oracle, locality
 //! of recomputation, and traffic independence from data and update size.
 
-use parbox::core::{parbox, MaterializedView, Update};
+use parbox::core::{parbox, Engine, EngineConfig, MaterializedView, Update};
 use parbox::frag::{Forest, Placement, SiteId};
 use parbox::net::{Cluster, NetworkModel};
-use parbox::query::{compile, parse_query, CompiledQuery};
-use parbox::xmark::{generate, XmarkConfig};
+use parbox::query::{compile, parse_query, CompiledQuery, Query};
+use parbox::xmark::{generate, resolve_data_update, resolve_update, XmarkConfig};
 use parbox::xml::{FragmentId, NodeId};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -210,6 +211,118 @@ fn view_survives_full_defragmentation() {
     }
     assert_eq!(forest.card(), 1);
     assert!(view.answer(), "items exist in every XMark document");
+}
+
+// ---------------------------------------------------------------------
+// Delta repair vs invalidate-and-recompute: the resident engine's two
+// maintenance modes must be observationally equivalent on any update
+// schedule. The delta engine repairs cached triplets in place (O(depth));
+// the legacy engine drops and recomputes them (O(|fragment|)) — both must
+// produce the same answers as one-shot ParBoX at every step.
+
+/// Two engines over identical deployments, differing only in
+/// [`EngineConfig::delta_maintenance`], plus a small standing query pool.
+fn twin_engines(doc_seed: u64) -> (Engine, Engine, Vec<Query>) {
+    let tree = generate(XmarkConfig {
+        target_bytes: 6_000,
+        seed: doc_seed,
+    });
+    let mut forest = Forest::from_tree(tree);
+    parbox::frag::strategies::fragment_evenly(&mut forest, 4).unwrap();
+    let placement = Placement::round_robin(&forest, 2);
+    let delta = Engine::new(forest.clone(), placement.clone(), EngineConfig::default())
+        .expect("valid deployment");
+    let legacy = Engine::new(
+        forest,
+        placement,
+        EngineConfig {
+            delta_maintenance: false,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid deployment");
+    let queries = [
+        "[//item[payment/text() = \"Cash\"]]",
+        "[//item and //person]",
+        "[not(//no-such-label)]",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect();
+    (delta, legacy, queries)
+}
+
+proptest! {
+    // Each case spawns two engines' worth of site workers, so fewer
+    // cases than a pure-function property would use.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On a random schedule of Section-5 updates (inserts, deletes,
+    /// splits, merges — the structural ones exercise the invalidation
+    /// fallback inside the delta engine), both maintenance modes agree
+    /// with the one-shot oracle after every step.
+    #[test]
+    fn delta_repair_equals_invalidate_and_recompute(
+        doc_seed in 0u64..500,
+        update_seeds in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let (mut delta, mut legacy, queries) = twin_engines(doc_seed);
+        // Warm both caches so the delta engine has entries to repair.
+        for q in &queries {
+            prop_assert_eq!(delta.query(q).answer, legacy.query(q).answer);
+        }
+        for (step, seed) in update_seeds.iter().enumerate() {
+            // Both forests evolve identically, so resolving against the
+            // delta engine yields an update valid for both.
+            let Some(update) = resolve_update(delta.forest(), *seed) else {
+                continue;
+            };
+            delta.apply(update.clone()).unwrap();
+            legacy.apply(update).unwrap();
+            for q in &queries {
+                let expected = oracle(delta.forest(), delta.placement(), &compile(q));
+                prop_assert_eq!(delta.query(q).answer, expected, "delta, step {}: {}", step, q);
+                prop_assert_eq!(legacy.query(q).answer, expected, "legacy, step {}: {}", step, q);
+            }
+        }
+        // The invalidation engine must never have repaired in place.
+        prop_assert_eq!(legacy.stats().entries_repaired, 0);
+    }
+}
+
+/// Deterministic direction of the same property: a pure data-update
+/// schedule (no splits/merges) is serviced *entirely* by in-place repair
+/// on the delta engine — zero invalidations — while still agreeing with
+/// the invalidate-and-recompute engine at every step.
+#[test]
+fn data_update_schedule_repairs_in_place_and_agrees() {
+    let (mut delta, mut legacy, queries) = twin_engines(2006);
+    for q in &queries {
+        assert_eq!(delta.query(q).answer, legacy.query(q).answer);
+    }
+    let mut applied = 0;
+    for seed in 0..60u64 {
+        let Some(update) = resolve_data_update(delta.forest(), seed) else {
+            continue;
+        };
+        delta.apply(update.clone()).unwrap();
+        legacy.apply(update).unwrap();
+        applied += 1;
+        for q in &queries {
+            let expected = oracle(delta.forest(), delta.placement(), &compile(q));
+            assert_eq!(delta.query(q).answer, expected, "delta after seed {seed}");
+            assert_eq!(legacy.query(q).answer, expected, "legacy after seed {seed}");
+        }
+    }
+    assert!(applied > 10, "schedule too thin: {applied} updates");
+    let stats = delta.stats();
+    assert!(stats.entries_repaired > 0, "delta engine never repaired");
+    assert_eq!(
+        stats.entries_invalidated, 0,
+        "data updates must repair, not invalidate"
+    );
+    assert_eq!(legacy.stats().entries_repaired, 0);
+    assert!(legacy.stats().entries_invalidated > 0);
 }
 
 #[test]
